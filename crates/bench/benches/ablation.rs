@@ -1,0 +1,52 @@
+//! Solver-cost ablations over the design choices DESIGN.md calls out:
+//! P-subtree balancing, slow start, and the overlap factors.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mapreduce_sim::workload::wordcount;
+use mapreduce_sim::{SimConfig, GB};
+use mr2_model::{model_input, solve, Calibration, ModelOptions};
+use std::hint::black_box;
+
+fn bench_ablations(c: &mut Criterion) {
+    let cfg = SimConfig::paper_testbed(4);
+    let spec = wordcount(5 * GB, 4);
+    let variants: [(&str, ModelOptions); 4] = [
+        ("default", ModelOptions::default()),
+        (
+            "no_balance",
+            ModelOptions {
+                balance_tree: false,
+                ..ModelOptions::default()
+            },
+        ),
+        (
+            "no_slow_start",
+            ModelOptions {
+                slow_start: false,
+                ..ModelOptions::default()
+            },
+        ),
+        (
+            "no_overlap",
+            ModelOptions {
+                use_overlap_factors: false,
+                ..ModelOptions::default()
+            },
+        ),
+    ];
+    let mut g = c.benchmark_group("solver_ablation");
+    for (name, opts) in variants {
+        let inp = model_input(&cfg, &spec, 2, opts, &Calibration::default(), None);
+        g.bench_with_input(BenchmarkId::new("variant", name), &inp, |b, inp| {
+            b.iter(|| solve(black_box(inp)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_ablations
+}
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! The paper's core economic claim: analytic estimates arrive "at
+//! significantly lower cost than simulation and experimental evaluation of
+//! real setups". This bench puts the two costs side by side for the same
+//! question (5 GB WordCount, 4 nodes): one full model solve vs one
+//! simulated execution (a real execution would be ~250 s of wall time).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mapreduce_sim::workload::wordcount;
+use mapreduce_sim::{ClusterSim, SimConfig, GB};
+use mr2_model::{model_input, solve, Calibration, ModelOptions};
+use std::hint::black_box;
+
+fn bench_model_vs_simulation(c: &mut Criterion) {
+    let cfg = SimConfig::paper_testbed(4);
+    let spec = wordcount(5 * GB, 4);
+
+    let mut g = c.benchmark_group("estimate_cost");
+    g.bench_function("analytic_model", |b| {
+        let inp = model_input(
+            &cfg,
+            &spec,
+            1,
+            ModelOptions::default(),
+            &Calibration::default(),
+            None,
+        );
+        b.iter(|| solve(black_box(&inp)))
+    });
+    g.bench_function("simulation", |b| {
+        b.iter(|| {
+            let mut sim = ClusterSim::new(cfg.clone());
+            sim.add_job(spec.clone(), 0.0);
+            black_box(sim.run())
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_model_vs_simulation
+}
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! MVA solver scaling — the paper's §4.3 complexity claim: the exact
+//! recursion grows with the population lattice, while the approximate
+//! (Schweitzer) solver is `O(C²K)` per iteration and the whole solution is
+//! "dominated by the MVA algorithm" at `O(C²N²K)`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use queueing::network::{ClosedNetwork, Station};
+use queueing::{approximate_mva, exact_mva};
+use std::hint::black_box;
+
+fn network(classes: usize, stations: usize) -> ClosedNetwork {
+    let st = (0..stations)
+        .map(|k| Station::queueing(&format!("s{k}")))
+        .collect();
+    let names = (0..classes).map(|c| format!("c{c}")).collect();
+    let demands = (0..classes)
+        .map(|c| {
+            (0..stations)
+                .map(|k| 0.1 + ((c * 7 + k * 3) % 10) as f64 * 0.05)
+                .collect()
+        })
+        .collect();
+    ClosedNetwork::new(st, names, demands)
+}
+
+fn bench_exact(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mva_exact");
+    for n in [5u32, 10, 20] {
+        let net = network(2, 4);
+        g.bench_with_input(BenchmarkId::new("population", n), &n, |b, &n| {
+            b.iter(|| exact_mva(black_box(&net), &[n, n]))
+        });
+    }
+    g.finish();
+}
+
+fn bench_approximate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mva_approximate");
+    for classes in [2usize, 6, 12] {
+        let net = network(classes, 13); // 4 nodes × 3 + overhead
+        let pops = vec![8.0; classes];
+        g.bench_with_input(BenchmarkId::new("classes", classes), &classes, |b, _| {
+            b.iter(|| approximate_mva(black_box(&net), black_box(&pops)))
+        });
+    }
+    for stations in [5usize, 13, 25] {
+        let net = network(6, stations);
+        let pops = vec![8.0; 6];
+        g.bench_with_input(BenchmarkId::new("stations", stations), &stations, |b, _| {
+            b.iter(|| approximate_mva(black_box(&net), black_box(&pops)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_exact, bench_approximate
+}
+criterion_main!(benches);

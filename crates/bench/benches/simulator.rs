@@ -1,0 +1,35 @@
+//! Discrete-event simulator throughput: wall time and events processed
+//! per full job execution.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mapreduce_sim::workload::wordcount;
+use mapreduce_sim::{ClusterSim, SimConfig, GB};
+use std::hint::black_box;
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator");
+    let cases = [
+        ("1gb_1job_4n", 4usize, GB, 1usize),
+        ("5gb_1job_4n", 4, 5 * GB, 1),
+        ("5gb_4jobs_8n", 8, 5 * GB, 4),
+    ];
+    for (name, nodes, input, jobs) in cases {
+        g.bench_with_input(BenchmarkId::new("run", name), &(), |b, _| {
+            b.iter(|| {
+                let mut sim = ClusterSim::new(SimConfig::paper_testbed(nodes));
+                for _ in 0..jobs {
+                    sim.add_job(wordcount(input, nodes as u32), 0.0);
+                }
+                black_box(sim.run())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_simulator
+}
+criterion_main!(benches);

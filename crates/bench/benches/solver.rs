@@ -1,0 +1,47 @@
+//! Full A1–A6 solver cost for the paper's experiment configurations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mapreduce_sim::workload::wordcount;
+use mapreduce_sim::{SimConfig, GB};
+use mr2_model::input::Estimator;
+use mr2_model::{model_input, solve, Calibration, ModelOptions};
+use std::hint::black_box;
+
+fn bench_solver(c: &mut Criterion) {
+    let mut g = c.benchmark_group("solver");
+    let cases = [
+        ("fig10_1gb_1job_4n", 4usize, GB, 1usize),
+        ("fig12_5gb_1job_4n", 4, 5 * GB, 1),
+        ("fig13_5gb_4jobs_8n", 8, 5 * GB, 4),
+    ];
+    for (name, nodes, input, jobs) in cases {
+        let cfg = SimConfig::paper_testbed(nodes);
+        let spec = wordcount(input, nodes as u32);
+        for est in [Estimator::ForkJoin, Estimator::Tripathi] {
+            let inp = model_input(
+                &cfg,
+                &spec,
+                jobs,
+                ModelOptions {
+                    estimator: est,
+                    ..ModelOptions::default()
+                },
+                &Calibration::default(),
+                None,
+            );
+            g.bench_with_input(
+                BenchmarkId::new(format!("{est:?}"), name),
+                &inp,
+                |b, inp| b.iter(|| solve(black_box(inp))),
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_solver
+}
+criterion_main!(benches);

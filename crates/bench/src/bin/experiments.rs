@@ -1,0 +1,82 @@
+//! CLI regenerating the paper's evaluation.
+//!
+//! ```text
+//! experiments all            # every figure + error table (default)
+//! experiments fig10 fig12    # selected figures
+//! experiments tab1           # Table 1 + Figures 6–7 (running example)
+//! experiments errors         # error bands over all figures
+//! experiments ablations      # design-choice ablations
+//! ```
+//!
+//! CSV output lands in `results/`.
+
+use mr2_bench::{ascii_plot, render_table, run_errors, run_experiment, write_csv, ExperimentId};
+use std::path::Path;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let args = if args.is_empty() {
+        vec!["all".to_string()]
+    } else {
+        args
+    };
+    let out_dir = Path::new("results");
+
+    let mut selected: Vec<ExperimentId> = Vec::new();
+    let mut want_errors = false;
+    let mut want_tab1 = false;
+    let mut want_ablations = false;
+    for a in &args {
+        match a.as_str() {
+            "all" => {
+                selected = ExperimentId::ALL.to_vec();
+                want_errors = true;
+                want_tab1 = true;
+            }
+            "errors" => {
+                selected = ExperimentId::ALL.to_vec();
+                want_errors = true;
+            }
+            "tab1" => want_tab1 = true,
+            "ablations" => want_ablations = true,
+            "debug" => {
+                mr2_bench::experiments::debug_point();
+                return;
+            }
+            other => match ExperimentId::parse(other) {
+                Some(id) => selected.push(id),
+                None => {
+                    eprintln!("unknown experiment: {other}");
+                    eprintln!("known: all, errors, tab1, ablations, fig10..fig15");
+                    std::process::exit(2);
+                }
+            },
+        }
+    }
+
+    if want_tab1 {
+        println!("{}", mr2_bench::running_example());
+    }
+
+    let mut results = Vec::new();
+    for id in selected {
+        eprintln!("running {} …", id.name());
+        let r = run_experiment(id);
+        println!("{}", render_table(&r));
+        println!("{}", ascii_plot(&r));
+        match write_csv(&r, out_dir) {
+            Ok(p) => eprintln!("wrote {}", p.display()),
+            Err(e) => eprintln!("csv write failed: {e}"),
+        }
+        results.push(r);
+    }
+
+    if want_errors && !results.is_empty() {
+        println!("## Error bands over {} figure(s) (§5.2)", results.len());
+        println!("{}", run_errors(&results));
+    }
+
+    if want_ablations {
+        println!("{}", mr2_bench::experiments::ablations());
+    }
+}

@@ -1,0 +1,421 @@
+//! Definitions of the paper's experiments (Figures 10–15, Table 1, the
+//! §5.2 error bands) and the machinery to run them.
+
+use mapreduce_sim::profile::{measure_workload, profile_job};
+use mapreduce_sim::workload::wordcount;
+use mapreduce_sim::{SimConfig, GB, MB};
+use mr2_model::error::ErrorBand;
+use mr2_model::{estimate_workload, Calibration, ModelOptions};
+
+/// Number of repetitions per configuration (paper §5.1: "Each experiment
+/// we repeated 5 times and then took the median").
+pub const REPS: usize = 5;
+
+/// One point of a sweep.
+#[derive(Debug, Clone)]
+pub struct Point {
+    /// Sweep coordinate (number of nodes, or number of jobs for fig14).
+    pub x: f64,
+    /// Measured median job response time (the "HadoopSetup" series).
+    pub measured: f64,
+    /// Fork/join model estimate.
+    pub fork_join: f64,
+    /// Tripathi model estimate.
+    pub tripathi: f64,
+    /// ARIA `T_avg` baseline.
+    pub aria: f64,
+    /// Herodotou static baseline.
+    pub herodotou: f64,
+}
+
+/// A completed experiment.
+#[derive(Debug, Clone)]
+pub struct ExperimentResult {
+    /// Which experiment.
+    pub id: ExperimentId,
+    /// Human-readable title (matches the paper's caption).
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// The sweep points.
+    pub points: Vec<Point>,
+}
+
+/// The paper's experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExperimentId {
+    /// Fig. 10: 1 GB input, 1 job, nodes ∈ {4,6,8}.
+    Fig10,
+    /// Fig. 11: 1 GB input, 4 jobs, nodes ∈ {4,6,8}.
+    Fig11,
+    /// Fig. 12: 5 GB input, 1 job, nodes ∈ {4,6,8}.
+    Fig12,
+    /// Fig. 13: 5 GB input, 4 jobs, nodes ∈ {4,6,8}.
+    Fig13,
+    /// Fig. 14: 4 nodes, 5 GB, jobs ∈ {1,2,3,4}.
+    Fig14,
+    /// Fig. 15: 64 MB blocks, 5 GB, 1 job, nodes ∈ {4,6,8}.
+    Fig15,
+}
+
+impl ExperimentId {
+    /// All figure experiments in paper order.
+    pub const ALL: [ExperimentId; 6] = [
+        ExperimentId::Fig10,
+        ExperimentId::Fig11,
+        ExperimentId::Fig12,
+        ExperimentId::Fig13,
+        ExperimentId::Fig14,
+        ExperimentId::Fig15,
+    ];
+
+    /// Parse a CLI name like "fig10".
+    pub fn parse(s: &str) -> Option<ExperimentId> {
+        Some(match s {
+            "fig10" => ExperimentId::Fig10,
+            "fig11" => ExperimentId::Fig11,
+            "fig12" => ExperimentId::Fig12,
+            "fig13" => ExperimentId::Fig13,
+            "fig14" => ExperimentId::Fig14,
+            "fig15" => ExperimentId::Fig15,
+            _ => return None,
+        })
+    }
+
+    /// The CLI/CSV name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ExperimentId::Fig10 => "fig10",
+            ExperimentId::Fig11 => "fig11",
+            ExperimentId::Fig12 => "fig12",
+            ExperimentId::Fig13 => "fig13",
+            ExperimentId::Fig14 => "fig14",
+            ExperimentId::Fig15 => "fig15",
+        }
+    }
+}
+
+/// One measured+modeled configuration point.
+fn run_point(nodes: usize, input_bytes: u64, n_jobs: usize, block_mb: u64) -> Point {
+    let mut cfg = SimConfig::paper_testbed(nodes);
+    cfg.block_size = block_mb * MB;
+    // Reducers: one wave across the cluster, the common sizing rule
+    // (#reduces = #nodes); constant per node-count like the paper's setup.
+    let spec = wordcount(input_bytes, nodes as u32);
+
+    // Measured: median of REPS seeded runs of the DES (the "real" setup).
+    let measured = measure_workload(&spec, &cfg, n_jobs, REPS).median_response;
+
+    // Profile run (single job, fresh cluster) refines the CVs, as the
+    // paper's job-profile history would.
+    let (profile, _) = profile_job(&spec, &cfg);
+
+    let est = estimate_workload(
+        &cfg,
+        &spec,
+        n_jobs,
+        &ModelOptions::default(),
+        &Calibration::default(),
+        Some(&profile),
+    );
+    Point {
+        x: nodes as f64,
+        measured,
+        fork_join: est.fork_join,
+        tripathi: est.tripathi,
+        aria: est.aria,
+        herodotou: est.herodotou,
+    }
+}
+
+/// Run one of the paper's figure experiments.
+pub fn run_experiment(id: ExperimentId) -> ExperimentResult {
+    let nodes_sweep = [4usize, 6, 8];
+    match id {
+        ExperimentId::Fig10 => ExperimentResult {
+            id,
+            title: "Input: 1GB; #jobs: 1".into(),
+            x_label: "number of nodes".into(),
+            points: nodes_sweep
+                .iter()
+                .map(|&n| run_point(n, GB, 1, 128))
+                .collect(),
+        },
+        ExperimentId::Fig11 => ExperimentResult {
+            id,
+            title: "Input: 1GB; #jobs: 4".into(),
+            x_label: "number of nodes".into(),
+            points: nodes_sweep
+                .iter()
+                .map(|&n| run_point(n, GB, 4, 128))
+                .collect(),
+        },
+        ExperimentId::Fig12 => ExperimentResult {
+            id,
+            title: "Input: 5GB; #jobs: 1".into(),
+            x_label: "number of nodes".into(),
+            points: nodes_sweep
+                .iter()
+                .map(|&n| run_point(n, 5 * GB, 1, 128))
+                .collect(),
+        },
+        ExperimentId::Fig13 => ExperimentResult {
+            id,
+            title: "Input: 5GB; #jobs: 4".into(),
+            x_label: "number of nodes".into(),
+            points: nodes_sweep
+                .iter()
+                .map(|&n| run_point(n, 5 * GB, 4, 128))
+                .collect(),
+        },
+        ExperimentId::Fig14 => ExperimentResult {
+            id,
+            title: "#Nodes: 4; Input: 5GB".into(),
+            x_label: "number of jobs".into(),
+            points: (1..=4usize)
+                .map(|jobs| {
+                    let mut p = run_point(4, 5 * GB, jobs, 128);
+                    p.x = jobs as f64;
+                    p
+                })
+                .collect(),
+        },
+        ExperimentId::Fig15 => ExperimentResult {
+            id,
+            title: "Block: 64MB; Input: 5GB; #jobs: 1".into(),
+            x_label: "number of nodes".into(),
+            points: nodes_sweep
+                .iter()
+                .map(|&n| run_point(n, 5 * GB, 1, 64))
+                .collect(),
+        },
+    }
+}
+
+/// Error-band summary over a set of experiments — the §5.2 numbers
+/// ("error between 11% and 13,5%" fork/join, "19% and 23%" Tripathi).
+pub fn run_errors(results: &[ExperimentResult]) -> String {
+    let mut out = String::new();
+    let collect = |f: &dyn Fn(&Point) -> f64| -> Vec<(f64, f64)> {
+        results
+            .iter()
+            .flat_map(|r| r.points.iter().map(|p| (f(p), p.measured)))
+            .collect()
+    };
+    let fj = ErrorBand::over(&collect(&|p| p.fork_join));
+    let tr = ErrorBand::over(&collect(&|p| p.tripathi));
+    let ar = ErrorBand::over(&collect(&|p| p.aria));
+    let he = ErrorBand::over(&collect(&|p| p.herodotou));
+    out.push_str("| model | error band | mean | points |\n|---|---|---|---|\n");
+    for (name, b) in [
+        ("Fork/join", fj),
+        ("Tripathi", tr),
+        ("ARIA (baseline)", ar),
+        ("Herodotou (baseline)", he),
+    ] {
+        out.push_str(&format!(
+            "| {name} | {} | {:.1}% | {} |\n",
+            b.as_percent_range(),
+            b.mean * 100.0,
+            b.count
+        ));
+    }
+    out
+}
+
+/// The paper's running example (§3.1, Table 1, Figures 6–7): renders the
+/// ResourceRequest table, the timeline, and the precedence tree.
+pub fn running_example() -> String {
+    use hdfs_sim::NodeId;
+    use mr2_model::timeline::{build_timeline, ShuffleSpec, TimelineConfig, TimelineJob};
+    use mr2_model::tree::build_tree;
+    use yarn_sim::{
+        render_table1, AskTable, Location, Priority, ResourceRequest, ResourceVector,
+    };
+
+    let mut out = String::new();
+    out.push_str("Running example: n = 3 nodes, m = 4 maps, r = 1 reduce\n\n");
+
+    // Table 1: the ResourceRequest object.
+    let mut ask = AskTable::new();
+    let x = ResourceVector::new(1024, 1);
+    for (loc, n, p) in [
+        (Location::Node(NodeId(0)), 2, Priority::MAP),
+        (Location::Node(NodeId(1)), 2, Priority::MAP),
+        (Location::Any, 4, Priority::MAP),
+        (Location::Any, 1, Priority::REDUCE),
+    ] {
+        ask.update(&ResourceRequest {
+            num_containers: n,
+            priority: p,
+            capability: x,
+            location: loc,
+            relax_locality: true,
+        });
+    }
+    out.push_str("Table 1 — ResourceRequest object:\n");
+    out.push_str(&render_table1(&ask));
+
+    // Figure 6: the timeline.
+    let tl = build_timeline(
+        &TimelineConfig {
+            capacities: vec![1; 3],
+            slow_start: true,
+        },
+        &[TimelineJob {
+            num_maps: 4,
+            num_reduces: 1,
+            map_duration: 10.0,
+            merge_duration: 6.0,
+            shuffle: ShuffleSpec::PerRemoteMap { sd: 2.0, base: 1.0 },
+        }],
+    );
+    out.push_str("\nFigure 6 — timeline (map 10s, sd 2s, merge 6s):\n");
+    for s in &tl.segments {
+        out.push_str(&format!(
+            "  {:?}{} on n{}: [{:>5.1}, {:>5.1})\n",
+            s.class,
+            s.index + 1,
+            s.node,
+            s.start,
+            s.end
+        ));
+    }
+
+    // Figure 7: the precedence tree.
+    let tree = build_tree(&tl, None, true).expect("non-empty timeline");
+    out.push_str(&format!(
+        "\nFigure 7 — precedence tree (balanced): {}\n  depth {}, {} leaves\n",
+        tree.render(&tl),
+        tree.depth(),
+        tree.num_leaves()
+    ));
+    out
+}
+
+/// Print solver internals for the fig12@4-nodes point (calibration aid).
+pub fn debug_point() {
+    use mr2_model::input::Estimator;
+    use mr2_model::solve;
+    let cfg = SimConfig::paper_testbed(4);
+    let spec = wordcount(5 * GB, 4);
+    let m = measure_workload(&spec, &cfg, 1, REPS);
+    let (profile, result) = profile_job(&spec, &cfg);
+    println!("measured median: {:.1}", m.median_response);
+    println!(
+        "sim profile: map {:.1}s cv {:.2} | ss {:.1}s cv {:.2} | merge {:.1}s cv {:.2}",
+        profile.map.mean, profile.map.cv,
+        profile.shuffle_sort.mean, profile.shuffle_sort.cv,
+        profile.merge.mean, profile.merge.cv
+    );
+    let maps_start = result.map_records().map(|t| t.started_at).fold(f64::INFINITY, f64::min);
+    let maps_end = result.map_records().map(|t| t.finished_at).fold(0.0f64, f64::max);
+    println!("sim: first map start {maps_start:.1}, last map end {maps_end:.1}, job end {:.1}", result.finished_at);
+    for est in [Estimator::ForkJoin, Estimator::Tripathi] {
+        let input = mr2_model::model_input(
+            &cfg, &spec, 1,
+            ModelOptions { estimator: est, ..ModelOptions::default() },
+            &Calibration::default(), Some(&profile));
+        println!("model initial responses: {:?}", input.jobs[0].initial_response);
+        println!("model cvs: {:?}", input.jobs[0].cv);
+        let r = solve(&input);
+        println!(
+            "{est:?}: avg {:.1} | iters {} | converged {} | durations {:?} | makespan {:.1} | depth {:?}",
+            r.avg_response, r.iterations, r.converged, r.durations[0], r.makespan, r.tree_depths
+        );
+    }
+}
+
+/// Design-choice ablations on the 5 GB / 1 job / 4 nodes point:
+/// P-subtree balancing, slow start, and the overlap factors.
+pub fn ablations() -> String {
+    use mr2_model::input::Estimator;
+    use mr2_model::solve;
+
+    let cfg = SimConfig::paper_testbed(4);
+    let spec = wordcount(5 * GB, 4);
+    let measured = measure_workload(&spec, &cfg, 1, REPS).median_response;
+    let (profile, _) = profile_job(&spec, &cfg);
+    let cal = Calibration::default();
+
+    let mut out = String::new();
+    out.push_str("## Ablations (5 GB, 1 job, 4 nodes)\n");
+    out.push_str(&format!("measured (median of {REPS}): {measured:.1}s\n\n"));
+    out.push_str("| variant | fork/join (s) | tripathi (s) | tree depth | iterations |\n|---|---|---|---|---|\n");
+
+    let variants: [(&str, ModelOptions); 4] = [
+        ("default", ModelOptions::default()),
+        (
+            "no P-balancing",
+            ModelOptions {
+                balance_tree: false,
+                ..ModelOptions::default()
+            },
+        ),
+        (
+            "no slow start",
+            ModelOptions {
+                slow_start: false,
+                ..ModelOptions::default()
+            },
+        ),
+        (
+            "no overlap factors",
+            ModelOptions {
+                use_overlap_factors: false,
+                ..ModelOptions::default()
+            },
+        ),
+    ];
+    for (name, opts) in variants {
+        let fj = solve(&mr2_model::model_input(
+            &cfg,
+            &spec,
+            1,
+            ModelOptions {
+                estimator: Estimator::ForkJoin,
+                ..opts.clone()
+            },
+            &cal,
+            Some(&profile),
+        ));
+        let tr = solve(&mr2_model::model_input(
+            &cfg,
+            &spec,
+            1,
+            ModelOptions {
+                estimator: Estimator::Tripathi,
+                ..opts.clone()
+            },
+            &cal,
+            Some(&profile),
+        ));
+        out.push_str(&format!(
+            "| {name} | {:.1} | {:.1} | {} | {} |\n",
+            fj.avg_response, tr.avg_response, tr.tree_depths[0], fj.iterations
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn experiment_ids_roundtrip() {
+        for id in ExperimentId::ALL {
+            assert_eq!(ExperimentId::parse(id.name()), Some(id));
+        }
+        assert_eq!(ExperimentId::parse("fig99"), None);
+    }
+
+    #[test]
+    fn running_example_renders_paper_artifacts() {
+        let s = running_example();
+        assert!(s.contains("Table 1"));
+        assert!(s.contains("| 1 | 10 |"), "reduce row present:\n{s}");
+        assert!(s.contains("Figure 7"));
+        assert!(s.contains("S("));
+    }
+}

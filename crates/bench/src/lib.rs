@@ -1,0 +1,16 @@
+//! Experiment harness regenerating every table and figure of the paper's
+//! evaluation (§5).
+//!
+//! Each figure is a sweep producing, per point, the measured ("Hadoop
+//! setup" — here: the DES cluster simulator, median of 5 seeded runs) and
+//! the model estimates (Fork/join and Tripathi), plus the ARIA and
+//! Herodotou related-work baselines. Output is a Markdown-ish table, an
+//! ASCII plot, and a CSV file per figure under `results/`.
+
+pub mod experiments;
+pub mod output;
+
+pub use experiments::{
+    run_errors, run_experiment, running_example, ExperimentId, ExperimentResult, Point,
+};
+pub use output::{ascii_plot, render_table, write_csv};

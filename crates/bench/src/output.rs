@@ -1,0 +1,152 @@
+//! Rendering of experiment results: tables, ASCII plots, CSV files.
+
+use crate::experiments::ExperimentResult;
+use mr2_model::error::relative_error;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Markdown table with measured vs estimates and signed errors.
+pub fn render_table(r: &ExperimentResult) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "### {} — {}", r.id.name(), r.title);
+    let _ = writeln!(
+        out,
+        "| {} | HadoopSetup (s) | Fork/join (s) | err | Tripathi (s) | err | ARIA (s) | Herodotou (s) |",
+        r.x_label
+    );
+    let _ = writeln!(out, "|---|---|---|---|---|---|---|---|");
+    for p in &r.points {
+        let _ = writeln!(
+            out,
+            "| {} | {:.1} | {:.1} | {:+.1}% | {:.1} | {:+.1}% | {:.1} | {:.1} |",
+            p.x,
+            p.measured,
+            p.fork_join,
+            relative_error(p.fork_join, p.measured) * 100.0,
+            p.tripathi,
+            relative_error(p.tripathi, p.measured) * 100.0,
+            p.aria,
+            p.herodotou,
+        );
+    }
+    out
+}
+
+/// A small ASCII chart of the three paper series (measured, fork/join,
+/// Tripathi) across the sweep — the shape check for Figures 10–15.
+pub fn ascii_plot(r: &ExperimentResult) -> String {
+    const ROWS: usize = 16;
+    const LABEL: usize = 8;
+    let series: [(&str, char, Box<dyn Fn(&crate::Point) -> f64>); 3] = [
+        ("measured", 'M', Box::new(|p: &crate::Point| p.measured)),
+        ("fork/join", 'F', Box::new(|p: &crate::Point| p.fork_join)),
+        ("tripathi", 'T', Box::new(|p: &crate::Point| p.tripathi)),
+    ];
+    let max = r
+        .points
+        .iter()
+        .flat_map(|p| [p.measured, p.fork_join, p.tripathi])
+        .fold(0.0f64, f64::max)
+        .max(1e-9);
+
+    let cols = r.points.len();
+    let col_width = 8;
+    let mut grid = vec![vec![' '; LABEL + cols * col_width]; ROWS];
+    for (ci, p) in r.points.iter().enumerate() {
+        for (_, ch, f) in &series {
+            let v = f(p);
+            let row = ((1.0 - v / max) * (ROWS - 1) as f64).round() as usize;
+            let col = LABEL + ci * col_width + col_width / 2;
+            let cell = &mut grid[row.min(ROWS - 1)][col];
+            // Overlapping points show the later series' letter plus '*'.
+            *cell = if *cell == ' ' { *ch } else { '*' };
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "{} — {}  (M=measured F=fork/join T=tripathi)", r.id.name(), r.title);
+    let _ = writeln!(out, "{:>7.0}s ┐", max);
+    for row in grid {
+        let s: String = row.into_iter().collect();
+        let _ = writeln!(out, "        │{}", s.trim_end());
+    }
+    let mut axis = String::new();
+    for p in &r.points {
+        let _ = write!(axis, "{:^col_width$}", p.x, col_width = col_width);
+    }
+    let _ = writeln!(out, "      0 └{}", "─".repeat(LABEL + cols * col_width));
+    let _ = writeln!(out, "         {:LABEL$}{}", "", axis, LABEL = LABEL);
+    let _ = writeln!(out, "         {:LABEL$}{}", "", r.x_label, LABEL = LABEL);
+    out
+}
+
+/// Write a CSV with one row per point.
+pub fn write_csv(r: &ExperimentResult, dir: &Path) -> std::io::Result<std::path::PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{}.csv", r.id.name()));
+    let mut body = String::from("x,measured,fork_join,tripathi,aria,herodotou\n");
+    for p in &r.points {
+        let _ = writeln!(
+            body,
+            "{},{:.3},{:.3},{:.3},{:.3},{:.3}",
+            p.x, p.measured, p.fork_join, p.tripathi, p.aria, p.herodotou
+        );
+    }
+    std::fs::write(&path, body)?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::{ExperimentId, Point};
+
+    fn sample() -> ExperimentResult {
+        ExperimentResult {
+            id: ExperimentId::Fig10,
+            title: "Input: 1GB; #jobs: 1".into(),
+            x_label: "number of nodes".into(),
+            points: vec![
+                Point {
+                    x: 4.0,
+                    measured: 65.0,
+                    fork_join: 72.0,
+                    tripathi: 78.0,
+                    aria: 80.0,
+                    herodotou: 50.0,
+                },
+                Point {
+                    x: 8.0,
+                    measured: 40.0,
+                    fork_join: 45.0,
+                    tripathi: 49.0,
+                    aria: 52.0,
+                    herodotou: 31.0,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn table_contains_errors() {
+        let t = render_table(&sample());
+        assert!(t.contains("fig10"));
+        assert!(t.contains("+10.8%")); // 72 vs 65
+        assert!(t.contains("| 8 |"));
+    }
+
+    #[test]
+    fn plot_renders_all_series() {
+        let p = ascii_plot(&sample());
+        assert!(p.contains('M') || p.contains('*'));
+        assert!(p.contains("number of nodes"));
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let dir = std::env::temp_dir().join("mr2bench-test");
+        let path = write_csv(&sample(), &dir).unwrap();
+        let body = std::fs::read_to_string(path).unwrap();
+        assert!(body.starts_with("x,measured"));
+        assert_eq!(body.lines().count(), 3);
+    }
+}

@@ -1,0 +1,82 @@
+//! Estimation-error accounting, matching how §5.2 reports accuracy.
+
+/// Signed relative error `(estimate − measured) / measured`; positive
+/// values are overestimates (the paper: "with both approaches we
+/// overestimate the execution time").
+pub fn relative_error(estimate: f64, measured: f64) -> f64 {
+    assert!(measured > 0.0, "measured time must be positive");
+    (estimate - measured) / measured
+}
+
+/// Absolute relative error, the paper's reported percentage.
+pub fn abs_relative_error(estimate: f64, measured: f64) -> f64 {
+    relative_error(estimate, measured).abs()
+}
+
+/// Min/max band of absolute relative errors over a set of experiments
+/// (the paper reports e.g. "error between 11% and 13.5%").
+#[derive(Debug, Clone, Copy)]
+pub struct ErrorBand {
+    /// Smallest absolute relative error seen.
+    pub min: f64,
+    /// Largest absolute relative error seen.
+    pub max: f64,
+    /// Mean absolute relative error.
+    pub mean: f64,
+    /// Number of points.
+    pub count: u32,
+}
+
+impl ErrorBand {
+    /// Band over `(estimate, measured)` pairs. Panics on an empty slice.
+    pub fn over(pairs: &[(f64, f64)]) -> ErrorBand {
+        assert!(!pairs.is_empty());
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut sum = 0.0;
+        for &(e, m) in pairs {
+            let err = abs_relative_error(e, m);
+            min = min.min(err);
+            max = max.max(err);
+            sum += err;
+        }
+        ErrorBand {
+            min,
+            max,
+            mean: sum / pairs.len() as f64,
+            count: pairs.len() as u32,
+        }
+    }
+
+    /// Render as the paper's "x% – y%" form.
+    pub fn as_percent_range(&self) -> String {
+        format!("{:.1}% – {:.1}%", self.min * 100.0, self.max * 100.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signed_and_absolute() {
+        assert!((relative_error(115.0, 100.0) - 0.15).abs() < 1e-12);
+        assert!((relative_error(85.0, 100.0) + 0.15).abs() < 1e-12);
+        assert!((abs_relative_error(85.0, 100.0) - 0.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn band_over_pairs() {
+        let band = ErrorBand::over(&[(110.0, 100.0), (120.0, 100.0), (95.0, 100.0)]);
+        assert!((band.min - 0.05).abs() < 1e-12);
+        assert!((band.max - 0.20).abs() < 1e-12);
+        assert_eq!(band.count, 3);
+        assert_eq!(band.as_percent_range(), "5.0% – 20.0%");
+    }
+
+    #[test]
+    #[should_panic(expected = "measured time must be positive")]
+    fn zero_measured_rejected() {
+        relative_error(1.0, 0.0);
+    }
+}

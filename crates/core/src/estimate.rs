@@ -1,0 +1,141 @@
+//! High-level estimation API: one call from `(cluster, job, N)` to the
+//! paper's model estimates plus the related-work baselines.
+
+use crate::aria::{aria_bounds, AriaProfile, StageStats};
+use crate::calibrate::{herodotou_estimate, model_input, Calibration};
+use crate::input::{Estimator, ModelOptions};
+use crate::solver::{solve, SolveResult};
+use mapreduce_sim::profile::MeasuredProfile;
+use mapreduce_sim::{JobSpec, SimConfig};
+
+/// Estimates of the average job response time for one workload point.
+#[derive(Debug, Clone)]
+pub struct WorkloadEstimate {
+    /// Fork/join-based modified-MVA estimate (the paper's best method).
+    pub fork_join: f64,
+    /// Tripathi-based estimate.
+    pub tripathi: f64,
+    /// ARIA `T_avg` baseline (fixed-slot makespan bounds).
+    pub aria: f64,
+    /// Herodotou static-sum baseline.
+    pub herodotou: f64,
+    /// Full fork/join solver output.
+    pub fork_join_detail: SolveResult,
+    /// Full Tripathi solver output.
+    pub tripathi_detail: SolveResult,
+}
+
+/// Run both estimators and both baselines for `n_jobs` identical jobs.
+///
+/// `measured` optionally supplies duration CVs from a profiling run
+/// (§4.2.1's "sample techniques"); without it the calibration defaults are
+/// used, and the initial responses come from the Herodotou bootstrap
+/// either way.
+pub fn estimate_workload(
+    cfg: &SimConfig,
+    spec: &JobSpec,
+    n_jobs: usize,
+    options: &ModelOptions,
+    cal: &Calibration,
+    measured: Option<&MeasuredProfile>,
+) -> WorkloadEstimate {
+    let mut fj_opts = options.clone();
+    fj_opts.estimator = Estimator::ForkJoin;
+    let mut tr_opts = options.clone();
+    tr_opts.estimator = Estimator::Tripathi;
+
+    let fj_input = model_input(cfg, spec, n_jobs, fj_opts, cal, measured);
+    let tr_input = model_input(cfg, spec, n_jobs, tr_opts, cal, measured);
+    let fj = solve(&fj_input);
+    let tr = solve(&tr_input);
+
+    // ARIA baseline from the same initial statistics. The bounds model has
+    // no notion of concurrent jobs; following its own usage we scale the
+    // slot pool by 1/N (each of N identical jobs effectively receives an
+    // equal share under FIFO averaging).
+    let job = &fj_input.jobs[0];
+    let slots_total = fj_input
+        .cluster
+        .total_containers()
+        .saturating_sub(fj_input.cluster.reserved_containers)
+        .max(1);
+    let slots = (slots_total as f64 / n_jobs as f64).max(1.0) as u32;
+    let mk = |mean: f64, cv: f64| StageStats {
+        avg: mean,
+        max: mean * (1.0 + 2.0 * cv),
+    };
+    let profile = AriaProfile {
+        num_maps: job.num_maps,
+        num_reduces: job.num_reduces,
+        map: mk(job.initial_response[0], job.cv[0]),
+        shuffle_first: mk(job.initial_response[1], job.cv[1]),
+        shuffle_typical: mk(job.initial_response[1], job.cv[1]),
+        reduce: mk(job.initial_response[2], job.cv[2]),
+    };
+    let aria = aria_bounds(&profile, slots, slots).avg();
+
+    let herodotou = herodotou_estimate(cfg, spec, cal) * n_jobs as f64;
+
+    WorkloadEstimate {
+        fork_join: fj.avg_response,
+        tripathi: tr.avg_response,
+        aria,
+        herodotou,
+        fork_join_detail: fj,
+        tripathi_detail: tr,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mapreduce_sim::workload::wordcount_1gb;
+
+    #[test]
+    fn all_estimates_positive_and_finite() {
+        let cfg = SimConfig::paper_testbed(4);
+        let spec = wordcount_1gb(4);
+        let e = estimate_workload(
+            &cfg,
+            &spec,
+            1,
+            &ModelOptions::default(),
+            &Calibration::default(),
+            None,
+        );
+        for (name, v) in [
+            ("fork_join", e.fork_join),
+            ("tripathi", e.tripathi),
+            ("aria", e.aria),
+            ("herodotou", e.herodotou),
+        ] {
+            assert!(v.is_finite() && v > 0.0, "{name} = {v}");
+        }
+        assert!(e.fork_join_detail.converged);
+        assert!(e.tripathi_detail.converged);
+    }
+
+    #[test]
+    fn estimates_scale_with_job_count() {
+        let cfg = SimConfig::paper_testbed(4);
+        let spec = wordcount_1gb(4);
+        let one = estimate_workload(
+            &cfg,
+            &spec,
+            1,
+            &ModelOptions::default(),
+            &Calibration::default(),
+            None,
+        );
+        let four = estimate_workload(
+            &cfg,
+            &spec,
+            4,
+            &ModelOptions::default(),
+            &Calibration::default(),
+            None,
+        );
+        assert!(four.fork_join > one.fork_join);
+        assert!(four.tripathi > one.tripathi);
+    }
+}

@@ -1,0 +1,266 @@
+//! Overlap factors and class populations from a timeline (§4.2.3).
+//!
+//! Following Mak & Lundstrom \[5\], "the queueing delay of task class i due
+//! to task class j is directly proportional to their overlaps". From the
+//! timeline we compute, per ordered class pair:
+//!
+//! ```text
+//! o(i→j) = measure{ t : class i active ∧ class j active }
+//!          ─────────────────────────────────────────────
+//!          measure{ t : class i active }
+//! ```
+//!
+//! i.e. the fraction of class i's active time during which class j is also
+//! running — the probability a class-i task in service finds class-j work
+//! competing with it. `α` collects same-job pairs (Figure 8's intra-job
+//! factor), `β` cross-job pairs (inter-job).
+//!
+//! Class populations for the MVA are the time-average number of active
+//! tasks of each class over that class's active period.
+
+use crate::input::TaskClass;
+use crate::timeline::Timeline;
+
+/// A union of disjoint half-open intervals, kept sorted.
+#[derive(Debug, Clone, Default)]
+pub struct IntervalSet {
+    ivs: Vec<(f64, f64)>,
+}
+
+impl IntervalSet {
+    /// Build from possibly-overlapping intervals.
+    pub fn from_intervals(mut raw: Vec<(f64, f64)>) -> IntervalSet {
+        raw.retain(|&(s, e)| e > s);
+        raw.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let mut ivs: Vec<(f64, f64)> = Vec::with_capacity(raw.len());
+        for (s, e) in raw {
+            match ivs.last_mut() {
+                Some(last) if s <= last.1 => last.1 = last.1.max(e),
+                _ => ivs.push((s, e)),
+            }
+        }
+        IntervalSet { ivs }
+    }
+
+    /// Total measure.
+    pub fn measure(&self) -> f64 {
+        self.ivs.iter().map(|(s, e)| e - s).sum()
+    }
+
+    /// Measure of the intersection with another set (two-pointer sweep).
+    pub fn intersection_measure(&self, other: &IntervalSet) -> f64 {
+        let (mut i, mut j) = (0usize, 0usize);
+        let mut acc = 0.0;
+        while i < self.ivs.len() && j < other.ivs.len() {
+            let (s1, e1) = self.ivs[i];
+            let (s2, e2) = other.ivs[j];
+            let lo = s1.max(s2);
+            let hi = e1.min(e2);
+            if hi > lo {
+                acc += hi - lo;
+            }
+            if e1 < e2 {
+                i += 1;
+            } else {
+                j += 1;
+            }
+        }
+        acc
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ivs.is_empty()
+    }
+}
+
+/// Activity set of one (job, class).
+pub fn activity(tl: &Timeline, job: u32, class: TaskClass) -> IntervalSet {
+    IntervalSet::from_intervals(
+        tl.segments
+            .iter()
+            .filter(|s| s.job == job && s.class == class)
+            .map(|s| (s.start, s.end))
+            .collect(),
+    )
+}
+
+/// Time-average number of active class tasks over the class's active
+/// period: `Σ durations / measure(active union)`. Zero for an idle class.
+pub fn population(tl: &Timeline, job: u32, class: TaskClass) -> f64 {
+    let act = activity(tl, job, class);
+    let span = act.measure();
+    if span <= 0.0 {
+        return 0.0;
+    }
+    let busy: f64 = tl
+        .segments
+        .iter()
+        .filter(|s| s.job == job && s.class == class)
+        .map(|s| s.duration())
+        .sum();
+    busy / span
+}
+
+/// The overlap-factor matrices of a workload of `num_jobs` jobs.
+#[derive(Debug, Clone)]
+pub struct OverlapFactors {
+    /// Intra-job factors `α[i][j]`, averaged over jobs.
+    pub alpha: [[f64; 3]; 3],
+    /// Inter-job factors `β[i][j]`, averaged over ordered job pairs
+    /// (all-zero for a single job).
+    pub beta: [[f64; 3]; 3],
+}
+
+/// Compute α and β from a timeline.
+pub fn overlap_factors(tl: &Timeline, num_jobs: u32) -> OverlapFactors {
+    // Pre-compute activities.
+    let act: Vec<[IntervalSet; 3]> = (0..num_jobs)
+        .map(|j| {
+            [
+                activity(tl, j, TaskClass::Map),
+                activity(tl, j, TaskClass::ShuffleSort),
+                activity(tl, j, TaskClass::Merge),
+            ]
+        })
+        .collect();
+
+    let factor = |a: &IntervalSet, b: &IntervalSet| -> f64 {
+        let m = a.measure();
+        if m <= 0.0 {
+            0.0
+        } else {
+            a.intersection_measure(b) / m
+        }
+    };
+
+    let mut alpha = [[0.0f64; 3]; 3];
+    let mut alpha_n = [[0u32; 3]; 3];
+    let mut beta = [[0.0f64; 3]; 3];
+    let mut beta_n = [[0u32; 3]; 3];
+    for a in 0..num_jobs as usize {
+        for b in 0..num_jobs as usize {
+            for i in 0..3 {
+                if act[a][i].is_empty() {
+                    continue;
+                }
+                for j in 0..3 {
+                    let f = factor(&act[a][i], &act[b][j]);
+                    if a == b {
+                        alpha[i][j] += f;
+                        alpha_n[i][j] += 1;
+                    } else {
+                        beta[i][j] += f;
+                        beta_n[i][j] += 1;
+                    }
+                }
+            }
+        }
+    }
+    for i in 0..3 {
+        for j in 0..3 {
+            if alpha_n[i][j] > 0 {
+                alpha[i][j] /= alpha_n[i][j] as f64;
+            }
+            if beta_n[i][j] > 0 {
+                beta[i][j] /= beta_n[i][j] as f64;
+            }
+        }
+    }
+    OverlapFactors { alpha, beta }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timeline::{build_timeline, ShuffleSpec, TimelineConfig, TimelineJob};
+
+    #[test]
+    fn interval_set_merges() {
+        let s = IntervalSet::from_intervals(vec![(0.0, 2.0), (1.0, 3.0), (5.0, 6.0)]);
+        assert!((s.measure() - 4.0).abs() < 1e-12);
+        let t = IntervalSet::from_intervals(vec![(2.5, 5.5)]);
+        assert!((s.intersection_measure(&t) - 1.0).abs() < 1e-12);
+        assert!((t.intersection_measure(&s) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_intervals_dropped() {
+        let s = IntervalSet::from_intervals(vec![(1.0, 1.0), (2.0, 1.0)]);
+        assert!(s.is_empty());
+        assert_eq!(s.measure(), 0.0);
+    }
+
+    fn one_job_tl() -> Timeline {
+        build_timeline(
+            &TimelineConfig {
+                capacities: vec![1; 3],
+                slow_start: true,
+            },
+            &[TimelineJob {
+                num_maps: 4,
+                num_reduces: 1,
+                map_duration: 10.0,
+                merge_duration: 6.0,
+                shuffle: ShuffleSpec::PerRemoteMap { sd: 2.0, base: 1.0 },
+            }],
+        )
+    }
+
+    #[test]
+    fn populations_match_hand_computation() {
+        let tl = one_job_tl();
+        // Maps: 3 active on [0,10), 1 on [10,20): avg = (30+10)/20 = 2.
+        assert!((population(&tl, 0, TaskClass::Map) - 2.0).abs() < 1e-12);
+        // One reduce: populations exactly 1 while active.
+        assert!((population(&tl, 0, TaskClass::ShuffleSort) - 1.0).abs() < 1e-12);
+        assert!((population(&tl, 0, TaskClass::Merge) - 1.0).abs() < 1e-12);
+        // Idle class of a map-only timeline is 0.
+        let tl2 = build_timeline(
+            &TimelineConfig::homogeneous(1, 1),
+            &[TimelineJob {
+                num_maps: 1,
+                num_reduces: 0,
+                map_duration: 1.0,
+                merge_duration: 0.0,
+                shuffle: ShuffleSpec::Fixed(0.0),
+            }],
+        );
+        assert_eq!(population(&tl2, 0, TaskClass::Merge), 0.0);
+    }
+
+    #[test]
+    fn intra_job_factors() {
+        let tl = one_job_tl();
+        let f = overlap_factors(&tl, 1);
+        // Maps active [0,20); shuffle-sort [10,17): overlap 7.
+        // α[map][ss] = 7/20; α[ss][map] = 7/7 = 1.
+        assert!((f.alpha[0][1] - 0.35).abs() < 1e-9, "{}", f.alpha[0][1]);
+        assert!((f.alpha[1][0] - 1.0).abs() < 1e-9);
+        // Diagonals are 1 (a class always overlaps itself while active).
+        for i in 0..2 {
+            assert!((f.alpha[i][i] - 1.0).abs() < 1e-12);
+        }
+        // Merge [17,23) does not overlap maps [0,20)… it does: 3/6.
+        assert!((f.alpha[2][0] - 0.5).abs() < 1e-9);
+        // Single job → β all zero.
+        assert_eq!(f.beta, [[0.0; 3]; 3]);
+    }
+
+    #[test]
+    fn inter_job_factors_symmetric_jobs() {
+        let cfg = TimelineConfig::homogeneous(2, 1);
+        let job = TimelineJob {
+            num_maps: 2,
+            num_reduces: 0,
+            map_duration: 5.0,
+            merge_duration: 0.0,
+            shuffle: ShuffleSpec::Fixed(0.0),
+        };
+        let tl = build_timeline(&cfg, &[job.clone(), job]);
+        let f = overlap_factors(&tl, 2);
+        // Jobs run serially (2 containers, 2 maps each): no map overlap.
+        assert_eq!(f.beta[0][0], 0.0);
+        assert!((f.alpha[0][0] - 1.0).abs() < 1e-12);
+    }
+}

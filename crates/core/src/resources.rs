@@ -1,0 +1,151 @@
+//! Resource-consumption estimation — the paper's stated future work
+//! (§6: "we are planning to extend our model to be able to estimate the
+//! amount of consumed resources for each task and the whole job").
+//!
+//! Consumption is expressed in **center-busy-seconds** (CPU core-seconds,
+//! disk-busy seconds, NIC-busy seconds — the unloaded service demands,
+//! which contention shifts in time but does not change) and in
+//! **container-seconds** (contention-adjusted occupancy, the currency
+//! YARN capacity planning budgets in).
+
+use crate::input::{ModelInput, TaskClass};
+use crate::solver::SolveResult;
+
+/// Estimated consumption of one task of a class.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TaskResources {
+    /// CPU core-seconds.
+    pub cpu_seconds: f64,
+    /// Disk-busy seconds.
+    pub disk_seconds: f64,
+    /// Network-busy seconds.
+    pub network_seconds: f64,
+    /// Container occupancy, contention-adjusted (seconds).
+    pub container_seconds: f64,
+}
+
+/// Estimated consumption of a whole job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobResources {
+    /// Per-class task estimates `[map, shuffle-sort, merge]`.
+    pub per_task: [TaskResources; 3],
+    /// Totals over all tasks of the job.
+    pub total: TaskResources,
+    /// The AM's own container occupancy (the job's response time).
+    pub am_container_seconds: f64,
+}
+
+/// Estimate one task's consumption: demands are unloaded busy times;
+/// container occupancy is the contention-adjusted class duration from the
+/// solved model.
+pub fn task_resources(input: &ModelInput, solved: &SolveResult, job: usize, class: TaskClass) -> TaskResources {
+    let j = &input.jobs[job];
+    let c = class.index();
+    TaskResources {
+        cpu_seconds: j.demands[c][0],
+        disk_seconds: j.demands[c][1],
+        network_seconds: j.demands[c][2],
+        container_seconds: solved.durations[job][c],
+    }
+}
+
+/// Estimate a whole job's consumption.
+pub fn job_resources(input: &ModelInput, solved: &SolveResult, job: usize) -> JobResources {
+    assert!(job < input.jobs.len());
+    let j = &input.jobs[job];
+    let per_task = [
+        task_resources(input, solved, job, TaskClass::Map),
+        task_resources(input, solved, job, TaskClass::ShuffleSort),
+        task_resources(input, solved, job, TaskClass::Merge),
+    ];
+    let counts = [j.num_maps as f64, j.num_reduces as f64, j.num_reduces as f64];
+    let mut total = TaskResources {
+        cpu_seconds: 0.0,
+        disk_seconds: 0.0,
+        network_seconds: 0.0,
+        container_seconds: 0.0,
+    };
+    for (t, n) in per_task.iter().zip(counts) {
+        total.cpu_seconds += t.cpu_seconds * n;
+        total.disk_seconds += t.disk_seconds * n;
+        total.network_seconds += t.network_seconds * n;
+        total.container_seconds += t.container_seconds * n;
+    }
+    JobResources {
+        per_task,
+        total,
+        am_container_seconds: solved.per_job_response[job],
+    }
+}
+
+/// A capacity-planning style summary: share of the cluster's raw capacity
+/// one run of the job consumes per second of its response time.
+pub fn mean_cluster_share(input: &ModelInput, solved: &SolveResult, job: usize) -> f64 {
+    let r = job_resources(input, solved, job);
+    let response = solved.per_job_response[job].max(1e-9);
+    let slots = input.cluster.total_containers() as f64;
+    (r.total.container_seconds / response) / slots.max(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::input::{ClusterInputs, Estimator, JobClassInputs, ModelOptions};
+    use crate::solver::solve;
+
+    fn input() -> ModelInput {
+        ModelInput {
+            cluster: ClusterInputs {
+                num_nodes: 4,
+                cpu_per_node: 12,
+                disk_per_node: 1,
+                max_maps_per_node: 4,
+                max_reduce_per_node: 4,
+                reserved_containers: 1,
+            },
+            jobs: vec![JobClassInputs {
+                num_maps: 8,
+                num_reduces: 4,
+                demands: [[30.0, 2.0, 0.2], [0.1, 0.5, 4.0], [1.0, 5.0, 1.0]],
+                initial_response: [34.2, 4.6, 7.0],
+                cv: [0.3, 0.5, 0.3],
+                shuffle_per_map: 1.0,
+                overhead: [2.0, 2.0, 0.0],
+            }],
+            options: ModelOptions {
+                estimator: Estimator::ForkJoin,
+                ..ModelOptions::default()
+            },
+        }
+    }
+
+    #[test]
+    fn task_consumption_reflects_demands_and_contention() {
+        let input = input();
+        let solved = solve(&input);
+        let map = task_resources(&input, &solved, 0, TaskClass::Map);
+        assert_eq!(map.cpu_seconds, 30.0);
+        assert_eq!(map.disk_seconds, 2.0);
+        // Contention + overhead make occupancy exceed the raw demand sum.
+        assert!(map.container_seconds >= 32.0, "{}", map.container_seconds);
+    }
+
+    #[test]
+    fn job_totals_scale_with_task_counts() {
+        let input = input();
+        let solved = solve(&input);
+        let r = job_resources(&input, &solved, 0);
+        // 8 maps × 30 CPU-seconds each.
+        assert!((r.total.cpu_seconds - (8.0 * 30.0 + 4.0 * 0.1 + 4.0 * 1.0)).abs() < 1e-9);
+        assert!(r.total.container_seconds > 8.0 * 30.0);
+        assert!(r.am_container_seconds >= solved.durations[0][0]);
+    }
+
+    #[test]
+    fn cluster_share_is_a_fraction() {
+        let input = input();
+        let solved = solve(&input);
+        let share = mean_cluster_share(&input, &solved, 0);
+        assert!(share > 0.0 && share <= 1.0, "share = {share}");
+    }
+}

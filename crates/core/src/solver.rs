@@ -1,0 +1,497 @@
+//! The modified MVA algorithm — activities A1–A6 of Figure 4.
+//!
+//! ```text
+//! A1  initialize residence times S_{i,k} and response times R_i
+//! A2  build the precedence tree (via the timeline, Algorithm 1)
+//! A3  estimate intra- (α) and inter-job (β) overlap factors
+//! A4  compute queueing delays: overlap-adjusted approximate MVA
+//! A5  estimate task & job response times (fork/join or Tripathi)
+//! A6  convergence test on the job response time (ε = 1e-7); if it
+//!     fails, return to A2 with the new response times
+//! ```
+//!
+//! Classes are per `(job, task class)` so that the inter-job factors β
+//! weight contention between different jobs, as the paper requires. The
+//! per-job response time is estimated over the subtree of that job's tasks
+//! (Vianna's subset strategy) plus its FIFO queueing offset from the
+//! timeline.
+
+use crate::input::{Estimator, ModelInput, TaskClass};
+use crate::overlap::{overlap_factors, population};
+use crate::timeline::{build_timeline, ShuffleSpec, Timeline, TimelineConfig, TimelineJob};
+use crate::tree::build_tree;
+use queueing::distribution::ExpPoly;
+use queueing::network::{ClosedNetwork, Station};
+use queueing::{harmonic, overlap_mva};
+
+/// Damping applied when feeding MVA responses back into the timeline
+/// (0 = keep old, 1 = pure replacement). Plain replacement can oscillate
+/// between two timelines; 0.5 is a standard safe choice.
+const DAMPING: f64 = 0.5;
+
+/// Output of one solver run.
+#[derive(Debug, Clone)]
+pub struct SolveResult {
+    /// Average job response time — the paper's headline metric.
+    pub avg_response: f64,
+    /// Per-job response times (submission → estimated completion).
+    pub per_job_response: Vec<f64>,
+    /// A2–A6 iterations executed.
+    pub iterations: usize,
+    /// Whether the ε-test passed within the iteration budget.
+    pub converged: bool,
+    /// Final contention-adjusted class durations `[job][class]`.
+    pub durations: Vec<[f64; 3]>,
+    /// Depth of each job's precedence tree in the final iteration.
+    pub tree_depths: Vec<usize>,
+    /// Final timeline makespan (all jobs).
+    pub makespan: f64,
+}
+
+/// Build the closed network for the input: per node a CPU (multi-server),
+/// a disk (multi-server) and a NIC station; one shared delay station
+/// carries fixed scheduling overheads. Node-level demands are spread
+/// uniformly across the symmetric nodes (visit ratio 1/n each).
+fn build_network(input: &ModelInput) -> ClosedNetwork {
+    let n = input.cluster.num_nodes;
+    let mut stations = Vec::new();
+    for node in 0..n {
+        stations.push(Station::multi(
+            &format!("cpu{node}"),
+            input.cluster.cpu_per_node.max(1),
+        ));
+        stations.push(Station::multi(
+            &format!("disk{node}"),
+            input.cluster.disk_per_node.max(1),
+        ));
+        stations.push(Station::queueing(&format!("nic{node}")));
+    }
+    stations.push(Station::delay("overhead"));
+
+    let mut classes = Vec::new();
+    let mut demands = Vec::new();
+    for (j, job) in input.jobs.iter().enumerate() {
+        for class in TaskClass::ALL {
+            classes.push(format!("j{j}#{:?}", class));
+            let c = class.index();
+            let mut row = Vec::with_capacity(stations.len());
+            for _node in 0..n {
+                row.push(job.demands[c][0] / n as f64); // cpu
+                row.push(job.demands[c][1] / n as f64); // disk
+                row.push(job.demands[c][2] / n as f64); // nic
+            }
+            row.push(job.overhead[c]);
+            demands.push(row);
+        }
+    }
+    ClosedNetwork::new(stations, classes, demands).expand_multiserver()
+}
+
+/// Container pools per node, with cluster-wide AM reservations spread
+/// round-robin (a reserved container is unavailable for tasks).
+fn capacities(input: &ModelInput) -> Vec<u32> {
+    let n = input.cluster.num_nodes;
+    let per_node = input
+        .cluster
+        .max_maps_per_node
+        .max(input.cluster.max_reduce_per_node);
+    let mut caps = vec![per_node; n];
+    for i in 0..input.cluster.reserved_containers as usize {
+        let idx = i % n;
+        if caps[idx] > 1 {
+            caps[idx] -= 1;
+        }
+    }
+    caps
+}
+
+/// Evaluate a job's response with the fork/join estimator (§4.2.4):
+/// each parallel phase (wave) is one fork-join block whose response is
+/// `H₂ · max(T_i)` — "the biggest child response time plus possible
+/// delay (multiplication by 3/2)" — and phases compose serially.
+///
+/// Interpretation notes (both required to land in the paper's reported
+/// 11–13.5% band — see DESIGN.md §4):
+///
+/// 1. Varki's correction applies **once per fork-join block**, not
+///    recursively at every internal P-node of the balanced binary
+///    encoding — recursive application compounds to `1.5^⌈log₂ k⌉` for a
+///    k-task wave.
+/// 2. A class phase executed in several container waves is *one* block:
+///    its synchronization barrier sits at the **last** wave of that class
+///    (reduces wait for all maps; the job waits for all merges).
+///    Intermediate waves are pipelined — containers free one by one — so
+///    they contribute their plain duration. A wave therefore receives the
+///    `H₂` factor only if it is the final wave of some class it contains.
+fn eval_fork_join(job_waves: &[Vec<usize>], tl: &Timeline, durations: &[[f64; 3]]) -> f64 {
+    let h2 = harmonic(2);
+    // Last wave index per class (0 = map, 1 = shuffle-sort, 2 = merge).
+    let mut last_wave = [usize::MAX; 3];
+    for (wi, w) in job_waves.iter().enumerate() {
+        for &i in w {
+            last_wave[tl.segments[i].class.index()] = wi;
+        }
+    }
+    job_waves
+        .iter()
+        .enumerate()
+        .map(|(wi, w)| {
+            let mut max = 0.0f64;
+            let mut synchronizes = false;
+            for &i in w {
+                let s = &tl.segments[i];
+                max = max.max(durations[s.job as usize][s.class.index()]);
+                synchronizes |= last_wave[s.class.index()] == wi;
+            }
+            if synchronizes && w.len() > 1 {
+                h2 * max
+            } else {
+                max
+            }
+        })
+        .sum()
+}
+
+/// Evaluate with the Tripathi estimator over the same phase-block
+/// structure as the fork/join path: each node's response-time
+/// distribution is fitted to Erlang (CV ≤ 1) or hyperexponential (CV > 1)
+/// by its mean and CV \[4, 9\]; the synchronization wave of each class is a
+/// parallel block combined through exact pairwise `max` moments with
+/// per-node re-fitting (§4.2.4), pipelined intermediate waves contribute
+/// their plain duration, and blocks compose as sums.
+///
+/// The pairwise maxima compound at every P level, so an *unbalanced*
+/// (left-deep) encoding of a wide wave inflates the estimate much more
+/// than the balanced one — the depth/error effect §5.2 reports and the
+/// reason the paper balances P-subtrees.
+fn eval_tripathi(
+    job_waves: &[Vec<usize>],
+    tl: &Timeline,
+    durations: &[[f64; 3]],
+    cvs: &[[f64; 3]],
+    balance: bool,
+) -> f64 {
+    // Last wave index per class.
+    let mut last_wave = [usize::MAX; 3];
+    for (wi, w) in job_waves.iter().enumerate() {
+        for &i in w {
+            last_wave[tl.segments[i].class.index()] = wi;
+        }
+    }
+    let leaf = |i: usize| -> ExpPoly {
+        let s = &tl.segments[i];
+        let mean = durations[s.job as usize][s.class.index()].max(1e-9);
+        let cv = cvs[s.job as usize][s.class.index()];
+        ExpPoly::fit(mean, cv)
+    };
+    // Parallel-and combine of a wave's members.
+    fn combine(members: &[usize], leaf: &dyn Fn(usize) -> ExpPoly, balance: bool) -> ExpPoly {
+        if members.len() == 1 {
+            return leaf(members[0]);
+        }
+        if balance {
+            let mid = members.len() / 2;
+            let a = combine(&members[..mid], leaf, balance);
+            let b = combine(&members[mid..], leaf, balance);
+            let (m1, m2) = a.max_moments(&b);
+            ExpPoly::refit(m1.max(1e-12), m2)
+        } else {
+            let mut acc = leaf(members[0]);
+            for &m in &members[1..] {
+                let (m1, m2) = acc.max_moments(&leaf(m));
+                acc = ExpPoly::refit(m1.max(1e-12), m2);
+            }
+            acc
+        }
+    }
+
+    let mut total: Option<ExpPoly> = None;
+    for (wi, w) in job_waves.iter().enumerate() {
+        let synchronizes = w
+            .iter()
+            .any(|&i| last_wave[tl.segments[i].class.index()] == wi);
+        let wave_dist = if synchronizes && w.len() > 1 {
+            combine(w, &leaf, balance)
+        } else {
+            // Pipelined wave: plain duration of its longest member.
+            let (mut mean, mut cv) = (0.0f64, 0.0f64);
+            for &i in w {
+                let s = &tl.segments[i];
+                let d = durations[s.job as usize][s.class.index()];
+                if d > mean {
+                    mean = d;
+                    cv = cvs[s.job as usize][s.class.index()];
+                }
+            }
+            ExpPoly::fit(mean.max(1e-9), cv)
+        };
+        total = Some(match total {
+            None => wave_dist,
+            Some(t) => {
+                let (m1, m2) = t.sum_moments(&wave_dist);
+                ExpPoly::refit(m1.max(1e-12), m2)
+            }
+        });
+    }
+    total.map(|d| d.mean()).unwrap_or(0.0)
+}
+
+/// Run the modified MVA algorithm on `input`.
+pub fn solve(input: &ModelInput) -> SolveResult {
+    input.validate();
+    let net = build_network(input);
+    let caps = capacities(input);
+    let n_jobs = input.jobs.len();
+
+    // A1: initial per-class response times.
+    let mut durations: Vec<[f64; 3]> = input.jobs.iter().map(|j| j.initial_response).collect();
+    let cvs: Vec<[f64; 3]> = input.jobs.iter().map(|j| j.cv).collect();
+
+    let mut prev_avg = f64::INFINITY;
+    let mut result = SolveResult {
+        avg_response: 0.0,
+        per_job_response: vec![0.0; n_jobs],
+        iterations: 0,
+        converged: false,
+        durations: durations.clone(),
+        tree_depths: vec![0; n_jobs],
+        makespan: 0.0,
+    };
+
+    for iter in 0..input.options.max_iterations {
+        // A2: timeline + precedence trees from current durations.
+        let tl_jobs: Vec<TimelineJob> = input
+            .jobs
+            .iter()
+            .enumerate()
+            .map(|(j, job)| TimelineJob {
+                num_maps: job.num_maps,
+                num_reduces: job.num_reduces,
+                map_duration: durations[j][0].max(1e-9),
+                merge_duration: durations[j][2].max(0.0),
+                shuffle: ShuffleSpec::Fixed(durations[j][1].max(0.0)),
+            })
+            .collect();
+        let cfg = TimelineConfig {
+            capacities: caps.clone(),
+            slow_start: input.options.slow_start,
+        };
+        let tl = build_timeline(&cfg, &tl_jobs);
+
+        // A3: overlap factors and populations.
+        let f = overlap_factors(&tl, n_jobs as u32);
+        let c_total = 3 * n_jobs;
+        let mut pops = Vec::with_capacity(c_total);
+        for j in 0..n_jobs {
+            for class in TaskClass::ALL {
+                pops.push(population(&tl, j as u32, class));
+            }
+        }
+        let mut intra = vec![vec![0.0; c_total]; c_total];
+        let mut inter = vec![vec![0.0; c_total]; c_total];
+        for a in 0..c_total {
+            for b in 0..c_total {
+                if input.options.use_overlap_factors {
+                    let (ci, cj) = (a % 3, b % 3);
+                    intra[a][b] = f.alpha[ci][cj];
+                    inter[a][b] = f.beta[ci][cj];
+                } else {
+                    intra[a][b] = 1.0;
+                    inter[a][b] = 1.0;
+                }
+            }
+        }
+
+        // A4: overlap-adjusted MVA.
+        let sol = overlap_mva(&net, &pops, &intra, &inter);
+
+        // New contention-adjusted class durations (damped).
+        for j in 0..n_jobs {
+            for c in 0..3 {
+                let new = sol.response[3 * j + c];
+                if new > 0.0 {
+                    durations[j][c] = (1.0 - DAMPING) * durations[j][c] + DAMPING * new;
+                }
+            }
+        }
+
+        // A5: per-job response estimates over the job's subtree.
+        let mut per_job = vec![0.0; n_jobs];
+        let mut depths = vec![0usize; n_jobs];
+        for j in 0..n_jobs {
+            let tree = build_tree(&tl, Some(j as u32), input.options.balance_tree)
+                .expect("every job has tasks");
+            depths[j] = tree.depth();
+            let idx: Vec<usize> = tl
+                .segments
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.job == j as u32)
+                .map(|(i, _)| i)
+                .collect();
+            let ws = crate::tree::waves(&tl, idx);
+            let est = match input.options.estimator {
+                Estimator::ForkJoin => eval_fork_join(&ws, &tl, &durations),
+                Estimator::Tripathi => {
+                    eval_tripathi(&ws, &tl, &durations, &cvs, input.options.balance_tree)
+                }
+            };
+            per_job[j] = tl.job_start(j as u32) + est;
+        }
+        let avg = per_job.iter().sum::<f64>() / n_jobs as f64;
+
+        result = SolveResult {
+            avg_response: avg,
+            per_job_response: per_job,
+            iterations: iter + 1,
+            converged: (avg - prev_avg).abs() <= input.options.epsilon,
+            durations: durations.clone(),
+            tree_depths: depths,
+            makespan: tl.makespan(),
+        };
+
+        // A6: convergence test.
+        if result.converged {
+            break;
+        }
+        prev_avg = avg;
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::input::{ClusterInputs, JobClassInputs, ModelOptions};
+
+    fn job(m: u32, r: u32) -> JobClassInputs {
+        JobClassInputs {
+            num_maps: m,
+            num_reduces: r,
+            demands: [
+                [30.0, 2.0, 0.2],
+                [0.1, 0.5, 4.0],
+                [1.0, 5.0, 1.0],
+            ],
+            initial_response: [34.2, 4.6, 7.0],
+            cv: [0.15, 0.4, 0.25],
+            shuffle_per_map: 1.0,
+            overhead: [2.0, 2.0, 0.0],
+        }
+    }
+
+    fn cluster(nodes: usize) -> ClusterInputs {
+        ClusterInputs {
+            num_nodes: nodes,
+            cpu_per_node: 12,
+            disk_per_node: 1,
+            max_maps_per_node: 4,
+            max_reduce_per_node: 4,
+            reserved_containers: 1,
+        }
+    }
+
+    fn input(nodes: usize, jobs: usize, estimator: Estimator) -> ModelInput {
+        ModelInput {
+            cluster: cluster(nodes),
+            jobs: (0..jobs).map(|_| job(8, 4)).collect(),
+            options: ModelOptions {
+                estimator,
+                ..ModelOptions::default()
+            },
+        }
+    }
+
+    #[test]
+    fn solver_converges_single_job() {
+        let r = solve(&input(4, 1, Estimator::ForkJoin));
+        assert!(r.converged, "did not converge in {} iterations", r.iterations);
+        assert!(r.avg_response > 0.0);
+        assert!(r.iterations < 200);
+        // Response should at least cover one map wave plus the reduce tail.
+        assert!(r.avg_response >= r.durations[0][0]);
+    }
+
+    #[test]
+    fn tripathi_exceeds_fork_join() {
+        // §5.2: both overestimate; Tripathi more than fork/join.
+        let fj = solve(&input(4, 1, Estimator::ForkJoin));
+        let tr = solve(&input(4, 1, Estimator::Tripathi));
+        assert!(
+            tr.avg_response > fj.avg_response * 0.7,
+            "tripathi {:.1} vs fj {:.1}",
+            tr.avg_response,
+            fj.avg_response
+        );
+    }
+
+    #[test]
+    fn more_nodes_reduce_response() {
+        let r4 = solve(&input(4, 1, Estimator::ForkJoin));
+        let r8 = solve(&input(8, 1, Estimator::ForkJoin));
+        assert!(
+            r8.avg_response < r4.avg_response,
+            "r4={:.1} r8={:.1}",
+            r4.avg_response,
+            r8.avg_response
+        );
+    }
+
+    #[test]
+    fn more_jobs_increase_response() {
+        let r1 = solve(&input(4, 1, Estimator::ForkJoin));
+        let r4 = solve(&input(4, 4, Estimator::ForkJoin));
+        assert!(
+            r4.avg_response > 1.3 * r1.avg_response,
+            "1 job {:.1}, 4 jobs {:.1}",
+            r1.avg_response,
+            r4.avg_response
+        );
+        assert_eq!(r4.per_job_response.len(), 4);
+        // FIFO: later jobs respond no faster than the first, and the last
+        // job waits for the queue ahead of it.
+        assert!(r4.per_job_response[3] >= r4.per_job_response[0]);
+        assert!(r4.per_job_response[3] > 2.0 * r1.avg_response);
+    }
+
+    #[test]
+    fn balancing_reduces_tree_depth() {
+        let mut with = input(4, 1, Estimator::ForkJoin);
+        with.jobs[0].num_maps = 64;
+        let mut without = with.clone();
+        without.options.balance_tree = false;
+        let a = solve(&with);
+        let b = solve(&without);
+        assert!(a.tree_depths[0] < b.tree_depths[0]);
+        // Unbalanced trees inflate the fork/join estimate (more nested
+        // 1.5× factors) — the §5.2 depth/error hypothesis.
+        assert!(b.avg_response >= a.avg_response);
+    }
+
+    #[test]
+    fn map_only_job_solves() {
+        let mut inp = input(2, 1, Estimator::ForkJoin);
+        inp.jobs[0].num_reduces = 0;
+        let r = solve(&inp);
+        assert!(r.converged);
+        assert!(r.avg_response > 0.0);
+    }
+
+    #[test]
+    fn slow_start_shortens_the_timeline() {
+        let mut on = input(4, 1, Estimator::ForkJoin);
+        on.jobs[0].num_maps = 16;
+        let mut off = on.clone();
+        off.options.slow_start = false;
+        let a = solve(&on);
+        let b = solve(&off);
+        // Starting the shuffle at the first map's end can only pull the
+        // reduces (and thus the makespan) earlier.
+        assert!(
+            a.makespan <= b.makespan + 1e-6,
+            "slow start should shorten the timeline: on={:.1} off={:.1}",
+            a.makespan,
+            b.makespan
+        );
+    }
+}

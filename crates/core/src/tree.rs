@@ -1,0 +1,296 @@
+//! Precedence trees (§4.2.2): binary trees over S (serial) and P
+//! (parallel-and) operators whose leaves are timeline task segments.
+//!
+//! Construction follows the paper's phase rule: "each start or end of a
+//! task indicates the start of a new phase. All tasks within the same
+//! phase are executed in parallel, and tasks that belong to different
+//! phases are executed sequentially." Scanning segments by start time, a
+//! segment joins the current *wave* while it starts strictly before the
+//! earliest end inside the wave; otherwise a new wave begins. Waves become
+//! P-subtrees chained by S operators — which reproduces the paper's
+//! running-example tree `S(P(m1,m2,m3), P(m4, r))` (Figure 7).
+//!
+//! "In order to reduce the maximal depth of precedence tree, we apply a
+//! balancing procedure for each P-subtree" — `balance = true` builds each
+//! wave as a balanced binary tree; `balance = false` (for the §5.2 depth
+//! ablation) chains wave members left-deep.
+
+use crate::timeline::{Segment, Timeline};
+
+/// A binary precedence tree. Leaves index into the timeline's segment
+/// vector.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PrecTree {
+    /// A task segment (index into [`Timeline::segments`]).
+    Leaf(usize),
+    /// Sequential composition.
+    Serial(Box<PrecTree>, Box<PrecTree>),
+    /// Parallel-and composition (both children must finish).
+    Parallel(Box<PrecTree>, Box<PrecTree>),
+}
+
+impl PrecTree {
+    /// Number of leaves.
+    pub fn num_leaves(&self) -> usize {
+        match self {
+            PrecTree::Leaf(_) => 1,
+            PrecTree::Serial(a, b) | PrecTree::Parallel(a, b) => {
+                a.num_leaves() + b.num_leaves()
+            }
+        }
+    }
+
+    /// Maximal depth (a single leaf has depth 1).
+    pub fn depth(&self) -> usize {
+        match self {
+            PrecTree::Leaf(_) => 1,
+            PrecTree::Serial(a, b) | PrecTree::Parallel(a, b) => {
+                1 + a.depth().max(b.depth())
+            }
+        }
+    }
+
+    /// Leaf indices in left-to-right order.
+    pub fn leaves(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.collect_leaves(&mut out);
+        out
+    }
+
+    fn collect_leaves(&self, out: &mut Vec<usize>) {
+        match self {
+            PrecTree::Leaf(i) => out.push(*i),
+            PrecTree::Serial(a, b) | PrecTree::Parallel(a, b) => {
+                a.collect_leaves(out);
+                b.collect_leaves(out);
+            }
+        }
+    }
+
+    /// Generic bottom-up evaluation: `leaf` maps a segment index to a
+    /// value; `serial`/`parallel` combine child values.
+    pub fn fold<T>(
+        &self,
+        leaf: &impl Fn(usize) -> T,
+        serial: &impl Fn(T, T) -> T,
+        parallel: &impl Fn(T, T) -> T,
+    ) -> T {
+        match self {
+            PrecTree::Leaf(i) => leaf(*i),
+            PrecTree::Serial(a, b) => serial(
+                a.fold(leaf, serial, parallel),
+                b.fold(leaf, serial, parallel),
+            ),
+            PrecTree::Parallel(a, b) => parallel(
+                a.fold(leaf, serial, parallel),
+                b.fold(leaf, serial, parallel),
+            ),
+        }
+    }
+
+    /// Pretty-print with segment labels from the timeline (for the
+    /// Figure 7 style output of the examples).
+    pub fn render(&self, tl: &Timeline) -> String {
+        match self {
+            PrecTree::Leaf(i) => {
+                let s = &tl.segments[*i];
+                let c = match s.class {
+                    crate::input::TaskClass::Map => "m",
+                    crate::input::TaskClass::ShuffleSort => "ss",
+                    crate::input::TaskClass::Merge => "mg",
+                };
+                format!("{c}{}", s.index + 1)
+            }
+            PrecTree::Serial(a, b) => format!("S({}, {})", a.render(tl), b.render(tl)),
+            PrecTree::Parallel(a, b) => format!("P({}, {})", a.render(tl), b.render(tl)),
+        }
+    }
+}
+
+/// Group segment indices into waves (see module docs). Segments must be
+/// the indices to consider, in any order.
+pub fn waves(tl: &Timeline, mut idx: Vec<usize>) -> Vec<Vec<usize>> {
+    idx.sort_by(|&a, &b| {
+        let (sa, sb) = (&tl.segments[a], &tl.segments[b]);
+        sa.start
+            .total_cmp(&sb.start)
+            .then(sa.end.total_cmp(&sb.end))
+            .then(a.cmp(&b))
+    });
+    let mut out: Vec<Vec<usize>> = Vec::new();
+    let mut wave_min_end = f64::INFINITY;
+    for i in idx {
+        let s: &Segment = &tl.segments[i];
+        if out.is_empty() || s.start >= wave_min_end - 1e-9 {
+            out.push(vec![i]);
+            wave_min_end = s.end;
+        } else {
+            out.last_mut().expect("non-empty").push(i);
+            wave_min_end = wave_min_end.min(s.end);
+        }
+    }
+    out
+}
+
+/// Build a P-subtree over one wave.
+fn wave_tree(members: &[usize], balance: bool) -> PrecTree {
+    assert!(!members.is_empty());
+    if members.len() == 1 {
+        return PrecTree::Leaf(members[0]);
+    }
+    if balance {
+        let mid = members.len() / 2;
+        PrecTree::Parallel(
+            Box::new(wave_tree(&members[..mid], balance)),
+            Box::new(wave_tree(&members[mid..], balance)),
+        )
+    } else {
+        // Left-deep chain.
+        let mut t = PrecTree::Leaf(members[0]);
+        for &m in &members[1..] {
+            t = PrecTree::Parallel(Box::new(t), Box::new(PrecTree::Leaf(m)));
+        }
+        t
+    }
+}
+
+/// Build the precedence tree over a set of segments (`None` = all jobs,
+/// `Some(j)` = only job `j`'s segments — Vianna's subset strategy for
+/// per-job response times).
+pub fn build_tree(tl: &Timeline, job: Option<u32>, balance: bool) -> Option<PrecTree> {
+    let idx: Vec<usize> = tl
+        .segments
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| job.map_or(true, |j| s.job == j))
+        .map(|(i, _)| i)
+        .collect();
+    if idx.is_empty() {
+        return None;
+    }
+    let ws = waves(tl, idx);
+    let mut trees: Vec<PrecTree> = ws.iter().map(|w| wave_tree(w, balance)).collect();
+    // Chain waves with S, right-associated.
+    let mut t = trees.pop().expect("at least one wave");
+    while let Some(prev) = trees.pop() {
+        t = PrecTree::Serial(Box::new(prev), Box::new(t));
+    }
+    Some(t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::input::TaskClass;
+    use crate::timeline::{build_timeline, ShuffleSpec, TimelineConfig, TimelineJob};
+
+    fn running_example() -> Timeline {
+        build_timeline(
+            &TimelineConfig {
+                capacities: vec![1; 3],
+                slow_start: true,
+            },
+            &[TimelineJob {
+                num_maps: 4,
+                num_reduces: 1,
+                map_duration: 10.0,
+                merge_duration: 6.0,
+                shuffle: ShuffleSpec::PerRemoteMap { sd: 2.0, base: 1.0 },
+            }],
+        )
+    }
+
+    #[test]
+    fn running_example_waves() {
+        let tl = running_example();
+        let ws = waves(&tl, (0..tl.segments.len()).collect());
+        // Wave 1: m1,m2,m3 at [0,10). Wave 2: m4 and the shuffle-sort at
+        // [10,·). Wave 3: the merge.
+        assert_eq!(ws.len(), 3);
+        assert_eq!(ws[0].len(), 3);
+        assert_eq!(ws[1].len(), 2);
+        assert_eq!(ws[2].len(), 1);
+        assert!(ws[0]
+            .iter()
+            .all(|&i| tl.segments[i].class == TaskClass::Map));
+        assert_eq!(tl.segments[ws[2][0]].class, TaskClass::Merge);
+    }
+
+    #[test]
+    fn running_example_tree_shape() {
+        let tl = running_example();
+        let t = build_tree(&tl, None, true).unwrap();
+        assert_eq!(t.num_leaves(), 6); // 4 maps + shuffle-sort + merge
+        let rendered = t.render(&tl);
+        // Figure 7 shape: the first wave is a P-subtree of three maps, the
+        // second pairs m4 with the reduce's shuffle-sort.
+        assert!(rendered.starts_with("S("), "rendered: {rendered}");
+        assert!(rendered.contains("P(m4, ss1)") || rendered.contains("P(ss1, m4)"),
+            "wave 2 should pair m4 with the shuffle: {rendered}");
+    }
+
+    #[test]
+    fn balancing_reduces_depth() {
+        // One wide wave: 64 concurrent maps.
+        let tl = build_timeline(
+            &TimelineConfig::homogeneous(64, 1),
+            &[TimelineJob {
+                num_maps: 64,
+                num_reduces: 0,
+                map_duration: 1.0,
+                merge_duration: 0.0,
+                shuffle: ShuffleSpec::Fixed(0.0),
+            }],
+        );
+        let balanced = build_tree(&tl, None, true).unwrap();
+        let chain = build_tree(&tl, None, false).unwrap();
+        assert_eq!(balanced.num_leaves(), 64);
+        assert_eq!(chain.num_leaves(), 64);
+        assert_eq!(balanced.depth(), 7); // ⌈log2 64⌉ + 1
+        assert_eq!(chain.depth(), 64);
+        assert!(balanced.depth() < chain.depth());
+    }
+
+    #[test]
+    fn per_job_subset() {
+        let cfg = TimelineConfig::homogeneous(2, 1);
+        let job = TimelineJob {
+            num_maps: 2,
+            num_reduces: 0,
+            map_duration: 5.0,
+            merge_duration: 0.0,
+            shuffle: ShuffleSpec::Fixed(0.0),
+        };
+        let tl = build_timeline(&cfg, &[job.clone(), job]);
+        let t0 = build_tree(&tl, Some(0), true).unwrap();
+        let t1 = build_tree(&tl, Some(1), true).unwrap();
+        assert_eq!(t0.num_leaves(), 2);
+        assert_eq!(t1.num_leaves(), 2);
+        assert!(build_tree(&tl, Some(7), true).is_none());
+        for i in t1.leaves() {
+            assert_eq!(tl.segments[i].job, 1);
+        }
+    }
+
+    #[test]
+    fn fold_computes_makespan_on_serial_chain() {
+        // Sanity: fold with (sum, max) over a serial chain of known spans.
+        let tl = build_timeline(
+            &TimelineConfig::homogeneous(1, 1),
+            &[TimelineJob {
+                num_maps: 3,
+                num_reduces: 0,
+                map_duration: 2.0,
+                merge_duration: 0.0,
+                shuffle: ShuffleSpec::Fixed(0.0),
+            }],
+        );
+        let t = build_tree(&tl, None, true).unwrap();
+        let total = t.fold(
+            &|i| tl.segments[i].duration(),
+            &|a, b| a + b,
+            &|a: f64, b: f64| a.max(b),
+        );
+        assert!((total - 6.0).abs() < 1e-12);
+    }
+}

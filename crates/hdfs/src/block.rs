@@ -1,0 +1,41 @@
+//! Blocks: fixed-size chunks of a file, replicated across nodes.
+
+use crate::topology::NodeId;
+
+/// Identifier of a block, unique within a [`crate::Namespace`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BlockId(pub u64);
+
+/// One HDFS block with its replica locations.
+#[derive(Debug, Clone)]
+pub struct Block {
+    /// Unique id.
+    pub id: BlockId,
+    /// Payload bytes in this block (the last block of a file may be short).
+    pub len: u64,
+    /// Nodes holding a replica, in placement order (first = primary).
+    pub replicas: Vec<NodeId>,
+}
+
+impl Block {
+    /// Whether `node` holds a replica of this block.
+    pub fn is_local_to(&self, node: NodeId) -> bool {
+        self.replicas.contains(&node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn locality_check() {
+        let b = Block {
+            id: BlockId(7),
+            len: 128,
+            replicas: vec![NodeId(1), NodeId(3)],
+        };
+        assert!(b.is_local_to(NodeId(3)));
+        assert!(!b.is_local_to(NodeId(2)));
+    }
+}

@@ -1,0 +1,19 @@
+//! # hdfs-sim — HDFS substrate simulator
+//!
+//! Models the parts of HDFS that the MapReduce performance model and the
+//! cluster simulator depend on: cluster [`Topology`] (nodes, racks,
+//! distances), replicated [`Block`]s, the [`Namespace`] of files, replica
+//! [`placement`] policies, and [`InputSplit`] generation (one split per
+//! block, with replica hosts for locality-aware scheduling).
+
+pub mod block;
+pub mod namespace;
+pub mod placement;
+pub mod splits;
+pub mod topology;
+
+pub use block::{Block, BlockId};
+pub use namespace::{DfsFile, Namespace};
+pub use placement::{DefaultPlacement, PlacementPolicy, RandomPlacement};
+pub use splits::{split_count, splits_for_file, InputSplit};
+pub use topology::{NodeId, RackId, Topology};

@@ -1,0 +1,584 @@
+//! The MapReduce ApplicationMaster.
+//!
+//! Re-implements the scheduling behaviour of Hadoop's
+//! `RMContainerAllocator` that the paper extracts from the source code
+//! (§3.3–3.4):
+//!
+//! * map containers are requested at priority 20, reduce containers at
+//!   priority 10 (higher numeric value served first, paper convention);
+//! * map requests carry node-locality rows derived from split replica
+//!   hosts plus the authoritative `*` row;
+//! * reduces are *slow-started*: none are requested until the configured
+//!   fraction of maps completed (default 5%); afterwards they ramp with
+//!   map progress and are all requested once every map is assigned;
+//! * tasks move pending → scheduled → assigned → completed (Figs. 2–3);
+//! * the AM performs second-level scheduling (late binding): an arriving
+//!   container is matched to whichever pending task has data closest to
+//!   it, falling back from node-local to any.
+
+use crate::config::SimConfig;
+use crate::job::{JobId, JobSpec, TaskId};
+use crate::metrics::TaskRecord;
+use hdfs_sim::{InputSplit, NodeId, Topology};
+use std::collections::HashMap;
+use yarn_sim::{AppId, Container, ContainerId, Location, Priority, ResourceRequest};
+
+/// Priority of the AM's own container (above maps).
+pub const AM_PRIORITY: Priority = Priority(30);
+
+/// Task lifecycle states — the paper's §3.4 vocabulary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskState {
+    /// Known to the AM, request not yet sent to the RM.
+    Pending,
+    /// Request sent to the RM, no container yet.
+    Scheduled,
+    /// Bound to a container.
+    Assigned,
+    /// Finished.
+    Completed,
+}
+
+/// What the driver should do with a granted container.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GrantAction {
+    /// It is the AM's own container: start the AM.
+    StartAm,
+    /// Launch this task in it.
+    StartTask(TaskId),
+    /// Nothing to run (over-allocation): release it.
+    Release,
+}
+
+/// Per-job ApplicationMaster state machine.
+pub struct MrAppMaster {
+    /// Workload index of this job.
+    pub job: JobId,
+    /// Job dataflow statistics.
+    pub spec: JobSpec,
+    /// YARN application id.
+    pub app: AppId,
+    /// Input splits (one per map).
+    pub splits: Vec<InputSplit>,
+    /// Submission time (set by the driver).
+    pub submitted_at: f64,
+    /// When the AM container came up.
+    pub am_started_at: f64,
+    /// The AM's own container, once granted.
+    pub am_container: Option<ContainerId>,
+    /// Whether the AM is up and may ask for task containers.
+    pub am_started: bool,
+    /// True once every reduce (or every map, if map-only) completed.
+    pub done: bool,
+    /// Completion time, valid when `done`.
+    pub finished_at: f64,
+
+    map_state: Vec<TaskState>,
+    reduce_state: Vec<TaskState>,
+    /// Completed map count.
+    pub maps_completed: u32,
+    /// Completed reduce count.
+    pub reduces_completed: u32,
+    maps_asked: bool,
+    am_asked: bool,
+    /// Cumulative reduce containers requested so far (ramp-up state).
+    reduces_requested: u32,
+    task_of: HashMap<ContainerId, TaskId>,
+    container_of: HashMap<TaskId, ContainerId>,
+    /// Node each map ran on (shuffle source locality).
+    pub map_node: Vec<Option<NodeId>>,
+    /// Node each reduce runs on.
+    pub reduce_node: Vec<Option<NodeId>>,
+    pending_release: Vec<ContainerId>,
+    /// Timing records, filled in as tasks progress.
+    pub records: HashMap<TaskId, TaskRecord>,
+    /// Failed attempts per job (for metrics and tests).
+    pub failed_attempts: u32,
+}
+
+impl MrAppMaster {
+    /// Fresh AM for `spec` with `splits` as map inputs.
+    pub fn new(job: JobId, spec: JobSpec, app: AppId, splits: Vec<InputSplit>) -> Self {
+        let m = splits.len();
+        let r = spec.reduces as usize;
+        MrAppMaster {
+            job,
+            spec,
+            app,
+            splits,
+            submitted_at: 0.0,
+            am_started_at: f64::NAN,
+            am_container: None,
+            am_started: false,
+            done: false,
+            finished_at: f64::NAN,
+            map_state: vec![TaskState::Pending; m],
+            reduce_state: vec![TaskState::Pending; r],
+            maps_completed: 0,
+            reduces_completed: 0,
+            maps_asked: false,
+            am_asked: false,
+            reduces_requested: 0,
+            task_of: HashMap::new(),
+            container_of: HashMap::new(),
+            map_node: vec![None; m],
+            reduce_node: vec![None; r],
+            pending_release: Vec::new(),
+            records: HashMap::new(),
+            failed_attempts: 0,
+        }
+    }
+
+    /// Number of map tasks.
+    pub fn num_maps(&self) -> u32 {
+        self.splits.len() as u32
+    }
+
+    /// Number of reduce tasks.
+    pub fn num_reduces(&self) -> u32 {
+        self.reduce_state.len() as u32
+    }
+
+    /// State of a task.
+    pub fn state_of(&self, t: TaskId) -> TaskState {
+        match t {
+            TaskId::Map(i) => self.map_state[i as usize],
+            TaskId::Reduce(i) => self.reduce_state[i as usize],
+        }
+    }
+
+    /// Whether every map is at least assigned (the paper's trigger for
+    /// requesting *all* remaining reduces).
+    pub fn all_maps_assigned(&self) -> bool {
+        self.map_state
+            .iter()
+            .all(|s| matches!(s, TaskState::Assigned | TaskState::Completed))
+    }
+
+    /// Whether the slow-start threshold has been reached.
+    pub fn slowstart_met(&self, cfg: &SimConfig) -> bool {
+        let m = self.num_maps();
+        if m == 0 {
+            return true;
+        }
+        let needed = (cfg.slowstart * m as f64).ceil().max(1.0) as u32;
+        self.maps_completed >= needed
+    }
+
+    /// Build this heartbeat's absolute ask (YARN semantics: counts replace
+    /// earlier ones). Marks newly requested tasks `Scheduled`.
+    pub fn build_asks(
+        &mut self,
+        now: f64,
+        topo: &Topology,
+        cfg: &SimConfig,
+    ) -> Vec<ResourceRequest> {
+        let mut asks = Vec::new();
+
+        if !self.am_asked && cfg.include_am_container {
+            self.am_asked = true;
+            asks.push(ResourceRequest {
+                num_containers: 1,
+                priority: AM_PRIORITY,
+                capability: cfg.am_container_size,
+                location: Location::Any,
+                relax_locality: true,
+            });
+        }
+        if !cfg.include_am_container {
+            self.am_started = true;
+            if self.am_started_at.is_nan() {
+                self.am_started_at = now;
+            }
+        }
+        if !self.am_started || self.done {
+            return asks;
+        }
+
+        // Map ask: recomputed every heartbeat from still-waiting maps.
+        if !self.maps_asked {
+            self.maps_asked = true;
+            for (i, s) in self.map_state.iter_mut().enumerate() {
+                if *s == TaskState::Pending {
+                    *s = TaskState::Scheduled;
+                    self.records.insert(
+                        TaskId::Map(i as u32),
+                        blank_record(TaskId::Map(i as u32), now),
+                    );
+                }
+            }
+        }
+        let waiting: Vec<usize> = (0..self.splits.len())
+            .filter(|&i| self.map_state[i] == TaskState::Scheduled)
+            .collect();
+        if !waiting.is_empty() {
+            let mut per_node: HashMap<NodeId, u32> = HashMap::new();
+            let mut per_rack: HashMap<hdfs_sim::RackId, u32> = HashMap::new();
+            for &i in &waiting {
+                for &h in &self.splits[i].hosts {
+                    *per_node.entry(h).or_insert(0) += 1;
+                    *per_rack.entry(topo.rack_of(h)).or_insert(0) += 1;
+                }
+            }
+            let mut nodes: Vec<_> = per_node.into_iter().collect();
+            nodes.sort_by_key(|&(n, _)| n);
+            for (n, c) in nodes {
+                asks.push(ResourceRequest {
+                    num_containers: c,
+                    priority: Priority::MAP,
+                    capability: cfg.container_size,
+                    location: Location::Node(n),
+                    relax_locality: true,
+                });
+            }
+            let mut racks: Vec<_> = per_rack.into_iter().collect();
+            racks.sort_by_key(|&(r, _)| r);
+            for (r, c) in racks {
+                asks.push(ResourceRequest {
+                    num_containers: c,
+                    priority: Priority::MAP,
+                    capability: cfg.container_size,
+                    location: Location::Rack(r),
+                    relax_locality: true,
+                });
+            }
+            asks.push(ResourceRequest {
+                num_containers: waiting.len() as u32,
+                priority: Priority::MAP,
+                capability: cfg.container_size,
+                location: Location::Any,
+                relax_locality: true,
+            });
+        }
+
+        // Reduce ask: slow start, then ramp with map progress (§4.2.2:
+        // "schedule reduce tasks based on the percentage of completed map
+        // tasks ... otherwise, schedule all reduce tasks"). Map output
+        // locality is NOT considered: the request asks for any host.
+        let r = self.num_reduces();
+        if r > 0 && self.slowstart_met(cfg) {
+            let m = self.num_maps();
+            let target = if self.all_maps_assigned() {
+                r
+            } else {
+                ((r as f64 * self.maps_completed as f64 / m as f64).floor() as u32).max(1)
+            };
+            if target > self.reduces_requested {
+                for i in self.reduces_requested..target {
+                    self.reduce_state[i as usize] = TaskState::Scheduled;
+                    self.records.insert(
+                        TaskId::Reduce(i),
+                        blank_record(TaskId::Reduce(i), now),
+                    );
+                }
+                self.reduces_requested = target;
+            }
+            let waiting_reduces = (0..r as usize)
+                .filter(|&i| self.reduce_state[i] == TaskState::Scheduled)
+                .count() as u32;
+            if waiting_reduces > 0 {
+                asks.push(ResourceRequest {
+                    num_containers: waiting_reduces,
+                    priority: Priority::REDUCE,
+                    capability: cfg.container_size,
+                    location: Location::Any,
+                    relax_locality: true,
+                });
+            }
+        }
+        asks
+    }
+
+    /// Containers to release on the next heartbeat.
+    pub fn take_releases(&mut self) -> Vec<ContainerId> {
+        std::mem::take(&mut self.pending_release)
+    }
+
+    /// Second-level scheduling: match a granted container to a task
+    /// (data-local first, then any waiting task of the right type).
+    pub fn on_grant(&mut self, now: f64, c: &Container) -> GrantAction {
+        if c.priority == AM_PRIORITY {
+            self.am_container = Some(c.id);
+            return GrantAction::StartAm;
+        }
+        let task = if c.priority == Priority::MAP {
+            let local = (0..self.splits.len()).find(|&i| {
+                self.map_state[i] == TaskState::Scheduled && self.splits[i].hosts.contains(&c.node)
+            });
+            let any = local.or_else(|| {
+                (0..self.splits.len()).find(|&i| self.map_state[i] == TaskState::Scheduled)
+            });
+            any.map(|i| TaskId::Map(i as u32))
+        } else {
+            (0..self.reduce_state.len())
+                .find(|&i| self.reduce_state[i] == TaskState::Scheduled)
+                .map(|i| TaskId::Reduce(i as u32))
+        };
+        match task {
+            None => GrantAction::Release,
+            Some(t) => {
+                self.set_state(t, TaskState::Assigned);
+                self.task_of.insert(c.id, t);
+                self.container_of.insert(t, c.id);
+                match t {
+                    TaskId::Map(i) => self.map_node[i as usize] = Some(c.node),
+                    TaskId::Reduce(i) => self.reduce_node[i as usize] = Some(c.node),
+                }
+                if let Some(rec) = self.records.get_mut(&t) {
+                    rec.assigned_at = now;
+                    rec.node = c.node;
+                }
+                GrantAction::StartTask(t)
+            }
+        }
+    }
+
+    /// The container finished launching; work begins.
+    pub fn on_task_started(&mut self, now: f64, container: ContainerId) -> Option<TaskId> {
+        let t = *self.task_of.get(&container)?;
+        if let Some(rec) = self.records.get_mut(&t) {
+            rec.started_at = now;
+        }
+        Some(t)
+    }
+
+    /// Record a phase boundary on a task's record.
+    pub fn mark(&mut self, t: TaskId, field: PhaseMark, now: f64) {
+        if let Some(rec) = self.records.get_mut(&t) {
+            match field {
+                PhaseMark::IoDone => rec.io_done_at = now,
+                PhaseMark::CpuDone => rec.cpu_done_at = now,
+            }
+        }
+    }
+
+    /// A task finished; queue its container for release. Returns true if
+    /// this completion finished the whole job.
+    pub fn on_task_finished(&mut self, now: f64, t: TaskId) -> bool {
+        self.set_state(t, TaskState::Completed);
+        if let Some(rec) = self.records.get_mut(&t) {
+            rec.finished_at = now;
+        }
+        if let Some(c) = self.container_of.remove(&t) {
+            self.task_of.remove(&c);
+            self.pending_release.push(c);
+        }
+        match t {
+            TaskId::Map(_) => self.maps_completed += 1,
+            TaskId::Reduce(_) => self.reduces_completed += 1,
+        }
+        let job_done = self.maps_completed == self.num_maps()
+            && self.reduces_completed == self.num_reduces();
+        if job_done {
+            self.done = true;
+            self.finished_at = now;
+        }
+        job_done
+    }
+
+    /// A task attempt failed: release its container and put the task back
+    /// to `Scheduled` so the next heartbeat re-requests a container
+    /// (Hadoop's task-retry path at the granularity this model needs).
+    pub fn on_task_failed(&mut self, _now: f64, t: TaskId) {
+        self.failed_attempts += 1;
+        self.set_state(t, TaskState::Scheduled);
+        match t {
+            TaskId::Map(i) => self.map_node[i as usize] = None,
+            TaskId::Reduce(i) => self.reduce_node[i as usize] = None,
+        }
+        if let Some(c) = self.container_of.remove(&t) {
+            self.task_of.remove(&c);
+            self.pending_release.push(c);
+        }
+    }
+
+    fn set_state(&mut self, t: TaskId, s: TaskState) {
+        match t {
+            TaskId::Map(i) => self.map_state[i as usize] = s,
+            TaskId::Reduce(i) => self.reduce_state[i as usize] = s,
+        }
+    }
+}
+
+/// Which record field a phase boundary updates.
+#[derive(Debug, Clone, Copy)]
+pub enum PhaseMark {
+    /// End of read (map) / shuffle (reduce).
+    IoDone,
+    /// End of the CPU phase.
+    CpuDone,
+}
+
+fn blank_record(task: TaskId, scheduled_at: f64) -> TaskRecord {
+    TaskRecord {
+        task,
+        node: NodeId(0),
+        scheduled_at,
+        assigned_at: f64::NAN,
+        started_at: f64::NAN,
+        io_done_at: f64::NAN,
+        cpu_done_at: f64::NAN,
+        finished_at: f64::NAN,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::wordcount;
+    use crate::config::{SimConfig, MB};
+    use yarn_sim::{ContainerState, ResourceVector};
+
+    fn mk_am(maps: usize, reduces: u32) -> MrAppMaster {
+        let spec = {
+            let mut s = wordcount(maps as u64 * 128 * MB, reduces);
+            s.reduces = reduces;
+            s
+        };
+        let splits: Vec<InputSplit> = (0..maps)
+            .map(|i| InputSplit {
+                index: i,
+                len: 128 * MB,
+                hosts: vec![NodeId((i % 2) as u32)],
+            })
+            .collect();
+        MrAppMaster::new(JobId(0), spec, AppId(0), splits)
+    }
+
+    fn grant(node: u32, p: Priority, id: u64) -> Container {
+        Container {
+            id: ContainerId(id),
+            node: NodeId(node),
+            resource: ResourceVector::new(1024, 1),
+            priority: p,
+            state: ContainerState::Acquired,
+        }
+    }
+
+    #[test]
+    fn am_asks_for_itself_first() {
+        let mut am = mk_am(4, 1);
+        let cfg = SimConfig::default();
+        let topo = Topology::single_rack(2);
+        let asks = am.build_asks(0.0, &topo, &cfg);
+        assert_eq!(asks.len(), 1);
+        assert_eq!(asks[0].priority, AM_PRIORITY);
+        // Until the AM starts, no task asks.
+        let asks2 = am.build_asks(1.0, &topo, &cfg);
+        assert!(asks2.is_empty());
+    }
+
+    #[test]
+    fn map_ask_carries_locality_rows() {
+        let mut am = mk_am(4, 1);
+        let cfg = SimConfig::default();
+        let topo = Topology::single_rack(2);
+        am.build_asks(0.0, &topo, &cfg);
+        am.am_started = true;
+        let asks = am.build_asks(1.0, &topo, &cfg);
+        // 2 node rows (n0: 2 maps, n1: 2 maps) + 1 rack row + 1 any row.
+        let node_rows: Vec<_> = asks
+            .iter()
+            .filter(|a| matches!(a.location, Location::Node(_)))
+            .collect();
+        assert_eq!(node_rows.len(), 2);
+        assert!(node_rows.iter().all(|a| a.num_containers == 2));
+        let any: Vec<_> = asks
+            .iter()
+            .filter(|a| a.location == Location::Any && a.priority == Priority::MAP)
+            .collect();
+        assert_eq!(any.len(), 1);
+        assert_eq!(any[0].num_containers, 4);
+        // No reduce ask yet: slow start unmet (0 maps completed).
+        assert!(asks.iter().all(|a| a.priority != Priority::REDUCE));
+    }
+
+    #[test]
+    fn late_binding_prefers_local_map() {
+        let mut am = mk_am(4, 0);
+        let cfg = SimConfig::default();
+        let topo = Topology::single_rack(2);
+        am.build_asks(0.0, &topo, &cfg);
+        am.am_started = true;
+        am.build_asks(1.0, &topo, &cfg);
+        // Container on n1 → should get map 1 (first map with replica on n1).
+        match am.on_grant(2.0, &grant(1, Priority::MAP, 10)) {
+            GrantAction::StartTask(TaskId::Map(i)) => assert_eq!(i, 1),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Next container on n1 → map 3.
+        match am.on_grant(2.0, &grant(1, Priority::MAP, 11)) {
+            GrantAction::StartTask(TaskId::Map(i)) => assert_eq!(i, 3),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Container on unknown node n5 → falls back to any waiting map.
+        match am.on_grant(2.0, &grant(5, Priority::MAP, 12)) {
+            GrantAction::StartTask(TaskId::Map(_)) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn surplus_container_released() {
+        let mut am = mk_am(1, 0);
+        let cfg = SimConfig::default();
+        let topo = Topology::single_rack(2);
+        am.build_asks(0.0, &topo, &cfg);
+        am.am_started = true;
+        am.build_asks(1.0, &topo, &cfg);
+        assert!(matches!(
+            am.on_grant(2.0, &grant(0, Priority::MAP, 1)),
+            GrantAction::StartTask(_)
+        ));
+        assert_eq!(am.on_grant(2.0, &grant(0, Priority::MAP, 2)), GrantAction::Release);
+    }
+
+    #[test]
+    fn slowstart_gates_reduce_ask() {
+        let mut am = mk_am(20, 4);
+        let cfg = SimConfig::default(); // slowstart 5% → 1 map
+        let topo = Topology::single_rack(2);
+        am.build_asks(0.0, &topo, &cfg);
+        am.am_started = true;
+        am.build_asks(1.0, &topo, &cfg);
+        assert!(!am.slowstart_met(&cfg));
+        // Assign and complete one map.
+        let action = am.on_grant(2.0, &grant(0, Priority::MAP, 1));
+        let t = match action {
+            GrantAction::StartTask(t) => t,
+            _ => panic!(),
+        };
+        am.on_task_started(2.5, ContainerId(1));
+        am.on_task_finished(10.0, t);
+        assert!(am.slowstart_met(&cfg));
+        let asks = am.build_asks(11.0, &topo, &cfg);
+        let red: Vec<_> = asks
+            .iter()
+            .filter(|a| a.priority == Priority::REDUCE)
+            .collect();
+        // Ramp: 4 reduces × 1/20 completed → max(floor(0.2),1) = 1.
+        assert_eq!(red.len(), 1);
+        assert_eq!(red[0].num_containers, 1);
+    }
+
+    #[test]
+    fn map_only_job_completes() {
+        let mut am = mk_am(2, 0);
+        let cfg = SimConfig::default();
+        let topo = Topology::single_rack(2);
+        am.build_asks(0.0, &topo, &cfg);
+        am.am_started = true;
+        am.build_asks(1.0, &topo, &cfg);
+        for (k, id) in [(0u64, 1u64), (1, 2)] {
+            let t = match am.on_grant(2.0, &grant(k as u32, Priority::MAP, id)) {
+                GrantAction::StartTask(t) => t,
+                _ => panic!(),
+            };
+            am.on_task_started(3.0, ContainerId(id));
+            let done = am.on_task_finished(20.0 + k as f64, t);
+            assert_eq!(done, k == 1);
+        }
+        assert!(am.done);
+        assert_eq!(am.take_releases().len(), 2);
+    }
+}

@@ -1,0 +1,190 @@
+//! Job profiles: per-class statistics extracted from executions.
+//!
+//! The paper's model takes as input the average residence/response times of
+//! each task class "from the history of corresponding real Hadoop job
+//! executions" (§4.2.1). Here the history comes from profiling runs of the
+//! simulator. Classes follow the paper's decomposition (§4.1): **map**,
+//! **shuffle-sort** (shuffle + partial sorts), and **merge** (final sort +
+//! reduce function + write).
+
+use crate::config::SimConfig;
+use crate::driver::ClusterSim;
+use crate::job::JobSpec;
+use crate::metrics::JobResult;
+use simcore::{Samples, Welford};
+
+/// Duration statistics of one task class.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClassStats {
+    /// Mean duration, seconds.
+    pub mean: f64,
+    /// Coefficient of variation of the duration.
+    pub cv: f64,
+    /// Number of observations.
+    pub count: u64,
+}
+
+impl ClassStats {
+    /// Stats of an empty class.
+    pub const EMPTY: ClassStats = ClassStats {
+        mean: 0.0,
+        cv: 0.0,
+        count: 0,
+    };
+
+    fn from_welford(w: &Welford) -> ClassStats {
+        ClassStats {
+            mean: w.mean(),
+            cv: w.cv(),
+            count: w.count(),
+        }
+    }
+}
+
+/// Per-class profile of one job execution, in the paper's 3-class
+/// decomposition.
+#[derive(Debug, Clone)]
+pub struct MeasuredProfile {
+    /// Map task durations.
+    pub map: ClassStats,
+    /// Shuffle-sort subtask durations (reduce launch → shuffle complete).
+    pub shuffle_sort: ClassStats,
+    /// Merge subtask durations (shuffle complete → reduce done).
+    pub merge: ClassStats,
+    /// Whole-job response time.
+    pub response_time: f64,
+    /// Number of map tasks.
+    pub num_maps: u32,
+    /// Number of reduce tasks.
+    pub num_reduces: u32,
+}
+
+impl MeasuredProfile {
+    /// Extract the profile from one job's result.
+    pub fn from_result(r: &JobResult) -> MeasuredProfile {
+        let mut map = Welford::new();
+        for t in r.map_records() {
+            map.push(t.duration());
+        }
+        let mut shuffle = Welford::new();
+        let mut merge = Welford::new();
+        for t in r.reduce_records() {
+            shuffle.push(t.io_phase());
+            merge.push(t.tail_phase());
+        }
+        MeasuredProfile {
+            map: ClassStats::from_welford(&map),
+            shuffle_sort: ClassStats::from_welford(&shuffle),
+            merge: ClassStats::from_welford(&merge),
+            response_time: r.response_time(),
+            num_maps: map.count() as u32,
+            num_reduces: shuffle.count() as u32,
+        }
+    }
+}
+
+/// Run one job alone on a fresh cluster (a profiling run) and return its
+/// profile and raw result.
+pub fn profile_job(spec: &JobSpec, cfg: &SimConfig) -> (MeasuredProfile, JobResult) {
+    let mut sim = ClusterSim::new(cfg.clone());
+    sim.add_job(spec.clone(), 0.0);
+    let mut results = sim.run();
+    let r = results.remove(0);
+    (MeasuredProfile::from_result(&r), r)
+}
+
+/// Measurement of a workload across repeated seeded runs — the paper's
+/// methodology ("Each experiment we repeated 5 times and then took the
+/// median of response time", §5.1).
+#[derive(Debug, Clone)]
+pub struct WorkloadMeasurement {
+    /// Mean job response time of each repetition.
+    pub per_rep_mean: Vec<f64>,
+    /// Median over repetitions of the per-repetition mean response time.
+    pub median_response: f64,
+    /// Every job result of every repetition, flattened.
+    pub all_results: Vec<JobResult>,
+}
+
+/// Run `n_jobs` copies of `spec`, all submitted at t = 0, `reps` times with
+/// seeds `cfg.seed`, `cfg.seed+1`, …; reports the median of the
+/// per-repetition mean job response time.
+pub fn measure_workload(
+    spec: &JobSpec,
+    cfg: &SimConfig,
+    n_jobs: usize,
+    reps: usize,
+) -> WorkloadMeasurement {
+    assert!(reps >= 1 && n_jobs >= 1);
+    let mut medians = Samples::new();
+    let mut per_rep_mean = Vec::with_capacity(reps);
+    let mut all = Vec::new();
+    for rep in 0..reps {
+        let mut c = cfg.clone();
+        c.seed = cfg.seed + rep as u64;
+        let mut sim = ClusterSim::new(c);
+        for _ in 0..n_jobs {
+            sim.add_job(spec.clone(), 0.0);
+        }
+        let results = sim.run();
+        let mean =
+            results.iter().map(|r| r.response_time()).sum::<f64>() / results.len() as f64;
+        per_rep_mean.push(mean);
+        medians.push(mean);
+        all.extend(results);
+    }
+    WorkloadMeasurement {
+        per_rep_mean,
+        median_response: medians.median(),
+        all_results: all,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MB;
+    use crate::workload::wordcount;
+
+    fn cfg() -> SimConfig {
+        SimConfig {
+            nodes: 2,
+            jitter_cv: 0.0,
+            ..SimConfig::default()
+        }
+    }
+
+    #[test]
+    fn profile_extraction() {
+        let spec = wordcount(512 * MB, 2);
+        let (p, r) = profile_job(&spec, &cfg());
+        assert_eq!(p.num_maps, 4);
+        assert_eq!(p.num_reduces, 2);
+        assert!(p.map.mean > 0.0);
+        assert!(p.shuffle_sort.mean > 0.0);
+        assert!(p.merge.mean > 0.0);
+        assert!((p.response_time - r.response_time()).abs() < 1e-12);
+        // Deterministic config → small map CV (only placement varies).
+        assert!(p.map.cv < 0.5, "cv={}", p.map.cv);
+    }
+
+    #[test]
+    fn measure_workload_median() {
+        let spec = wordcount(256 * MB, 1);
+        let m = measure_workload(&spec, &cfg(), 1, 3);
+        assert_eq!(m.per_rep_mean.len(), 3);
+        assert_eq!(m.all_results.len(), 3);
+        let mut sorted = m.per_rep_mean.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        assert!((m.median_response - sorted[1]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multi_job_measurement_reports_mean() {
+        let spec = wordcount(256 * MB, 1);
+        let m = measure_workload(&spec, &cfg(), 2, 1);
+        assert_eq!(m.all_results.len(), 2);
+        let mean = m.all_results.iter().map(|r| r.response_time()).sum::<f64>() / 2.0;
+        assert!((m.per_rep_mean[0] - mean).abs() < 1e-12);
+    }
+}

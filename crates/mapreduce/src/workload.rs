@@ -1,0 +1,97 @@
+//! Workload presets.
+//!
+//! The paper evaluates WordCount, a *map-and-reduce-input heavy* job (it
+//! cites Shi et al. \[8\] for the classification): large input, large
+//! intermediate data. The constants below are calibrated so that simulated
+//! task durations land in the ranges the paper's measured response times
+//! imply (a 128 MB WordCount map task runs for tens of seconds on the 2014
+//! Xeon testbed — tokenization is CPU-bound — and shuffle volume is
+//! comparable to input volume).
+
+use crate::config::GB;
+use crate::job::JobSpec;
+
+/// WordCount without a combiner: shuffle ≈ input, cheap reduce.
+pub fn wordcount(input_bytes: u64, reduces: u32) -> JobSpec {
+    JobSpec {
+        name: format!("wordcount-{}mb", input_bytes / (1024 * 1024)),
+        input_bytes,
+        reduces,
+        map_cpu_s_per_mb: 0.30,
+        reduce_cpu_s_per_mb: 0.03,
+        map_output_ratio: 1.0,
+        spill_io_factor: 1.0,
+        sort_io_factor: 2.0,
+        reduce_output_ratio: 0.25,
+    }
+}
+
+/// The paper's 1 GB WordCount configuration.
+pub fn wordcount_1gb(reduces: u32) -> JobSpec {
+    wordcount(GB, reduces)
+}
+
+/// The paper's 5 GB WordCount configuration.
+pub fn wordcount_5gb(reduces: u32) -> JobSpec {
+    wordcount(5 * GB, reduces)
+}
+
+/// TeraSort-like job: I/O-heavy on both sides, shuffle = input, output =
+/// input (replicated) — stresses disks and network rather than CPU.
+pub fn terasort(input_bytes: u64, reduces: u32) -> JobSpec {
+    JobSpec {
+        name: format!("terasort-{}mb", input_bytes / (1024 * 1024)),
+        input_bytes,
+        reduces,
+        map_cpu_s_per_mb: 0.05,
+        reduce_cpu_s_per_mb: 0.05,
+        map_output_ratio: 1.0,
+        spill_io_factor: 1.6, // multiple spill+merge rounds
+        sort_io_factor: 2.0,
+        reduce_output_ratio: 1.0,
+    }
+}
+
+/// Grep-like job: map-heavy with tiny intermediate data; the reduce side is
+/// almost free.
+pub fn grep(input_bytes: u64) -> JobSpec {
+    JobSpec {
+        name: format!("grep-{}mb", input_bytes / (1024 * 1024)),
+        input_bytes,
+        reduces: 1,
+        map_cpu_s_per_mb: 0.15,
+        reduce_cpu_s_per_mb: 0.01,
+        map_output_ratio: 0.001,
+        spill_io_factor: 1.0,
+        sort_io_factor: 2.0,
+        reduce_output_ratio: 1.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MB;
+
+    #[test]
+    fn presets_validate() {
+        wordcount_1gb(4).validate();
+        wordcount_5gb(8).validate();
+        terasort(GB, 4).validate();
+        grep(GB).validate();
+    }
+
+    #[test]
+    fn wordcount_is_shuffle_heavy() {
+        let wc = wordcount_1gb(4);
+        assert!(wc.map_output_ratio >= 1.0);
+        assert_eq!(wc.total_shuffle_bytes(), GB);
+        assert_eq!(wc.num_maps(128 * MB), 8);
+    }
+
+    #[test]
+    fn grep_is_not() {
+        let g = grep(GB);
+        assert!(g.total_shuffle_bytes() < 10 * MB);
+    }
+}

@@ -1,0 +1,314 @@
+//! Phase-type response-time distributions for the Tripathi estimator.
+//!
+//! §4.2.4 of the paper (after Liang & Tripathi \[4\] and Trivedi \[9\]):
+//! approximate each node's response time by an **Erlang** distribution when
+//! its coefficient of variation is ≤ 1 and by a two-phase
+//! **hyperexponential** when CV > 1; combine children of S-nodes as sums
+//! and of P-nodes as maxima, re-fitting after every combination.
+//!
+//! Both families have survival functions of the form
+//! `S(t) = Σ_i c_i · t^{n_i} · e^{-λ_i t}` with `c_i > 0`, which this
+//! module represents explicitly ([`ExpPoly`]). Products of such survivals
+//! stay in the family, so the moments of `min(X,Y)` — and via
+//! `E[max] = E[X] + E[Y] − E[min]` the moments of the maximum — have
+//! closed forms. Coefficients are kept in log space to survive large
+//! Erlang shape parameters.
+
+/// One survival-function term `exp(ln_c) · t^n · e^{-rate·t}`.
+#[derive(Debug, Clone, Copy)]
+struct Term {
+    ln_c: f64,
+    n: u32,
+    rate: f64,
+}
+
+/// A distribution whose survival function is a positive combination of
+/// exponential-polynomial terms.
+#[derive(Debug, Clone)]
+pub struct ExpPoly {
+    terms: Vec<Term>,
+}
+
+/// `ln Γ(n+1) = ln n!` via `std` lgamma on integers (exact enough here).
+fn ln_factorial(n: u32) -> f64 {
+    // Stirling with correction is overkill: accumulate logs (n ≤ ~500).
+    (1..=n as u64).map(|i| (i as f64).ln()).sum()
+}
+
+impl ExpPoly {
+    /// Exponential with the given mean.
+    pub fn exponential(mean: f64) -> ExpPoly {
+        assert!(mean > 0.0);
+        ExpPoly {
+            terms: vec![Term {
+                ln_c: 0.0,
+                n: 0,
+                rate: 1.0 / mean,
+            }],
+        }
+    }
+
+    /// Erlang-`k` with total mean `mean`: survival
+    /// `Σ_{j<k} (λt)^j/j! · e^{-λt}` with `λ = k/mean`.
+    pub fn erlang(k: u32, mean: f64) -> ExpPoly {
+        assert!(k >= 1 && mean > 0.0);
+        let rate = k as f64 / mean;
+        let terms = (0..k)
+            .map(|j| Term {
+                ln_c: j as f64 * rate.ln() - ln_factorial(j),
+                n: j,
+                rate,
+            })
+            .collect();
+        ExpPoly { terms }
+    }
+
+    /// Two-phase hyperexponential: probability `p` of mean `m1`, else `m2`.
+    pub fn hyperexp(p: f64, m1: f64, m2: f64) -> ExpPoly {
+        assert!((0.0..=1.0).contains(&p) && m1 > 0.0 && m2 > 0.0);
+        let mut terms = Vec::new();
+        if p > 0.0 {
+            terms.push(Term {
+                ln_c: p.ln(),
+                n: 0,
+                rate: 1.0 / m1,
+            });
+        }
+        if p < 1.0 {
+            terms.push(Term {
+                ln_c: (1.0 - p).ln(),
+                n: 0,
+                rate: 1.0 / m2,
+            });
+        }
+        ExpPoly { terms }
+    }
+
+    /// Fit by mean and CV exactly as the paper prescribes: Erlang for
+    /// CV ≤ 1 (`k = round(1/cv²)`, clamped to `\[1, 150\]`), exponential at
+    /// CV = 1, balanced-means H2 for CV > 1. A zero/near-zero CV becomes
+    /// the stiffest Erlang (k = 150), the standard proxy for deterministic.
+    pub fn fit(mean: f64, cv: f64) -> ExpPoly {
+        assert!(mean > 0.0, "fit needs positive mean");
+        assert!(cv >= 0.0);
+        if cv > 1.0 {
+            let c2 = cv * cv;
+            let p = 0.5 * (1.0 + ((c2 - 1.0) / (c2 + 1.0)).sqrt());
+            ExpPoly::hyperexp(p, mean / (2.0 * p), mean / (2.0 * (1.0 - p)))
+        } else {
+            let k = if cv < 1e-6 {
+                150
+            } else {
+                ((1.0 / (cv * cv)).round() as u32).clamp(1, 150)
+            };
+            ExpPoly::erlang(k, mean)
+        }
+    }
+
+    /// `∫₀^∞ t^m · S(t) dt = Σ_i c_i (n_i+m)! / rate^{n_i+m+1}`.
+    fn survival_power_integral(&self, m: u32) -> f64 {
+        self.terms
+            .iter()
+            .map(|t| {
+                let pow = t.n + m;
+                (t.ln_c + ln_factorial(pow) - (pow as f64 + 1.0) * t.rate.ln()).exp()
+            })
+            .sum()
+    }
+
+    /// First moment `E[X] = ∫ S`.
+    pub fn mean(&self) -> f64 {
+        self.survival_power_integral(0)
+    }
+
+    /// Second moment `E[X²] = 2∫ t·S`.
+    pub fn second_moment(&self) -> f64 {
+        2.0 * self.survival_power_integral(1)
+    }
+
+    /// Variance.
+    pub fn variance(&self) -> f64 {
+        (self.second_moment() - self.mean().powi(2)).max(0.0)
+    }
+
+    /// Coefficient of variation.
+    pub fn cv(&self) -> f64 {
+        let m = self.mean();
+        if m <= 0.0 {
+            0.0
+        } else {
+            self.variance().sqrt() / m
+        }
+    }
+
+    /// Moments of `min(X, Y)` for independent `X`, `Y`:
+    /// `S_min = S_X · S_Y`, so
+    /// `E[min] = ∫ S_X S_Y`, `E[min²] = 2 ∫ t S_X S_Y`.
+    pub fn min_moments(&self, other: &ExpPoly) -> (f64, f64) {
+        let mut m1 = 0.0;
+        let mut m2 = 0.0;
+        for a in &self.terms {
+            for b in &other.terms {
+                let rate = a.rate + b.rate;
+                let n = a.n + b.n;
+                let ln_cd = a.ln_c + b.ln_c;
+                m1 += (ln_cd + ln_factorial(n) - (n as f64 + 1.0) * rate.ln()).exp();
+                m2 += 2.0
+                    * (ln_cd + ln_factorial(n + 1) - (n as f64 + 2.0) * rate.ln()).exp();
+            }
+        }
+        (m1, m2)
+    }
+
+    /// Mean and second moment of `max(X, Y)` for independent `X`, `Y`:
+    /// `max + min = X + Y` pointwise, so the identities hold per moment 1
+    /// and via `max² + min² = X² + Y²`.
+    pub fn max_moments(&self, other: &ExpPoly) -> (f64, f64) {
+        let (min1, min2) = self.min_moments(other);
+        let m1 = self.mean() + other.mean() - min1;
+        let m2 = self.second_moment() + other.second_moment() - min2;
+        (m1, m2)
+    }
+
+    /// Mean and second moment of `X + Y` (independent).
+    pub fn sum_moments(&self, other: &ExpPoly) -> (f64, f64) {
+        let m1 = self.mean() + other.mean();
+        let m2 = self.second_moment()
+            + 2.0 * self.mean() * other.mean()
+            + other.second_moment();
+        (m1, m2)
+    }
+
+    /// Re-fit a `(mean, second moment)` pair into the Erlang/H2 family —
+    /// the paper's per-node re-approximation.
+    pub fn refit(m1: f64, m2: f64) -> ExpPoly {
+        assert!(m1 > 0.0, "refit needs positive mean, got {m1}");
+        let var = (m2 - m1 * m1).max(0.0);
+        let cv = var.sqrt() / m1;
+        ExpPoly::fit(m1, cv)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol * b.abs().max(1e-12)
+    }
+
+    #[test]
+    fn exponential_moments() {
+        let x = ExpPoly::exponential(2.0);
+        assert!(close(x.mean(), 2.0, 1e-12));
+        assert!(close(x.second_moment(), 8.0, 1e-12));
+        assert!(close(x.cv(), 1.0, 1e-12));
+    }
+
+    #[test]
+    fn erlang_moments() {
+        let x = ExpPoly::erlang(4, 2.0);
+        assert!(close(x.mean(), 2.0, 1e-9));
+        // Var = mean²/k = 1.
+        assert!(close(x.variance(), 1.0, 1e-9));
+        assert!(close(x.cv(), 0.5, 1e-9));
+    }
+
+    #[test]
+    fn big_erlang_is_stable() {
+        let x = ExpPoly::erlang(150, 5.0);
+        assert!(close(x.mean(), 5.0, 1e-6));
+        assert!(x.cv() < 0.1);
+    }
+
+    #[test]
+    fn hyperexp_moments() {
+        let x = ExpPoly::hyperexp(0.25, 4.0, 1.0);
+        // mean = 0.25·4 + 0.75·1 = 1.75; E[X²] = 2(0.25·16 + 0.75·1) = 9.5.
+        assert!(close(x.mean(), 1.75, 1e-12));
+        assert!(close(x.second_moment(), 9.5, 1e-12));
+        assert!(x.cv() > 1.0);
+    }
+
+    #[test]
+    fn fit_matches_requested_mean() {
+        for cv in [0.0, 0.2, 0.5, 1.0, 1.5, 3.0] {
+            let x = ExpPoly::fit(7.5, cv);
+            assert!(close(x.mean(), 7.5, 1e-6), "cv={cv}: mean {}", x.mean());
+            if cv >= 1.0 {
+                assert!(close(x.cv(), cv, 1e-6), "cv={cv}: got {}", x.cv());
+            }
+        }
+    }
+
+    #[test]
+    fn min_of_exponentials_is_exact() {
+        // min(Exp(λ), Exp(μ)) ~ Exp(λ+μ).
+        let x = ExpPoly::exponential(2.0); // λ = 0.5
+        let y = ExpPoly::exponential(1.0); // μ = 1.0
+        let (m1, m2) = x.min_moments(&y);
+        let lam = 1.5;
+        assert!(close(m1, 1.0 / lam, 1e-12));
+        assert!(close(m2, 2.0 / (lam * lam), 1e-12));
+    }
+
+    #[test]
+    fn max_of_iid_exponentials_is_exact() {
+        // E[max of two iid Exp(1)] = 1.5; E[max²] = 2·(1 + 1/2 + ... ) —
+        // directly: max = X + Y − min, E[max²] = E X² + E Y² − E min².
+        let x = ExpPoly::exponential(1.0);
+        let y = ExpPoly::exponential(1.0);
+        let (m1, m2) = x.max_moments(&y);
+        assert!(close(m1, 1.5, 1e-12));
+        // E[min²] = 2/4 = 0.5 → E[max²] = 2+2−0.5 = 3.5.
+        assert!(close(m2, 3.5, 1e-12));
+    }
+
+    #[test]
+    fn max_against_monte_carlo_for_mixed_families() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let x = ExpPoly::erlang(3, 4.0);
+        let y = ExpPoly::hyperexp(0.3, 5.0, 1.0);
+        let (m1, _) = x.max_moments(&y);
+        // Sample both via inverse-free simulation of their constructions.
+        let mut rng = SmallRng::seed_from_u64(7);
+        let n = 400_000;
+        let mut acc = 0.0;
+        for _ in 0..n {
+            let ex: f64 = (0..3)
+                .map(|_| -(4.0 / 3.0) * rng.gen::<f64>().max(1e-300).ln())
+                .sum();
+            let hy = if rng.gen::<f64>() < 0.3 {
+                -5.0 * rng.gen::<f64>().max(1e-300).ln()
+            } else {
+                -1.0 * rng.gen::<f64>().max(1e-300).ln()
+            };
+            acc += ex.max(hy);
+        }
+        let mc = acc / n as f64;
+        assert!(
+            close(m1, mc, 0.01),
+            "analytic {m1:.4} vs monte carlo {mc:.4}"
+        );
+    }
+
+    #[test]
+    fn sum_moments_match_convolution() {
+        let x = ExpPoly::erlang(2, 2.0);
+        let y = ExpPoly::erlang(2, 2.0);
+        let (m1, m2) = x.sum_moments(&y);
+        // Sum of two Erlang(2, mean 2) = Erlang(4, mean 4).
+        let z = ExpPoly::erlang(4, 4.0);
+        assert!(close(m1, z.mean(), 1e-9));
+        assert!(close(m2, z.second_moment(), 1e-9));
+    }
+
+    #[test]
+    fn refit_roundtrip() {
+        let x = ExpPoly::fit(3.0, 0.5);
+        let y = ExpPoly::refit(x.mean(), x.second_moment());
+        assert!(close(y.mean(), 3.0, 1e-6));
+        assert!(close(y.cv(), x.cv(), 1e-3));
+    }
+}

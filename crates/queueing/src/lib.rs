@@ -1,0 +1,28 @@
+//! # queueing — closed queueing-network substrate
+//!
+//! Everything the MapReduce performance model needs from queueing theory:
+//!
+//! * [`network`]: closed multi-class network definitions, the Seidmann
+//!   multi-server expansion, and solution containers;
+//! * [`mva`]: exact Reiser–Lavenberg MVA, Bard–Schweitzer approximate MVA,
+//!   and the overlap-factor-adjusted variant the paper builds on (Mak &
+//!   Lundstrom);
+//! * [`distribution`]: the Erlang/hyperexponential (phase-type) algebra
+//!   behind the Tripathi-based estimator — exact moments for sums, minima
+//!   and maxima of independent phase-type variables, with per-node
+//!   re-fitting by coefficient of variation;
+//! * [`forkjoin`]: the Varki harmonic-number fork/join approximation;
+//! * [`markov`]: a small CTMC solver used as ground truth in tests.
+
+pub mod bounds;
+pub mod distribution;
+pub mod forkjoin;
+pub mod markov;
+pub mod mva;
+pub mod network;
+
+pub use bounds::{demand_summary, response_lower_bound, response_upper_bound, throughput_upper_bound};
+pub use distribution::ExpPoly;
+pub use forkjoin::{fork_join_response, harmonic};
+pub use mva::{approximate_mva, exact_mva, overlap_mva, EPSILON, MAX_ITER};
+pub use network::{ClosedNetwork, MvaSolution, Station, StationKind};

@@ -1,0 +1,148 @@
+//! A small continuous-time Markov chain solver, used as ground truth for
+//! the MVA implementations on networks tiny enough to enumerate.
+//!
+//! Solves `π Q = 0`, `Σ π = 1` by Gaussian elimination.
+
+/// Solve for the stationary distribution of generator matrix `q`
+/// (`q[i][j]` = rate i→j for i≠j; diagonal ignored and recomputed).
+pub fn stationary(q: &[Vec<f64>]) -> Vec<f64> {
+    let n = q.len();
+    assert!(n > 0);
+    assert!(q.iter().all(|row| row.len() == n), "square matrix required");
+
+    // Build Qᵀ with proper diagonal, replace last equation by Σπ = 1.
+    let mut a = vec![vec![0.0f64; n + 1]; n];
+    for i in 0..n {
+        let diag: f64 = (0..n).filter(|&j| j != i).map(|j| q[i][j]).sum();
+        for j in 0..n {
+            let qij = if i == j { -diag } else { q[i][j] };
+            a[j][i] = qij; // transpose
+        }
+    }
+    for j in 0..n {
+        a[n - 1][j] = 1.0;
+    }
+    a[n - 1][n] = 1.0;
+
+    // Gaussian elimination with partial pivoting.
+    for col in 0..n {
+        let pivot = (col..n)
+            .max_by(|&r1, &r2| a[r1][col].abs().total_cmp(&a[r2][col].abs()))
+            .unwrap();
+        a.swap(col, pivot);
+        let p = a[col][col];
+        assert!(p.abs() > 1e-12, "singular generator matrix");
+        for j in col..=n {
+            a[col][j] /= p;
+        }
+        for row in 0..n {
+            if row != col {
+                let f = a[row][col];
+                if f != 0.0 {
+                    for j in col..=n {
+                        a[row][j] -= f * a[col][j];
+                    }
+                }
+            }
+        }
+    }
+    (0..n).map(|i| a[i][n].max(0.0)).collect()
+}
+
+/// Throughput of a closed single-class cyclic network of exponential
+/// queueing stations, computed exactly from the CTMC. `demands[k]` is the
+/// service demand at station k; `n` customers circulate.
+///
+/// States are the compositions of `n` over `K` stations.
+pub fn cyclic_network_throughput(demands: &[f64], n: u32) -> f64 {
+    let k = demands.len();
+    assert!(k >= 1 && demands.iter().all(|&d| d > 0.0));
+    // Enumerate states.
+    let mut states: Vec<Vec<u32>> = Vec::new();
+    fn gen(states: &mut Vec<Vec<u32>>, cur: &mut Vec<u32>, left: u32, pos: usize, k: usize) {
+        if pos == k - 1 {
+            cur.push(left);
+            states.push(cur.clone());
+            cur.pop();
+            return;
+        }
+        for take in 0..=left {
+            cur.push(take);
+            gen(states, cur, left - take, pos + 1, k);
+            cur.pop();
+        }
+    }
+    gen(&mut states, &mut Vec::new(), n, 0, k);
+    let index = |s: &[u32]| -> usize { states.iter().position(|x| x == s).unwrap() };
+
+    let m = states.len();
+    let mut q = vec![vec![0.0f64; m]; m];
+    for (i, s) in states.iter().enumerate() {
+        for st in 0..k {
+            if s[st] > 0 {
+                // One completion at station st moves a customer to st+1.
+                let mut t = s.clone();
+                t[st] -= 1;
+                t[(st + 1) % k] += 1;
+                let j = index(&t);
+                q[i][j] += 1.0 / demands[st];
+            }
+        }
+    }
+    let pi = stationary(&q);
+    // Throughput = rate of completions at station 0.
+    states
+        .iter()
+        .zip(pi.iter())
+        .filter(|(s, _)| s[0] > 0)
+        .map(|(_, p)| p / demands[0])
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mva::exact_mva;
+    use crate::network::{ClosedNetwork, Station};
+
+    #[test]
+    fn two_state_chain() {
+        // 0 →(2)→ 1, 1 →(1)→ 0: π = (1/3, 2/3).
+        let q = vec![vec![0.0, 2.0], vec![1.0, 0.0]];
+        let pi = stationary(&q);
+        assert!((pi[0] - 1.0 / 3.0).abs() < 1e-9);
+        assert!((pi[1] - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stationary_sums_to_one() {
+        let q = vec![
+            vec![0.0, 1.0, 0.5],
+            vec![0.3, 0.0, 0.7],
+            vec![2.0, 0.1, 0.0],
+        ];
+        let pi = stationary(&q);
+        assert!((pi.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(pi.iter().all(|&p| p >= 0.0));
+    }
+
+    #[test]
+    fn mva_matches_ctmc_exactly() {
+        // Product-form cyclic network: exact MVA must equal the CTMC.
+        let demands = [1.0, 0.5, 0.25];
+        for n in 1..=5u32 {
+            let x_ctmc = cyclic_network_throughput(&demands, n);
+            let net = ClosedNetwork::new(
+                demands.iter().map(|_| Station::queueing("s")).collect(),
+                vec!["c".into()],
+                vec![demands.to_vec()],
+            );
+            let sol = exact_mva(&net, &[n]);
+            assert!(
+                (sol.throughput[0] - x_ctmc).abs() < 1e-9,
+                "n={n}: MVA {} vs CTMC {x_ctmc}",
+                sol.throughput[0]
+            );
+        }
+    }
+}

@@ -1,0 +1,407 @@
+//! Mean Value Analysis solvers for closed multi-class networks.
+//!
+//! * [`exact_mva`] — the Reiser–Lavenberg recursion \[7\], exact for
+//!   product-form networks with integer populations. Cost grows with the
+//!   product of populations, so it is the ground truth for small cases.
+//! * [`approximate_mva`] — Bard–Schweitzer fixed point; accepts fractional
+//!   populations and scales to the paper's workloads (O(C²K) per
+//!   iteration).
+//! * [`overlap_mva`] — the paper's modification (§4.2.3, after Mak &
+//!   Lundstrom \[5\]): the queue a class-`i` task sees at station `k` is
+//!   weighted by *overlap factors* `o_ij`, because tasks that never run
+//!   concurrently never queue behind each other. With all factors 1 it
+//!   reduces exactly to Bard–Schweitzer.
+
+use crate::network::{ClosedNetwork, MvaSolution, StationKind};
+
+/// Convergence threshold for the fixed-point solvers — the paper's ε
+/// (§4.2.6): "We use ε = 10⁻⁷, which is the recommended value for MVA".
+pub const EPSILON: f64 = 1e-7;
+
+/// Maximum fixed-point iterations before declaring divergence.
+pub const MAX_ITER: usize = 100_000;
+
+/// Exact multi-class MVA. `populations[c]` must be non-negative integers.
+///
+/// Panics if the network fails validation. Multi-server stations must be
+/// expanded first ([`ClosedNetwork::expand_multiserver`]).
+pub fn exact_mva(net: &ClosedNetwork, populations: &[u32]) -> MvaSolution {
+    net.validate();
+    let c_n = net.num_classes();
+    let k_n = net.num_stations();
+    assert_eq!(populations.len(), c_n);
+    assert!(
+        net.stations
+            .iter()
+            .all(|s| s.kind == StationKind::Delay || s.servers == 1),
+        "expand multi-server stations before exact MVA"
+    );
+
+    // Iterate over the population lattice in colexicographic order.
+    let dims: Vec<usize> = populations.iter().map(|&n| n as usize + 1).collect();
+    let total: usize = dims.iter().product();
+    let stride: Vec<usize> = {
+        let mut s = vec![1usize; c_n];
+        for c in 1..c_n {
+            s[c] = s[c - 1] * dims[c - 1];
+        }
+        s
+    };
+    // Q[k] indexed by lattice offset.
+    let mut q = vec![vec![0.0f64; total]; k_n];
+    let mut last = MvaSolution {
+        residence: vec![vec![0.0; k_n]; c_n],
+        response: vec![0.0; c_n],
+        throughput: vec![0.0; c_n],
+        queue: vec![vec![0.0; k_n]; c_n],
+        utilization: vec![0.0; k_n],
+    };
+
+    let mut n_vec = vec![0usize; c_n];
+    for offset in 1..total {
+        // Decode the population vector at this offset.
+        let mut rem = offset;
+        for c in 0..c_n {
+            n_vec[c] = rem % dims[c];
+            rem /= dims[c];
+        }
+        let mut residence = vec![vec![0.0; k_n]; c_n];
+        let mut throughput = vec![0.0; c_n];
+        for c in 0..c_n {
+            if n_vec[c] == 0 {
+                continue;
+            }
+            let prev = offset - stride[c]; // N − e_c
+            let mut r_total = 0.0;
+            for k in 0..k_n {
+                let d = net.demands[c][k];
+                let r = match net.stations[k].kind {
+                    StationKind::Delay => d,
+                    StationKind::Queueing => d * (1.0 + q[k][prev]),
+                };
+                residence[c][k] = r;
+                r_total += r;
+            }
+            throughput[c] = if r_total > 0.0 {
+                n_vec[c] as f64 / r_total
+            } else {
+                0.0
+            };
+        }
+        for k in 0..k_n {
+            q[k][offset] = (0..c_n)
+                .map(|c| throughput[c] * residence[c][k])
+                .sum::<f64>();
+        }
+        if offset == total - 1 {
+            let mut queue = vec![vec![0.0; k_n]; c_n];
+            let mut utilization = vec![0.0; k_n];
+            for k in 0..k_n {
+                for (c, row) in residence.iter().enumerate() {
+                    queue[c][k] = throughput[c] * row[k];
+                    utilization[k] += throughput[c] * net.demands[c][k];
+                }
+            }
+            last = MvaSolution {
+                response: residence.iter().map(|row| row.iter().sum()).collect(),
+                residence,
+                throughput,
+                queue,
+                utilization,
+            };
+        }
+    }
+    // Population zero for every class: the degenerate empty solution.
+    if total == 1 {
+        return last;
+    }
+    last
+}
+
+/// Bard–Schweitzer approximate MVA with (possibly fractional) populations.
+pub fn approximate_mva(net: &ClosedNetwork, populations: &[f64]) -> MvaSolution {
+    let ones = vec![
+        vec![1.0; populations.len()];
+        populations.len()
+    ];
+    overlap_mva(net, populations, &ones, &ones)
+}
+
+/// Overlap-factor-adjusted approximate MVA (the paper's A5 step).
+///
+/// `intra[i][j]` scales how much of class `j`'s queue class `i` sees when
+/// both belong to the *same* job; `inter[i][j]` when they belong to
+/// different jobs. Populations are split per class into "own-job" (one
+/// task's worth of companions) and "other jobs" by the caller through the
+/// factors; here the seen queue of class `i` at station `k` is
+///
+/// ```text
+/// seen_ik = Σ_j w_ij · Q_jk      with w_ii applying the Schweitzer
+///                                (N_i−1)/N_i self-correction
+/// ```
+///
+/// where `w_ij` combines the intra- and inter-job factors weighted by how
+/// much of class `j`'s population is co-job vs foreign (encoded by the
+/// caller in the two matrices; see `mr2-model::solver`).
+pub fn overlap_mva(
+    net: &ClosedNetwork,
+    populations: &[f64],
+    intra: &[Vec<f64>],
+    inter: &[Vec<f64>],
+) -> MvaSolution {
+    net.validate();
+    let c_n = net.num_classes();
+    let k_n = net.num_stations();
+    assert_eq!(populations.len(), c_n);
+    assert_eq!(intra.len(), c_n);
+    assert_eq!(inter.len(), c_n);
+    assert!(
+        populations.iter().all(|&n| n >= 0.0 && n.is_finite()),
+        "populations must be non-negative"
+    );
+
+    // Contract: classes are per job in the caller's encoding — a class
+    // name "j2#map" belongs to job "j2" (the prefix before '#'); names
+    // without '#' all belong to one implicit job. Pairs within the same
+    // job are weighted by `intra[i][j]` (the paper's α), pairs across jobs
+    // by `inter[i][j]` (the paper's β).
+    let weight = |i: usize, j: usize, same_job: bool| -> f64 {
+        if same_job {
+            intra[i][j]
+        } else {
+            inter[i][j]
+        }
+    };
+    let job_of: Vec<&str> = net
+        .classes
+        .iter()
+        .map(|n| n.split('#').next().unwrap_or(n))
+        .collect();
+
+    let mut queue = vec![vec![0.0f64; k_n]; c_n];
+    for (c, row) in queue.iter_mut().enumerate() {
+        for q in row.iter_mut() {
+            *q = populations[c] / k_n as f64;
+        }
+    }
+    let mut residence = vec![vec![0.0f64; k_n]; c_n];
+    let mut response = vec![0.0f64; c_n];
+    let mut throughput = vec![0.0f64; c_n];
+
+    for _iter in 0..MAX_ITER {
+        let mut max_delta = 0.0f64;
+        for i in 0..c_n {
+            let mut r_total = 0.0;
+            for k in 0..k_n {
+                let d = net.demands[i][k];
+                let r = match net.stations[k].kind {
+                    StationKind::Delay => d,
+                    StationKind::Queueing => {
+                        let mut seen = 0.0;
+                        for j in 0..c_n {
+                            let same = job_of[i] == job_of[j];
+                            let w = weight(i, j, same);
+                            let qjk = if i == j {
+                                let n = populations[i];
+                                if n > 1.0 {
+                                    queue[j][k] * (n - 1.0) / n
+                                } else {
+                                    0.0
+                                }
+                            } else {
+                                queue[j][k]
+                            };
+                            seen += w * qjk;
+                        }
+                        d * (1.0 + seen)
+                    }
+                };
+                residence[i][k] = r;
+                r_total += r;
+            }
+            let x = if r_total > 0.0 {
+                populations[i] / r_total
+            } else {
+                0.0
+            };
+            max_delta = max_delta.max((response[i] - r_total).abs());
+            response[i] = r_total;
+            throughput[i] = x;
+        }
+        for i in 0..c_n {
+            for k in 0..k_n {
+                queue[i][k] = throughput[i] * residence[i][k];
+            }
+        }
+        if max_delta < EPSILON {
+            break;
+        }
+    }
+
+    let mut utilization = vec![0.0; k_n];
+    for k in 0..k_n {
+        for c in 0..c_n {
+            utilization[k] += throughput[c] * net.demands[c][k];
+        }
+    }
+    MvaSolution {
+        residence,
+        response,
+        throughput,
+        queue,
+        utilization,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::Station;
+
+    /// Single class, single queueing station: R(N) = N·D, X = 1/D.
+    #[test]
+    fn exact_single_station_saturates() {
+        let net = ClosedNetwork::new(
+            vec![Station::queueing("s")],
+            vec!["a".into()],
+            vec![vec![2.0]],
+        );
+        let sol = exact_mva(&net, &[5]);
+        assert!((sol.response[0] - 10.0).abs() < 1e-9);
+        assert!((sol.throughput[0] - 0.5).abs() < 1e-9);
+        assert!((sol.utilization[0] - 1.0).abs() < 1e-9);
+    }
+
+    /// Machine-repairman: delay (think) + queueing station; known closed
+    /// form via recursion — check Little's law and monotonicity instead.
+    #[test]
+    fn exact_interactive_system() {
+        let net = ClosedNetwork::new(
+            vec![Station::delay("think"), Station::queueing("cpu")],
+            vec!["u".into()],
+            vec![vec![10.0, 1.0]],
+        );
+        let mut prev_x = 0.0;
+        for n in 1..=20u32 {
+            let sol = exact_mva(&net, &[n]);
+            // Little: N = X·R (R includes think time here).
+            assert!(
+                (sol.customers_in_system(0) - n as f64).abs() < 1e-6,
+                "Little violated at N={n}"
+            );
+            assert!(sol.throughput[0] >= prev_x - 1e-12, "X must increase");
+            assert!(sol.throughput[0] <= 1.0 + 1e-9, "X bounded by service rate");
+            prev_x = sol.throughput[0];
+        }
+    }
+
+    /// Two-class exact MVA on the balanced network: classes are symmetric,
+    /// so their metrics must be equal.
+    #[test]
+    fn exact_two_class_symmetry() {
+        let net = ClosedNetwork::new(
+            vec![Station::queueing("a"), Station::queueing("b")],
+            vec!["x".into(), "y".into()],
+            vec![vec![1.0, 1.0], vec![1.0, 1.0]],
+        );
+        let sol = exact_mva(&net, &[3, 3]);
+        assert!((sol.response[0] - sol.response[1]).abs() < 1e-9);
+        assert!((sol.throughput[0] - sol.throughput[1]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn approximate_close_to_exact() {
+        let net = ClosedNetwork::new(
+            vec![
+                Station::queueing("cpu"),
+                Station::queueing("disk"),
+                Station::delay("net"),
+            ],
+            vec!["x".into(), "y".into()],
+            vec![vec![0.5, 1.0, 0.3], vec![1.2, 0.2, 0.1]],
+        );
+        let ex = exact_mva(&net, &[4, 3]);
+        let ap = approximate_mva(&net, &[4.0, 3.0]);
+        for c in 0..2 {
+            let rel = (ex.response[c] - ap.response[c]).abs() / ex.response[c];
+            assert!(
+                rel < 0.08,
+                "class {c}: approx {:.4} vs exact {:.4} ({:.1}%)",
+                ap.response[c],
+                ex.response[c],
+                rel * 100.0
+            );
+        }
+    }
+
+    #[test]
+    fn overlap_one_equals_schweitzer() {
+        let net = ClosedNetwork::new(
+            vec![Station::queueing("cpu"), Station::queueing("disk")],
+            vec!["x".into(), "y".into()],
+            vec![vec![0.5, 1.0], vec![1.0, 0.25]],
+        );
+        let ones = vec![vec![1.0; 2]; 2];
+        let a = approximate_mva(&net, &[3.0, 2.0]);
+        let b = overlap_mva(&net, &[3.0, 2.0], &ones, &ones);
+        for c in 0..2 {
+            assert!((a.response[c] - b.response[c]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zero_overlap_removes_contention() {
+        let net = ClosedNetwork::new(
+            vec![Station::queueing("cpu")],
+            vec!["x".into(), "y".into()],
+            vec![vec![1.0], vec![1.0]],
+        );
+        // No overlap at all: every class sees an empty station.
+        let zeros = vec![vec![0.0; 2]; 2];
+        let sol = overlap_mva(&net, &[4.0, 4.0], &zeros, &zeros);
+        assert!((sol.response[0] - 1.0).abs() < 1e-9);
+        assert!((sol.response[1] - 1.0).abs() < 1e-9);
+        // Full overlap: heavy contention.
+        let ones = vec![vec![1.0; 2]; 2];
+        let full = overlap_mva(&net, &[4.0, 4.0], &ones, &ones);
+        assert!(full.response[0] > 3.0);
+    }
+
+    #[test]
+    fn overlap_monotone_in_factors() {
+        let net = ClosedNetwork::new(
+            vec![Station::queueing("cpu"), Station::queueing("disk")],
+            vec!["x".into(), "y".into()],
+            vec![vec![0.7, 0.4], vec![0.5, 0.9]],
+        );
+        let mk = |o: f64| vec![vec![o; 2]; 2];
+        let lo = overlap_mva(&net, &[3.0, 3.0], &mk(0.2), &mk(0.2));
+        let hi = overlap_mva(&net, &[3.0, 3.0], &mk(0.9), &mk(0.9));
+        assert!(hi.response[0] > lo.response[0]);
+        assert!(hi.response[1] > lo.response[1]);
+    }
+
+    #[test]
+    fn fractional_population_is_accepted() {
+        let net = ClosedNetwork::new(
+            vec![Station::queueing("cpu")],
+            vec!["x".into()],
+            vec![vec![1.0]],
+        );
+        let sol = approximate_mva(&net, &[2.5]);
+        // With a single station all customers queue there: Q = N and the
+        // Schweitzer fixed point is R = D(1 + (N−1)/N·N) = N·D = 2.5.
+        assert!(sol.response[0] > 1.0 && sol.response[0] <= 2.5 + 1e-9);
+    }
+
+    #[test]
+    fn delay_station_never_queues() {
+        let net = ClosedNetwork::new(
+            vec![Station::delay("think")],
+            vec!["x".into()],
+            vec![vec![3.0]],
+        );
+        let sol = approximate_mva(&net, &[100.0]);
+        assert!((sol.response[0] - 3.0).abs() < 1e-9);
+    }
+}

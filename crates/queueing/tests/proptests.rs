@@ -1,0 +1,92 @@
+//! Property-based tests of the queueing substrate.
+
+use proptest::prelude::*;
+use queueing::network::{ClosedNetwork, Station};
+use queueing::{approximate_mva, exact_mva, ExpPoly};
+
+fn arb_network() -> impl Strategy<Value = (ClosedNetwork, Vec<u32>)> {
+    (
+        1usize..3,                                     // classes
+        2usize..5,                                     // stations
+        prop::collection::vec(0.05f64..2.0, 2 * 5),    // demand pool
+        prop::collection::vec(1u32..6, 3),             // populations pool
+    )
+        .prop_map(|(c, k, pool, pops)| {
+            let stations = (0..k)
+                .map(|i| Station::queueing(&format!("s{i}")))
+                .collect();
+            let classes = (0..c).map(|i| format!("c{i}")).collect();
+            let demands = (0..c)
+                .map(|ci| (0..k).map(|ki| pool[(ci * k + ki) % pool.len()]).collect())
+                .collect();
+            (
+                ClosedNetwork::new(stations, classes, demands),
+                pops[..c].to_vec(),
+            )
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Approximate MVA stays within a bounded relative gap of exact MVA
+    /// and both satisfy Little's law.
+    #[test]
+    fn approx_mva_tracks_exact((net, pops) in arb_network()) {
+        let exact = exact_mva(&net, &pops);
+        let popsf: Vec<f64> = pops.iter().map(|&n| n as f64).collect();
+        let approx = approximate_mva(&net, &popsf);
+        for c in 0..net.num_classes() {
+            // Little's law on the exact solution.
+            let little = exact.throughput[c] * exact.response[c];
+            prop_assert!((little - pops[c] as f64).abs() < 1e-6);
+            // Schweitzer is known-good to ~15% on small closed networks.
+            let rel = (exact.response[c] - approx.response[c]).abs() / exact.response[c];
+            prop_assert!(rel < 0.15, "class {c}: {rel:.3} gap");
+        }
+    }
+
+    /// Utilization never exceeds 1 at any station under exact MVA.
+    #[test]
+    fn utilization_bounded((net, pops) in arb_network()) {
+        let sol = exact_mva(&net, &pops);
+        for (k, &u) in sol.utilization.iter().enumerate() {
+            prop_assert!(u <= 1.0 + 1e-9, "station {k} utilization {u}");
+            prop_assert!(u >= 0.0);
+        }
+    }
+
+    /// Phase-type algebra identities: for independent X, Y,
+    /// E[max] + E[min] = E[X] + E[Y], and max moments dominate min's.
+    #[test]
+    fn expmix_max_min_identity(
+        m1 in 0.1f64..50.0,
+        cv1 in 0.05f64..2.5,
+        m2 in 0.1f64..50.0,
+        cv2 in 0.05f64..2.5,
+    ) {
+        let x = ExpPoly::fit(m1, cv1);
+        let y = ExpPoly::fit(m2, cv2);
+        let (max1, max2) = x.max_moments(&y);
+        let (min1, min2) = x.min_moments(&y);
+        let scale = (x.mean() + y.mean()).max(1.0);
+        prop_assert!((max1 + min1 - (x.mean() + y.mean())).abs() < 1e-6 * scale);
+        prop_assert!(
+            (max2 + min2 - (x.second_moment() + y.second_moment())).abs()
+                < 1e-6 * scale * scale
+        );
+        prop_assert!(max1 >= x.mean().max(y.mean()) - 1e-9, "max below both means");
+        prop_assert!(min1 <= x.mean().min(y.mean()) + 1e-9, "min above both means");
+        prop_assert!(max2 >= 0.0 && min2 >= 0.0);
+    }
+
+    /// Re-fitting preserves the first two moments it is given.
+    #[test]
+    fn refit_preserves_moments(mean in 0.1f64..100.0, cv in 0.05f64..2.5) {
+        let d = ExpPoly::fit(mean, cv);
+        let r = ExpPoly::refit(d.mean(), d.second_moment());
+        prop_assert!((r.mean() - d.mean()).abs() < 1e-6 * d.mean());
+        // Erlang-k quantizes CV below 1; allow family granularity.
+        prop_assert!((r.cv() - d.cv()).abs() < 0.12, "{} vs {}", r.cv(), d.cv());
+    }
+}

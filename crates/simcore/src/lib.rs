@@ -1,0 +1,27 @@
+//! # simcore — discrete-event simulation engine
+//!
+//! The substrate beneath the Hadoop 2.x cluster simulator: simulated time
+//! ([`SimTime`]), a deterministic event calendar ([`EventQueue`]) and loop
+//! driver ([`Engine`]), fair-share and FCFS resource models
+//! ([`FairShare`], [`Fcfs`]), two-moment random variates ([`Rv`]) and
+//! online statistics ([`Welford`], [`Samples`], [`TimeWeighted`]).
+//!
+//! Design rules:
+//! * deterministic given a seed — ties in the calendar break FIFO;
+//! * resources are passive state machines driven by the owner's event loop
+//!   (generation counters invalidate stale completion ticks);
+//! * everything is measured in seconds and bytes.
+
+pub mod engine;
+pub mod event;
+pub mod random;
+pub mod resource;
+pub mod stats;
+pub mod time;
+
+pub use engine::Engine;
+pub use event::EventQueue;
+pub use random::Rv;
+pub use resource::{FairShare, Fcfs};
+pub use stats::{Samples, TimeWeighted, Welford};
+pub use time::SimTime;

@@ -1,0 +1,430 @@
+//! Shared-resource models used by the cluster simulator.
+//!
+//! Two service disciplines cover every physical resource in the Hadoop
+//! cluster model:
+//!
+//! * [`FairShare`] — generalized processor sharing with a per-customer rate
+//!   cap. A node CPU is `FairShare` with capacity = #cores (each task caps
+//!   at 1 core); a disk or NIC is `FairShare` with capacity = bandwidth in
+//!   bytes/s (flows split the bandwidth max–min fairly).
+//! * [`Fcfs`] — a multi-server first-come-first-served queue, used for
+//!   serialized devices and as a textbook M/M/c ground truth in tests.
+//!
+//! Both are *passive* state machines: they never schedule events themselves.
+//! After every mutation the owner asks [`FairShare::next_completion`] (or
+//! [`Fcfs::next_completion`]) and schedules a tick in its own event queue,
+//! carrying the resource's `generation()`; stale ticks (generation mismatch)
+//! are dropped. This keeps the resource reusable under any event loop.
+
+use crate::time::SimTime;
+
+/// Relative tolerance used to decide a customer's work is exhausted.
+const WORK_EPS_REL: f64 = 1e-9;
+/// Absolute tolerance for very small work amounts.
+const WORK_EPS_ABS: f64 = 1e-12;
+
+#[derive(Debug, Clone)]
+struct Share<K> {
+    key: K,
+    remaining: f64,
+    total: f64,
+}
+
+/// Generalized processor-sharing resource with a per-customer rate cap.
+///
+/// With `n` active customers each receives `min(cap, capacity / n)` units of
+/// work per second, i.e. max–min fair sharing of `capacity` where no
+/// customer can use more than `cap`.
+#[derive(Debug, Clone)]
+pub struct FairShare<K> {
+    capacity: f64,
+    per_customer_cap: f64,
+    active: Vec<Share<K>>,
+    last_update: SimTime,
+    generation: u64,
+    /// Time-integral of the number of active customers (for utilization).
+    busy_area: f64,
+    /// Time-integral of delivered service rate.
+    service_area: f64,
+}
+
+impl<K: Clone + PartialEq> FairShare<K> {
+    /// A resource delivering `capacity` work-units/second in aggregate, at
+    /// most `per_customer_cap` work-units/second to any single customer.
+    pub fn new(capacity: f64, per_customer_cap: f64) -> Self {
+        assert!(capacity > 0.0, "capacity must be positive");
+        assert!(per_customer_cap > 0.0, "per-customer cap must be positive");
+        FairShare {
+            capacity,
+            per_customer_cap,
+            active: Vec::new(),
+            last_update: SimTime::ZERO,
+            generation: 0,
+            busy_area: 0.0,
+            service_area: 0.0,
+        }
+    }
+
+    /// The per-customer service rate with `n` active customers.
+    #[inline]
+    fn rate(&self, n: usize) -> f64 {
+        if n == 0 {
+            0.0
+        } else {
+            (self.capacity / n as f64).min(self.per_customer_cap)
+        }
+    }
+
+    /// Current per-customer rate.
+    pub fn current_rate(&self) -> f64 {
+        self.rate(self.active.len())
+    }
+
+    /// Number of in-flight customers.
+    pub fn active_count(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Monotone counter bumped on every state change; owners stamp scheduled
+    /// ticks with it and ignore stale ticks.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Integrate progress from `last_update` to `now` at the current rate.
+    fn integrate_to(&mut self, now: SimTime) {
+        let dt = now - self.last_update;
+        debug_assert!(dt >= -1e-9, "time went backwards: {dt}");
+        if dt > 0.0 {
+            let n = self.active.len();
+            let rate = self.rate(n);
+            for s in &mut self.active {
+                s.remaining -= rate * dt;
+            }
+            self.busy_area += n as f64 * dt;
+            self.service_area += rate * n as f64 * dt;
+        }
+        self.last_update = self.last_update.max(now);
+    }
+
+    /// Admit a customer with `work` units of demand at time `now`.
+    ///
+    /// Customers with non-positive work complete instantaneously and are
+    /// returned by the next [`FairShare::collect_finished`] call.
+    pub fn admit(&mut self, now: SimTime, key: K, work: f64) {
+        self.integrate_to(now);
+        self.active.push(Share {
+            key,
+            remaining: work.max(0.0),
+            total: work.max(0.0),
+        });
+        self.generation += 1;
+    }
+
+    /// Remove a customer before completion (e.g. a killed task). Returns the
+    /// remaining work, or `None` if the key is not active.
+    pub fn cancel(&mut self, now: SimTime, key: &K) -> Option<f64> {
+        self.integrate_to(now);
+        let idx = self.active.iter().position(|s| &s.key == key)?;
+        let share = self.active.swap_remove(idx);
+        self.generation += 1;
+        Some(share.remaining.max(0.0))
+    }
+
+    /// Advance to `now` and return all customers whose work is exhausted,
+    /// in admission order.
+    pub fn collect_finished(&mut self, now: SimTime) -> Vec<K> {
+        self.integrate_to(now);
+        let mut done = Vec::new();
+        let mut i = 0;
+        while i < self.active.len() {
+            let s = &self.active[i];
+            let eps = WORK_EPS_ABS + WORK_EPS_REL * s.total;
+            if s.remaining <= eps {
+                done.push(self.active.remove(i).key);
+            } else {
+                i += 1;
+            }
+        }
+        if !done.is_empty() {
+            self.generation += 1;
+        }
+        done
+    }
+
+    /// The absolute time of the next completion, assuming no further state
+    /// change, or `None` if idle.
+    pub fn next_completion(&self) -> Option<SimTime> {
+        let rate = self.current_rate();
+        if rate <= 0.0 {
+            return None;
+        }
+        self.active
+            .iter()
+            .map(|s| s.remaining.max(0.0) / rate)
+            .min_by(|a, b| a.total_cmp(b))
+            .map(|dt| self.last_update + dt)
+    }
+
+    /// Average number of active customers over `[0, now]`.
+    pub fn mean_active(&mut self, now: SimTime) -> f64 {
+        self.integrate_to(now);
+        if now.as_secs() <= 0.0 {
+            0.0
+        } else {
+            self.busy_area / now.as_secs()
+        }
+    }
+
+    /// Fraction of aggregate capacity used over `[0, now]`.
+    pub fn utilization(&mut self, now: SimTime) -> f64 {
+        self.integrate_to(now);
+        if now.as_secs() <= 0.0 {
+            0.0
+        } else {
+            self.service_area / (self.capacity * now.as_secs())
+        }
+    }
+}
+
+/// One waiting or in-service customer of an [`Fcfs`] queue.
+#[derive(Debug, Clone)]
+struct FcfsJob<K> {
+    key: K,
+    service: f64,
+    /// Set when the job enters service.
+    completes_at: Option<SimTime>,
+}
+
+/// A multi-server FCFS queue with deterministic per-job service times
+/// decided at arrival.
+#[derive(Debug, Clone)]
+pub struct Fcfs<K> {
+    servers: usize,
+    jobs: Vec<FcfsJob<K>>,
+    generation: u64,
+    /// Completed-but-uncollected jobs.
+    finished: Vec<K>,
+    busy_area: f64,
+    last_update: SimTime,
+}
+
+impl<K: Clone + PartialEq> Fcfs<K> {
+    /// An FCFS station with `servers` identical servers.
+    pub fn new(servers: usize) -> Self {
+        assert!(servers >= 1, "need at least one server");
+        Fcfs {
+            servers,
+            jobs: Vec::new(),
+            generation: 0,
+            finished: Vec::new(),
+            busy_area: 0.0,
+            last_update: SimTime::ZERO,
+        }
+    }
+
+    fn integrate_to(&mut self, now: SimTime) {
+        let dt = now - self.last_update;
+        if dt > 0.0 {
+            let busy = self.jobs.iter().filter(|j| j.completes_at.is_some()).count();
+            self.busy_area += busy as f64 * dt;
+        }
+        self.last_update = self.last_update.max(now);
+    }
+
+    /// Start any queued jobs for which a server is free.
+    fn dispatch(&mut self, now: SimTime) {
+        let in_service = self.jobs.iter().filter(|j| j.completes_at.is_some()).count();
+        let mut free = self.servers.saturating_sub(in_service);
+        for job in self.jobs.iter_mut() {
+            if free == 0 {
+                break;
+            }
+            if job.completes_at.is_none() {
+                job.completes_at = Some(now + job.service);
+                free -= 1;
+            }
+        }
+    }
+
+    /// Enqueue a job with the given service demand (seconds).
+    pub fn arrive(&mut self, now: SimTime, key: K, service: f64) {
+        self.integrate_to(now);
+        self.jobs.push(FcfsJob {
+            key,
+            service: service.max(0.0),
+            completes_at: None,
+        });
+        self.dispatch(now);
+        self.generation += 1;
+    }
+
+    /// Advance to `now`; move jobs whose service finished into the finished
+    /// set and return them in completion order.
+    pub fn collect_finished(&mut self, now: SimTime) -> Vec<K> {
+        self.integrate_to(now);
+        let mut i = 0;
+        let mut newly = false;
+        while i < self.jobs.len() {
+            match self.jobs[i].completes_at {
+                Some(t) if t <= now + 1e-12 => {
+                    let job = self.jobs.remove(i);
+                    self.finished.push(job.key);
+                    newly = true;
+                }
+                _ => i += 1,
+            }
+        }
+        if newly {
+            self.dispatch(now);
+            self.generation += 1;
+        }
+        std::mem::take(&mut self.finished)
+    }
+
+    /// Time of the next completion, if any job is in service.
+    pub fn next_completion(&self) -> Option<SimTime> {
+        self.jobs
+            .iter()
+            .filter_map(|j| j.completes_at)
+            .min()
+    }
+
+    /// Jobs currently waiting or in service.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Whether the station is empty.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Monotone state-change counter (see [`FairShare::generation`]).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Mean number of busy servers over `[0, now]`.
+    pub fn mean_busy(&mut self, now: SimTime) -> f64 {
+        self.integrate_to(now);
+        if now.as_secs() <= 0.0 {
+            0.0
+        } else {
+            self.busy_area / now.as_secs()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_customer_runs_at_cap() {
+        // Capacity 12 cores, cap 1 core: one task of 5 core-seconds takes 5s.
+        let mut cpu = FairShare::new(12.0, 1.0);
+        cpu.admit(SimTime::ZERO, "t1", 5.0);
+        assert_eq!(cpu.next_completion(), Some(SimTime::from_secs(5.0)));
+        let done = cpu.collect_finished(SimTime::from_secs(5.0));
+        assert_eq!(done, vec!["t1"]);
+        assert_eq!(cpu.active_count(), 0);
+    }
+
+    #[test]
+    fn contention_slows_everyone() {
+        // Capacity 2, cap 1: four tasks of 4 units each share rate 0.5.
+        let mut cpu = FairShare::new(2.0, 1.0);
+        for k in 0..4 {
+            cpu.admit(SimTime::ZERO, k, 4.0);
+        }
+        let t = cpu.next_completion().unwrap();
+        assert!((t.as_secs() - 8.0).abs() < 1e-6, "got {t}");
+        let done = cpu.collect_finished(t);
+        assert_eq!(done.len(), 4);
+    }
+
+    #[test]
+    fn rate_recomputes_on_departure() {
+        // Two tasks on capacity 1 (cap 1): each runs at 0.5. Task a has 1
+        // unit, task b has 2 units. a finishes at t=2; then b runs at rate 1
+        // and finishes its remaining 1 unit at t=3.
+        let mut r = FairShare::new(1.0, 1.0);
+        r.admit(SimTime::ZERO, 'a', 1.0);
+        r.admit(SimTime::ZERO, 'b', 2.0);
+        let t1 = r.next_completion().unwrap();
+        assert!((t1.as_secs() - 2.0).abs() < 1e-6);
+        assert_eq!(r.collect_finished(t1), vec!['a']);
+        let t2 = r.next_completion().unwrap();
+        assert!((t2.as_secs() - 3.0).abs() < 1e-6, "got {t2}");
+        assert_eq!(r.collect_finished(t2), vec!['b']);
+    }
+
+    #[test]
+    fn late_arrival_shares_fairly() {
+        // Link of 10 bytes/s, no per-flow cap bite (cap=10). Flow a: 100
+        // bytes at t=0. Flow b: 30 bytes at t=5. At t=5, a has 50 left; both
+        // run at 5/s. b finishes at t=11, a at t=5 + (50-30)/10... compute:
+        // t in [5,11): each gets 5/s, b's 30 bytes done at t=11, a has
+        // 50-30=20 left, then rate 10/s → done at t=13.
+        let mut link = FairShare::new(10.0, 10.0);
+        link.admit(SimTime::ZERO, 'a', 100.0);
+        link.admit(SimTime::from_secs(5.0), 'b', 30.0);
+        let t = link.next_completion().unwrap();
+        assert!((t.as_secs() - 11.0).abs() < 1e-6, "got {t}");
+        assert_eq!(link.collect_finished(t), vec!['b']);
+        let t = link.next_completion().unwrap();
+        assert!((t.as_secs() - 13.0).abs() < 1e-6, "got {t}");
+        assert_eq!(link.collect_finished(t), vec!['a']);
+    }
+
+    #[test]
+    fn cancel_removes_customer() {
+        let mut r = FairShare::new(1.0, 1.0);
+        r.admit(SimTime::ZERO, 'a', 10.0);
+        r.admit(SimTime::ZERO, 'b', 10.0);
+        let left = r.cancel(SimTime::from_secs(2.0), &'a').unwrap();
+        // 2 seconds at rate 0.5 → 9 units remain.
+        assert!((left - 9.0).abs() < 1e-9);
+        assert_eq!(r.active_count(), 1);
+        assert!(r.cancel(SimTime::from_secs(2.0), &'z').is_none());
+    }
+
+    #[test]
+    fn utilization_accounting() {
+        let mut r = FairShare::new(2.0, 1.0);
+        r.admit(SimTime::ZERO, 'a', 1.0);
+        let t = r.next_completion().unwrap();
+        r.collect_finished(t);
+        // One task at rate 1 for 1s on capacity 2 → utilization 0.5 over [0,1].
+        let u = r.utilization(SimTime::from_secs(1.0));
+        assert!((u - 0.5).abs() < 1e-9, "u={u}");
+        assert!((r.mean_active(SimTime::from_secs(1.0)) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fcfs_two_servers() {
+        let mut q = Fcfs::new(2);
+        q.arrive(SimTime::ZERO, 1, 4.0);
+        q.arrive(SimTime::ZERO, 2, 2.0);
+        q.arrive(SimTime::ZERO, 3, 1.0); // waits for a server
+        assert_eq!(q.next_completion(), Some(SimTime::from_secs(2.0)));
+        let done = q.collect_finished(SimTime::from_secs(2.0));
+        assert_eq!(done, vec![2]);
+        // Job 3 starts at t=2, finishes at t=3.
+        assert_eq!(q.next_completion(), Some(SimTime::from_secs(3.0)));
+        let done = q.collect_finished(SimTime::from_secs(3.0));
+        assert_eq!(done, vec![3]);
+        let done = q.collect_finished(SimTime::from_secs(4.0));
+        assert_eq!(done, vec![1]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn zero_work_completes_immediately() {
+        let mut r = FairShare::new(1.0, 1.0);
+        r.admit(SimTime::ZERO, 'a', 0.0);
+        assert_eq!(r.next_completion(), Some(SimTime::ZERO));
+        assert_eq!(r.collect_finished(SimTime::ZERO), vec!['a']);
+    }
+}

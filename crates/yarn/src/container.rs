@@ -1,0 +1,130 @@
+//! Containers and their lifecycle.
+//!
+//! The paper's §3.4 vocabulary for request/task states — *pending* (not yet
+//! sent to the RM), *scheduled* (sent, not assigned), *assigned* (bound to
+//! a container), *completed* — lives in the MapReduce AM
+//! (`mapreduce-sim`); this module models the container itself, which on the
+//! RM side moves NEW → ALLOCATED → ACQUIRED → RUNNING → COMPLETED.
+
+use crate::request::Priority;
+use crate::resources::ResourceVector;
+use hdfs_sim::NodeId;
+use std::fmt;
+
+/// Globally unique container identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ContainerId(pub u64);
+
+impl fmt::Display for ContainerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "container_{:06}", self.0)
+    }
+}
+
+/// RM-side container states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ContainerState {
+    /// Created by the scheduler, not yet handed to the AM.
+    Allocated,
+    /// Pulled by the AM in an allocate response.
+    Acquired,
+    /// Launched on the NodeManager.
+    Running,
+    /// Finished (released, completed, or killed).
+    Completed,
+}
+
+impl ContainerState {
+    /// Whether `self → next` is a legal lifecycle transition.
+    pub fn can_transition_to(self, next: ContainerState) -> bool {
+        use ContainerState::*;
+        matches!(
+            (self, next),
+            (Allocated, Acquired)
+                | (Acquired, Running)
+                | (Allocated, Completed) // released before acquisition
+                | (Acquired, Completed)  // released before launch
+                | (Running, Completed)
+        )
+    }
+}
+
+/// A logical bundle of resources bound to a particular node (§3.2).
+#[derive(Debug, Clone)]
+pub struct Container {
+    /// Unique id.
+    pub id: ContainerId,
+    /// Node the container is bound to.
+    pub node: NodeId,
+    /// Size of the bundle.
+    pub resource: ResourceVector,
+    /// Priority of the request this container satisfied.
+    pub priority: Priority,
+    /// Current lifecycle state.
+    pub state: ContainerState,
+}
+
+impl Container {
+    /// Advance the lifecycle; panics on an illegal transition (these are
+    /// simulator bugs, not recoverable conditions).
+    pub fn transition(&mut self, next: ContainerState) {
+        assert!(
+            self.state.can_transition_to(next),
+            "illegal container transition {:?} -> {:?} for {}",
+            self.state,
+            next,
+            self.id
+        );
+        self.state = next;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk() -> Container {
+        Container {
+            id: ContainerId(1),
+            node: NodeId(0),
+            resource: ResourceVector::new(1024, 1),
+            priority: Priority::MAP,
+            state: ContainerState::Allocated,
+        }
+    }
+
+    #[test]
+    fn happy_path() {
+        let mut c = mk();
+        c.transition(ContainerState::Acquired);
+        c.transition(ContainerState::Running);
+        c.transition(ContainerState::Completed);
+        assert_eq!(c.state, ContainerState::Completed);
+    }
+
+    #[test]
+    fn early_release_paths() {
+        let mut c = mk();
+        c.transition(ContainerState::Completed);
+        assert_eq!(c.state, ContainerState::Completed);
+        let mut c2 = mk();
+        c2.transition(ContainerState::Acquired);
+        c2.transition(ContainerState::Completed);
+        assert_eq!(c2.state, ContainerState::Completed);
+    }
+
+    #[test]
+    #[should_panic(expected = "illegal container transition")]
+    fn cannot_resurrect() {
+        let mut c = mk();
+        c.transition(ContainerState::Completed);
+        c.transition(ContainerState::Running);
+    }
+
+    #[test]
+    #[should_panic(expected = "illegal container transition")]
+    fn cannot_skip_acquired() {
+        let mut c = mk();
+        c.transition(ContainerState::Running);
+    }
+}

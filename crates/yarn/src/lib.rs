@@ -1,0 +1,31 @@
+//! # yarn-sim — YARN substrate simulator
+//!
+//! The resource-management layer of Hadoop 2.x, as described in §3 of the
+//! paper: a global [`ResourceManager`] arbitrating cluster capacity, per-
+//! node bookkeeping ([`node::NodeState`]), the AM↔RM
+//! [`request::ResourceRequest`] protocol with priorities and locality
+//! (paper Table 1), container lifecycles, and two schedulers —
+//! [`scheduler::FifoScheduler`] and the [`scheduler::CapacityScheduler`]
+//! (the Hadoop default; with a single root queue it serves applications in
+//! FIFO order, the configuration the paper's model assumes).
+//!
+//! The crate is deliberately *time-free*: it is a deterministic state
+//! machine driven by `mapreduce-sim`'s event loop, which makes every
+//! scheduling rule unit-testable in isolation.
+
+pub mod container;
+pub mod node;
+pub mod request;
+pub mod resources;
+pub mod rm;
+pub mod scheduler;
+
+pub use container::{Container, ContainerId, ContainerState};
+pub use node::{ClusterState, NodeState};
+pub use request::{render_table1, AskTable, Location, MatchLevel, Priority, ResourceRequest};
+pub use resources::ResourceVector;
+pub use rm::{AllocateResponse, AppId, ResourceManager};
+pub use scheduler::{
+    Allocation, AnyScheduler, AppSchedulingState, CapacityScheduler, ContainerIdGen,
+    FairScheduler, FifoScheduler, QueueConfig, Scheduler,
+};

@@ -1,0 +1,181 @@
+//! NodeManager-side bookkeeping: per-node capacity and live containers.
+
+use crate::container::ContainerId;
+use crate::resources::ResourceVector;
+use hdfs_sim::{NodeId, Topology};
+
+/// Scheduler-visible state of one node.
+#[derive(Debug, Clone)]
+pub struct NodeState {
+    /// The node this tracks.
+    pub id: NodeId,
+    /// Total capacity advertised by the NodeManager.
+    pub capacity: ResourceVector,
+    /// Resources currently allocated to containers.
+    pub allocated: ResourceVector,
+    /// Live containers on this node.
+    pub containers: Vec<ContainerId>,
+}
+
+impl NodeState {
+    /// A node with nothing allocated.
+    pub fn new(id: NodeId, capacity: ResourceVector) -> Self {
+        NodeState {
+            id,
+            capacity,
+            allocated: ResourceVector::ZERO,
+            containers: Vec::new(),
+        }
+    }
+
+    /// Unallocated headroom.
+    pub fn available(&self) -> ResourceVector {
+        self.capacity.saturating_sub(&self.allocated)
+    }
+
+    /// Whether a container of `size` fits right now.
+    pub fn can_fit(&self, size: &ResourceVector) -> bool {
+        size.fits_in(&self.available())
+    }
+
+    /// Occupancy rate in \[0, 1\]: dominant share of allocated over capacity.
+    /// The paper assigns containers "to the nodes with the lowest value"
+    /// of this rate (§4.2.2).
+    pub fn occupancy_rate(&self) -> f64 {
+        self.allocated.dominant_share(&self.capacity)
+    }
+
+    /// Reserve resources for a container. Panics if it does not fit
+    /// (callers must check `can_fit`).
+    pub fn allocate(&mut self, id: ContainerId, size: ResourceVector) {
+        assert!(self.can_fit(&size), "container {id} does not fit on {}", self.id);
+        self.allocated += size;
+        self.containers.push(id);
+    }
+
+    /// Release a container's resources. Panics if the container is unknown.
+    pub fn release(&mut self, id: ContainerId, size: ResourceVector) {
+        let idx = self
+            .containers
+            .iter()
+            .position(|&c| c == id)
+            .unwrap_or_else(|| panic!("releasing unknown container {id} on {}", self.id));
+        self.containers.swap_remove(idx);
+        self.allocated -= size;
+    }
+}
+
+/// Scheduler's view of every node.
+#[derive(Debug, Clone)]
+pub struct ClusterState {
+    /// Physical topology (shared with HDFS).
+    pub topology: Topology,
+    nodes: Vec<NodeState>,
+}
+
+impl ClusterState {
+    /// A cluster where every node advertises `capacity`.
+    pub fn homogeneous(topology: Topology, capacity: ResourceVector) -> Self {
+        let nodes = topology
+            .nodes()
+            .map(|n| NodeState::new(n, capacity))
+            .collect();
+        ClusterState { topology, nodes }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Immutable node state.
+    pub fn node(&self, id: NodeId) -> &NodeState {
+        &self.nodes[id.0 as usize]
+    }
+
+    /// Mutable node state.
+    pub fn node_mut(&mut self, id: NodeId) -> &mut NodeState {
+        &mut self.nodes[id.0 as usize]
+    }
+
+    /// All nodes.
+    pub fn nodes(&self) -> &[NodeState] {
+        &self.nodes
+    }
+
+    /// Aggregate free resources.
+    pub fn total_available(&self) -> ResourceVector {
+        self.nodes
+            .iter()
+            .fold(ResourceVector::ZERO, |acc, n| acc + n.available())
+    }
+
+    /// Aggregate capacity.
+    pub fn total_capacity(&self) -> ResourceVector {
+        self.nodes
+            .iter()
+            .fold(ResourceVector::ZERO, |acc, n| acc + n.capacity)
+    }
+
+    /// Nodes able to host `size`, ordered by (occupancy rate, id) — the
+    /// paper's "highest remaining capacity" tie-broken deterministically.
+    pub fn candidates_by_occupancy(&self, size: &ResourceVector) -> Vec<NodeId> {
+        let mut fit: Vec<&NodeState> = self.nodes.iter().filter(|n| n.can_fit(size)).collect();
+        fit.sort_by(|a, b| {
+            a.occupancy_rate()
+                .total_cmp(&b.occupancy_rate())
+                .then_with(|| a.id.cmp(&b.id))
+        });
+        fit.into_iter().map(|n| n.id).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::container::ContainerId;
+
+    #[test]
+    fn allocate_release_roundtrip() {
+        let mut n = NodeState::new(NodeId(0), ResourceVector::new(4096, 4));
+        let c = ResourceVector::new(1024, 1);
+        n.allocate(ContainerId(1), c);
+        n.allocate(ContainerId(2), c);
+        assert_eq!(n.available(), ResourceVector::new(2048, 2));
+        assert!((n.occupancy_rate() - 0.5).abs() < 1e-12);
+        n.release(ContainerId(1), c);
+        assert_eq!(n.available(), ResourceVector::new(3072, 3));
+        assert_eq!(n.containers, vec![ContainerId(2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn overallocation_panics() {
+        let mut n = NodeState::new(NodeId(0), ResourceVector::new(1024, 1));
+        n.allocate(ContainerId(1), ResourceVector::new(1024, 1));
+        n.allocate(ContainerId(2), ResourceVector::new(1, 1));
+    }
+
+    #[test]
+    fn occupancy_ordering() {
+        let topo = Topology::single_rack(3);
+        let mut cluster = ClusterState::homogeneous(topo, ResourceVector::new(4096, 4));
+        let c = ResourceVector::new(1024, 1);
+        cluster.node_mut(NodeId(0)).allocate(ContainerId(1), c);
+        cluster.node_mut(NodeId(0)).allocate(ContainerId(2), c);
+        cluster.node_mut(NodeId(1)).allocate(ContainerId(3), c);
+        let order = cluster.candidates_by_occupancy(&c);
+        assert_eq!(order, vec![NodeId(2), NodeId(1), NodeId(0)]);
+    }
+
+    #[test]
+    fn candidates_exclude_full_nodes() {
+        let topo = Topology::single_rack(2);
+        let mut cluster = ClusterState::homogeneous(topo, ResourceVector::new(1024, 1));
+        cluster
+            .node_mut(NodeId(0))
+            .allocate(ContainerId(1), ResourceVector::new(1024, 1));
+        let order = cluster.candidates_by_occupancy(&ResourceVector::new(1024, 1));
+        assert_eq!(order, vec![NodeId(1)]);
+    }
+}

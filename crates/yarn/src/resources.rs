@@ -1,0 +1,164 @@
+//! Resource vectors: the `<memory, vcores>` pairs YARN trades in.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+/// A bundle of cluster resources (memory in MB, virtual cores).
+///
+/// YARN 2.x schedules on these two dimensions; containers are allocated as
+/// indivisible `ResourceVector`s bound to a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct ResourceVector {
+    /// Memory in mebibytes.
+    pub memory_mb: u64,
+    /// Virtual cores.
+    pub vcores: u32,
+}
+
+impl ResourceVector {
+    /// The zero resource.
+    pub const ZERO: ResourceVector = ResourceVector {
+        memory_mb: 0,
+        vcores: 0,
+    };
+
+    /// Construct from components.
+    pub const fn new(memory_mb: u64, vcores: u32) -> Self {
+        ResourceVector { memory_mb, vcores }
+    }
+
+    /// Whether `self` fits inside `other` component-wise.
+    pub fn fits_in(&self, other: &ResourceVector) -> bool {
+        self.memory_mb <= other.memory_mb && self.vcores <= other.vcores
+    }
+
+    /// Whether any component is zero (an unusable allocation).
+    pub fn is_degenerate(&self) -> bool {
+        self.memory_mb == 0 || self.vcores == 0
+    }
+
+    /// How many copies of `unit` fit in `self` (the paper's
+    /// `pMaxMapsPerNode = ⌊TotalNodeCapacity / SizeOfContainerForMapTask⌋`).
+    pub fn count_fitting(&self, unit: &ResourceVector) -> u32 {
+        if unit.is_degenerate() {
+            return 0;
+        }
+        let by_mem = self.memory_mb / unit.memory_mb;
+        let by_cpu = self.vcores / unit.vcores;
+        by_mem.min(by_cpu as u64) as u32
+    }
+
+    /// Dominant share of `self` relative to a total capacity, i.e.
+    /// `max(mem/mem_total, vcores/vcores_total)` — used for occupancy-rate
+    /// ordering of nodes.
+    pub fn dominant_share(&self, total: &ResourceVector) -> f64 {
+        let mem = if total.memory_mb == 0 {
+            0.0
+        } else {
+            self.memory_mb as f64 / total.memory_mb as f64
+        };
+        let cpu = if total.vcores == 0 {
+            0.0
+        } else {
+            self.vcores as f64 / total.vcores as f64
+        };
+        mem.max(cpu)
+    }
+
+    /// Component-wise saturating subtraction.
+    pub fn saturating_sub(&self, other: &ResourceVector) -> ResourceVector {
+        ResourceVector {
+            memory_mb: self.memory_mb.saturating_sub(other.memory_mb),
+            vcores: self.vcores.saturating_sub(other.vcores),
+        }
+    }
+}
+
+impl Add for ResourceVector {
+    type Output = ResourceVector;
+    fn add(self, rhs: ResourceVector) -> ResourceVector {
+        ResourceVector {
+            memory_mb: self.memory_mb + rhs.memory_mb,
+            vcores: self.vcores + rhs.vcores,
+        }
+    }
+}
+
+impl AddAssign for ResourceVector {
+    fn add_assign(&mut self, rhs: ResourceVector) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for ResourceVector {
+    type Output = ResourceVector;
+    fn sub(self, rhs: ResourceVector) -> ResourceVector {
+        ResourceVector {
+            memory_mb: self.memory_mb.checked_sub(rhs.memory_mb).expect("memory underflow"),
+            vcores: self.vcores.checked_sub(rhs.vcores).expect("vcores underflow"),
+        }
+    }
+}
+
+impl SubAssign for ResourceVector {
+    fn sub_assign(&mut self, rhs: ResourceVector) {
+        *self = *self - rhs;
+    }
+}
+
+impl fmt::Display for ResourceVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<{}MB, {}vc>", self.memory_mb, self.vcores)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fits_and_count() {
+        let node = ResourceVector::new(8192, 8);
+        let c = ResourceVector::new(1024, 1);
+        assert!(c.fits_in(&node));
+        assert!(!node.fits_in(&c));
+        assert_eq!(node.count_fitting(&c), 8);
+        let big = ResourceVector::new(3072, 1);
+        assert_eq!(node.count_fitting(&big), 2); // memory-bound
+        let cpu_heavy = ResourceVector::new(512, 3);
+        assert_eq!(node.count_fitting(&cpu_heavy), 2); // cpu-bound
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = ResourceVector::new(2048, 2);
+        let b = ResourceVector::new(1024, 1);
+        assert_eq!(a + b, ResourceVector::new(3072, 3));
+        assert_eq!(a - b, b);
+        assert_eq!(b.saturating_sub(&a), ResourceVector::ZERO);
+        let mut c = a;
+        c += b;
+        c -= b;
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    #[should_panic(expected = "memory underflow")]
+    fn sub_underflow_panics() {
+        let _ = ResourceVector::new(1, 1) - ResourceVector::new(2, 1);
+    }
+
+    #[test]
+    fn dominant_share() {
+        let total = ResourceVector::new(1000, 10);
+        let used = ResourceVector::new(500, 8);
+        assert!((used.dominant_share(&total) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate() {
+        assert!(ResourceVector::new(0, 4).is_degenerate());
+        assert!(!ResourceVector::new(1, 1).is_degenerate());
+        assert_eq!(ResourceVector::new(100, 1).count_fitting(&ResourceVector::ZERO), 0);
+    }
+}

@@ -1,0 +1,52 @@
+//! Concurrent-workload analysis: how does the average job response time
+//! degrade as more identical WordCount jobs share the cluster (the
+//! paper's Figure 14 scenario), and does the model track the simulator?
+//!
+//! ```text
+//! cargo run --release --example concurrent_workloads
+//! ```
+
+use hadoop2_perf::model::{estimate_workload, relative_error, Calibration, ModelOptions};
+use hadoop2_perf::sim::profile::{measure_workload, profile_job};
+use hadoop2_perf::sim::workload::wordcount;
+use hadoop2_perf::sim::{SimConfig, GB};
+
+fn main() {
+    let cfg = SimConfig::paper_testbed(4);
+    let job = wordcount(2 * GB, 4);
+    let (profile, _) = profile_job(&job, &cfg);
+
+    println!("2 GB WordCount on 4 nodes, 1–4 concurrent jobs (FIFO queue):\n");
+    println!("| jobs | measured avg (s) | fork/join (s) | err | per-job estimates |");
+    println!("|---|---|---|---|---|");
+    for n_jobs in 1..=4usize {
+        let measured = measure_workload(&job, &cfg, n_jobs, 5).median_response;
+        let est = estimate_workload(
+            &cfg,
+            &job,
+            n_jobs,
+            &ModelOptions::default(),
+            &Calibration::default(),
+            Some(&profile),
+        );
+        let per_job: Vec<String> = est
+            .fork_join_detail
+            .per_job_response
+            .iter()
+            .map(|r| format!("{r:.0}"))
+            .collect();
+        println!(
+            "| {n_jobs} | {measured:.1} | {:.1} | {:+.1}% | {} |",
+            est.fork_join,
+            relative_error(est.fork_join, measured) * 100.0,
+            per_job.join(", ")
+        );
+    }
+    println!(
+        "\nLater jobs in the FIFO queue wait for earlier ones — the model's \
+         per-job estimates expose the queueing structure that the average hides.\n\
+         (The 1-job point shows the model's wave-quantization pessimism: 16 maps \
+         on 15 containers forces a second model wave that the simulator pipelines \
+         into straggler slack; multi-job points amortize it.)"
+    );
+}

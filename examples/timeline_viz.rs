@@ -1,0 +1,95 @@
+//! The paper's running example (§3.1): n = 3 nodes, m = 4 maps, r = 1
+//! reduce — renders Table 1 (the ResourceRequest object), Figure 6 (the
+//! timeline) and Figure 7 (the precedence tree).
+//!
+//! ```text
+//! cargo run --example timeline_viz
+//! ```
+
+use hadoop2_perf::hdfs::NodeId;
+use hadoop2_perf::model::timeline::{build_timeline, ShuffleSpec, TimelineConfig, TimelineJob};
+use hadoop2_perf::model::tree::build_tree;
+use hadoop2_perf::yarn::{
+    render_table1, AskTable, Location, Priority, ResourceRequest, ResourceVector,
+};
+
+fn main() {
+    println!("Running example: n = 3, m = 4, r = 1\n");
+
+    // Table 1 — what the MapReduce AM asks the RM for.
+    let mut ask = AskTable::new();
+    let x = ResourceVector::new(1024, 1);
+    for (loc, n, p) in [
+        (Location::Node(NodeId(0)), 2, Priority::MAP),
+        (Location::Node(NodeId(1)), 2, Priority::MAP),
+        (Location::Any, 4, Priority::MAP),
+        (Location::Any, 1, Priority::REDUCE),
+    ] {
+        ask.update(&ResourceRequest {
+            num_containers: n,
+            priority: p,
+            capability: x,
+            location: loc,
+            relax_locality: true,
+        });
+    }
+    println!("Table 1 — ResourceRequest object:\n{}", render_table1(&ask));
+
+    // Figure 6 — the timeline produced by Algorithm 1 (slow start on).
+    let tl = build_timeline(
+        &TimelineConfig {
+            capacities: vec![1; 3],
+            slow_start: true,
+        },
+        &[TimelineJob {
+            num_maps: 4,
+            num_reduces: 1,
+            map_duration: 10.0,
+            merge_duration: 6.0,
+            shuffle: ShuffleSpec::PerRemoteMap { sd: 2.0, base: 1.0 },
+        }],
+    );
+    println!("Figure 6 — timeline (map 10 s, sd 2 s, merge 6 s):");
+    let width = 46usize;
+    let makespan = tl.makespan();
+    for s in &tl.segments {
+        let from = (s.start / makespan * width as f64) as usize;
+        let to = ((s.end / makespan * width as f64) as usize).max(from + 1);
+        let bar: String = (0..width)
+            .map(|i| if i >= from && i < to { '█' } else { '·' })
+            .collect();
+        println!(
+            "  n{} {:<3} |{bar}| [{:>4.1},{:>4.1})",
+            s.node,
+            format!("{:?}", s.class).chars().take(3).collect::<String>(),
+            s.start,
+            s.end
+        );
+    }
+    println!("  makespan: {makespan:.1} s\n");
+
+    // Figure 7 — the precedence tree (balanced P-subtrees).
+    let tree = build_tree(&tl, None, true).expect("non-empty");
+    println!("Figure 7 — precedence tree:");
+    println!("  {}", tree.render(&tl));
+    println!("  depth {}, {} leaves", tree.depth(), tree.num_leaves());
+
+    // The same reduce placed without slow start, for contrast.
+    let late = build_timeline(
+        &TimelineConfig {
+            capacities: vec![1; 3],
+            slow_start: false,
+        },
+        &[TimelineJob {
+            num_maps: 4,
+            num_reduces: 1,
+            map_duration: 10.0,
+            merge_duration: 6.0,
+            shuffle: ShuffleSpec::PerRemoteMap { sd: 2.0, base: 1.0 },
+        }],
+    );
+    println!(
+        "\nWithout slow start the shuffle waits for the last map: makespan {:.1} s",
+        late.makespan()
+    );
+}

@@ -1,0 +1,36 @@
+//! # hadoop2-perf — MapReduce performance models for Hadoop 2.x
+//!
+//! Facade crate re-exporting the whole workspace: the analytic model
+//! ([`model`]), the discrete-event cluster simulator ([`sim`]) and its
+//! substrates ([`yarn`], [`hdfs`], [`des`]), and the queueing-theory
+//! toolkit ([`queueing`]).
+//!
+//! ```
+//! use hadoop2_perf::model::{estimate_workload, Calibration, ModelOptions};
+//! use hadoop2_perf::sim::{workload::wordcount_1gb, SimConfig};
+//!
+//! let cfg = SimConfig::paper_testbed(4);
+//! let job = wordcount_1gb(4);
+//! let est = estimate_workload(
+//!     &cfg, &job, 1, &ModelOptions::default(), &Calibration::default(), None,
+//! );
+//! assert!(est.fork_join > 0.0 && est.tripathi > est.fork_join * 0.5);
+//! ```
+
+/// The paper's analytic model (crate `mr2-model`).
+pub use mr2_model as model;
+
+/// The MapReduce-on-YARN execution simulator (crate `mapreduce-sim`).
+pub use mapreduce_sim as sim;
+
+/// The YARN resource-management substrate (crate `yarn-sim`).
+pub use yarn_sim as yarn;
+
+/// The HDFS substrate (crate `hdfs-sim`).
+pub use hdfs_sim as hdfs;
+
+/// The discrete-event simulation engine (crate `simcore`).
+pub use simcore as des;
+
+/// Closed queueing networks, MVA, phase-type distributions.
+pub use queueing;
