@@ -1,15 +1,37 @@
 //! Definitions of the paper's experiments (Figures 10–15, Table 1, the
-//! §5.2 error bands) and the machinery to run them.
+//! §5.2 error bands), each expressed as a declarative `mr2-scenario`
+//! sweep and executed by its parallel batch runner. A process-wide
+//! result cache deduplicates configurations shared between figures
+//! (e.g. fig12's 4-node point and fig14's 1-job point are the same
+//! evaluation).
 
-use mapreduce_sim::profile::{measure_workload, profile_job};
-use mapreduce_sim::workload::wordcount;
-use mapreduce_sim::{SimConfig, GB, MB};
+use std::sync::OnceLock;
+
+use mapreduce_sim::{SimConfig, GB};
 use mr2_model::error::ErrorBand;
-use mr2_model::{estimate_workload, Calibration, ModelOptions};
+use mr2_model::{Calibration, ModelOptions};
+use mr2_scenario::{run_scenario, Backends, PointResult, ResultCache, RunnerConfig, Scenario};
 
 /// Number of repetitions per configuration (paper §5.1: "Each experiment
 /// we repeated 5 times and then took the median").
 pub const REPS: usize = 5;
+
+/// Process-wide evaluation cache shared by every experiment run.
+fn cache() -> &'static ResultCache {
+    static CACHE: OnceLock<ResultCache> = OnceLock::new();
+    CACHE.get_or_init(ResultCache::new)
+}
+
+/// The backends the paper's methodology prescribes: simulator ground
+/// truth (median of [`REPS`] seeded runs) plus the profile-calibrated
+/// analytic model.
+fn paper_backends() -> Backends {
+    Backends {
+        analytic: true,
+        profile_calibration: true,
+        simulator: Some(REPS),
+    }
+}
 
 /// One point of a sweep.
 #[derive(Debug, Clone)]
@@ -95,100 +117,82 @@ impl ExperimentId {
     }
 }
 
-/// One measured+modeled configuration point.
-fn run_point(nodes: usize, input_bytes: u64, n_jobs: usize, block_mb: u64) -> Point {
-    let mut cfg = SimConfig::paper_testbed(nodes);
-    cfg.block_size = block_mb * MB;
-    // Reducers: one wave across the cluster, the common sizing rule
-    // (#reduces = #nodes); constant per node-count like the paper's setup.
-    let spec = wordcount(input_bytes, nodes as u32);
+/// Which scenario axis a figure plots on its x-axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum XAxis {
+    Nodes,
+    Jobs,
+}
 
-    // Measured: median of REPS seeded runs of the DES (the "real" setup).
-    let measured = measure_workload(&spec, &cfg, n_jobs, REPS).median_response;
+impl ExperimentId {
+    /// The figure as a declarative sweep. Reducers follow the scenario
+    /// default (`ReducePolicy::PerNode`): one reduce wave across the
+    /// cluster, the common sizing rule and the paper's setup.
+    pub fn scenario(&self) -> Scenario {
+        let base = Scenario::new(self.name())
+            .axis_nodes([4usize, 6, 8])
+            .with_backends(paper_backends());
+        match self {
+            ExperimentId::Fig10 => base.axis_input_bytes([GB]),
+            ExperimentId::Fig11 => base.axis_input_bytes([GB]).axis_n_jobs([4usize]),
+            ExperimentId::Fig12 => base.axis_input_bytes([5 * GB]),
+            ExperimentId::Fig13 => base.axis_input_bytes([5 * GB]).axis_n_jobs([4usize]),
+            ExperimentId::Fig14 => base
+                .axis_nodes([4usize])
+                .axis_input_bytes([5 * GB])
+                .axis_n_jobs([1usize, 2, 3, 4]),
+            ExperimentId::Fig15 => base.axis_input_bytes([5 * GB]).axis_block_mb([64u64]),
+        }
+    }
 
-    // Profile run (single job, fresh cluster) refines the CVs, as the
-    // paper's job-profile history would.
-    let (profile, _) = profile_job(&spec, &cfg);
+    fn x_axis(&self) -> XAxis {
+        match self {
+            ExperimentId::Fig14 => XAxis::Jobs,
+            _ => XAxis::Nodes,
+        }
+    }
 
-    let est = estimate_workload(
-        &cfg,
-        &spec,
-        n_jobs,
-        &ModelOptions::default(),
-        &Calibration::default(),
-        Some(&profile),
-    );
-    Point {
-        x: nodes as f64,
-        measured,
-        fork_join: est.fork_join,
-        tripathi: est.tripathi,
-        aria: est.aria,
-        herodotou: est.herodotou,
+    fn title(&self) -> &'static str {
+        match self {
+            ExperimentId::Fig10 => "Input: 1GB; #jobs: 1",
+            ExperimentId::Fig11 => "Input: 1GB; #jobs: 4",
+            ExperimentId::Fig12 => "Input: 5GB; #jobs: 1",
+            ExperimentId::Fig13 => "Input: 5GB; #jobs: 4",
+            ExperimentId::Fig14 => "#Nodes: 4; Input: 5GB",
+            ExperimentId::Fig15 => "Block: 64MB; Input: 5GB; #jobs: 1",
+        }
     }
 }
 
-/// Run one of the paper's figure experiments.
+/// Project one evaluated scenario point onto a figure's series.
+fn to_point(r: &PointResult, x_axis: XAxis) -> Point {
+    let model = r.model.expect("paper backends include the analytic model");
+    Point {
+        x: match x_axis {
+            XAxis::Nodes => r.point.nodes as f64,
+            XAxis::Jobs => r.point.n_jobs as f64,
+        },
+        measured: r.measured().expect("paper backends include the simulator"),
+        fork_join: model.fork_join,
+        tripathi: model.tripathi,
+        aria: model.aria,
+        herodotou: model.herodotou,
+    }
+}
+
+/// Run one of the paper's figure experiments through the scenario
+/// engine's parallel runner.
 pub fn run_experiment(id: ExperimentId) -> ExperimentResult {
-    let nodes_sweep = [4usize, 6, 8];
-    match id {
-        ExperimentId::Fig10 => ExperimentResult {
-            id,
-            title: "Input: 1GB; #jobs: 1".into(),
-            x_label: "number of nodes".into(),
-            points: nodes_sweep
-                .iter()
-                .map(|&n| run_point(n, GB, 1, 128))
-                .collect(),
+    let sweep = run_scenario(&id.scenario(), cache(), &RunnerConfig::default());
+    let x_axis = id.x_axis();
+    ExperimentResult {
+        id,
+        title: id.title().into(),
+        x_label: match x_axis {
+            XAxis::Nodes => "number of nodes".into(),
+            XAxis::Jobs => "number of jobs".into(),
         },
-        ExperimentId::Fig11 => ExperimentResult {
-            id,
-            title: "Input: 1GB; #jobs: 4".into(),
-            x_label: "number of nodes".into(),
-            points: nodes_sweep
-                .iter()
-                .map(|&n| run_point(n, GB, 4, 128))
-                .collect(),
-        },
-        ExperimentId::Fig12 => ExperimentResult {
-            id,
-            title: "Input: 5GB; #jobs: 1".into(),
-            x_label: "number of nodes".into(),
-            points: nodes_sweep
-                .iter()
-                .map(|&n| run_point(n, 5 * GB, 1, 128))
-                .collect(),
-        },
-        ExperimentId::Fig13 => ExperimentResult {
-            id,
-            title: "Input: 5GB; #jobs: 4".into(),
-            x_label: "number of nodes".into(),
-            points: nodes_sweep
-                .iter()
-                .map(|&n| run_point(n, 5 * GB, 4, 128))
-                .collect(),
-        },
-        ExperimentId::Fig14 => ExperimentResult {
-            id,
-            title: "#Nodes: 4; Input: 5GB".into(),
-            x_label: "number of jobs".into(),
-            points: (1..=4usize)
-                .map(|jobs| {
-                    let mut p = run_point(4, 5 * GB, jobs, 128);
-                    p.x = jobs as f64;
-                    p
-                })
-                .collect(),
-        },
-        ExperimentId::Fig15 => ExperimentResult {
-            id,
-            title: "Block: 64MB; Input: 5GB; #jobs: 1".into(),
-            x_label: "number of nodes".into(),
-            points: nodes_sweep
-                .iter()
-                .map(|&n| run_point(n, 5 * GB, 1, 64))
-                .collect(),
-        },
+        points: sweep.points.iter().map(|p| to_point(p, x_axis)).collect(),
     }
 }
 
@@ -229,9 +233,7 @@ pub fn running_example() -> String {
     use hdfs_sim::NodeId;
     use mr2_model::timeline::{build_timeline, ShuffleSpec, TimelineConfig, TimelineJob};
     use mr2_model::tree::build_tree;
-    use yarn_sim::{
-        render_table1, AskTable, Location, Priority, ResourceRequest, ResourceVector,
-    };
+    use yarn_sim::{render_table1, AskTable, Location, Priority, ResourceRequest, ResourceVector};
 
     let mut out = String::new();
     out.push_str("Running example: n = 3 nodes, m = 4 maps, r = 1 reduce\n\n");
@@ -295,6 +297,8 @@ pub fn running_example() -> String {
 
 /// Print solver internals for the fig12@4-nodes point (calibration aid).
 pub fn debug_point() {
+    use mapreduce_sim::profile::{measure_workload, profile_job};
+    use mapreduce_sim::workload::wordcount;
     use mr2_model::input::Estimator;
     use mr2_model::solve;
     let cfg = SimConfig::paper_testbed(4);
@@ -304,19 +308,41 @@ pub fn debug_point() {
     println!("measured median: {:.1}", m.median_response);
     println!(
         "sim profile: map {:.1}s cv {:.2} | ss {:.1}s cv {:.2} | merge {:.1}s cv {:.2}",
-        profile.map.mean, profile.map.cv,
-        profile.shuffle_sort.mean, profile.shuffle_sort.cv,
-        profile.merge.mean, profile.merge.cv
+        profile.map.mean,
+        profile.map.cv,
+        profile.shuffle_sort.mean,
+        profile.shuffle_sort.cv,
+        profile.merge.mean,
+        profile.merge.cv
     );
-    let maps_start = result.map_records().map(|t| t.started_at).fold(f64::INFINITY, f64::min);
-    let maps_end = result.map_records().map(|t| t.finished_at).fold(0.0f64, f64::max);
-    println!("sim: first map start {maps_start:.1}, last map end {maps_end:.1}, job end {:.1}", result.finished_at);
+    let maps_start = result
+        .map_records()
+        .map(|t| t.started_at)
+        .fold(f64::INFINITY, f64::min);
+    let maps_end = result
+        .map_records()
+        .map(|t| t.finished_at)
+        .fold(0.0f64, f64::max);
+    println!(
+        "sim: first map start {maps_start:.1}, last map end {maps_end:.1}, job end {:.1}",
+        result.finished_at
+    );
     for est in [Estimator::ForkJoin, Estimator::Tripathi] {
         let input = mr2_model::model_input(
-            &cfg, &spec, 1,
-            ModelOptions { estimator: est, ..ModelOptions::default() },
-            &Calibration::default(), Some(&profile));
-        println!("model initial responses: {:?}", input.jobs[0].initial_response);
+            &cfg,
+            &spec,
+            1,
+            ModelOptions {
+                estimator: est,
+                ..ModelOptions::default()
+            },
+            &Calibration::default(),
+            Some(&profile),
+        );
+        println!(
+            "model initial responses: {:?}",
+            input.jobs[0].initial_response
+        );
         println!("model cvs: {:?}", input.jobs[0].cv);
         let r = solve(&input);
         println!(
@@ -329,6 +355,8 @@ pub fn debug_point() {
 /// Design-choice ablations on the 5 GB / 1 job / 4 nodes point:
 /// P-subtree balancing, slow start, and the overlap factors.
 pub fn ablations() -> String {
+    use mapreduce_sim::profile::{measure_workload, profile_job};
+    use mapreduce_sim::workload::wordcount;
     use mr2_model::input::Estimator;
     use mr2_model::solve;
 
@@ -408,6 +436,38 @@ mod tests {
             assert_eq!(ExperimentId::parse(id.name()), Some(id));
         }
         assert_eq!(ExperimentId::parse("fig99"), None);
+    }
+
+    #[test]
+    fn figure_scenarios_match_the_paper_grids() {
+        for id in ExperimentId::ALL {
+            let s = id.scenario();
+            s.validate();
+            match id {
+                ExperimentId::Fig14 => assert_eq!(s.num_points(), 4, "jobs 1..=4"),
+                _ => assert_eq!(s.num_points(), 3, "nodes 4,6,8"),
+            }
+            assert_eq!(s.backends.simulator, Some(REPS));
+            assert!(s.backends.analytic && s.backends.profile_calibration);
+        }
+        assert_eq!(ExperimentId::Fig15.scenario().block_mb, vec![64]);
+        assert_eq!(ExperimentId::Fig11.scenario().n_jobs, vec![4]);
+    }
+
+    #[test]
+    fn fig12_and_fig14_expand_to_a_shared_configuration() {
+        // fig12's 4-node point and fig14's 1-job point are the same
+        // configuration field for field, so the process-wide cache can
+        // serve one from the other (cross-scenario reuse itself is
+        // asserted in mr2-scenario's integration tests).
+        let mut pts = mr2_scenario::expand(&ExperimentId::Fig12.scenario());
+        let p12 = pts.remove(0);
+        let p14 = mr2_scenario::expand(&ExperimentId::Fig14.scenario()).remove(0);
+        assert_eq!(p12.nodes, p14.nodes);
+        assert_eq!(p12.input_bytes, p14.input_bytes);
+        assert_eq!(p12.n_jobs, p14.n_jobs);
+        assert_eq!(p12.block_mb, p14.block_mb);
+        assert_eq!(p12.reduces, p14.reduces);
     }
 
     #[test]

@@ -37,10 +37,11 @@ pub fn render_table(r: &ExperimentResult) -> String {
 pub fn ascii_plot(r: &ExperimentResult) -> String {
     const ROWS: usize = 16;
     const LABEL: usize = 8;
-    let series: [(&str, char, Box<dyn Fn(&crate::Point) -> f64>); 3] = [
-        ("measured", 'M', Box::new(|p: &crate::Point| p.measured)),
-        ("fork/join", 'F', Box::new(|p: &crate::Point| p.fork_join)),
-        ("tripathi", 'T', Box::new(|p: &crate::Point| p.tripathi)),
+    type Series<'a> = (&'a str, char, fn(&crate::Point) -> f64);
+    let series: [Series; 3] = [
+        ("measured", 'M', |p| p.measured),
+        ("fork/join", 'F', |p| p.fork_join),
+        ("tripathi", 'T', |p| p.tripathi),
     ];
     let max = r
         .points
@@ -63,7 +64,12 @@ pub fn ascii_plot(r: &ExperimentResult) -> String {
         }
     }
     let mut out = String::new();
-    let _ = writeln!(out, "{} — {}  (M=measured F=fork/join T=tripathi)", r.id.name(), r.title);
+    let _ = writeln!(
+        out,
+        "{} — {}  (M=measured F=fork/join T=tripathi)",
+        r.id.name(),
+        r.title
+    );
     let _ = writeln!(out, "{:>7.0}s ┐", max);
     for row in grid {
         let s: String = row.into_iter().collect();

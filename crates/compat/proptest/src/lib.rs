@@ -1,0 +1,339 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Supports the subset of the proptest API used by this workspace's
+//! property tests: the [`proptest!`] macro (with an optional
+//! `#![proptest_config(...)]` header), `prop_assert!`/`prop_assert_eq!`,
+//! range and tuple strategies, `prop::collection::vec`, [`any`], and
+//! [`Strategy::prop_map`]. Cases are generated from a seed derived from
+//! the test name, so failures are reproducible; there is no shrinking —
+//! a failing case panics with the assertion message directly.
+
+use rand::rngs::SmallRng;
+use rand::{Rng as _, SeedableRng as _};
+
+/// Deterministic per-test case generator.
+#[derive(Debug, Clone)]
+pub struct TestRng(SmallRng);
+
+impl TestRng {
+    /// Seed derived from the test name (FNV-1a) so every test draws an
+    /// independent, stable stream.
+    pub fn deterministic(name: &str) -> TestRng {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        TestRng(SmallRng::seed_from_u64(h))
+    }
+
+    fn unit_f64(&mut self) -> f64 {
+        self.0.gen()
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        self.0.gen_range(0..n.max(1))
+    }
+
+    fn bits(&mut self) -> u64 {
+        self.0.gen()
+    }
+}
+
+/// Runner configuration; only `cases` is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A generator of random values of an output type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! impl_int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end - self.start) as u128;
+                let v = (rng.bits() as u128 * span) >> 64;
+                self.start + v as $t
+            }
+        }
+    )*};
+}
+
+impl_int_strategy!(u8, u16, u32, u64, usize);
+
+impl Strategy for core::ops::Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty strategy range");
+        self.start + (self.end - self.start) * rng.unit_f64()
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Draw an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.bits() & 1 == 1
+    }
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary(rng: &mut TestRng) -> u64 {
+        rng.bits()
+    }
+}
+
+impl Arbitrary for u32 {
+    fn arbitrary(rng: &mut TestRng) -> u32 {
+        rng.bits() as u32
+    }
+}
+
+impl Arbitrary for usize {
+    fn arbitrary(rng: &mut TestRng) -> usize {
+        rng.bits() as usize
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(core::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The "any value of `T`" strategy.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(core::marker::PhantomData)
+}
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// Bounds for [`vec`]'s length: a fixed `usize` or a `Range<usize>`.
+    pub trait SizeRange {
+        /// Draw a length.
+        fn pick(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for core::ops::Range<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            assert!(self.start < self.end, "empty vec size range");
+            self.start + rng.below(self.end - self.start)
+        }
+    }
+
+    /// Strategy generating `Vec`s of `element` with length drawn from
+    /// `size`.
+    pub fn vec<S: Strategy, Z: SizeRange>(element: S, size: Z) -> VecStrategy<S, Z> {
+        VecStrategy { element, size }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S, Z> {
+        element: S,
+        size: Z,
+    }
+
+    impl<S: Strategy, Z: SizeRange> Strategy for VecStrategy<S, Z> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{Arbitrary, ProptestConfig, Strategy, TestRng};
+
+    /// Namespace mirror (`prop::collection::vec`).
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Assert inside a property; panics with the message on failure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Assert inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Define property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ @cfg ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ @cfg ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@cfg ($cfg:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($pat:pat_param in $strat:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::ProptestConfig = $cfg;
+                let mut __rng = $crate::TestRng::deterministic(concat!(
+                    module_path!(), "::", stringify!($name)
+                ));
+                for __case in 0..__cfg.cases {
+                    $(let $pat = $crate::Strategy::generate(&($strat), &mut __rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_respected(x in 3u32..9, f in 0.5f64..1.5, n in 1usize..4) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((0.5..1.5).contains(&f));
+            prop_assert!((1..4).contains(&n));
+        }
+
+        #[test]
+        fn tuples_and_patterns((a, b) in (0u32..5, 10u32..20)) {
+            prop_assert!(a < 5 && (10..20).contains(&b));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(7))]
+
+        #[test]
+        fn vec_sizes(v in prop::collection::vec(0u32..3, 2..6)) {
+            prop_assert!((2..6).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn prop_map_applies() {
+        let s = (1u32..5).prop_map(|x| x * 10);
+        let mut rng = TestRng::deterministic("prop_map_applies");
+        for _ in 0..50 {
+            let v = s.generate(&mut rng);
+            assert!(v % 10 == 0 && (10..50).contains(&v));
+        }
+    }
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = TestRng::deterministic("same");
+        let mut b = TestRng::deterministic("same");
+        let s = 0.0f64..1.0;
+        for _ in 0..20 {
+            assert_eq!(s.generate(&mut a).to_bits(), s.generate(&mut b).to_bits());
+        }
+    }
+}

@@ -65,15 +65,24 @@ fn stage_bounds(n: u32, k: u32, s: StageStats) -> (f64, f64) {
 pub fn aria_bounds(p: &AriaProfile, map_slots: u32, reduce_slots: u32) -> AriaBounds {
     let (map_low, map_up) = stage_bounds(p.num_maps, map_slots, p.map);
     let (sh_low, sh_up) = stage_bounds(
-        p.num_reduces.saturating_sub(reduce_slots.min(p.num_reduces)),
+        p.num_reduces
+            .saturating_sub(reduce_slots.min(p.num_reduces)),
         reduce_slots,
         p.shuffle_typical,
     );
     let (red_low, red_up) = stage_bounds(p.num_reduces, reduce_slots, p.reduce);
     // The first shuffle wave overlaps the map stage; ARIA adds its average
     // (lower bound) / max (upper bound) once.
-    let first_sh_low = if p.num_reduces > 0 { p.shuffle_first.avg } else { 0.0 };
-    let first_sh_up = if p.num_reduces > 0 { p.shuffle_first.max } else { 0.0 };
+    let first_sh_low = if p.num_reduces > 0 {
+        p.shuffle_first.avg
+    } else {
+        0.0
+    };
+    let first_sh_up = if p.num_reduces > 0 {
+        p.shuffle_first.max
+    } else {
+        0.0
+    };
     AriaBounds {
         low: map_low + first_sh_low + sh_low + red_low,
         up: map_up + first_sh_up + sh_up + red_up,
@@ -96,10 +105,16 @@ mod tests {
         AriaProfile {
             num_maps: 16,
             num_reduces: 4,
-            map: StageStats { avg: 40.0, max: 50.0 },
+            map: StageStats {
+                avg: 40.0,
+                max: 50.0,
+            },
             shuffle_first: StageStats { avg: 5.0, max: 8.0 },
             shuffle_typical: StageStats { avg: 5.0, max: 8.0 },
-            reduce: StageStats { avg: 20.0, max: 25.0 },
+            reduce: StageStats {
+                avg: 20.0,
+                max: 25.0,
+            },
         }
     }
 
@@ -140,6 +155,9 @@ mod tests {
         let t8 = aria_bounds(&p, 8, 8).avg();
         let k = slots_for_deadline(&p, t8, 32).unwrap();
         assert!(k <= 8, "8 slots meet their own deadline");
-        assert!(slots_for_deadline(&p, 1.0, 32).is_none(), "impossible deadline");
+        assert!(
+            slots_for_deadline(&p, 1.0, 32).is_none(),
+            "impossible deadline"
+        );
     }
 }

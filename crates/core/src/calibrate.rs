@@ -43,7 +43,8 @@ impl Default for Calibration {
 /// Map a `(SimConfig, JobSpec)` pair onto Herodotou's parameter set.
 pub fn herodotou_params(cfg: &SimConfig, spec: &JobSpec, cal: &Calibration) -> HerodotouParams {
     let n = cfg.nodes as f64;
-    let total_slots = cfg.total_containers()
+    let total_slots = cfg
+        .total_containers()
         .saturating_sub(if cal.reserve_am { 1 } else { 0 });
     HerodotouParams {
         split_bytes: cfg.block_size.min(spec.input_bytes) as f64,
@@ -132,13 +133,21 @@ pub fn job_inputs(
     // refinements above the calibration floor, never below it.
     let cv = match measured {
         Some(p) => [
-            if p.map.count >= 2 { p.map.cv.max(cal.cv[0]) } else { cal.cv[0] },
+            if p.map.count >= 2 {
+                p.map.cv.max(cal.cv[0])
+            } else {
+                cal.cv[0]
+            },
             if p.shuffle_sort.count >= 2 {
                 p.shuffle_sort.cv.max(cal.cv[1])
             } else {
                 cal.cv[1]
             },
-            if p.merge.count >= 2 { p.merge.cv.max(cal.cv[2]) } else { cal.cv[2] },
+            if p.merge.count >= 2 {
+                p.merge.cv.max(cal.cv[2])
+            } else {
+                cal.cv[2]
+            },
         ],
         None => cal.cv,
     };

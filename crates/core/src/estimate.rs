@@ -86,6 +86,41 @@ pub fn estimate_workload(
     }
 }
 
+/// The analytic estimates of one configuration point — the narrow entry
+/// result batch evaluators (crate `mr2-scenario`) consume. A flat,
+/// comparison-ready subset of [`WorkloadEstimate`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModelPoint {
+    /// Fork/join estimate.
+    pub fork_join: f64,
+    /// Tripathi estimate.
+    pub tripathi: f64,
+    /// ARIA baseline.
+    pub aria: f64,
+    /// Herodotou static baseline.
+    pub herodotou: f64,
+}
+
+/// Narrow batch-evaluation entry point: both estimators and both
+/// baselines for one `(cfg, spec, n_jobs)` point. Deterministic in its
+/// inputs, which is what makes results content-addressable.
+pub fn eval_point(
+    cfg: &SimConfig,
+    spec: &JobSpec,
+    n_jobs: usize,
+    options: &ModelOptions,
+    cal: &Calibration,
+    measured: Option<&MeasuredProfile>,
+) -> ModelPoint {
+    let e = estimate_workload(cfg, spec, n_jobs, options, cal, measured);
+    ModelPoint {
+        fork_join: e.fork_join,
+        tripathi: e.tripathi,
+        aria: e.aria,
+        herodotou: e.herodotou,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -113,6 +148,20 @@ mod tests {
         }
         assert!(e.fork_join_detail.converged);
         assert!(e.tripathi_detail.converged);
+    }
+
+    #[test]
+    fn eval_point_matches_estimate_workload() {
+        let cfg = SimConfig::paper_testbed(4);
+        let spec = wordcount_1gb(4);
+        let opts = ModelOptions::default();
+        let cal = Calibration::default();
+        let e = estimate_workload(&cfg, &spec, 2, &opts, &cal, None);
+        let p = eval_point(&cfg, &spec, 2, &opts, &cal, None);
+        assert_eq!(p.fork_join.to_bits(), e.fork_join.to_bits());
+        assert_eq!(p.tripathi.to_bits(), e.tripathi.to_bits());
+        assert_eq!(p.aria.to_bits(), e.aria.to_bits());
+        assert_eq!(p.herodotou.to_bits(), e.herodotou.to_bits());
     }
 
     #[test]

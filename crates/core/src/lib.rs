@@ -36,11 +36,13 @@ pub mod tree;
 
 pub use calibrate::{herodotou_estimate, job_inputs, model_input, Calibration};
 pub use error::{abs_relative_error, relative_error, ErrorBand};
-pub use estimate::{estimate_workload, WorkloadEstimate};
+pub use estimate::{estimate_workload, eval_point, ModelPoint, WorkloadEstimate};
 pub use input::{
     Center, ClusterInputs, Estimator, JobClassInputs, ModelInput, ModelOptions, TaskClass,
 };
-pub use resources::{job_resources, mean_cluster_share, task_resources, JobResources, TaskResources};
+pub use resources::{
+    job_resources, mean_cluster_share, task_resources, JobResources, TaskResources,
+};
 pub use solver::{solve, SolveResult};
 pub use timeline::{build_timeline, Segment, ShuffleSpec, Timeline, TimelineConfig, TimelineJob};
 pub use tree::{build_tree, waves, PrecTree};

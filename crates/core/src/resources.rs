@@ -38,7 +38,12 @@ pub struct JobResources {
 /// Estimate one task's consumption: demands are unloaded busy times;
 /// container occupancy is the contention-adjusted class duration from the
 /// solved model.
-pub fn task_resources(input: &ModelInput, solved: &SolveResult, job: usize, class: TaskClass) -> TaskResources {
+pub fn task_resources(
+    input: &ModelInput,
+    solved: &SolveResult,
+    job: usize,
+    class: TaskClass,
+) -> TaskResources {
     let j = &input.jobs[job];
     let c = class.index();
     TaskResources {
@@ -58,7 +63,11 @@ pub fn job_resources(input: &ModelInput, solved: &SolveResult, job: usize) -> Jo
         task_resources(input, solved, job, TaskClass::ShuffleSort),
         task_resources(input, solved, job, TaskClass::Merge),
     ];
-    let counts = [j.num_maps as f64, j.num_reduces as f64, j.num_reduces as f64];
+    let counts = [
+        j.num_maps as f64,
+        j.num_reduces as f64,
+        j.num_reduces as f64,
+    ];
     let mut total = TaskResources {
         cpu_seconds: 0.0,
         disk_seconds: 0.0,

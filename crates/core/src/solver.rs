@@ -237,6 +237,7 @@ fn eval_tripathi(
 }
 
 /// Run the modified MVA algorithm on `input`.
+#[allow(clippy::needless_range_loop)] // (job, class) index pairs read clearer
 pub fn solve(input: &ModelInput) -> SolveResult {
     input.validate();
     let net = build_network(input);
@@ -368,11 +369,7 @@ mod tests {
         JobClassInputs {
             num_maps: m,
             num_reduces: r,
-            demands: [
-                [30.0, 2.0, 0.2],
-                [0.1, 0.5, 4.0],
-                [1.0, 5.0, 1.0],
-            ],
+            demands: [[30.0, 2.0, 0.2], [0.1, 0.5, 4.0], [1.0, 5.0, 1.0]],
             initial_response: [34.2, 4.6, 7.0],
             cv: [0.15, 0.4, 0.25],
             shuffle_per_map: 1.0,
@@ -405,7 +402,11 @@ mod tests {
     #[test]
     fn solver_converges_single_job() {
         let r = solve(&input(4, 1, Estimator::ForkJoin));
-        assert!(r.converged, "did not converge in {} iterations", r.iterations);
+        assert!(
+            r.converged,
+            "did not converge in {} iterations",
+            r.iterations
+        );
         assert!(r.avg_response > 0.0);
         assert!(r.iterations < 200);
         // Response should at least cover one map wave plus the reduce tail.

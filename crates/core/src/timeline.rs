@@ -188,7 +188,10 @@ fn pick_node(pools: &[NodePool]) -> usize {
 /// Build the timeline for `jobs` (in FIFO submission order) on `cfg`.
 pub fn build_timeline(cfg: &TimelineConfig, jobs: &[TimelineJob]) -> Timeline {
     assert!(!cfg.capacities.is_empty());
-    assert!(cfg.capacities.iter().all(|&c| c > 0), "empty container pool");
+    assert!(
+        cfg.capacities.iter().all(|&c| c > 0),
+        "empty container pool"
+    );
     let mut pools: Vec<NodePool> = cfg
         .capacities
         .iter()
@@ -397,7 +400,11 @@ mod tests {
             shuffle: ShuffleSpec::Fixed(5.0),
         }];
         let tl = build_timeline(&cfg, &jobs);
-        for ss in tl.segments.iter().filter(|s| s.class == TaskClass::ShuffleSort) {
+        for ss in tl
+            .segments
+            .iter()
+            .filter(|s| s.class == TaskClass::ShuffleSort)
+        {
             assert!((ss.duration() - 5.0).abs() < 1e-12);
             assert_eq!(ss.start, 4.0); // border = first map end
         }

@@ -34,9 +34,7 @@ impl PrecTree {
     pub fn num_leaves(&self) -> usize {
         match self {
             PrecTree::Leaf(_) => 1,
-            PrecTree::Serial(a, b) | PrecTree::Parallel(a, b) => {
-                a.num_leaves() + b.num_leaves()
-            }
+            PrecTree::Serial(a, b) | PrecTree::Parallel(a, b) => a.num_leaves() + b.num_leaves(),
         }
     }
 
@@ -44,9 +42,7 @@ impl PrecTree {
     pub fn depth(&self) -> usize {
         match self {
             PrecTree::Leaf(_) => 1,
-            PrecTree::Serial(a, b) | PrecTree::Parallel(a, b) => {
-                1 + a.depth().max(b.depth())
-            }
+            PrecTree::Serial(a, b) | PrecTree::Parallel(a, b) => 1 + a.depth().max(b.depth()),
         }
     }
 
@@ -162,7 +158,7 @@ pub fn build_tree(tl: &Timeline, job: Option<u32>, balance: bool) -> Option<Prec
         .segments
         .iter()
         .enumerate()
-        .filter(|(_, s)| job.map_or(true, |j| s.job == j))
+        .filter(|(_, s)| job.is_none_or(|j| s.job == j))
         .map(|(i, _)| i)
         .collect();
     if idx.is_empty() {
@@ -225,8 +221,10 @@ mod tests {
         // Figure 7 shape: the first wave is a P-subtree of three maps, the
         // second pairs m4 with the reduce's shuffle-sort.
         assert!(rendered.starts_with("S("), "rendered: {rendered}");
-        assert!(rendered.contains("P(m4, ss1)") || rendered.contains("P(ss1, m4)"),
-            "wave 2 should pair m4 with the shuffle: {rendered}");
+        assert!(
+            rendered.contains("P(m4, ss1)") || rendered.contains("P(ss1, m4)"),
+            "wave 2 should pair m4 with the shuffle: {rendered}"
+        );
     }
 
     #[test]

@@ -46,6 +46,7 @@ impl Namespace {
     /// Write a file of `len` bytes in blocks of `block_size`, choosing
     /// replica locations with `policy`. Returns a reference to the created
     /// file. Panics if the name already exists.
+    #[allow(clippy::too_many_arguments)] // mirrors the HDFS create-file call
     pub fn create_file<P: PlacementPolicy, R: Rng + ?Sized>(
         &mut self,
         topo: &Topology,

@@ -39,8 +39,7 @@ impl PlacementPolicy for DefaultPlacement {
         let mut chosen: Vec<NodeId> = Vec::with_capacity(replication);
 
         // Replica 1: writer-local, or random.
-        let first =
-            writer.unwrap_or_else(|| NodeId(rng.gen_range(0..topo.num_nodes() as u32)));
+        let first = writer.unwrap_or_else(|| NodeId(rng.gen_range(0..topo.num_nodes() as u32)));
         chosen.push(first);
 
         // Replica 2: a node in a different rack, if one exists.

@@ -128,7 +128,10 @@ mod tests {
         assert_eq!(t.distance(NodeId(0), NodeId(1)), 2);
         assert_eq!(t.distance(NodeId(1), NodeId(2)), 4);
         assert!(t.same_rack(NodeId(2), NodeId(4)));
-        assert_eq!(t.nodes_in_rack(RackId(1)), &[NodeId(2), NodeId(3), NodeId(4)]);
+        assert_eq!(
+            t.nodes_in_rack(RackId(1)),
+            &[NodeId(2), NodeId(3), NodeId(4)]
+        );
     }
 
     #[test]

@@ -16,7 +16,7 @@ proptest! {
     ) {
         let topo = Topology::with_racks(&rack_sizes);
         let mut rng = SmallRng::seed_from_u64(seed);
-        let w = writer.then(|| hdfs_sim::NodeId(0));
+        let w = writer.then_some(hdfs_sim::NodeId(0));
         let replicas = DefaultPlacement.place(&topo, w, replication, &mut rng);
         prop_assert_eq!(replicas.len(), replication.min(topo.num_nodes()));
         let mut d = replicas.clone();

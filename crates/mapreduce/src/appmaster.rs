@@ -266,10 +266,8 @@ impl MrAppMaster {
             if target > self.reduces_requested {
                 for i in self.reduces_requested..target {
                     self.reduce_state[i as usize] = TaskState::Scheduled;
-                    self.records.insert(
-                        TaskId::Reduce(i),
-                        blank_record(TaskId::Reduce(i), now),
-                    );
+                    self.records
+                        .insert(TaskId::Reduce(i), blank_record(TaskId::Reduce(i), now));
                 }
                 self.reduces_requested = target;
             }
@@ -367,8 +365,8 @@ impl MrAppMaster {
             TaskId::Map(_) => self.maps_completed += 1,
             TaskId::Reduce(_) => self.reduces_completed += 1,
         }
-        let job_done = self.maps_completed == self.num_maps()
-            && self.reduces_completed == self.num_reduces();
+        let job_done =
+            self.maps_completed == self.num_maps() && self.reduces_completed == self.num_reduces();
         if job_done {
             self.done = true;
             self.finished_at = now;
@@ -425,8 +423,8 @@ fn blank_record(task: TaskId, scheduled_at: f64) -> TaskRecord {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::workload::wordcount;
     use crate::config::{SimConfig, MB};
+    use crate::workload::wordcount;
     use yarn_sim::{ContainerState, ResourceVector};
 
     fn mk_am(maps: usize, reduces: u32) -> MrAppMaster {
@@ -530,7 +528,10 @@ mod tests {
             am.on_grant(2.0, &grant(0, Priority::MAP, 1)),
             GrantAction::StartTask(_)
         ));
-        assert_eq!(am.on_grant(2.0, &grant(0, Priority::MAP, 2)), GrantAction::Release);
+        assert_eq!(
+            am.on_grant(2.0, &grant(0, Priority::MAP, 2)),
+            GrantAction::Release
+        );
     }
 
     #[test]

@@ -118,13 +118,19 @@ impl SimConfig {
     /// Sanity-check invariants; panics with a description on nonsense.
     pub fn validate(&self) {
         assert!(self.nodes > 0, "need at least one node");
-        assert!(self.containers_per_node() > 0, "containers must fit on nodes");
+        assert!(
+            self.containers_per_node() > 0,
+            "containers must fit on nodes"
+        );
         assert!(self.cpu_cores > 0.0 && self.disk_bw > 0.0 && self.nic_bw > 0.0);
         assert!((0.0..=1.0).contains(&self.slowstart), "slowstart in [0,1]");
         assert!(self.replication >= 1);
         assert!(self.block_size > 0);
         assert!(self.jitter_cv >= 0.0);
-        assert!((0.0..1.0).contains(&self.map_failure_prob), "failure prob in [0,1)");
+        assert!(
+            (0.0..1.0).contains(&self.map_failure_prob),
+            "failure prob in [0,1)"
+        );
     }
 }
 
@@ -142,8 +148,10 @@ mod tests {
 
     #[test]
     fn containers_per_node_binds_on_min_dimension() {
-        let mut c = SimConfig::default();
-        c.node_capacity = ResourceVector::new(16384, 4);
+        let mut c = SimConfig {
+            node_capacity: ResourceVector::new(16384, 4),
+            ..SimConfig::default()
+        };
         assert_eq!(c.containers_per_node(), 4); // vcore-bound
         c.container_size = ResourceVector::new(4096, 1);
         assert_eq!(c.containers_per_node(), 4); // memory-bound
@@ -152,8 +160,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "slowstart")]
     fn validate_rejects_bad_slowstart() {
-        let mut c = SimConfig::default();
-        c.slowstart = 1.5;
+        let c = SimConfig {
+            slowstart: 1.5,
+            ..SimConfig::default()
+        };
         c.validate();
     }
 }

@@ -26,7 +26,9 @@ use hdfs_sim::{splits_for_file, DefaultPlacement, Namespace, Topology};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use simcore::{Engine, FairShare, Rv, SimTime};
-use yarn_sim::{AnyScheduler, CapacityScheduler, ClusterState, ContainerId, FairScheduler, ResourceManager};
+use yarn_sim::{
+    AnyScheduler, CapacityScheduler, ClusterState, ContainerId, FairScheduler, ResourceManager,
+};
 
 /// Which fair-share resource on a node.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -171,7 +173,7 @@ impl ClusterSim {
             ns: Namespace::new(3),
             engine: Engine::new(),
             rm,
-            nodes: nodes,
+            nodes,
             ams: Vec::new(),
             shuffles: Vec::new(),
             map_out: Vec::new(),
@@ -309,7 +311,8 @@ impl ClusterSim {
                 }
             }
         }
-        self.engine.schedule_in(self.cfg.heartbeat, Ev::Heartbeat(j));
+        self.engine
+            .schedule_in(self.cfg.heartbeat, Ev::Heartbeat(j));
     }
 
     fn on_container_started(&mut self, now: f64, j: u32, container: ContainerId) {
@@ -348,7 +351,16 @@ impl ClusterSim {
             kind: if local { ResKind::Disk } else { ResKind::Nic },
             node: node.0,
         };
-        self.admit(now, key, Step { job: j, task: TaskId::Map(i), phase: Phase::Read }, work);
+        self.admit(
+            now,
+            key,
+            Step {
+                job: j,
+                task: TaskId::Map(i),
+                phase: Phase::Read,
+            },
+            work,
+        );
     }
 
     fn start_reduce(&mut self, now: f64, j: u32, i: u32) {
@@ -378,13 +390,21 @@ impl ClusterSim {
         sh.fetches_admitted += 1;
         sh.bytes += bytes;
         let key = ResKey {
-            kind: if mnode == rnode { ResKind::Disk } else { ResKind::Nic },
+            kind: if mnode == rnode {
+                ResKind::Disk
+            } else {
+                ResKind::Nic
+            },
             node: rnode.0,
         };
         self.admit(
             now,
             key,
-            Step { job: j, task: TaskId::Reduce(ri), phase: Phase::Fetch(mi) },
+            Step {
+                job: j,
+                task: TaskId::Reduce(ri),
+                phase: Phase::Fetch(mi),
+            },
             bytes as f64,
         );
     }
@@ -406,8 +426,15 @@ impl ClusterSim {
         let work = bytes as f64 * am.spec.sort_io_factor * jit;
         self.admit(
             now,
-            ResKey { kind: ResKind::Disk, node: node.0 },
-            Step { job: j, task: TaskId::Reduce(ri), phase: Phase::Sort },
+            ResKey {
+                kind: ResKind::Disk,
+                node: node.0,
+            },
+            Step {
+                job: j,
+                task: TaskId::Reduce(ri),
+                phase: Phase::Sort,
+            },
             work,
         );
     }
@@ -464,8 +491,15 @@ impl ClusterSim {
                     * doomed_fraction.unwrap_or(1.0);
                 self.admit(
                     now,
-                    ResKey { kind: ResKind::Cpu, node: key.node },
-                    Step { job: j, task: TaskId::Map(i), phase: Phase::MapCpu },
+                    ResKey {
+                        kind: ResKind::Cpu,
+                        node: key.node,
+                    },
+                    Step {
+                        job: j,
+                        task: TaskId::Map(i),
+                        phase: Phase::MapCpu,
+                    },
                     work,
                 );
             }
@@ -487,8 +521,15 @@ impl ClusterSim {
                 let work = out as f64 * am.spec.spill_io_factor * jit;
                 self.admit(
                     now,
-                    ResKey { kind: ResKind::Disk, node: key.node },
-                    Step { job: j, task: TaskId::Map(i), phase: Phase::Spill },
+                    ResKey {
+                        kind: ResKind::Disk,
+                        node: key.node,
+                    },
+                    Step {
+                        job: j,
+                        task: TaskId::Map(i),
+                        phase: Phase::Spill,
+                    },
                     work,
                 );
             }
@@ -531,8 +572,15 @@ impl ClusterSim {
                 let work = cpu_seconds(bytes, am.spec.reduce_cpu_s_per_mb) * jit;
                 self.admit(
                     now,
-                    ResKey { kind: ResKind::Cpu, node: key.node },
-                    Step { job: j, task: TaskId::Reduce(ri), phase: Phase::ReduceCpu },
+                    ResKey {
+                        kind: ResKind::Cpu,
+                        node: key.node,
+                    },
+                    Step {
+                        job: j,
+                        task: TaskId::Reduce(ri),
+                        phase: Phase::ReduceCpu,
+                    },
                     work,
                 );
             }
@@ -544,8 +592,15 @@ impl ClusterSim {
                 let out = (bytes as f64 * am.spec.reduce_output_ratio).round();
                 self.admit(
                     now,
-                    ResKey { kind: ResKind::Disk, node: key.node },
-                    Step { job: j, task: TaskId::Reduce(ri), phase: Phase::Write },
+                    ResKey {
+                        kind: ResKind::Disk,
+                        node: key.node,
+                    },
+                    Step {
+                        job: j,
+                        task: TaskId::Reduce(ri),
+                        phase: Phase::Write,
+                    },
                     out * jit,
                 );
             }
@@ -559,8 +614,15 @@ impl ClusterSim {
                 if repl_bytes > 0.0 {
                     self.admit(
                         now,
-                        ResKey { kind: ResKind::Nic, node: key.node },
-                        Step { job: j, task: TaskId::Reduce(ri), phase: Phase::Replicate },
+                        ResKey {
+                            kind: ResKind::Nic,
+                            node: key.node,
+                        },
+                        Step {
+                            job: j,
+                            task: TaskId::Reduce(ri),
+                            phase: Phase::Replicate,
+                        },
                         repl_bytes,
                     );
                 } else if self.ams[j as usize].on_task_finished(now, TaskId::Reduce(ri)) {
@@ -685,7 +747,11 @@ mod tests {
             }
             let rs = {
                 let mut sim_results = sim.run();
-                sim_results.drain(..).map(|r| r.response_time()).sum::<f64>() / 4.0
+                sim_results
+                    .drain(..)
+                    .map(|r| r.response_time())
+                    .sum::<f64>()
+                    / 4.0
             };
             rs
         };
@@ -708,7 +774,10 @@ mod tests {
         sim.add_job(wordcount(input, 2), 0.0);
         let with_failures = sim.run()[0].response_time();
         let failed = sim.ams_failed_attempts(0);
-        assert!(failed > 0, "with p=0.3 over 14 maps some attempt should fail");
+        assert!(
+            failed > 0,
+            "with p=0.3 over 14 maps some attempt should fail"
+        );
 
         let mut clean = ClusterSim::new(quiet_cfg(2));
         clean.add_job(wordcount(input, 2), 0.0);

@@ -74,7 +74,9 @@ impl JobResult {
 
     /// Records of map tasks.
     pub fn map_records(&self) -> impl Iterator<Item = &TaskRecord> {
-        self.tasks.iter().filter(|t| matches!(t.task, TaskId::Map(_)))
+        self.tasks
+            .iter()
+            .filter(|t| matches!(t.task, TaskId::Map(_)))
     }
 
     /// Records of reduce tasks.

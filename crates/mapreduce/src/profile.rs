@@ -127,8 +127,7 @@ pub fn measure_workload(
             sim.add_job(spec.clone(), 0.0);
         }
         let results = sim.run();
-        let mean =
-            results.iter().map(|r| r.response_time()).sum::<f64>() / results.len() as f64;
+        let mean = results.iter().map(|r| r.response_time()).sum::<f64>() / results.len() as f64;
         per_rep_mean.push(mean);
         medians.push(mean);
         all.extend(results);
@@ -137,6 +136,33 @@ pub fn measure_workload(
         per_rep_mean,
         median_response: medians.median(),
         all_results: all,
+    }
+}
+
+/// Ground-truth numbers of one simulated configuration point — the
+/// narrow entry result batch evaluators (crate `mr2-scenario`) consume.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimPoint {
+    /// Median over repetitions of the per-repetition mean response (the
+    /// paper's reported statistic).
+    pub median_response: f64,
+    /// Mean over repetitions of the per-repetition mean response.
+    pub mean_response: f64,
+    /// Per-repetition mean job response times, in seed order.
+    pub per_rep_mean: Vec<f64>,
+}
+
+/// Narrow batch-evaluation entry point: simulate `n_jobs` copies of
+/// `spec` on `cfg`, `reps` seeded repetitions, and return the summary
+/// statistics. Deterministic in `(cfg, spec, n_jobs, reps)` — including
+/// `cfg.seed` — which is what makes results content-addressable.
+pub fn eval_point(cfg: &SimConfig, spec: &JobSpec, n_jobs: usize, reps: usize) -> SimPoint {
+    let m = measure_workload(spec, cfg, n_jobs, reps);
+    let mean_response = m.per_rep_mean.iter().sum::<f64>() / m.per_rep_mean.len() as f64;
+    SimPoint {
+        median_response: m.median_response,
+        mean_response,
+        per_rep_mean: m.per_rep_mean,
     }
 }
 
@@ -177,6 +203,17 @@ mod tests {
         let mut sorted = m.per_rep_mean.clone();
         sorted.sort_by(|a, b| a.total_cmp(b));
         assert!((m.median_response - sorted[1]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eval_point_matches_measure_workload() {
+        let spec = wordcount(256 * MB, 1);
+        let p = eval_point(&cfg(), &spec, 1, 3);
+        let m = measure_workload(&spec, &cfg(), 1, 3);
+        assert_eq!(p.per_rep_mean, m.per_rep_mean);
+        assert!((p.median_response - m.median_response).abs() < 1e-12);
+        let mean = m.per_rep_mean.iter().sum::<f64>() / 3.0;
+        assert!((p.mean_response - mean).abs() < 1e-12);
     }
 
     #[test]

@@ -133,6 +133,9 @@ mod tests {
         let sol = exact_mva(&net, &[60]);
         let x_max = 1.0 / 0.8;
         assert!(sol.throughput[0] <= x_max);
-        assert!(sol.throughput[0] > 0.95 * x_max, "should be near saturation");
+        assert!(
+            sol.throughput[0] > 0.95 * x_max,
+            "should be near saturation"
+        );
     }
 }

@@ -153,8 +153,7 @@ impl ExpPoly {
                 let n = a.n + b.n;
                 let ln_cd = a.ln_c + b.ln_c;
                 m1 += (ln_cd + ln_factorial(n) - (n as f64 + 1.0) * rate.ln()).exp();
-                m2 += 2.0
-                    * (ln_cd + ln_factorial(n + 1) - (n as f64 + 2.0) * rate.ln()).exp();
+                m2 += 2.0 * (ln_cd + ln_factorial(n + 1) - (n as f64 + 2.0) * rate.ln()).exp();
             }
         }
         (m1, m2)
@@ -173,9 +172,7 @@ impl ExpPoly {
     /// Mean and second moment of `X + Y` (independent).
     pub fn sum_moments(&self, other: &ExpPoly) -> (f64, f64) {
         let m1 = self.mean() + other.mean();
-        let m2 = self.second_moment()
-            + 2.0 * self.mean() * other.mean()
-            + other.second_moment();
+        let m2 = self.second_moment() + 2.0 * self.mean() * other.mean() + other.second_moment();
         (m1, m2)
     }
 
@@ -282,7 +279,7 @@ mod tests {
             let hy = if rng.gen::<f64>() < 0.3 {
                 -5.0 * rng.gen::<f64>().max(1e-300).ln()
             } else {
-                -1.0 * rng.gen::<f64>().max(1e-300).ln()
+                -rng.gen::<f64>().max(1e-300).ln()
             };
             acc += ex.max(hy);
         }

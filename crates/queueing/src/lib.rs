@@ -21,7 +21,9 @@ pub mod markov;
 pub mod mva;
 pub mod network;
 
-pub use bounds::{demand_summary, response_lower_bound, response_upper_bound, throughput_upper_bound};
+pub use bounds::{
+    demand_summary, response_lower_bound, response_upper_bound, throughput_upper_bound,
+};
 pub use distribution::ExpPoly;
 pub use forkjoin::{fork_join_response, harmonic};
 pub use mva::{approximate_mva, exact_mva, overlap_mva, EPSILON, MAX_ITER};

@@ -5,6 +5,7 @@
 
 /// Solve for the stationary distribution of generator matrix `q`
 /// (`q[i][j]` = rate i→j for i≠j; diagonal ignored and recomputed).
+#[allow(clippy::needless_range_loop)] // matrix row/col indexing reads clearer
 pub fn stationary(q: &[Vec<f64>]) -> Vec<f64> {
     let n = q.len();
     assert!(n > 0);

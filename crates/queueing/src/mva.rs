@@ -120,10 +120,7 @@ pub fn exact_mva(net: &ClosedNetwork, populations: &[u32]) -> MvaSolution {
 
 /// Bard–Schweitzer approximate MVA with (possibly fractional) populations.
 pub fn approximate_mva(net: &ClosedNetwork, populations: &[f64]) -> MvaSolution {
-    let ones = vec![
-        vec![1.0; populations.len()];
-        populations.len()
-    ];
+    let ones = vec![vec![1.0; populations.len()]; populations.len()];
     overlap_mva(net, populations, &ones, &ones)
 }
 
@@ -143,6 +140,7 @@ pub fn approximate_mva(net: &ClosedNetwork, populations: &[f64]) -> MvaSolution 
 /// where `w_ij` combines the intra- and inter-job factors weighted by how
 /// much of class `j`'s population is co-job vs foreign (encoded by the
 /// caller in the two matrices; see `mr2-model::solver`).
+#[allow(clippy::needless_range_loop)] // station/class index pairs read clearer
 pub fn overlap_mva(
     net: &ClosedNetwork,
     populations: &[f64],

@@ -1,4 +1,5 @@
 //! Property-based tests of the queueing substrate.
+#![allow(clippy::needless_range_loop)]
 
 use proptest::prelude::*;
 use queueing::network::{ClosedNetwork, Station};
@@ -6,10 +7,10 @@ use queueing::{approximate_mva, exact_mva, ExpPoly};
 
 fn arb_network() -> impl Strategy<Value = (ClosedNetwork, Vec<u32>)> {
     (
-        1usize..3,                                     // classes
-        2usize..5,                                     // stations
-        prop::collection::vec(0.05f64..2.0, 2 * 5),    // demand pool
-        prop::collection::vec(1u32..6, 3),             // populations pool
+        1usize..3,                                  // classes
+        2usize..5,                                  // stations
+        prop::collection::vec(0.05f64..2.0, 2 * 5), // demand pool
+        prop::collection::vec(1u32..6, 3),          // populations pool
     )
         .prop_map(|(c, k, pool, pops)| {
             let stations = (0..k)

@@ -1,0 +1,289 @@
+//! Content-hashed result cache.
+//!
+//! Every evaluation a sweep performs — a simulator measurement, a model
+//! solve, a profiling run — is keyed by an FNV-1a hash of its *complete*
+//! input description (cluster config, job spec, N, reps, seed, backend
+//! tag). Because evaluations are deterministic functions of those
+//! inputs, a key hit can return the stored floats verbatim: repeated
+//! sweeps, overlapping scenarios, and the estimator axis (whose points
+//! share the underlying solve) all skip straight to the answer.
+//!
+//! The cache is thread-safe (a mutexed map — evaluations dwarf lock
+//! costs by many orders of magnitude) and can persist to a simple
+//! line-oriented text file so sweeps skip work across processes too.
+
+use std::collections::HashMap;
+use std::io::Write as _;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Incremental FNV-1a content hasher for cache keys.
+///
+/// Stable across runs, platforms, and — unlike `DefaultHasher` — Rust
+/// releases, so persisted caches stay valid.
+#[derive(Debug, Clone)]
+pub struct KeyHasher(u64);
+
+impl Default for KeyHasher {
+    fn default() -> Self {
+        KeyHasher::new()
+    }
+}
+
+impl KeyHasher {
+    /// Start a fresh key.
+    pub fn new() -> KeyHasher {
+        KeyHasher(0xcbf29ce484222325)
+    }
+
+    /// Mix raw bytes.
+    pub fn bytes(mut self, bytes: &[u8]) -> Self {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x100000001b3);
+        }
+        self
+    }
+
+    /// Mix a string (length-prefixed so concatenations can't collide).
+    pub fn str(self, s: &str) -> Self {
+        self.u64(s.len() as u64).bytes(s.as_bytes())
+    }
+
+    /// Mix a `u64`.
+    pub fn u64(self, v: u64) -> Self {
+        self.bytes(&v.to_le_bytes())
+    }
+
+    /// Mix an `f64` by bit pattern (bit-exact, no rounding).
+    pub fn f64(self, v: f64) -> Self {
+        self.u64(v.to_bits())
+    }
+
+    /// Mix a `bool`.
+    pub fn bool(self, v: bool) -> Self {
+        self.u64(v as u64)
+    }
+
+    /// Finish and return the 64-bit key.
+    pub fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+/// Thread-safe content-addressed store of evaluation results (flat
+/// `f64` records).
+#[derive(Debug, Default)]
+pub struct ResultCache {
+    map: Mutex<HashMap<u64, Arc<Vec<f64>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// Hit/miss counters of a [`ResultCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the store.
+    pub hits: u64,
+    /// Lookups that had to evaluate.
+    pub misses: u64,
+    /// Entries currently stored.
+    pub entries: usize,
+}
+
+impl ResultCache {
+    /// An empty cache.
+    pub fn new() -> ResultCache {
+        ResultCache::default()
+    }
+
+    /// Return the record for `key`, computing and storing it on a miss.
+    ///
+    /// On concurrent misses for the same key the first inserted record
+    /// wins and every caller receives that same allocation, so results
+    /// are bit-identical regardless of interleaving.
+    pub fn get_or_compute<F: FnOnce() -> Vec<f64>>(&self, key: u64, compute: F) -> Arc<Vec<f64>> {
+        if let Some(v) = self.map.lock().unwrap().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(v);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let value = Arc::new(compute());
+        let mut map = self.map.lock().unwrap();
+        Arc::clone(map.entry(key).or_insert(value))
+    }
+
+    /// Look up `key` without computing.
+    pub fn get(&self, key: u64) -> Option<Arc<Vec<f64>>> {
+        self.map.lock().unwrap().get(&key).map(Arc::clone)
+    }
+
+    /// Counters and size.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.map.lock().unwrap().len(),
+        }
+    }
+
+    /// Reset the hit/miss counters (entries are kept).
+    pub fn reset_stats(&self) {
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+
+    /// Persist every entry to `path` as `key,v0,v1,...` lines (floats as
+    /// hex bit patterns, so round-trips are bit-exact).
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        let map = self.map.lock().unwrap();
+        let mut out = std::io::BufWriter::new(std::fs::File::create(path)?);
+        writeln!(out, "mr2-scenario-cache v1")?;
+        let mut keys: Vec<&u64> = map.keys().collect();
+        keys.sort_unstable();
+        for k in keys {
+            write!(out, "{k:016x}")?;
+            for v in map[k].iter() {
+                write!(out, ",{:016x}", v.to_bits())?;
+            }
+            writeln!(out)?;
+        }
+        out.flush()
+    }
+
+    /// Merge entries from a file written by [`ResultCache::save`].
+    /// Rejects files whose version header doesn't match (decoding a
+    /// different format would silently yield wrong floats under valid
+    /// keys); malformed lines within a valid file are skipped and
+    /// existing entries are kept.
+    pub fn load(&self, path: &Path) -> std::io::Result<usize> {
+        let body = std::fs::read_to_string(path)?;
+        let mut lines = body.lines();
+        if lines.next() != Some("mr2-scenario-cache v1") {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("{}: not a mr2-scenario-cache v1 file", path.display()),
+            ));
+        }
+        let mut loaded = 0;
+        let mut map = self.map.lock().unwrap();
+        for line in lines {
+            let mut fields = line.split(',');
+            let Some(key) = fields.next().and_then(|k| u64::from_str_radix(k, 16).ok()) else {
+                continue;
+            };
+            let values: Option<Vec<f64>> = fields
+                .map(|f| u64::from_str_radix(f, 16).ok().map(f64::from_bits))
+                .collect();
+            if let Some(values) = values {
+                map.entry(key).or_insert_with(|| {
+                    loaded += 1;
+                    Arc::new(values)
+                });
+            }
+        }
+        Ok(loaded)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_hasher_distinguishes_field_order_and_values() {
+        let a = KeyHasher::new().u64(1).u64(2).finish();
+        let b = KeyHasher::new().u64(2).u64(1).finish();
+        assert_ne!(a, b);
+        let c = KeyHasher::new().str("ab").str("c").finish();
+        let d = KeyHasher::new().str("a").str("bc").finish();
+        assert_ne!(c, d, "length prefix must prevent concatenation collisions");
+        assert_ne!(
+            KeyHasher::new().f64(1.0).finish(),
+            KeyHasher::new().f64(-1.0).finish()
+        );
+    }
+
+    #[test]
+    fn key_hasher_is_stable() {
+        // Pinned value: persisted caches depend on this never changing.
+        assert_eq!(KeyHasher::new().str("probe").u64(7).finish(), {
+            let mut h: u64 = 0xcbf29ce484222325;
+            for b in 5u64
+                .to_le_bytes()
+                .iter()
+                .chain(b"probe")
+                .chain(&7u64.to_le_bytes())
+            {
+                h ^= *b as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+            h
+        });
+    }
+
+    #[test]
+    fn hit_returns_identical_allocation() {
+        let cache = ResultCache::new();
+        let first = cache.get_or_compute(42, || vec![1.5, 2.5]);
+        let second = cache.get_or_compute(42, || panic!("must not recompute"));
+        assert!(Arc::ptr_eq(&first, &second));
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn save_load_roundtrip_is_bit_exact() {
+        let cache = ResultCache::new();
+        let odd = f64::from_bits(0x7ff0000000000001); // NaN payload survives
+        cache.get_or_compute(1, || vec![0.1 + 0.2, -0.0, odd]);
+        cache.get_or_compute(2, Vec::new);
+        let path = std::env::temp_dir().join("mr2-scenario-cache-test.txt");
+        cache.save(&path).unwrap();
+
+        let fresh = ResultCache::new();
+        assert_eq!(fresh.load(&path).unwrap(), 2);
+        let v = fresh.get(1).unwrap();
+        assert_eq!(v[0].to_bits(), (0.1f64 + 0.2).to_bits());
+        assert_eq!(v[1].to_bits(), (-0.0f64).to_bits());
+        assert_eq!(v[2].to_bits(), odd.to_bits());
+        assert_eq!(fresh.get(2).unwrap().len(), 0);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn load_rejects_wrong_header() {
+        let path = std::env::temp_dir().join("mr2-scenario-cache-badheader.txt");
+        std::fs::write(
+            &path,
+            "mr2-scenario-cache v2\n0000000000000001,3ff0000000000000\n",
+        )
+        .unwrap();
+        let cache = ResultCache::new();
+        let err = cache.load(&path).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert_eq!(cache.stats().entries, 0, "nothing merged from a bad file");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn concurrent_misses_converge_to_one_record() {
+        let cache = Arc::new(ResultCache::new());
+        let results: Vec<Arc<Vec<f64>>> = std::thread::scope(|s| {
+            (0..8)
+                .map(|_| {
+                    let cache = Arc::clone(&cache);
+                    s.spawn(move || cache.get_or_compute(7, || vec![3.25]))
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        for r in &results {
+            assert!(Arc::ptr_eq(r, &results[0]));
+        }
+        assert_eq!(cache.stats().entries, 1);
+    }
+}

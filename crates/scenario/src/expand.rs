@@ -1,0 +1,160 @@
+//! Sweep expansion: [`Scenario`] → concrete [`EvalPoint`]s.
+//!
+//! Expansion order is deterministic and documented: cartesian sweeps
+//! enumerate axes with the *rightmost axis fastest* in the order
+//! `nodes → block_mb → container_mb → schedulers → jobs → input_bytes →
+//! n_jobs → estimators`; zip sweeps walk all axes in lock-step with
+//! length-1 axes broadcast. The `index` of every point is its position
+//! in that order, so serial and parallel runs agree on numbering.
+
+use crate::spec::{EvalPoint, Scenario, SweepMode};
+
+/// Expand a scenario into its evaluation points.
+///
+/// Panics (via [`Scenario::validate`]) on empty axes or zip-length
+/// mismatches.
+pub fn expand(s: &Scenario) -> Vec<EvalPoint> {
+    s.validate();
+    match s.sweep {
+        SweepMode::Cartesian => expand_cartesian(s),
+        SweepMode::Zip => expand_zip(s),
+    }
+}
+
+fn expand_cartesian(s: &Scenario) -> Vec<EvalPoint> {
+    let mut out = Vec::with_capacity(s.num_points());
+    let mut index = 0;
+    for &nodes in &s.nodes {
+        for &block_mb in &s.block_mb {
+            for &container_mb in &s.container_mb {
+                for &scheduler in &s.schedulers {
+                    for &job in &s.jobs {
+                        for &input_bytes in &s.input_bytes {
+                            for &n_jobs in &s.n_jobs {
+                                for &estimator in &s.estimators {
+                                    out.push(EvalPoint {
+                                        index,
+                                        nodes,
+                                        block_mb,
+                                        container_mb,
+                                        scheduler,
+                                        job,
+                                        input_bytes,
+                                        n_jobs,
+                                        estimator,
+                                        reduces: s.reduces.reduces(nodes),
+                                        seed: s.seed,
+                                    });
+                                    index += 1;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+fn expand_zip(s: &Scenario) -> Vec<EvalPoint> {
+    let n = s.num_points();
+    // Length-1 axes broadcast across the whole sweep.
+    let pick = |i: usize, len: usize| if len == 1 { 0 } else { i };
+    (0..n)
+        .map(|i| {
+            let nodes = s.nodes[pick(i, s.nodes.len())];
+            EvalPoint {
+                index: i,
+                nodes,
+                block_mb: s.block_mb[pick(i, s.block_mb.len())],
+                container_mb: s.container_mb[pick(i, s.container_mb.len())],
+                scheduler: s.schedulers[pick(i, s.schedulers.len())],
+                job: s.jobs[pick(i, s.jobs.len())],
+                input_bytes: s.input_bytes[pick(i, s.input_bytes.len())],
+                n_jobs: s.n_jobs[pick(i, s.n_jobs.len())],
+                estimator: s.estimators[pick(i, s.estimators.len())],
+                reduces: s.reduces.reduces(nodes),
+                seed: s.seed,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{EstimatorKind, JobKind, ReducePolicy};
+    use mapreduce_sim::GB;
+
+    #[test]
+    fn cartesian_grid_is_exact() {
+        let s = Scenario::new("grid")
+            .axis_nodes([4usize, 8])
+            .axis_n_jobs([1usize, 2, 3])
+            .axis_estimators([EstimatorKind::ForkJoin, EstimatorKind::Tripathi]);
+        let pts = expand(&s);
+        assert_eq!(pts.len(), 2 * 3 * 2);
+        // Every combination appears exactly once.
+        for (ni, &nodes) in [4usize, 8].iter().enumerate() {
+            for (ji, &n_jobs) in [1usize, 2, 3].iter().enumerate() {
+                for (ei, &est) in [EstimatorKind::ForkJoin, EstimatorKind::Tripathi]
+                    .iter()
+                    .enumerate()
+                {
+                    let expected_index = ni * 6 + ji * 2 + ei;
+                    let matching: Vec<_> = pts
+                        .iter()
+                        .filter(|p| p.nodes == nodes && p.n_jobs == n_jobs && p.estimator == est)
+                        .collect();
+                    assert_eq!(matching.len(), 1, "{nodes}/{n_jobs}/{est:?}");
+                    assert_eq!(matching[0].index, expected_index, "rightmost-fastest order");
+                }
+            }
+        }
+        // Indices are the positions.
+        for (i, p) in pts.iter().enumerate() {
+            assert_eq!(p.index, i);
+        }
+    }
+
+    #[test]
+    fn zip_walks_in_lockstep_with_broadcast() {
+        let s = Scenario::new("zip")
+            .sweep_mode(SweepMode::Zip)
+            .axis_nodes([4usize, 6, 8])
+            .axis_input_bytes([GB, 2 * GB, 5 * GB])
+            .axis_n_jobs([2usize]); // broadcast
+        let pts = expand(&s);
+        assert_eq!(pts.len(), 3);
+        for (i, (nodes, input)) in [(4, GB), (6, 2 * GB), (8, 5 * GB)].iter().enumerate() {
+            assert_eq!(pts[i].nodes, *nodes);
+            assert_eq!(pts[i].input_bytes, *input);
+            assert_eq!(pts[i].n_jobs, 2);
+        }
+    }
+
+    #[test]
+    fn reduce_policy_follows_node_axis() {
+        let s = Scenario::new("r")
+            .axis_nodes([4usize, 8])
+            .reduce_policy(ReducePolicy::PerNode);
+        let pts = expand(&s);
+        assert_eq!(pts[0].reduces, 4);
+        assert_eq!(pts[1].reduces, 8);
+        let s = s.reduce_policy(ReducePolicy::Fixed(2));
+        let pts = expand(&s);
+        assert!(pts.iter().all(|p| p.reduces == 2));
+    }
+
+    #[test]
+    fn all_job_kinds_expand() {
+        let s =
+            Scenario::new("jobs").axis_jobs([JobKind::WordCount, JobKind::TeraSort, JobKind::Grep]);
+        let pts = expand(&s);
+        assert_eq!(pts.len(), 3);
+        for p in &pts {
+            p.job_spec().validate();
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! # mr2-scenario — declarative what-if scenario engine
+//!
+//! The paper's models answer what-if questions — "how does mean response
+//! time change with N concurrent jobs, cluster size, or scheduler?" —
+//! and this crate turns them into a batch evaluation service:
+//!
+//! * [`Scenario`] (module [`spec`]): a declarative sweep over cluster
+//!   axes (nodes, block size, container size, scheduler), workload axes
+//!   (job preset, input size, multiprogramming level N) and the
+//!   estimator series, combined [`SweepMode::Cartesian`] or
+//!   [`SweepMode::Zip`];
+//! * [`expand`]: deterministic expansion into [`EvalPoint`]s;
+//! * [`run_scenario`] (module [`runner`]): a parallel batch runner over
+//!   the narrow `eval_point` entry APIs of `mr2-model` (analytic) and
+//!   `mapreduce-sim` (ground truth);
+//! * [`ResultCache`] (module [`cache`]): a content-hashed store so
+//!   repeated sweeps, overlapping scenarios, and the estimator axis skip
+//!   already-evaluated points;
+//! * [`error_bands`] / [`render_report`] (module [`report`]): the
+//!   comparison layer joining estimates against simulation into
+//!   per-series `mr2_model::ErrorBand`s.
+//!
+//! ```
+//! use mr2_scenario::{run_scenario, Backends, ResultCache, RunnerConfig, Scenario};
+//!
+//! let scenario = Scenario::new("doc")
+//!     .axis_nodes([2usize, 4])
+//!     .axis_n_jobs([1usize, 2])
+//!     .axis_input_bytes([256 * 1024 * 1024])
+//!     .with_backends(Backends::analytic_only());
+//! let cache = ResultCache::new();
+//! let sweep = run_scenario(&scenario, &cache, &RunnerConfig::default());
+//! assert_eq!(sweep.points.len(), 4);
+//! // A second identical run answers entirely from the cache.
+//! let again = run_scenario(&scenario, &cache, &RunnerConfig::default());
+//! assert_eq!(cache.stats().misses, 4);
+//! assert_eq!(sweep.points, again.points);
+//! ```
+
+pub mod cache;
+pub mod expand;
+pub mod report;
+pub mod runner;
+pub mod spec;
+
+pub use cache::{CacheStats, KeyHasher, ResultCache};
+pub use expand::expand;
+pub use report::{error_bands, render_report, to_csv, SeriesBand};
+pub use runner::{evaluate_point, run_scenario, PointResult, RunnerConfig, SimResult, SweepResult};
+pub use spec::{Backends, EstimatorKind, EvalPoint, JobKind, ReducePolicy, Scenario, SweepMode};

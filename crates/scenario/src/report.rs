@@ -1,0 +1,233 @@
+//! The comparison layer: join analytic estimates against simulator
+//! ground truth and summarize accuracy per estimator series, reusing
+//! `mr2_model::ErrorBand` (the paper's §5.2 "error between x% and y%"
+//! statistic).
+
+use std::fmt::Write as _;
+
+use mr2_model::error::{relative_error, ErrorBand};
+
+use crate::runner::{select, SweepResult};
+use crate::spec::EstimatorKind;
+
+/// Accuracy of one estimator series over a sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct SeriesBand {
+    /// Which series.
+    pub estimator: EstimatorKind,
+    /// Error band over every point with both backends present.
+    pub band: ErrorBand,
+}
+
+/// Per-estimator error bands over every point of `sweep` that has both
+/// an analytic estimate and a simulator measurement. Returns an empty
+/// vector when no point has both (single-backend sweeps).
+///
+/// Bands are computed for every series in [`EstimatorKind::ALL`] — not
+/// just the swept `estimators` axis — since the model solve carries all
+/// four.
+pub fn error_bands(sweep: &SweepResult) -> Vec<SeriesBand> {
+    // When a series is on the swept estimator axis its band covers that
+    // series' own points; off-axis series are judged over all points.
+    let pairs_for = |e: EstimatorKind| -> Vec<(f64, f64)> {
+        let on_axis = sweep.points.iter().any(|q| q.point.estimator == e);
+        sweep
+            .points
+            .iter()
+            .filter(|p| !on_axis || p.point.estimator == e)
+            .filter_map(|p| Some((select(p.model.as_ref()?, e), p.measured()?)))
+            .collect()
+    };
+    EstimatorKind::ALL
+        .into_iter()
+        .filter_map(|e| {
+            let pairs = pairs_for(e);
+            (!pairs.is_empty()).then(|| SeriesBand {
+                estimator: e,
+                band: ErrorBand::over(&pairs),
+            })
+        })
+        .collect()
+}
+
+/// Markdown report: one row per point (configuration, estimate,
+/// measurement, signed error) followed by the per-series error bands.
+pub fn render_report(sweep: &SweepResult) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "## scenario `{}` — {} points",
+        sweep.name,
+        sweep.points.len()
+    );
+    let _ = writeln!(
+        out,
+        "| # | nodes | block | sched | job | input (MB) | N | estimator | estimate (s) | measured (s) | err |"
+    );
+    let _ = writeln!(out, "|---|---|---|---|---|---|---|---|---|---|---|");
+    for p in &sweep.points {
+        let est = p.estimate().map_or("—".to_string(), |v| format!("{v:.1}"));
+        let meas = p.measured().map_or("—".to_string(), |v| format!("{v:.1}"));
+        let err = match (p.estimate(), p.measured()) {
+            (Some(e), Some(m)) => format!("{:+.1}%", relative_error(e, m) * 100.0),
+            _ => "—".to_string(),
+        };
+        let _ = writeln!(
+            out,
+            "| {} | {} | {} | {:?} | {} | {} | {} | {} | {est} | {meas} | {err} |",
+            p.point.index,
+            p.point.nodes,
+            p.point.block_mb,
+            p.point.scheduler,
+            p.point.job.name(),
+            p.point.input_bytes / (1024 * 1024),
+            p.point.n_jobs,
+            p.point.estimator.name(),
+        );
+    }
+    let bands = error_bands(sweep);
+    if !bands.is_empty() {
+        let _ = writeln!(out, "\n### model vs simulator (abs. relative error)");
+        let _ = writeln!(out, "| series | band | mean | points |");
+        let _ = writeln!(out, "|---|---|---|---|");
+        for b in bands {
+            let _ = writeln!(
+                out,
+                "| {} | {} | {:.1}% | {} |",
+                b.estimator.name(),
+                b.band.as_percent_range(),
+                b.band.mean * 100.0,
+                b.band.count
+            );
+        }
+    }
+    out
+}
+
+/// CSV of a sweep: one row per point, columns stable for downstream
+/// tooling.
+pub fn to_csv(sweep: &SweepResult) -> String {
+    let mut out = String::from(
+        "index,nodes,block_mb,container_mb,scheduler,job,input_bytes,n_jobs,estimator,estimate,measured\n",
+    );
+    for p in &sweep.points {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{:?},{},{},{},{},{},{}",
+            p.point.index,
+            p.point.nodes,
+            p.point.block_mb,
+            p.point.container_mb,
+            p.point.scheduler,
+            p.point.job.name(),
+            p.point.input_bytes,
+            p.point.n_jobs,
+            p.point.estimator.name(),
+            p.estimate().map_or(String::new(), |v| format!("{v:.6}")),
+            p.measured().map_or(String::new(), |v| format!("{v:.6}")),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{PointResult, SimResult};
+    use crate::spec::{EstimatorKind, EvalPoint, JobKind};
+    use mapreduce_sim::{SchedulerPolicy, GB};
+    use mr2_model::ModelPoint;
+
+    fn fake_point(index: usize, estimator: EstimatorKind) -> PointResult {
+        PointResult {
+            point: EvalPoint {
+                index,
+                nodes: 4,
+                block_mb: 128,
+                container_mb: 1024,
+                scheduler: SchedulerPolicy::CapacityFifo,
+                job: JobKind::WordCount,
+                input_bytes: GB,
+                n_jobs: 1,
+                estimator,
+                reduces: 4,
+                seed: 1,
+            },
+            model: Some(ModelPoint {
+                fork_join: 110.0,
+                tripathi: 120.0,
+                aria: 130.0,
+                herodotou: 80.0,
+            }),
+            sim: Some(SimResult {
+                median_response: 100.0,
+                mean_response: 101.0,
+                reps: 3,
+            }),
+        }
+    }
+
+    fn sweep(estimators: &[EstimatorKind]) -> SweepResult {
+        SweepResult {
+            name: "fake".into(),
+            points: estimators
+                .iter()
+                .enumerate()
+                .map(|(i, &e)| fake_point(i, e))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn bands_join_estimates_with_ground_truth() {
+        let s = sweep(&[EstimatorKind::ForkJoin]);
+        let bands = error_bands(&s);
+        // fork_join judged on its own point; the other three series are
+        // not on the axis so they're judged over all points.
+        let fj = bands
+            .iter()
+            .find(|b| b.estimator == EstimatorKind::ForkJoin)
+            .unwrap();
+        assert!((fj.band.mean - 0.10).abs() < 1e-12);
+        let tr = bands
+            .iter()
+            .find(|b| b.estimator == EstimatorKind::Tripathi)
+            .unwrap();
+        assert!((tr.band.mean - 0.20).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bands_respect_a_swept_estimator_axis() {
+        let s = sweep(&[EstimatorKind::ForkJoin, EstimatorKind::Tripathi]);
+        for b in error_bands(&s) {
+            match b.estimator {
+                EstimatorKind::ForkJoin => assert_eq!(b.band.count, 1),
+                EstimatorKind::Tripathi => assert_eq!(b.band.count, 1),
+                // Off-axis series fall back to every point.
+                _ => assert_eq!(b.band.count, 2),
+            }
+        }
+    }
+
+    #[test]
+    fn report_renders_table_and_bands() {
+        let s = sweep(&[EstimatorKind::ForkJoin]);
+        let r = render_report(&s);
+        assert!(r.contains("scenario `fake`"));
+        assert!(r.contains("| 0 | 4 | 128 |"));
+        assert!(r.contains("+10.0%"));
+        assert!(r.contains("model vs simulator"));
+        assert!(r.contains("fork_join"));
+    }
+
+    #[test]
+    fn missing_backends_render_as_dashes() {
+        let mut s = sweep(&[EstimatorKind::ForkJoin]);
+        s.points[0].sim = None;
+        let r = render_report(&s);
+        assert!(r.contains("| — |"));
+        assert!(error_bands(&s).is_empty());
+        let csv = to_csv(&s);
+        assert!(csv.lines().nth(1).unwrap().ends_with(','));
+    }
+}

@@ -1,0 +1,364 @@
+//! The batch runner: evaluates every point of a scenario, in parallel,
+//! through the content-hashed [`ResultCache`].
+//!
+//! Parallelism is a hand-rolled shared-queue pool over `std::thread`
+//! (no external deps): workers atomically claim the next unevaluated
+//! point, so load balances itself the way a work-stealing deque would
+//! for this one-level task graph. Every point's evaluation is a pure
+//! function of the point (simulator seeds are per-point config, never
+//! thread state), so parallel and serial runs produce bit-identical
+//! results in the same order.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use mapreduce_sim::profile::{profile_job, MeasuredProfile};
+use mr2_model::{Calibration, ModelOptions, ModelPoint};
+
+use crate::cache::{KeyHasher, ResultCache};
+use crate::spec::{EstimatorKind, EvalPoint, Scenario};
+
+/// Runner knobs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunnerConfig {
+    /// Worker threads; 0 means one per available core.
+    pub threads: usize,
+}
+
+impl RunnerConfig {
+    /// Run everything on the calling thread (useful for determinism
+    /// tests and debugging).
+    pub fn serial() -> RunnerConfig {
+        RunnerConfig { threads: 1 }
+    }
+
+    fn effective_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        }
+    }
+}
+
+/// Ground truth of one evaluated point (simulator backend).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimResult {
+    /// Median over repetitions of the per-rep mean response time.
+    pub median_response: f64,
+    /// Mean over repetitions.
+    pub mean_response: f64,
+    /// Repetitions used.
+    pub reps: usize,
+}
+
+/// Everything the runner produced for one [`EvalPoint`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PointResult {
+    /// The evaluated configuration.
+    pub point: EvalPoint,
+    /// Analytic estimates (when the analytic backend is enabled).
+    pub model: Option<ModelPoint>,
+    /// Simulator ground truth (when the simulator backend is enabled).
+    pub sim: Option<SimResult>,
+}
+
+impl PointResult {
+    /// The estimate of the point's selected estimator series.
+    pub fn estimate(&self) -> Option<f64> {
+        self.model.map(|m| select(&m, self.point.estimator))
+    }
+
+    /// The measured (simulated) response the estimate is judged against.
+    pub fn measured(&self) -> Option<f64> {
+        self.sim.as_ref().map(|s| s.median_response)
+    }
+}
+
+/// Pick one estimator series out of a full model solve.
+pub fn select(m: &ModelPoint, e: EstimatorKind) -> f64 {
+    match e {
+        EstimatorKind::ForkJoin => m.fork_join,
+        EstimatorKind::Tripathi => m.tripathi,
+        EstimatorKind::Aria => m.aria,
+        EstimatorKind::Herodotou => m.herodotou,
+    }
+}
+
+/// A completed sweep: per-point results in expansion order.
+#[derive(Debug, Clone)]
+pub struct SweepResult {
+    /// The scenario name.
+    pub name: String,
+    /// One result per expanded point, in expansion (index) order.
+    pub points: Vec<PointResult>,
+}
+
+/// Expand `scenario` and evaluate every point through `cache`, using
+/// `cfg.threads` workers. Results come back in expansion order
+/// regardless of scheduling.
+///
+/// Points that share an evaluation signature (everything but `index`
+/// and `estimator` — e.g. the whole estimator axis of one
+/// configuration) are deduplicated *before* dispatch, so concurrent
+/// workers never race to compute the same record and each distinct
+/// configuration is evaluated exactly once per process.
+pub fn run_scenario(scenario: &Scenario, cache: &ResultCache, cfg: &RunnerConfig) -> SweepResult {
+    let points = crate::expand(scenario);
+
+    // Map every point to the representative slot of its signature.
+    let mut first_with_sig: std::collections::HashMap<u64, usize> =
+        std::collections::HashMap::new();
+    let mut rep_of: Vec<usize> = Vec::with_capacity(points.len());
+    let mut unique: Vec<usize> = Vec::new();
+    for (i, p) in points.iter().enumerate() {
+        let sig = config_key(p).u64(p.n_jobs as u64).finish();
+        let rep = *first_with_sig.entry(sig).or_insert_with(|| {
+            unique.push(i);
+            i
+        });
+        rep_of.push(rep);
+    }
+
+    let threads = cfg.effective_threads().min(unique.len()).max(1);
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<PointResult>>> = points.iter().map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let u = next.fetch_add(1, Ordering::Relaxed);
+                let Some(&i) = unique.get(u) else { break };
+                let result = evaluate_point(&points[i], &scenario.backends, cache);
+                *slots[i].lock().unwrap() = Some(result);
+            });
+        }
+    });
+
+    let evaluated: Vec<Option<PointResult>> =
+        slots.into_iter().map(|s| s.into_inner().unwrap()).collect();
+    SweepResult {
+        name: scenario.name.clone(),
+        points: points
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let rep = evaluated[rep_of[i]]
+                    .as_ref()
+                    .expect("every representative evaluated");
+                PointResult {
+                    point: *p,
+                    model: rep.model,
+                    sim: rep.sim.clone(),
+                }
+            })
+            .collect(),
+    }
+}
+
+/// Evaluate one point against the configured backends, via the cache.
+pub fn evaluate_point(
+    point: &EvalPoint,
+    backends: &crate::spec::Backends,
+    cache: &ResultCache,
+) -> PointResult {
+    let cfg = point.sim_config();
+    let spec = point.job_spec();
+
+    let sim = backends.simulator.map(|reps| {
+        let key = config_key(point)
+            .str("sim")
+            .u64(point.n_jobs as u64)
+            .u64(reps as u64)
+            .finish();
+        let rec = cache.get_or_compute(key, || {
+            let p = mapreduce_sim::eval_point(&cfg, &spec, point.n_jobs, reps);
+            vec![p.median_response, p.mean_response]
+        });
+        SimResult {
+            median_response: rec[0],
+            mean_response: rec[1],
+            reps,
+        }
+    });
+
+    let model = backends.analytic.then(|| {
+        let profile = backends.profile_calibration.then(|| {
+            // A profiling run executes one job alone, so its key must
+            // not include `n_jobs`: the whole multiprogramming axis of
+            // a configuration shares one profile.
+            let key = config_key(point).str("profile").finish();
+            let rec = cache.get_or_compute(key, || encode_profile(&profile_job(&spec, &cfg).0));
+            decode_profile(&rec)
+        });
+        let key = config_key(point)
+            .str("model")
+            .u64(point.n_jobs as u64)
+            .bool(backends.profile_calibration)
+            .finish();
+        let rec = cache.get_or_compute(key, || {
+            let m = mr2_model::eval_point(
+                &cfg,
+                &spec,
+                point.n_jobs,
+                &ModelOptions::default(),
+                &Calibration::default(),
+                profile.as_ref(),
+            );
+            vec![m.fork_join, m.tripathi, m.aria, m.herodotou]
+        });
+        ModelPoint {
+            fork_join: rec[0],
+            tripathi: rec[1],
+            aria: rec[2],
+            herodotou: rec[3],
+        }
+    });
+
+    PointResult {
+        point: *point,
+        model,
+        sim,
+    }
+}
+
+/// Content key of a point's cluster + job configuration. Deliberately
+/// excludes `index` (a position, not an input), `estimator` (a
+/// reporting selector: all four series come from the same solve), and
+/// `n_jobs` (backend-dependent: a profiling run always executes one
+/// job alone). Each backend appends its tag and the remaining inputs
+/// it actually consumes.
+fn config_key(p: &EvalPoint) -> KeyHasher {
+    KeyHasher::new()
+        .u64(p.nodes as u64)
+        .u64(p.block_mb)
+        .u64(p.container_mb as u64)
+        .str(match p.scheduler {
+            mapreduce_sim::SchedulerPolicy::CapacityFifo => "capacity_fifo",
+            mapreduce_sim::SchedulerPolicy::Fair => "fair",
+        })
+        .str(p.job.name())
+        .u64(p.input_bytes)
+        .u64(p.reduces as u64)
+        .u64(p.seed)
+}
+
+fn encode_profile(p: &MeasuredProfile) -> Vec<f64> {
+    vec![
+        p.map.mean,
+        p.map.cv,
+        p.map.count as f64,
+        p.shuffle_sort.mean,
+        p.shuffle_sort.cv,
+        p.shuffle_sort.count as f64,
+        p.merge.mean,
+        p.merge.cv,
+        p.merge.count as f64,
+        p.response_time,
+        p.num_maps as f64,
+        p.num_reduces as f64,
+    ]
+}
+
+fn decode_profile(rec: &[f64]) -> MeasuredProfile {
+    use mapreduce_sim::profile::ClassStats;
+    let stats = |i: usize| ClassStats {
+        mean: rec[i],
+        cv: rec[i + 1],
+        count: rec[i + 2] as u64,
+    };
+    MeasuredProfile {
+        map: stats(0),
+        shuffle_sort: stats(3),
+        merge: stats(6),
+        response_time: rec[9],
+        num_maps: rec[10] as u32,
+        num_reduces: rec[11] as u32,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::Backends;
+    use mapreduce_sim::MB;
+
+    fn tiny_scenario(name: &str) -> Scenario {
+        Scenario::new(name)
+            .axis_nodes([2usize])
+            .axis_input_bytes([256 * MB])
+            .axis_n_jobs([1usize, 2])
+            .with_backends(Backends {
+                analytic: true,
+                profile_calibration: false,
+                simulator: Some(1),
+            })
+    }
+
+    #[test]
+    fn runner_fills_every_slot_in_order() {
+        let cache = ResultCache::new();
+        let r = run_scenario(&tiny_scenario("t"), &cache, &RunnerConfig::default());
+        assert_eq!(r.points.len(), 2);
+        for (i, p) in r.points.iter().enumerate() {
+            assert_eq!(p.point.index, i);
+            assert!(p.estimate().unwrap() > 0.0);
+            assert!(p.measured().unwrap() > 0.0);
+        }
+    }
+
+    #[test]
+    fn estimator_axis_shares_the_underlying_solve() {
+        let cache = ResultCache::new();
+        let s = tiny_scenario("t")
+            .axis_n_jobs([1usize])
+            .axis_estimators(EstimatorKind::ALL);
+        let r = run_scenario(&s, &cache, &RunnerConfig::serial());
+        assert_eq!(r.points.len(), 4);
+        // 4 points, one shared configuration: the runner dedupes before
+        // dispatch, so exactly one sim + one model evaluation happen and
+        // the repeat points never even consult the cache.
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 2, "one sim + one model record");
+        assert_eq!(stats.hits, 0, "repeat points are deduped pre-dispatch");
+        // All four series come from the same solve and differ per kind.
+        let m = r.points[0].model.unwrap();
+        for p in &r.points[1..] {
+            assert_eq!(p.model, Some(m));
+        }
+        assert_ne!(r.points[0].estimate(), r.points[1].estimate());
+    }
+
+    #[test]
+    fn backend_and_options_change_the_cache_key() {
+        let p = crate::expand(&tiny_scenario("t"))[0];
+        let with = config_key(&p).str("model").bool(true).finish();
+        let without = config_key(&p).str("model").bool(false).finish();
+        assert_ne!(with, without, "profile toggle must separate model keys");
+        assert_ne!(
+            config_key(&p).str("sim").finish(),
+            config_key(&p).str("model").finish(),
+            "backend tag must separate keys"
+        );
+    }
+
+    #[test]
+    fn profile_key_is_shared_across_the_n_jobs_axis() {
+        let pts = crate::expand(&tiny_scenario("t")); // n_jobs axis: [1, 2]
+        assert_eq!(
+            config_key(&pts[0]).str("profile").finish(),
+            config_key(&pts[1]).str("profile").finish(),
+            "a profiling run executes one job alone; N must not split it"
+        );
+        let cache = ResultCache::new();
+        let s = tiny_scenario("t").with_backends(Backends {
+            analytic: true,
+            profile_calibration: true,
+            simulator: None,
+        });
+        run_scenario(&s, &cache, &RunnerConfig::serial());
+        // 2 N-points: 1 shared profile record + 2 model records.
+        assert_eq!(cache.stats().entries, 3);
+        assert_eq!(cache.stats().hits, 1, "second point reuses the profile");
+    }
+}

@@ -1,0 +1,451 @@
+//! Declarative scenario specifications.
+//!
+//! A [`Scenario`] names a set of *axes* — cluster shape, workload shape,
+//! and estimator — and how to combine them ([`SweepMode`]). Expansion
+//! (module [`crate::expand`]) turns the spec into concrete
+//! [`crate::EvalPoint`]s; it never runs anything itself, so specs are
+//! cheap to build, inspect, and compare.
+
+use mapreduce_sim::{JobSpec, SchedulerPolicy, SimConfig, GB, MB};
+
+/// Which workload preset a point runs (see `mapreduce_sim::workload`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum JobKind {
+    /// WordCount: CPU-heavy maps, shuffle ≈ input.
+    WordCount,
+    /// TeraSort-like: I/O-heavy on both sides.
+    TeraSort,
+    /// Grep-like: map-heavy, tiny intermediate data.
+    Grep,
+}
+
+impl JobKind {
+    /// Stable name used in reports and cache keys.
+    pub fn name(&self) -> &'static str {
+        match self {
+            JobKind::WordCount => "wordcount",
+            JobKind::TeraSort => "terasort",
+            JobKind::Grep => "grep",
+        }
+    }
+
+    /// Build the concrete job spec for this kind.
+    pub fn spec(&self, input_bytes: u64, reduces: u32) -> JobSpec {
+        match self {
+            JobKind::WordCount => mapreduce_sim::workload::wordcount(input_bytes, reduces),
+            JobKind::TeraSort => mapreduce_sim::workload::terasort(input_bytes, reduces),
+            JobKind::Grep => {
+                let mut s = mapreduce_sim::workload::grep(input_bytes);
+                s.reduces = reduces.max(1);
+                s
+            }
+        }
+    }
+}
+
+/// How many reduce tasks a job gets at a given cluster size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReducePolicy {
+    /// One reduce per node — one reduce wave, the paper's sizing rule.
+    PerNode,
+    /// A fixed reduce count regardless of cluster size.
+    Fixed(u32),
+}
+
+impl ReducePolicy {
+    /// Reduce count for a cluster of `nodes` workers.
+    pub fn reduces(&self, nodes: usize) -> u32 {
+        match *self {
+            ReducePolicy::PerNode => nodes as u32,
+            ReducePolicy::Fixed(r) => r,
+        }
+    }
+}
+
+/// Which series a point contributes to the report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EstimatorKind {
+    /// Fork/join-based modified MVA (the paper's best method).
+    ForkJoin,
+    /// Tripathi-based estimate.
+    Tripathi,
+    /// ARIA bounds baseline.
+    Aria,
+    /// Herodotou static baseline.
+    Herodotou,
+}
+
+impl EstimatorKind {
+    /// Every estimator series, in paper order.
+    pub const ALL: [EstimatorKind; 4] = [
+        EstimatorKind::ForkJoin,
+        EstimatorKind::Tripathi,
+        EstimatorKind::Aria,
+        EstimatorKind::Herodotou,
+    ];
+
+    /// Stable name used in reports and cache keys.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EstimatorKind::ForkJoin => "fork_join",
+            EstimatorKind::Tripathi => "tripathi",
+            EstimatorKind::Aria => "aria",
+            EstimatorKind::Herodotou => "herodotou",
+        }
+    }
+}
+
+/// How the axes combine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SweepMode {
+    /// Full cross product of every axis (the default).
+    #[default]
+    Cartesian,
+    /// Lock-step: point `i` takes the `i`-th value of every axis;
+    /// length-1 axes broadcast. All longer axes must agree on a length.
+    Zip,
+}
+
+/// Which evaluation backends run for every point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Backends {
+    /// Run the analytic model (fork/join + Tripathi + both baselines).
+    pub analytic: bool,
+    /// Calibrate the model from a single-job profiling run of the
+    /// simulator (the paper's "job history"; §4.2.1). Only meaningful
+    /// with `analytic`.
+    pub profile_calibration: bool,
+    /// Run the discrete-event simulator for ground truth: `Some(reps)`
+    /// repeats each point `reps` times on consecutive seeds and reports
+    /// the median (§5.1 methodology).
+    pub simulator: Option<usize>,
+}
+
+impl Default for Backends {
+    fn default() -> Self {
+        Backends {
+            analytic: true,
+            profile_calibration: true,
+            simulator: Some(5),
+        }
+    }
+}
+
+impl Backends {
+    /// Analytic model only — the fast path for large sweeps.
+    pub fn analytic_only() -> Backends {
+        Backends {
+            analytic: true,
+            profile_calibration: false,
+            simulator: None,
+        }
+    }
+}
+
+/// A declarative what-if sweep over cluster, workload, and estimator
+/// axes.
+///
+/// Build one with [`Scenario::new`] and the `axis_*` setters, expand it
+/// with [`crate::expand`], run it with [`crate::run_scenario`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Human-readable name; also part of every cache key's provenance
+    /// (but *not* of the content hash — identical points in differently
+    /// named scenarios share cache entries).
+    pub name: String,
+    /// How the axes combine.
+    pub sweep: SweepMode,
+    /// Cluster axis: worker node count.
+    pub nodes: Vec<usize>,
+    /// Cluster axis: HDFS block size (MiB).
+    pub block_mb: Vec<u64>,
+    /// Cluster axis: task container size (MiB of memory, 1 vcore).
+    pub container_mb: Vec<u32>,
+    /// Cluster axis: RM scheduler policy.
+    pub schedulers: Vec<SchedulerPolicy>,
+    /// Workload axis: job preset.
+    pub jobs: Vec<JobKind>,
+    /// Workload axis: input dataset size in bytes.
+    pub input_bytes: Vec<u64>,
+    /// Workload axis: multiprogramming level N (concurrent identical
+    /// jobs).
+    pub n_jobs: Vec<usize>,
+    /// Estimator axis: which model series each point reports.
+    pub estimators: Vec<EstimatorKind>,
+    /// Reduce-count sizing rule (not an axis; applied per point).
+    pub reduces: ReducePolicy,
+    /// Backends evaluated per point.
+    pub backends: Backends,
+    /// Base RNG seed for simulator replications.
+    pub seed: u64,
+}
+
+impl Scenario {
+    /// A single-point scenario (4 nodes, 1 GB WordCount, N = 1,
+    /// fork/join) to grow from with the `axis_*` setters.
+    pub fn new(name: impl Into<String>) -> Scenario {
+        Scenario {
+            name: name.into(),
+            sweep: SweepMode::Cartesian,
+            nodes: vec![4],
+            block_mb: vec![128],
+            container_mb: vec![1024],
+            schedulers: vec![SchedulerPolicy::CapacityFifo],
+            jobs: vec![JobKind::WordCount],
+            input_bytes: vec![GB],
+            n_jobs: vec![1],
+            estimators: vec![EstimatorKind::ForkJoin],
+            reduces: ReducePolicy::PerNode,
+            backends: Backends::default(),
+            seed: 1,
+        }
+    }
+
+    /// Set the node-count axis.
+    pub fn axis_nodes(mut self, v: impl Into<Vec<usize>>) -> Self {
+        self.nodes = v.into();
+        self
+    }
+
+    /// Set the block-size axis (MiB).
+    pub fn axis_block_mb(mut self, v: impl Into<Vec<u64>>) -> Self {
+        self.block_mb = v.into();
+        self
+    }
+
+    /// Set the container-size axis (MiB).
+    pub fn axis_container_mb(mut self, v: impl Into<Vec<u32>>) -> Self {
+        self.container_mb = v.into();
+        self
+    }
+
+    /// Set the scheduler axis.
+    pub fn axis_schedulers(mut self, v: impl Into<Vec<SchedulerPolicy>>) -> Self {
+        self.schedulers = v.into();
+        self
+    }
+
+    /// Set the job-preset axis.
+    pub fn axis_jobs(mut self, v: impl Into<Vec<JobKind>>) -> Self {
+        self.jobs = v.into();
+        self
+    }
+
+    /// Set the input-size axis (bytes).
+    pub fn axis_input_bytes(mut self, v: impl Into<Vec<u64>>) -> Self {
+        self.input_bytes = v.into();
+        self
+    }
+
+    /// Set the multiprogramming-level axis.
+    pub fn axis_n_jobs(mut self, v: impl Into<Vec<usize>>) -> Self {
+        self.n_jobs = v.into();
+        self
+    }
+
+    /// Set the estimator axis.
+    pub fn axis_estimators(mut self, v: impl Into<Vec<EstimatorKind>>) -> Self {
+        self.estimators = v.into();
+        self
+    }
+
+    /// Set the sweep mode.
+    pub fn sweep_mode(mut self, m: SweepMode) -> Self {
+        self.sweep = m;
+        self
+    }
+
+    /// Set the reduce-count rule.
+    pub fn reduce_policy(mut self, r: ReducePolicy) -> Self {
+        self.reduces = r;
+        self
+    }
+
+    /// Set the backends.
+    pub fn with_backends(mut self, b: Backends) -> Self {
+        self.backends = b;
+        self
+    }
+
+    /// Set the base seed.
+    pub fn with_seed(mut self, s: u64) -> Self {
+        self.seed = s;
+        self
+    }
+
+    /// Panic with a description if any axis is empty or a zip length
+    /// mismatches.
+    pub fn validate(&self) {
+        assert!(!self.nodes.is_empty(), "nodes axis is empty");
+        assert!(!self.block_mb.is_empty(), "block_mb axis is empty");
+        assert!(!self.container_mb.is_empty(), "container_mb axis is empty");
+        assert!(!self.schedulers.is_empty(), "schedulers axis is empty");
+        assert!(!self.jobs.is_empty(), "jobs axis is empty");
+        assert!(!self.input_bytes.is_empty(), "input_bytes axis is empty");
+        assert!(!self.n_jobs.is_empty(), "n_jobs axis is empty");
+        assert!(!self.estimators.is_empty(), "estimators axis is empty");
+        assert!(
+            self.backends.analytic || self.backends.simulator.is_some(),
+            "at least one backend must be enabled"
+        );
+        if self.sweep == SweepMode::Zip {
+            let lens = self.axis_lens();
+            let max = lens.iter().copied().max().unwrap();
+            for (name, len) in [
+                ("nodes", lens[0]),
+                ("block_mb", lens[1]),
+                ("container_mb", lens[2]),
+                ("schedulers", lens[3]),
+                ("jobs", lens[4]),
+                ("input_bytes", lens[5]),
+                ("n_jobs", lens[6]),
+                ("estimators", lens[7]),
+            ] {
+                assert!(
+                    len == max || len == 1,
+                    "zip axis {name} has length {len}, expected {max} or 1"
+                );
+            }
+        }
+    }
+
+    /// Lengths of all eight axes, in expansion order.
+    pub fn axis_lens(&self) -> [usize; 8] {
+        [
+            self.nodes.len(),
+            self.block_mb.len(),
+            self.container_mb.len(),
+            self.schedulers.len(),
+            self.jobs.len(),
+            self.input_bytes.len(),
+            self.n_jobs.len(),
+            self.estimators.len(),
+        ]
+    }
+
+    /// Number of points the scenario expands to.
+    pub fn num_points(&self) -> usize {
+        match self.sweep {
+            SweepMode::Cartesian => self.axis_lens().iter().product(),
+            SweepMode::Zip => self.axis_lens().into_iter().max().unwrap_or(0),
+        }
+    }
+}
+
+/// One fully concrete configuration produced by expanding a
+/// [`Scenario`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EvalPoint {
+    /// Position in the scenario's expansion order.
+    pub index: usize,
+    /// Worker node count.
+    pub nodes: usize,
+    /// HDFS block size, MiB.
+    pub block_mb: u64,
+    /// Task container memory, MiB.
+    pub container_mb: u32,
+    /// RM scheduler.
+    pub scheduler: SchedulerPolicy,
+    /// Workload preset.
+    pub job: JobKind,
+    /// Input dataset size, bytes.
+    pub input_bytes: u64,
+    /// Concurrent identical jobs.
+    pub n_jobs: usize,
+    /// Reported estimator series.
+    pub estimator: EstimatorKind,
+    /// Reduce tasks per job (already resolved from the policy).
+    pub reduces: u32,
+    /// Base simulator seed.
+    pub seed: u64,
+}
+
+impl EvalPoint {
+    /// The simulator/model cluster configuration for this point.
+    pub fn sim_config(&self) -> SimConfig {
+        let mut cfg = SimConfig::paper_testbed(self.nodes);
+        cfg.block_size = self.block_mb * MB;
+        cfg.container_size = yarn_sim::ResourceVector::new(self.container_mb.into(), 1);
+        cfg.scheduler = self.scheduler;
+        cfg.seed = self.seed;
+        cfg
+    }
+
+    /// The job specification for this point.
+    pub fn job_spec(&self) -> JobSpec {
+        self.job.spec(self.input_bytes, self.reduces)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_and_counts() {
+        let s = Scenario::new("t")
+            .axis_nodes([4usize, 6, 8])
+            .axis_n_jobs([1usize, 2])
+            .axis_estimators(EstimatorKind::ALL);
+        assert_eq!(s.num_points(), 3 * 2 * 4);
+        s.validate();
+    }
+
+    #[test]
+    fn zip_counts_take_longest_axis() {
+        let s = Scenario::new("t")
+            .sweep_mode(SweepMode::Zip)
+            .axis_nodes([4usize, 6, 8])
+            .axis_input_bytes([GB, 2 * GB, 5 * GB]);
+        assert_eq!(s.num_points(), 3);
+        s.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "zip axis")]
+    fn zip_rejects_mismatched_lengths() {
+        Scenario::new("t")
+            .sweep_mode(SweepMode::Zip)
+            .axis_nodes([4usize, 6, 8])
+            .axis_n_jobs([1usize, 2])
+            .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "axis is empty")]
+    fn empty_axis_rejected() {
+        Scenario::new("t").axis_nodes(Vec::new()).validate();
+    }
+
+    #[test]
+    fn reduce_policy_resolution() {
+        assert_eq!(ReducePolicy::PerNode.reduces(6), 6);
+        assert_eq!(ReducePolicy::Fixed(3).reduces(6), 3);
+    }
+
+    #[test]
+    fn point_materializes_config_and_spec() {
+        let p = EvalPoint {
+            index: 0,
+            nodes: 6,
+            block_mb: 64,
+            container_mb: 2048,
+            scheduler: SchedulerPolicy::Fair,
+            job: JobKind::TeraSort,
+            input_bytes: GB,
+            n_jobs: 2,
+            estimator: EstimatorKind::Tripathi,
+            reduces: 6,
+            seed: 9,
+        };
+        let cfg = p.sim_config();
+        assert_eq!(cfg.nodes, 6);
+        assert_eq!(cfg.block_size, 64 * MB);
+        assert_eq!(cfg.scheduler, SchedulerPolicy::Fair);
+        assert_eq!(cfg.seed, 9);
+        let spec = p.job_spec();
+        assert_eq!(spec.reduces, 6);
+        assert_eq!(spec.input_bytes, GB);
+        spec.validate();
+    }
+}

@@ -1,0 +1,167 @@
+//! Integration tests of the scenario engine against the real backends:
+//! exact expansion, bit-identical cache hits, and determinism of the
+//! parallel runner.
+
+use mapreduce_sim::MB;
+use mr2_scenario::{
+    error_bands, expand, run_scenario, Backends, EstimatorKind, ResultCache, RunnerConfig,
+    Scenario, SweepMode,
+};
+
+/// A 3-axis sweep (cluster size × N × estimator) small enough for CI but
+/// exercising both backends end to end.
+fn three_axis_scenario() -> Scenario {
+    Scenario::new("it-3axis")
+        .axis_nodes([2usize, 3])
+        .axis_n_jobs([1usize, 2])
+        .axis_estimators([EstimatorKind::ForkJoin, EstimatorKind::Tripathi])
+        .axis_input_bytes([256 * MB])
+        .with_backends(Backends {
+            analytic: true,
+            profile_calibration: true,
+            simulator: Some(2),
+        })
+}
+
+#[test]
+fn spec_expansion_produces_the_exact_cartesian_grid() {
+    let s = three_axis_scenario();
+    let pts = expand(&s);
+    assert_eq!(pts.len(), 2 * 2 * 2);
+    let mut expected = Vec::new();
+    for &nodes in &[2usize, 3] {
+        for &n in &[1usize, 2] {
+            for &e in &[EstimatorKind::ForkJoin, EstimatorKind::Tripathi] {
+                expected.push((nodes, n, e));
+            }
+        }
+    }
+    let actual: Vec<_> = pts
+        .iter()
+        .map(|p| (p.nodes, p.n_jobs, p.estimator))
+        .collect();
+    assert_eq!(actual, expected, "grid content and rightmost-fastest order");
+}
+
+#[test]
+fn parallel_sweep_equals_serial_sweep_bit_for_bit() {
+    let s = three_axis_scenario();
+    // Fresh caches so both runs actually evaluate.
+    let serial = run_scenario(&s, &ResultCache::new(), &RunnerConfig::serial());
+    let parallel = run_scenario(&s, &ResultCache::new(), &RunnerConfig { threads: 8 });
+    assert_eq!(serial.points.len(), parallel.points.len());
+    for (a, b) in serial.points.iter().zip(&parallel.points) {
+        assert_eq!(a.point, b.point, "order must match expansion order");
+        let (ea, eb) = (a.estimate().unwrap(), b.estimate().unwrap());
+        assert_eq!(ea.to_bits(), eb.to_bits(), "estimate must be bit-identical");
+        let (ma, mb) = (a.measured().unwrap(), b.measured().unwrap());
+        assert_eq!(
+            ma.to_bits(),
+            mb.to_bits(),
+            "measurement must be bit-identical"
+        );
+    }
+}
+
+#[test]
+fn second_identical_run_is_answered_from_the_cache() {
+    let s = three_axis_scenario();
+    let cache = ResultCache::new();
+    let first = run_scenario(&s, &cache, &RunnerConfig::default());
+    let misses_after_first = cache.stats().misses;
+    assert!(misses_after_first > 0);
+
+    let second = run_scenario(&s, &cache, &RunnerConfig::default());
+    let stats = cache.stats();
+    assert_eq!(
+        stats.misses, misses_after_first,
+        "second run must not evaluate anything"
+    );
+    for (a, b) in first.points.iter().zip(&second.points) {
+        assert_eq!(a, b, "cached results must be bit-identical");
+    }
+}
+
+#[test]
+fn estimator_axis_reuses_sim_and_model_evaluations() {
+    let s = three_axis_scenario();
+    let cache = ResultCache::new();
+    run_scenario(&s, &cache, &RunnerConfig::serial());
+    // 8 points, but only 2 nodes × 2 N = 4 distinct configurations, each
+    // needing one sim + one model record — and the profiling run is
+    // N-independent, so 2 node counts need only 2 profile records.
+    assert_eq!(cache.stats().entries, 4 * 2 + 2);
+}
+
+#[test]
+fn overlapping_scenarios_share_cache_entries_across_runs() {
+    // Two differently named and differently shaped scenarios whose
+    // grids overlap in one configuration (nodes=2, N=1): the second
+    // sweep must reuse the first sweep's evaluations for it.
+    let backends = Backends {
+        analytic: true,
+        profile_calibration: false,
+        simulator: Some(1),
+    };
+    let a = Scenario::new("sweep-a")
+        .axis_nodes([2usize, 3])
+        .axis_input_bytes([128 * MB])
+        .with_backends(backends);
+    let b = Scenario::new("sweep-b")
+        .axis_nodes([2usize])
+        .axis_n_jobs([1usize, 2])
+        .axis_input_bytes([128 * MB])
+        .with_backends(backends);
+
+    let cache = ResultCache::new();
+    let ra = run_scenario(&a, &cache, &RunnerConfig::default());
+    let misses_after_a = cache.stats().misses;
+    assert_eq!(misses_after_a, 2 * 2, "2 configs × (sim + model)");
+
+    let rb = run_scenario(&b, &cache, &RunnerConfig::default());
+    let stats = cache.stats();
+    assert_eq!(
+        stats.misses,
+        misses_after_a + 2,
+        "only b's novel N=2 config evaluates; the shared config is served from cache"
+    );
+    // And the shared configuration's numbers are bit-identical.
+    let shared_a = &ra.points[0];
+    let shared_b = &rb.points[0];
+    assert_eq!(shared_a.point.nodes, shared_b.point.nodes);
+    assert_eq!(shared_a.model, shared_b.model);
+    assert_eq!(shared_a.sim, shared_b.sim);
+}
+
+#[test]
+fn comparison_layer_reports_error_bands_per_series() {
+    let s = three_axis_scenario();
+    let sweep = run_scenario(&s, &ResultCache::new(), &RunnerConfig::default());
+    let bands = error_bands(&sweep);
+    assert!(!bands.is_empty());
+    let fj = bands
+        .iter()
+        .find(|b| b.estimator == EstimatorKind::ForkJoin)
+        .expect("fork/join band present");
+    // On-axis series are judged on their own 4 points.
+    assert_eq!(fj.band.count, 4);
+    assert!(fj.band.min <= fj.band.mean && fj.band.mean <= fj.band.max);
+    assert!(fj.band.max.is_finite());
+}
+
+#[test]
+fn zip_sweep_runs_end_to_end() {
+    let s = Scenario::new("it-zip")
+        .sweep_mode(SweepMode::Zip)
+        .axis_nodes([2usize, 3])
+        .axis_input_bytes([128 * MB, 256 * MB])
+        .with_backends(Backends::analytic_only());
+    let sweep = run_scenario(&s, &ResultCache::new(), &RunnerConfig::default());
+    assert_eq!(sweep.points.len(), 2);
+    assert_eq!(sweep.points[0].point.nodes, 2);
+    assert_eq!(sweep.points[0].point.input_bytes, 128 * MB);
+    assert_eq!(sweep.points[1].point.nodes, 3);
+    assert_eq!(sweep.points[1].point.input_bytes, 256 * MB);
+    assert!(sweep.points.iter().all(|p| p.sim.is_none()));
+    assert!(sweep.points.iter().all(|p| p.estimate().unwrap() > 0.0));
+}

@@ -146,8 +146,13 @@ impl Rv {
         assert!(factor >= 0.0);
         match *self {
             Rv::Det(v) => Rv::Det(v * factor),
-            Rv::Exp { mean } => Rv::Exp { mean: mean * factor },
-            Rv::Erlang { k, mean } => Rv::Erlang { k, mean: mean * factor },
+            Rv::Exp { mean } => Rv::Exp {
+                mean: mean * factor,
+            },
+            Rv::Erlang { k, mean } => Rv::Erlang {
+                k,
+                mean: mean * factor,
+            },
             Rv::HyperExp2 { p, mean1, mean2 } => Rv::HyperExp2 {
                 p,
                 mean1: mean1 * factor,
@@ -198,7 +203,7 @@ mod tests {
 
     #[test]
     fn moments_match_for_all_families() {
-        let cases = vec![
+        let cases = [
             Rv::Det(3.0),
             Rv::Exp { mean: 2.0 },
             Rv::Erlang { k: 4, mean: 2.0 },
@@ -206,6 +211,7 @@ mod tests {
             Rv::Uniform { lo: 1.0, hi: 3.0 },
             Rv::LogNormal { mean: 2.0, cv: 0.7 },
         ];
+        let cases = &cases;
         for (i, rv) in cases.iter().enumerate() {
             let (m, v) = empirical(rv, 200_000, 42 + i as u64);
             assert!(
@@ -243,7 +249,11 @@ mod tests {
     fn constructed_moments_are_exact() {
         for cv in [0.0, 0.3, 0.5, 0.6, 1.0, 1.5, 3.0] {
             let rv = Rv::from_mean_cv(7.0, cv);
-            assert!((rv.mean() - 7.0).abs() < 1e-9, "cv={cv}: mean {}", rv.mean());
+            assert!(
+                (rv.mean() - 7.0).abs() < 1e-9,
+                "cv={cv}: mean {}",
+                rv.mean()
+            );
             assert!((rv.cv() - cv).abs() < 1e-9, "cv={cv}: got {}", rv.cv());
         }
     }

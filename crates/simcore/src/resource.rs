@@ -226,7 +226,11 @@ impl<K: Clone + PartialEq> Fcfs<K> {
     fn integrate_to(&mut self, now: SimTime) {
         let dt = now - self.last_update;
         if dt > 0.0 {
-            let busy = self.jobs.iter().filter(|j| j.completes_at.is_some()).count();
+            let busy = self
+                .jobs
+                .iter()
+                .filter(|j| j.completes_at.is_some())
+                .count();
             self.busy_area += busy as f64 * dt;
         }
         self.last_update = self.last_update.max(now);
@@ -234,7 +238,11 @@ impl<K: Clone + PartialEq> Fcfs<K> {
 
     /// Start any queued jobs for which a server is free.
     fn dispatch(&mut self, now: SimTime) {
-        let in_service = self.jobs.iter().filter(|j| j.completes_at.is_some()).count();
+        let in_service = self
+            .jobs
+            .iter()
+            .filter(|j| j.completes_at.is_some())
+            .count();
         let mut free = self.servers.saturating_sub(in_service);
         for job in self.jobs.iter_mut() {
             if free == 0 {
@@ -284,10 +292,7 @@ impl<K: Clone + PartialEq> Fcfs<K> {
 
     /// Time of the next completion, if any job is in service.
     pub fn next_completion(&self) -> Option<SimTime> {
-        self.jobs
-            .iter()
-            .filter_map(|j| j.completes_at)
-            .min()
+        self.jobs.iter().filter_map(|j| j.completes_at).min()
     }
 
     /// Jobs currently waiting or in service.

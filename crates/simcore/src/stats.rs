@@ -269,7 +269,7 @@ mod tests {
         let mut tw = TimeWeighted::new(0.0, 0.0);
         tw.record(1.0, 2.0); // value 0 on [0,1)
         tw.record(3.0, 4.0); // value 2 on [1,3)
-        // value 4 on [3,5): mean = (0*1 + 2*2 + 4*2)/5 = 12/5
+                             // value 4 on [3,5): mean = (0*1 + 2*2 + 4*2)/5 = 12/5
         assert!((tw.mean_until(5.0) - 2.4).abs() < 1e-12);
         assert_eq!(tw.current(), 4.0);
     }

@@ -26,6 +26,6 @@ pub use request::{render_table1, AskTable, Location, MatchLevel, Priority, Resou
 pub use resources::ResourceVector;
 pub use rm::{AllocateResponse, AppId, ResourceManager};
 pub use scheduler::{
-    Allocation, AnyScheduler, AppSchedulingState, CapacityScheduler, ContainerIdGen,
-    FairScheduler, FifoScheduler, QueueConfig, Scheduler,
+    Allocation, AnyScheduler, AppSchedulingState, CapacityScheduler, ContainerIdGen, FairScheduler,
+    FifoScheduler, QueueConfig, Scheduler,
 };

@@ -48,7 +48,11 @@ impl NodeState {
     /// Reserve resources for a container. Panics if it does not fit
     /// (callers must check `can_fit`).
     pub fn allocate(&mut self, id: ContainerId, size: ResourceVector) {
-        assert!(self.can_fit(&size), "container {id} does not fit on {}", self.id);
+        assert!(
+            self.can_fit(&size),
+            "container {id} does not fit on {}",
+            self.id
+        );
         self.allocated += size;
         self.containers.push(id);
     }

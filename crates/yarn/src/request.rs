@@ -294,7 +294,10 @@ mod tests {
                 relax_locality: true,
             });
         }
-        assert_eq!(ask.active_priorities(), vec![Priority::MAP, Priority::REDUCE]);
+        assert_eq!(
+            ask.active_priorities(),
+            vec![Priority::MAP, Priority::REDUCE]
+        );
     }
 
     #[test]

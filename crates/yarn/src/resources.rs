@@ -94,8 +94,14 @@ impl Sub for ResourceVector {
     type Output = ResourceVector;
     fn sub(self, rhs: ResourceVector) -> ResourceVector {
         ResourceVector {
-            memory_mb: self.memory_mb.checked_sub(rhs.memory_mb).expect("memory underflow"),
-            vcores: self.vcores.checked_sub(rhs.vcores).expect("vcores underflow"),
+            memory_mb: self
+                .memory_mb
+                .checked_sub(rhs.memory_mb)
+                .expect("memory underflow"),
+            vcores: self
+                .vcores
+                .checked_sub(rhs.vcores)
+                .expect("vcores underflow"),
         }
     }
 }
@@ -159,6 +165,9 @@ mod tests {
     fn degenerate() {
         assert!(ResourceVector::new(0, 4).is_degenerate());
         assert!(!ResourceVector::new(1, 1).is_degenerate());
-        assert_eq!(ResourceVector::new(100, 1).count_fitting(&ResourceVector::ZERO), 0);
+        assert_eq!(
+            ResourceVector::new(100, 1).count_fitting(&ResourceVector::ZERO),
+            0
+        );
     }
 }

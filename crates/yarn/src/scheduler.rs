@@ -440,10 +440,7 @@ mod tests {
         let mut cs = CapacityScheduler::single_queue();
         let c = cs.assign(&mut c2, &mut apps2, &mut ContainerIdGen::default());
         let key = |allocs: &[Allocation]| -> Vec<(AppId, NodeId)> {
-            allocs
-                .iter()
-                .map(|a| (a.app, a.container.node))
-                .collect()
+            allocs.iter().map(|a| (a.app, a.container.node)).collect()
         };
         assert_eq!(key(&f), key(&c));
     }

@@ -2,8 +2,9 @@
 //!
 //! Facade crate re-exporting the whole workspace: the analytic model
 //! ([`model`]), the discrete-event cluster simulator ([`sim`]) and its
-//! substrates ([`yarn`], [`hdfs`], [`des`]), and the queueing-theory
-//! toolkit ([`queueing`]).
+//! substrates ([`yarn`], [`hdfs`], [`des`]), the queueing-theory
+//! toolkit ([`queueing`]), and the declarative what-if scenario engine
+//! ([`scenario`]).
 //!
 //! ```
 //! use hadoop2_perf::model::{estimate_workload, Calibration, ModelOptions};
@@ -19,6 +20,9 @@
 
 /// The paper's analytic model (crate `mr2-model`).
 pub use mr2_model as model;
+
+/// The declarative what-if scenario engine (crate `mr2-scenario`).
+pub use mr2_scenario as scenario;
 
 /// The MapReduce-on-YARN execution simulator (crate `mapreduce-sim`).
 pub use mapreduce_sim as sim;
