@@ -58,6 +58,16 @@ fn main() {
         println!("{}", mr2_bench::running_example());
     }
 
+    // Warm the process-wide cache from the previous run's snapshot so
+    // re-running figures is incremental, not cold each process.
+    if !selected.is_empty() {
+        match mr2_bench::load_cache(out_dir) {
+            Ok(0) => {}
+            Ok(n) => eprintln!("cache: warmed {n} entries from a previous run"),
+            Err(e) => eprintln!("cache load failed: {e}"),
+        }
+    }
+
     let mut results = Vec::new();
     for id in selected {
         eprintln!("running {} …", id.name());
@@ -69,6 +79,13 @@ fn main() {
             Err(e) => eprintln!("csv write failed: {e}"),
         }
         results.push(r);
+    }
+
+    if !results.is_empty() {
+        match mr2_bench::save_cache(out_dir) {
+            Ok(p) => eprintln!("cache: snapshot saved to {}", p.display()),
+            Err(e) => eprintln!("cache save failed: {e}"),
+        }
     }
 
     if want_errors && !results.is_empty() {

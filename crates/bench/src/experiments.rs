@@ -3,8 +3,11 @@
 //! sweep and executed by its parallel batch runner. A process-wide
 //! result cache deduplicates configurations shared between figures
 //! (e.g. fig12's 4-node point and fig14's 1-job point are the same
-//! evaluation).
+//! evaluation), and persists under `results/` ([`load_cache`] /
+//! [`save_cache`]) so re-running figures is incremental across
+//! processes, not cold each time.
 
+use std::path::{Path, PathBuf};
 use std::sync::OnceLock;
 
 use mapreduce_sim::{SimConfig, GB};
@@ -20,6 +23,32 @@ pub const REPS: usize = 5;
 fn cache() -> &'static ResultCache {
     static CACHE: OnceLock<ResultCache> = OnceLock::new();
     CACHE.get_or_init(ResultCache::new)
+}
+
+/// Where [`save_cache`] snapshots the process-wide cache inside the
+/// output directory.
+pub fn cache_path(out_dir: &Path) -> PathBuf {
+    out_dir.join("cache.txt")
+}
+
+/// Warm the process-wide cache from an earlier run's snapshot in
+/// `out_dir`. Returns the number of entries merged; a missing snapshot
+/// is simply a cold start (`Ok(0)`), and a snapshot from a different
+/// model/simulator schema version loads nothing by design.
+pub fn load_cache(out_dir: &Path) -> std::io::Result<usize> {
+    match cache().load(&cache_path(out_dir)) {
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(0),
+        other => other,
+    }
+}
+
+/// Snapshot the process-wide cache into `out_dir` so the next process
+/// skips every evaluation this one performed.
+pub fn save_cache(out_dir: &Path) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(out_dir)?;
+    let path = cache_path(out_dir);
+    cache().save(&path)?;
+    Ok(path)
 }
 
 /// The backends the paper's methodology prescribes: simulator ground
@@ -468,6 +497,28 @@ mod tests {
         assert_eq!(p12.n_jobs, p14.n_jobs);
         assert_eq!(p12.block_mb, p14.block_mb);
         assert_eq!(p12.reduces, p14.reduces);
+    }
+
+    #[test]
+    fn cache_snapshot_roundtrips_like_a_new_process() {
+        // Plant a record in the process-wide cache, snapshot it, and
+        // load the snapshot into a fresh cache standing in for the next
+        // process: the record must come back bit-identical under the
+        // same versioned key.
+        let key = mr2_scenario::KeyHasher::versioned()
+            .str("bench-snapshot-probe")
+            .finish();
+        cache().get_or_compute(key, || vec![0.1 + 0.2, 42.0]);
+        let dir = std::env::temp_dir().join(format!("mr2bench-cache-{}", std::process::id()));
+        let path = save_cache(&dir).unwrap();
+        assert_eq!(path, cache_path(&dir));
+
+        let fresh = ResultCache::new();
+        assert!(fresh.load(&path).unwrap() >= 1);
+        let rec = fresh.get(key).expect("probe survived the snapshot");
+        assert_eq!(rec[0].to_bits(), (0.1f64 + 0.2).to_bits());
+        assert_eq!(rec[1], 42.0);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

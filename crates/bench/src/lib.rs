@@ -11,6 +11,7 @@ pub mod experiments;
 pub mod output;
 
 pub use experiments::{
-    run_errors, run_experiment, running_example, ExperimentId, ExperimentResult, Point,
+    cache_path, load_cache, run_errors, run_experiment, running_example, save_cache, ExperimentId,
+    ExperimentResult, Point,
 };
 pub use output::{ascii_plot, render_table, write_csv};

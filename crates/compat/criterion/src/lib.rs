@@ -1,14 +1,34 @@
-//! Offline stand-in for the `criterion` crate.
+//! Offline stand-in for the `criterion` crate — regression-capable.
 //!
 //! The build environment has no crates.io access, so `cargo bench` targets
 //! link against this minimal subset instead: [`Criterion`],
 //! [`BenchmarkGroup`], [`BenchmarkId`], [`Bencher::iter`], the
-//! `criterion_group!`/`criterion_main!` macros and [`black_box`]. Timing
-//! is plain wall-clock sampling (median over `sample_size` samples, each
-//! auto-sized to run ≥ ~2 ms) with a one-line text report per benchmark —
-//! no statistics engine, plots, or regression baselines.
+//! `criterion_group!`/`criterion_main!` macros and [`black_box`].
+//!
+//! Timing is wall-clock sampling with **decile outlier rejection**: each
+//! benchmark takes `sample_size` samples (each auto-batched to run ≥
+//! ~2 ms), sorts them, drops the top and bottom tenth, and reports the
+//! median and mean of what remains — so one scheduler hiccup can't move
+//! the statistic.
+//!
+//! Results can be compared against a **committed JSON baseline**, which
+//! is what makes `cargo bench` a CI regression gate:
+//!
+//! ```text
+//! MR2_BENCH_RECORD=1  cargo bench   # write benches/baselines/<target>.json
+//! MR2_BENCH_COMPARE=1 cargo bench   # exit 1 on >25% median regression
+//! ```
+//!
+//! `MR2_BENCH_DIR` overrides the baseline directory (default:
+//! `$CARGO_MANIFEST_DIR/benches/baselines`); `MR2_BENCH_MAX_REGRESSION`
+//! overrides the threshold percentage. Baselines are wall-clock numbers
+//! and therefore machine-specific: re-record them when the hardware
+//! changes.
 
+use std::collections::BTreeMap;
 use std::fmt::Display;
+use std::path::{Path, PathBuf};
+use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
@@ -49,16 +69,59 @@ impl From<String> for BenchmarkId {
     }
 }
 
+/// The decile-trimmed statistics of one measured benchmark.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Stats {
+    /// Median per-iteration time of the trimmed samples.
+    pub median: Duration,
+    /// Mean per-iteration time of the trimmed samples.
+    pub trimmed_mean: Duration,
+    /// Samples kept after trimming.
+    pub kept: usize,
+}
+
+/// Sort, drop the top and bottom deciles, and summarize. With fewer
+/// than ten samples nothing is trimmed (a decile would round to zero).
+pub fn trimmed_stats(samples: &[Duration]) -> Stats {
+    assert!(!samples.is_empty());
+    let mut sorted = samples.to_vec();
+    sorted.sort();
+    let trim = sorted.len() / 10;
+    let kept = &sorted[trim..sorted.len() - trim];
+    let sum: Duration = kept.iter().sum();
+    Stats {
+        median: kept[kept.len() / 2],
+        trimmed_mean: sum / kept.len() as u32,
+        kept: kept.len(),
+    }
+}
+
+/// One finished benchmark, as recorded for baselines.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchResult {
+    /// `group/name` identifier (stable across runs).
+    pub id: String,
+    /// Trimmed median, nanoseconds.
+    pub median_ns: f64,
+    /// Trimmed mean, nanoseconds.
+    pub trimmed_mean_ns: f64,
+}
+
+fn registry() -> &'static Mutex<Vec<BenchResult>> {
+    static RESULTS: OnceLock<Mutex<Vec<BenchResult>>> = OnceLock::new();
+    RESULTS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
 /// Passed to the measurement closure; [`Bencher::iter`] runs the routine.
 pub struct Bencher {
     samples: usize,
-    /// Median per-iteration time of the last `iter` call.
-    last: Option<Duration>,
+    /// Statistics of the last `iter` call.
+    last: Option<Stats>,
 }
 
 impl Bencher {
-    /// Measure `routine`: median over `sample_size` samples of the mean
-    /// per-iteration wall-clock time.
+    /// Measure `routine`: decile-trimmed statistics over `sample_size`
+    /// samples of the mean per-iteration wall-clock time.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
         // Warm up and size the batch so one sample runs ≥ ~2 ms.
         let start = Instant::now();
@@ -75,8 +138,7 @@ impl Bencher {
             }
             per_iter.push(t.elapsed() / batch);
         }
-        per_iter.sort();
-        self.last = Some(per_iter[per_iter.len() / 2]);
+        self.last = Some(trimmed_stats(&per_iter));
     }
 }
 
@@ -103,7 +165,7 @@ impl BenchmarkGroup<'_> {
             last: None,
         };
         f(&mut b, input);
-        self.report(&id.name, b.last);
+        report(&self.group_name, &id.name, b.last);
         self
     }
 
@@ -118,12 +180,8 @@ impl BenchmarkGroup<'_> {
             last: None,
         };
         f(&mut b);
-        self.report(&id.name, b.last);
+        report(&self.group_name, &id.name, b.last);
         self
-    }
-
-    fn report(&self, name: &str, last: Option<Duration>) {
-        report(&self.group_name, name, last);
     }
 
     /// End the group (no-op; matches the criterion API).
@@ -184,10 +242,310 @@ impl Criterion {
     }
 }
 
-fn report(group: &str, name: &str, last: Option<Duration>) {
+fn report(group: &str, name: &str, last: Option<Stats>) {
+    let id = if group.is_empty() {
+        name.to_string()
+    } else {
+        format!("{group}/{name}")
+    };
     match last {
-        Some(d) => println!("{group}/{name:<40} {d:>12.2?}/iter"),
-        None => println!("{group}/{name:<40} (no measurement)"),
+        Some(s) => {
+            println!(
+                "{id:<48} median {:>12.2?}/iter  (trimmed mean {:.2?}, {} samples kept)",
+                s.median, s.trimmed_mean, s.kept
+            );
+            registry().lock().unwrap().push(BenchResult {
+                id,
+                median_ns: s.median.as_nanos() as f64,
+                trimmed_mean_ns: s.trimmed_mean.as_nanos() as f64,
+            });
+        }
+        None => println!("{id:<48} (no measurement)"),
+    }
+}
+
+// ---- baseline persistence & comparison ------------------------------
+
+/// Default regression threshold: fail beyond +25% on the median.
+pub const DEFAULT_MAX_REGRESSION_PCT: f64 = 25.0;
+
+/// Render a baseline file (stable key order, pretty enough to diff).
+pub fn render_baseline(results: &[BenchResult]) -> String {
+    let mut out = String::from("{\n  \"schema\": 1,\n  \"benches\": {\n");
+    let sorted: BTreeMap<&str, &BenchResult> = results.iter().map(|r| (r.id.as_str(), r)).collect();
+    for (i, (id, r)) in sorted.iter().enumerate() {
+        out.push_str(&format!(
+            "    \"{}\": {{\"median_ns\": {:.1}, \"trimmed_mean_ns\": {:.1}}}{}\n",
+            escape(id),
+            r.median_ns,
+            r.trimmed_mean_ns,
+            if i + 1 < sorted.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  }\n}\n");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Parse a baseline file back to `id → median_ns`.
+///
+/// A tiny JSON-subset reader (objects, strings, numbers) sufficient for
+/// the format [`render_baseline`] writes; anything else is an error.
+pub fn parse_baseline(text: &str) -> Result<BTreeMap<String, f64>, String> {
+    let mut p = Reader {
+        b: text.as_bytes(),
+        i: 0,
+    };
+    p.ws();
+    let top = p.object()?;
+    let Some(Value::Obj(benches)) = top.get("benches") else {
+        return Err("baseline has no `benches` object".into());
+    };
+    let mut out = BTreeMap::new();
+    for (id, v) in benches {
+        let Value::Obj(fields) = v else {
+            return Err(format!("bench `{id}` is not an object"));
+        };
+        let Some(Value::Num(median)) = fields.get("median_ns") else {
+            return Err(format!("bench `{id}` has no numeric `median_ns`"));
+        };
+        out.insert(id.clone(), *median);
+    }
+    Ok(out)
+}
+
+#[derive(Debug)]
+enum Value {
+    Num(f64),
+    Obj(BTreeMap<String, Value>),
+}
+
+struct Reader<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl Reader<'_> {
+    fn ws(&mut self) {
+        while matches!(self.b.get(self.i), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.i += 1;
+        }
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        self.ws();
+        if self.b.get(self.i) == Some(&c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(format!("expected `{}` at byte {}", c as char, self.i))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.b.get(self.i) {
+                Some(b'"') => {
+                    self.i += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.i += 1;
+                    match self.b.get(self.i) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        _ => return Err(format!("bad escape at byte {}", self.i)),
+                    }
+                    self.i += 1;
+                }
+                Some(&c) => {
+                    out.push(c as char);
+                    self.i += 1;
+                }
+                None => return Err("unterminated string".into()),
+            }
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        self.ws();
+        match self.b.get(self.i) {
+            Some(b'{') => self.object().map(Value::Obj),
+            Some(b'-' | b'0'..=b'9') => {
+                let start = self.i;
+                while matches!(
+                    self.b.get(self.i),
+                    Some(b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+                ) {
+                    self.i += 1;
+                }
+                std::str::from_utf8(&self.b[start..self.i])
+                    .ok()
+                    .and_then(|s| s.parse().ok())
+                    .map(Value::Num)
+                    .ok_or_else(|| format!("bad number at byte {start}"))
+            }
+            _ => Err(format!("unexpected value at byte {}", self.i)),
+        }
+    }
+
+    fn object(&mut self) -> Result<BTreeMap<String, Value>, String> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.ws();
+        if self.b.get(self.i) == Some(&b'}') {
+            self.i += 1;
+            return Ok(map);
+        }
+        loop {
+            self.ws();
+            let key = self.string()?;
+            self.expect(b':')?;
+            map.insert(key, self.value()?);
+            self.ws();
+            match self.b.get(self.i) {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(map);
+                }
+                _ => return Err(format!("expected `,` or `}}` at byte {}", self.i)),
+            }
+        }
+    }
+}
+
+/// Compare measured results against a baseline. Returns one line per
+/// median regression beyond `max_regression_pct`; improvements never
+/// fail. Benchmarks absent from the baseline are a printed note — or a
+/// failure when `require_covered` is set, which is how CI catches a
+/// suite that outgrew its committed baselines.
+pub fn compare_to_baseline(
+    results: &[BenchResult],
+    baseline: &BTreeMap<String, f64>,
+    max_regression_pct: f64,
+    require_covered: bool,
+) -> Vec<String> {
+    let mut failures = Vec::new();
+    for r in results {
+        let Some(&base) = baseline.get(&r.id) else {
+            if require_covered {
+                failures.push(format!(
+                    "UNCOVERED {}: not in the baseline — re-record with MR2_BENCH_RECORD=1",
+                    r.id
+                ));
+            } else {
+                println!("baseline: `{}` not in baseline (new benchmark?)", r.id);
+            }
+            continue;
+        };
+        if base <= 0.0 {
+            continue;
+        }
+        let delta_pct = (r.median_ns / base - 1.0) * 100.0;
+        if delta_pct > max_regression_pct {
+            failures.push(format!(
+                "REGRESSION {}: median {:.0} ns vs baseline {:.0} ns ({:+.1}%, limit +{:.0}%)",
+                r.id, r.median_ns, base, delta_pct, max_regression_pct
+            ));
+        }
+    }
+    failures
+}
+
+/// The bench target's name: `argv[0]` minus cargo's `-<hash>` suffix.
+fn bench_target_name() -> String {
+    let argv0 = std::env::args().next().unwrap_or_default();
+    let stem = Path::new(&argv0)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("bench")
+        .to_string();
+    match stem.rsplit_once('-') {
+        Some((base, suffix))
+            if suffix.len() == 16 && suffix.bytes().all(|b| b.is_ascii_hexdigit()) =>
+        {
+            base.to_string()
+        }
+        _ => stem,
+    }
+}
+
+fn baseline_path() -> PathBuf {
+    let dir = std::env::var("MR2_BENCH_DIR").unwrap_or_else(|_| {
+        format!(
+            "{}/benches/baselines",
+            std::env::var("CARGO_MANIFEST_DIR").unwrap_or_else(|_| ".".into())
+        )
+    });
+    Path::new(&dir).join(format!("{}.json", bench_target_name()))
+}
+
+/// Called by `criterion_main!` after every group ran: records or checks
+/// the baseline depending on `MR2_BENCH_RECORD` / `MR2_BENCH_COMPARE`.
+/// Exits non-zero on regression, which is what fails the CI job.
+pub fn finalize() {
+    let results = registry().lock().unwrap().clone();
+    if results.is_empty() {
+        return;
+    }
+    let record = std::env::var("MR2_BENCH_RECORD").is_ok_and(|v| v == "1");
+    let compare = std::env::var("MR2_BENCH_COMPARE").is_ok_and(|v| v == "1");
+    if !record && !compare {
+        return;
+    }
+    let path = baseline_path();
+    if record {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir).expect("create baseline dir");
+        }
+        std::fs::write(&path, render_baseline(&results)).expect("write baseline");
+        println!(
+            "baseline: recorded {} benches to {}",
+            results.len(),
+            path.display()
+        );
+        return;
+    }
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!(
+                "baseline: cannot read {} ({e}); record one with MR2_BENCH_RECORD=1",
+                path.display()
+            );
+            std::process::exit(1);
+        }
+    };
+    let baseline = match parse_baseline(&text) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("baseline: {} is malformed: {e}", path.display());
+            std::process::exit(1);
+        }
+    };
+    let max_pct = std::env::var("MR2_BENCH_MAX_REGRESSION")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_MAX_REGRESSION_PCT);
+    let require_covered = std::env::var("MR2_BENCH_REQUIRE_COVERED").is_ok_and(|v| v == "1");
+    let failures = compare_to_baseline(&results, &baseline, max_pct, require_covered);
+    if failures.is_empty() {
+        println!(
+            "baseline: {} benches within +{max_pct:.0}% of {}",
+            results.len(),
+            path.display()
+        );
+    } else {
+        for f in &failures {
+            eprintln!("{f}");
+        }
+        std::process::exit(1);
     }
 }
 
@@ -209,12 +567,14 @@ macro_rules! criterion_group {
     };
 }
 
-/// Entry point running one or more `criterion_group!`s.
+/// Entry point running one or more `criterion_group!`s, then the
+/// baseline record/compare pass ([`finalize`]).
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $( $group(); )+
+            $crate::finalize();
         }
     };
 }
@@ -247,8 +607,11 @@ mod tests {
     }
 
     #[test]
-    fn group_runs() {
+    fn group_runs_and_registers() {
         benches();
+        let reg = registry().lock().unwrap();
+        assert!(reg.iter().any(|r| r.id == "demo/fib/10"));
+        assert!(reg.iter().any(|r| r.id == "demo/fib_12"));
     }
 
     #[test]
@@ -259,5 +622,74 @@ mod tests {
         };
         b.iter(|| black_box(1 + 1));
         assert!(b.last.is_some());
+    }
+
+    #[test]
+    fn trimming_drops_deciles() {
+        // 20 samples: 18 at ~100ns, one absurd spike, one absurd dip.
+        let mut samples = vec![Duration::from_nanos(100); 18];
+        samples.push(Duration::from_millis(50)); // spike
+        samples.push(Duration::from_nanos(1)); // dip
+        let s = trimmed_stats(&samples);
+        assert_eq!(s.kept, 16, "top/bottom deciles of 20 are 2+2 samples");
+        assert_eq!(s.median, Duration::from_nanos(100));
+        assert_eq!(s.trimmed_mean, Duration::from_nanos(100), "spike rejected");
+        // Small sample counts are untouched.
+        assert_eq!(trimmed_stats(&samples[..5]).kept, 5);
+    }
+
+    #[test]
+    fn baseline_roundtrip_and_comparison() {
+        let results = vec![
+            BenchResult {
+                id: "g/fast".into(),
+                median_ns: 100.0,
+                trimmed_mean_ns: 101.0,
+            },
+            BenchResult {
+                id: "g/slow".into(),
+                median_ns: 5000.0,
+                trimmed_mean_ns: 5100.0,
+            },
+        ];
+        let text = render_baseline(&results);
+        let baseline = parse_baseline(&text).unwrap();
+        assert_eq!(baseline["g/fast"], 100.0);
+        assert_eq!(baseline["g/slow"], 5000.0);
+
+        // Identical measurements: no failures.
+        assert!(compare_to_baseline(&results, &baseline, 25.0, false).is_empty());
+
+        // +30% on one median: exactly that one fails at the 25% gate.
+        let mut regressed = results.clone();
+        regressed[0].median_ns = 130.0;
+        let failures = compare_to_baseline(&regressed, &baseline, 25.0, false);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("g/fast"), "{failures:?}");
+        assert!(failures[0].contains("+30.0%"), "{failures:?}");
+        // …and passes a looser gate.
+        assert!(compare_to_baseline(&regressed, &baseline, 50.0, false).is_empty());
+
+        // Improvements and unknown benches never fail by default…
+        let mut faster = results.clone();
+        faster[1].median_ns = 10.0;
+        faster.push(BenchResult {
+            id: "g/new".into(),
+            median_ns: 1.0,
+            trimmed_mean_ns: 1.0,
+        });
+        assert!(compare_to_baseline(&faster, &baseline, 25.0, false).is_empty());
+        // …but an uncovered bench fails when coverage is required.
+        let uncovered = compare_to_baseline(&faster, &baseline, 25.0, true);
+        assert_eq!(uncovered.len(), 1);
+        assert!(uncovered[0].contains("UNCOVERED g/new"), "{uncovered:?}");
+    }
+
+    #[test]
+    fn baseline_parser_rejects_garbage() {
+        assert!(parse_baseline("").is_err());
+        assert!(parse_baseline("{\"schema\": 1}").is_err());
+        assert!(parse_baseline("{\"benches\": {\"x\": {}}}").is_err());
+        assert!(parse_baseline("{\"benches\": {\"x\": {\"median_ns\": \"hi\"}}}").is_err());
     }
 }

@@ -86,6 +86,16 @@ pub fn estimate_workload(
     }
 }
 
+/// Schema version of the analytic model's inputs and outputs.
+///
+/// Bump whenever a change makes previously computed [`ModelPoint`]s
+/// incomparable with fresh ones — a new estimator, a changed calibration
+/// default, a different record layout. Cache layers (crate
+/// `mr2-scenario`) bake this into their content hashes, so persisted
+/// results from an older model silently miss instead of serving stale
+/// numbers.
+pub const MODEL_SCHEMA_VERSION: u32 = 1;
+
 /// The analytic estimates of one configuration point — the narrow entry
 /// result batch evaluators (crate `mr2-scenario`) consume. A flat,
 /// comparison-ready subset of [`WorkloadEstimate`].
@@ -99,6 +109,31 @@ pub struct ModelPoint {
     pub aria: f64,
     /// Herodotou static baseline.
     pub herodotou: f64,
+}
+
+impl ModelPoint {
+    /// Flat-record length of [`ModelPoint::to_record`].
+    pub const RECORD_LEN: usize = 4;
+
+    /// The stable serialized form: a flat `f64` record with a fixed
+    /// field order, the unit cache layers and services store and ship.
+    pub fn to_record(&self) -> Vec<f64> {
+        vec![self.fork_join, self.tripathi, self.aria, self.herodotou]
+    }
+
+    /// Decode a record written by [`ModelPoint::to_record`]; `None` if
+    /// the length doesn't match (a corrupt or foreign record).
+    pub fn from_record(rec: &[f64]) -> Option<ModelPoint> {
+        match rec {
+            &[fork_join, tripathi, aria, herodotou] => Some(ModelPoint {
+                fork_join,
+                tripathi,
+                aria,
+                herodotou,
+            }),
+            _ => None,
+        }
+    }
 }
 
 /// Narrow batch-evaluation entry point: both estimators and both
@@ -162,6 +197,25 @@ mod tests {
         assert_eq!(p.tripathi.to_bits(), e.tripathi.to_bits());
         assert_eq!(p.aria.to_bits(), e.aria.to_bits());
         assert_eq!(p.herodotou.to_bits(), e.herodotou.to_bits());
+    }
+
+    #[test]
+    fn model_point_record_roundtrip_is_bit_exact() {
+        let p = ModelPoint {
+            fork_join: 0.1 + 0.2,
+            tripathi: -0.0,
+            aria: f64::from_bits(0x7ff0000000000001),
+            herodotou: 1e300,
+        };
+        let rec = p.to_record();
+        assert_eq!(rec.len(), ModelPoint::RECORD_LEN);
+        let q = ModelPoint::from_record(&rec).unwrap();
+        assert_eq!(q.fork_join.to_bits(), p.fork_join.to_bits());
+        assert_eq!(q.tripathi.to_bits(), p.tripathi.to_bits());
+        assert_eq!(q.aria.to_bits(), p.aria.to_bits());
+        assert_eq!(q.herodotou.to_bits(), p.herodotou.to_bits());
+        assert_eq!(ModelPoint::from_record(&rec[..3]), None);
+        assert_eq!(ModelPoint::from_record(&[0.0; 5]), None);
     }
 
     #[test]

@@ -36,7 +36,9 @@ pub mod tree;
 
 pub use calibrate::{herodotou_estimate, job_inputs, model_input, Calibration};
 pub use error::{abs_relative_error, relative_error, ErrorBand};
-pub use estimate::{estimate_workload, eval_point, ModelPoint, WorkloadEstimate};
+pub use estimate::{
+    estimate_workload, eval_point, ModelPoint, WorkloadEstimate, MODEL_SCHEMA_VERSION,
+};
 pub use input::{
     Center, ClusterInputs, Estimator, JobClassInputs, ModelInput, ModelOptions, TaskClass,
 };

@@ -13,6 +13,17 @@ use crate::job::JobSpec;
 use crate::metrics::JobResult;
 use simcore::{Samples, Welford};
 
+/// Schema version of the simulator's configuration and measurement
+/// outputs.
+///
+/// Bump whenever a change makes previously simulated results
+/// incomparable with fresh ones — a new `SimConfig` field that alters
+/// behaviour, a changed RNG stream, a different record layout. Cache
+/// layers (crate `mr2-scenario`) bake this into their content hashes,
+/// so persisted results from an older simulator silently miss instead
+/// of serving stale numbers.
+pub const SIM_SCHEMA_VERSION: u32 = 1;
+
 /// Duration statistics of one task class.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ClassStats {
@@ -60,6 +71,50 @@ pub struct MeasuredProfile {
 }
 
 impl MeasuredProfile {
+    /// Flat-record length of [`MeasuredProfile::to_record`].
+    pub const RECORD_LEN: usize = 12;
+
+    /// The stable serialized form: a flat `f64` record with a fixed
+    /// field order (three [`ClassStats`] triples, then response time and
+    /// task counts), the unit cache layers and services store and ship.
+    pub fn to_record(&self) -> Vec<f64> {
+        vec![
+            self.map.mean,
+            self.map.cv,
+            self.map.count as f64,
+            self.shuffle_sort.mean,
+            self.shuffle_sort.cv,
+            self.shuffle_sort.count as f64,
+            self.merge.mean,
+            self.merge.cv,
+            self.merge.count as f64,
+            self.response_time,
+            self.num_maps as f64,
+            self.num_reduces as f64,
+        ]
+    }
+
+    /// Decode a record written by [`MeasuredProfile::to_record`]; `None`
+    /// if the length doesn't match (a corrupt or foreign record).
+    pub fn from_record(rec: &[f64]) -> Option<MeasuredProfile> {
+        if rec.len() != Self::RECORD_LEN {
+            return None;
+        }
+        let stats = |i: usize| ClassStats {
+            mean: rec[i],
+            cv: rec[i + 1],
+            count: rec[i + 2] as u64,
+        };
+        Some(MeasuredProfile {
+            map: stats(0),
+            shuffle_sort: stats(3),
+            merge: stats(6),
+            response_time: rec[9],
+            num_maps: rec[10] as u32,
+            num_reduces: rec[11] as u32,
+        })
+    }
+
     /// Extract the profile from one job's result.
     pub fn from_result(r: &JobResult) -> MeasuredProfile {
         let mut map = Welford::new();
@@ -152,6 +207,31 @@ pub struct SimPoint {
     pub per_rep_mean: Vec<f64>,
 }
 
+impl SimPoint {
+    /// The stable serialized form: `[median, mean, per-rep means…]`, the
+    /// unit cache layers and services store and ship. Variable length
+    /// (two summary statistics plus one value per repetition).
+    pub fn to_record(&self) -> Vec<f64> {
+        let mut rec = Vec::with_capacity(2 + self.per_rep_mean.len());
+        rec.push(self.median_response);
+        rec.push(self.mean_response);
+        rec.extend_from_slice(&self.per_rep_mean);
+        rec
+    }
+
+    /// Decode a record written by [`SimPoint::to_record`]; `None` if the
+    /// record is too short to carry the summary statistics.
+    pub fn from_record(rec: &[f64]) -> Option<SimPoint> {
+        let (&median_response, rest) = rec.split_first()?;
+        let (&mean_response, per_rep) = rest.split_first()?;
+        Some(SimPoint {
+            median_response,
+            mean_response,
+            per_rep_mean: per_rep.to_vec(),
+        })
+    }
+}
+
 /// Narrow batch-evaluation entry point: simulate `n_jobs` copies of
 /// `spec` on `cfg`, `reps` seeded repetitions, and return the summary
 /// statistics. Deterministic in `(cfg, spec, n_jobs, reps)` — including
@@ -214,6 +294,30 @@ mod tests {
         assert!((p.median_response - m.median_response).abs() < 1e-12);
         let mean = m.per_rep_mean.iter().sum::<f64>() / 3.0;
         assert!((p.mean_response - mean).abs() < 1e-12);
+    }
+
+    #[test]
+    fn records_roundtrip_bit_exact() {
+        let spec = wordcount(256 * MB, 1);
+        let p = eval_point(&cfg(), &spec, 1, 2);
+        let q = SimPoint::from_record(&p.to_record()).unwrap();
+        assert_eq!(q, p);
+        assert_eq!(SimPoint::from_record(&[1.0]), None);
+
+        let (profile, _) = profile_job(&spec, &cfg());
+        let rec = profile.to_record();
+        assert_eq!(rec.len(), MeasuredProfile::RECORD_LEN);
+        let back = MeasuredProfile::from_record(&rec).unwrap();
+        assert_eq!(back.map, profile.map);
+        assert_eq!(back.shuffle_sort, profile.shuffle_sort);
+        assert_eq!(back.merge, profile.merge);
+        assert_eq!(
+            back.response_time.to_bits(),
+            profile.response_time.to_bits()
+        );
+        assert_eq!(back.num_maps, profile.num_maps);
+        assert_eq!(back.num_reduces, profile.num_reduces);
+        assert!(MeasuredProfile::from_record(&rec[..11]).is_none());
     }
 
     #[test]

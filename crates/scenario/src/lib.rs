@@ -43,7 +43,7 @@ pub mod report;
 pub mod runner;
 pub mod spec;
 
-pub use cache::{CacheStats, KeyHasher, ResultCache};
+pub use cache::{schema_version, CacheStats, KeyHasher, ResultCache};
 pub use expand::expand;
 pub use report::{error_bands, render_report, to_csv, SeriesBand};
 pub use runner::{evaluate_point, run_scenario, PointResult, RunnerConfig, SimResult, SweepResult};

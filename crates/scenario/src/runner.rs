@@ -13,6 +13,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use mapreduce_sim::profile::{profile_job, MeasuredProfile};
+use mapreduce_sim::SimPoint;
 use mr2_model::{Calibration, ModelOptions, ModelPoint};
 
 use crate::cache::{KeyHasher, ResultCache};
@@ -172,12 +173,12 @@ pub fn evaluate_point(
             .u64(reps as u64)
             .finish();
         let rec = cache.get_or_compute(key, || {
-            let p = mapreduce_sim::eval_point(&cfg, &spec, point.n_jobs, reps);
-            vec![p.median_response, p.mean_response]
+            mapreduce_sim::eval_point(&cfg, &spec, point.n_jobs, reps).to_record()
         });
+        let p = SimPoint::from_record(&rec).expect("cached sim record shape");
         SimResult {
-            median_response: rec[0],
-            mean_response: rec[1],
+            median_response: p.median_response,
+            mean_response: p.mean_response,
             reps,
         }
     });
@@ -188,8 +189,8 @@ pub fn evaluate_point(
             // not include `n_jobs`: the whole multiprogramming axis of
             // a configuration shares one profile.
             let key = config_key(point).str("profile").finish();
-            let rec = cache.get_or_compute(key, || encode_profile(&profile_job(&spec, &cfg).0));
-            decode_profile(&rec)
+            let rec = cache.get_or_compute(key, || profile_job(&spec, &cfg).0.to_record());
+            MeasuredProfile::from_record(&rec).expect("cached profile record shape")
         });
         let key = config_key(point)
             .str("model")
@@ -197,22 +198,17 @@ pub fn evaluate_point(
             .bool(backends.profile_calibration)
             .finish();
         let rec = cache.get_or_compute(key, || {
-            let m = mr2_model::eval_point(
+            mr2_model::eval_point(
                 &cfg,
                 &spec,
                 point.n_jobs,
                 &ModelOptions::default(),
                 &Calibration::default(),
                 profile.as_ref(),
-            );
-            vec![m.fork_join, m.tripathi, m.aria, m.herodotou]
+            )
+            .to_record()
         });
-        ModelPoint {
-            fork_join: rec[0],
-            tripathi: rec[1],
-            aria: rec[2],
-            herodotou: rec[3],
-        }
+        ModelPoint::from_record(&rec).expect("cached model record shape")
     });
 
     PointResult {
@@ -222,14 +218,16 @@ pub fn evaluate_point(
     }
 }
 
-/// Content key of a point's cluster + job configuration. Deliberately
-/// excludes `index` (a position, not an input), `estimator` (a
-/// reporting selector: all four series come from the same solve), and
-/// `n_jobs` (backend-dependent: a profiling run always executes one
-/// job alone). Each backend appends its tag and the remaining inputs
-/// it actually consumes.
+/// Content key of a point's cluster + job configuration, on a
+/// schema-versioned hasher ([`KeyHasher::versioned`]) so model or
+/// simulator schema bumps invalidate every persisted result.
+/// Deliberately excludes `index` (a position, not an input),
+/// `estimator` (a reporting selector: all four series come from the
+/// same solve), and `n_jobs` (backend-dependent: a profiling run always
+/// executes one job alone). Each backend appends its tag and the
+/// remaining inputs it actually consumes.
 fn config_key(p: &EvalPoint) -> KeyHasher {
-    KeyHasher::new()
+    KeyHasher::versioned()
         .u64(p.nodes as u64)
         .u64(p.block_mb)
         .u64(p.container_mb as u64)
@@ -241,40 +239,6 @@ fn config_key(p: &EvalPoint) -> KeyHasher {
         .u64(p.input_bytes)
         .u64(p.reduces as u64)
         .u64(p.seed)
-}
-
-fn encode_profile(p: &MeasuredProfile) -> Vec<f64> {
-    vec![
-        p.map.mean,
-        p.map.cv,
-        p.map.count as f64,
-        p.shuffle_sort.mean,
-        p.shuffle_sort.cv,
-        p.shuffle_sort.count as f64,
-        p.merge.mean,
-        p.merge.cv,
-        p.merge.count as f64,
-        p.response_time,
-        p.num_maps as f64,
-        p.num_reduces as f64,
-    ]
-}
-
-fn decode_profile(rec: &[f64]) -> MeasuredProfile {
-    use mapreduce_sim::profile::ClassStats;
-    let stats = |i: usize| ClassStats {
-        mean: rec[i],
-        cv: rec[i + 1],
-        count: rec[i + 2] as u64,
-    };
-    MeasuredProfile {
-        map: stats(0),
-        shuffle_sort: stats(3),
-        merge: stats(6),
-        response_time: rec[9],
-        num_maps: rec[10] as u32,
-        num_reduces: rec[11] as u32,
-    }
 }
 
 #[cfg(test)]

@@ -276,18 +276,32 @@ impl Scenario {
     /// Panic with a description if any axis is empty or a zip length
     /// mismatches.
     pub fn validate(&self) {
-        assert!(!self.nodes.is_empty(), "nodes axis is empty");
-        assert!(!self.block_mb.is_empty(), "block_mb axis is empty");
-        assert!(!self.container_mb.is_empty(), "container_mb axis is empty");
-        assert!(!self.schedulers.is_empty(), "schedulers axis is empty");
-        assert!(!self.jobs.is_empty(), "jobs axis is empty");
-        assert!(!self.input_bytes.is_empty(), "input_bytes axis is empty");
-        assert!(!self.n_jobs.is_empty(), "n_jobs axis is empty");
-        assert!(!self.estimators.is_empty(), "estimators axis is empty");
-        assert!(
-            self.backends.analytic || self.backends.simulator.is_some(),
-            "at least one backend must be enabled"
-        );
+        if let Err(e) = self.check() {
+            panic!("{e}");
+        }
+    }
+
+    /// The non-panicking form of [`Scenario::validate`], for callers —
+    /// like a serving layer — that must turn a bad spec into an error
+    /// response rather than a crash.
+    pub fn check(&self) -> Result<(), String> {
+        for (name, empty) in [
+            ("nodes", self.nodes.is_empty()),
+            ("block_mb", self.block_mb.is_empty()),
+            ("container_mb", self.container_mb.is_empty()),
+            ("schedulers", self.schedulers.is_empty()),
+            ("jobs", self.jobs.is_empty()),
+            ("input_bytes", self.input_bytes.is_empty()),
+            ("n_jobs", self.n_jobs.is_empty()),
+            ("estimators", self.estimators.is_empty()),
+        ] {
+            if empty {
+                return Err(format!("{name} axis is empty"));
+            }
+        }
+        if !(self.backends.analytic || self.backends.simulator.is_some()) {
+            return Err("at least one backend must be enabled".into());
+        }
         if self.sweep == SweepMode::Zip {
             let lens = self.axis_lens();
             let max = lens.iter().copied().max().unwrap();
@@ -301,12 +315,14 @@ impl Scenario {
                 ("n_jobs", lens[6]),
                 ("estimators", lens[7]),
             ] {
-                assert!(
-                    len == max || len == 1,
-                    "zip axis {name} has length {len}, expected {max} or 1"
-                );
+                if len != max && len != 1 {
+                    return Err(format!(
+                        "zip axis {name} has length {len}, expected {max} or 1"
+                    ));
+                }
             }
         }
+        Ok(())
     }
 
     /// Lengths of all eight axes, in expansion order.
@@ -324,9 +340,16 @@ impl Scenario {
     }
 
     /// Number of points the scenario expands to.
+    /// Saturates at `usize::MAX` instead of wrapping, so a size guard
+    /// (`num_points() > limit`) stays sound for absurd axis products —
+    /// a service must bounce those, not expand them.
     pub fn num_points(&self) -> usize {
         match self.sweep {
-            SweepMode::Cartesian => self.axis_lens().iter().product(),
+            SweepMode::Cartesian => self
+                .axis_lens()
+                .iter()
+                .try_fold(1usize, |acc, &len| acc.checked_mul(len))
+                .unwrap_or(usize::MAX),
             SweepMode::Zip => self.axis_lens().into_iter().max().unwrap_or(0),
         }
     }
@@ -415,6 +438,40 @@ mod tests {
     #[should_panic(expected = "axis is empty")]
     fn empty_axis_rejected() {
         Scenario::new("t").axis_nodes(Vec::new()).validate();
+    }
+
+    #[test]
+    fn num_points_saturates_instead_of_wrapping() {
+        // 8 axes of 256 entries: 256^8 = 2^64 would wrap to 0 and slip
+        // under any size guard; it must saturate instead.
+        let axis: Vec<usize> = (1..=256).collect();
+        let s = Scenario::new("huge")
+            .axis_nodes(axis.clone())
+            .axis_block_mb((1u64..=256).collect::<Vec<_>>())
+            .axis_container_mb((1u32..=256).collect::<Vec<_>>())
+            .axis_schedulers(vec![SchedulerPolicy::CapacityFifo; 256])
+            .axis_jobs(vec![JobKind::WordCount; 256])
+            .axis_input_bytes((1u64..=256).collect::<Vec<_>>())
+            .axis_n_jobs(axis)
+            .axis_estimators(vec![EstimatorKind::ForkJoin; 256]);
+        assert_eq!(s.num_points(), usize::MAX);
+    }
+
+    #[test]
+    fn check_reports_instead_of_panicking() {
+        assert_eq!(Scenario::new("t").check(), Ok(()));
+        let e = Scenario::new("t")
+            .axis_jobs(Vec::new())
+            .check()
+            .unwrap_err();
+        assert_eq!(e, "jobs axis is empty");
+        let mut s = Scenario::new("t");
+        s.backends = Backends {
+            analytic: false,
+            profile_calibration: false,
+            simulator: None,
+        };
+        assert!(s.check().unwrap_err().contains("at least one backend"));
     }
 
     #[test]

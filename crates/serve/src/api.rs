@@ -1,0 +1,535 @@
+//! The service's wire types: JSON decoding of estimate/scenario
+//! requests into `mr2-scenario` specs, and JSON encoding of evaluated
+//! results, error bands, and cache statistics.
+//!
+//! Decoding is strict — unknown fields are rejected — because a typo'd
+//! axis name that silently falls back to a default would hand a
+//! capacity planner confidently wrong numbers.
+
+use std::collections::BTreeMap;
+
+use mapreduce_sim::{SchedulerPolicy, GB};
+use mr2_scenario::{
+    error_bands, Backends, CacheStats, EstimatorKind, EvalPoint, JobKind, PointResult,
+    ReducePolicy, Scenario, SweepMode, SweepResult,
+};
+
+use crate::json::Json;
+
+/// A decoded `POST /v1/estimate` body: one fully concrete point plus
+/// the backends to evaluate it with.
+#[derive(Debug, Clone)]
+pub struct EstimateRequest {
+    /// The point to evaluate.
+    pub point: EvalPoint,
+    /// Which backends to run. Defaults to the analytic model only —
+    /// the online-query fast path; simulator ground truth is opt-in.
+    pub backends: Backends,
+}
+
+fn parse_scheduler(s: &str) -> Result<SchedulerPolicy, String> {
+    match s {
+        "capacity_fifo" => Ok(SchedulerPolicy::CapacityFifo),
+        "fair" => Ok(SchedulerPolicy::Fair),
+        other => Err(format!(
+            "unknown scheduler `{other}` (expected `capacity_fifo` or `fair`)"
+        )),
+    }
+}
+
+fn parse_job(s: &str) -> Result<JobKind, String> {
+    match s {
+        "wordcount" => Ok(JobKind::WordCount),
+        "terasort" => Ok(JobKind::TeraSort),
+        "grep" => Ok(JobKind::Grep),
+        other => Err(format!(
+            "unknown job `{other}` (expected `wordcount`, `terasort`, or `grep`)"
+        )),
+    }
+}
+
+fn parse_estimator(s: &str) -> Result<EstimatorKind, String> {
+    EstimatorKind::ALL
+        .into_iter()
+        .find(|e| e.name() == s)
+        .ok_or_else(|| {
+            format!("unknown estimator `{s}` (expected `fork_join`, `tripathi`, `aria`, or `herodotou`)")
+        })
+}
+
+/// The object's fields, after verifying every key is known.
+fn known_object<'a>(
+    v: &'a Json,
+    what: &str,
+    known: &[&str],
+) -> Result<&'a BTreeMap<String, Json>, String> {
+    let Json::Obj(map) = v else {
+        return Err(format!("{what} must be a JSON object"));
+    };
+    for key in map.keys() {
+        if !known.contains(&key.as_str()) {
+            return Err(format!("unknown {what} field `{key}`"));
+        }
+    }
+    Ok(map)
+}
+
+fn field_u64(map: &BTreeMap<String, Json>, key: &str, default: u64) -> Result<u64, String> {
+    match map.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .as_u64()
+            .ok_or_else(|| format!("field `{key}` must be a non-negative integer")),
+    }
+}
+
+fn field_positive(map: &BTreeMap<String, Json>, key: &str, default: u64) -> Result<u64, String> {
+    let v = field_u64(map, key, default)?;
+    if v == 0 {
+        return Err(format!("field `{key}` must be positive"));
+    }
+    Ok(v)
+}
+
+/// A positive field that must also fit the narrower type it feeds —
+/// out-of-range values are rejected, never silently truncated.
+fn field_positive_u32(
+    map: &BTreeMap<String, Json>,
+    key: &str,
+    default: u32,
+) -> Result<u32, String> {
+    let v = field_positive(map, key, default.into())?;
+    u32::try_from(v).map_err(|_| format!("field `{key}` must fit 32 bits"))
+}
+
+fn field_str_list(map: &BTreeMap<String, Json>, key: &str) -> Result<Option<Vec<String>>, String> {
+    match map.get(key) {
+        None => Ok(None),
+        Some(Json::Arr(items)) => items
+            .iter()
+            .map(|v| {
+                v.as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| format!("field `{key}` must be an array of strings"))
+            })
+            .collect::<Result<Vec<_>, _>>()
+            .map(Some),
+        Some(_) => Err(format!("field `{key}` must be an array of strings")),
+    }
+}
+
+fn field_u64_list(map: &BTreeMap<String, Json>, key: &str) -> Result<Option<Vec<u64>>, String> {
+    match map.get(key) {
+        None => Ok(None),
+        Some(Json::Arr(items)) => items
+            .iter()
+            .map(|v| {
+                v.as_u64()
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| format!("field `{key}` must be an array of positive integers"))
+            })
+            .collect::<Result<Vec<_>, _>>()
+            .map(Some),
+        Some(_) => Err(format!(
+            "field `{key}` must be an array of positive integers"
+        )),
+    }
+}
+
+/// Decode a `backends` object; `default` fills the missing fields.
+fn parse_backends(v: &Json, default: Backends) -> Result<Backends, String> {
+    let map = known_object(
+        v,
+        "backends",
+        &["analytic", "profile_calibration", "simulator"],
+    )?;
+    let bool_field = |key: &str, default: bool| -> Result<bool, String> {
+        match map.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .as_bool()
+                .ok_or_else(|| format!("field `{key}` must be a boolean")),
+        }
+    };
+    let simulator = match map.get("simulator") {
+        None => default.simulator,
+        Some(Json::Null) => None,
+        Some(v) => Some(
+            v.as_u64()
+                .filter(|&n| n > 0)
+                .ok_or("field `simulator` must be null or a positive repetition count")?
+                as usize,
+        ),
+    };
+    Ok(Backends {
+        analytic: bool_field("analytic", default.analytic)?,
+        profile_calibration: bool_field("profile_calibration", default.profile_calibration)?,
+        simulator,
+    })
+}
+
+/// Decode a `reduces` field: the string `"per_node"` or a fixed count.
+fn parse_reduces(map: &BTreeMap<String, Json>) -> Result<ReducePolicy, String> {
+    match map.get("reduces") {
+        None => Ok(ReducePolicy::PerNode),
+        Some(Json::Str(s)) if s == "per_node" => Ok(ReducePolicy::PerNode),
+        Some(v) => v
+            .as_u64()
+            .filter(|&n| n > 0)
+            .and_then(|n| u32::try_from(n).ok())
+            .map(ReducePolicy::Fixed)
+            .ok_or_else(|| "field `reduces` must be `\"per_node\"` or a positive count".into()),
+    }
+}
+
+/// Decode a `POST /v1/estimate` body.
+pub fn parse_estimate_request(body: &str) -> Result<EstimateRequest, String> {
+    let v = Json::parse(body).map_err(|e| format!("invalid JSON: {e}"))?;
+    let map = known_object(
+        &v,
+        "estimate request",
+        &[
+            "nodes",
+            "block_mb",
+            "container_mb",
+            "scheduler",
+            "job",
+            "input_bytes",
+            "n_jobs",
+            "estimator",
+            "reduces",
+            "seed",
+            "backends",
+        ],
+    )?;
+    let str_field = |key: &str| -> Result<Option<&str>, String> {
+        match map.get(key) {
+            None => Ok(None),
+            Some(v) => v
+                .as_str()
+                .map(Some)
+                .ok_or_else(|| format!("field `{key}` must be a string")),
+        }
+    };
+    let nodes = field_positive(map, "nodes", 4)? as usize;
+    let point = EvalPoint {
+        index: 0,
+        nodes,
+        block_mb: field_positive(map, "block_mb", 128)?,
+        container_mb: field_positive_u32(map, "container_mb", 1024)?,
+        scheduler: str_field("scheduler")?
+            .map_or(Ok(SchedulerPolicy::CapacityFifo), parse_scheduler)?,
+        job: str_field("job")?.map_or(Ok(JobKind::WordCount), parse_job)?,
+        input_bytes: field_positive(map, "input_bytes", GB)?,
+        n_jobs: field_positive(map, "n_jobs", 1)? as usize,
+        estimator: str_field("estimator")?.map_or(Ok(EstimatorKind::ForkJoin), parse_estimator)?,
+        reduces: parse_reduces(map)?.reduces(nodes),
+        seed: field_u64(map, "seed", 1)?,
+    };
+    let backends = match map.get("backends") {
+        None => Backends::analytic_only(),
+        Some(v) => parse_backends(v, Backends::analytic_only())?,
+    };
+    if !backends.analytic && backends.simulator.is_none() {
+        return Err("at least one backend must be enabled".into());
+    }
+    Ok(EstimateRequest { point, backends })
+}
+
+/// Decode a `POST /v1/scenario` body into a [`Scenario`] (validated
+/// with [`Scenario::check`]).
+pub fn parse_scenario_request(body: &str) -> Result<Scenario, String> {
+    let v = Json::parse(body).map_err(|e| format!("invalid JSON: {e}"))?;
+    let map = known_object(
+        &v,
+        "scenario request",
+        &[
+            "name",
+            "sweep",
+            "nodes",
+            "block_mb",
+            "container_mb",
+            "schedulers",
+            "jobs",
+            "input_bytes",
+            "n_jobs",
+            "estimators",
+            "reduces",
+            "backends",
+            "seed",
+        ],
+    )?;
+    let name = match map.get("name") {
+        None => "adhoc".to_string(),
+        Some(v) => v
+            .as_str()
+            .ok_or("field `name` must be a string")?
+            .to_string(),
+    };
+    let mut s = Scenario::new(name);
+    match map.get("sweep").map(|v| v.as_str()) {
+        None => {}
+        Some(Some("cartesian")) => s.sweep = SweepMode::Cartesian,
+        Some(Some("zip")) => s.sweep = SweepMode::Zip,
+        Some(_) => return Err("field `sweep` must be `\"cartesian\"` or `\"zip\"`".into()),
+    }
+    if let Some(v) = field_u64_list(map, "nodes")? {
+        s.nodes = v.into_iter().map(|n| n as usize).collect();
+    }
+    if let Some(v) = field_u64_list(map, "block_mb")? {
+        s.block_mb = v;
+    }
+    if let Some(v) = field_u64_list(map, "container_mb")? {
+        s.container_mb = v
+            .into_iter()
+            .map(|n| {
+                u32::try_from(n).map_err(|_| "field `container_mb` must fit 32 bits".to_string())
+            })
+            .collect::<Result<_, _>>()?;
+    }
+    if let Some(v) = field_str_list(map, "schedulers")? {
+        s.schedulers = v
+            .iter()
+            .map(|x| parse_scheduler(x))
+            .collect::<Result<_, _>>()?;
+    }
+    if let Some(v) = field_str_list(map, "jobs")? {
+        s.jobs = v.iter().map(|x| parse_job(x)).collect::<Result<_, _>>()?;
+    }
+    if let Some(v) = field_u64_list(map, "input_bytes")? {
+        s.input_bytes = v;
+    }
+    if let Some(v) = field_u64_list(map, "n_jobs")? {
+        s.n_jobs = v.into_iter().map(|n| n as usize).collect();
+    }
+    if let Some(v) = field_str_list(map, "estimators")? {
+        s.estimators = v
+            .iter()
+            .map(|x| parse_estimator(x))
+            .collect::<Result<_, _>>()?;
+    }
+    s.reduces = parse_reduces(map)?;
+    if let Some(v) = map.get("backends") {
+        // Scenario sweeps default to the analytic fast path too; the
+        // paper methodology (simulator + profile) is opt-in per request.
+        s.backends = parse_backends(v, Backends::analytic_only())?;
+    } else {
+        s.backends = Backends::analytic_only();
+    }
+    s.seed = field_u64(map, "seed", 1)?;
+    s.check()?;
+    Ok(s)
+}
+
+/// Encode one evaluated point.
+pub fn point_json(p: &PointResult) -> Json {
+    let model = p.model.map_or(Json::Null, |m| {
+        Json::obj([
+            ("fork_join", Json::num(m.fork_join)),
+            ("tripathi", Json::num(m.tripathi)),
+            ("aria", Json::num(m.aria)),
+            ("herodotou", Json::num(m.herodotou)),
+        ])
+    });
+    let sim = p.sim.as_ref().map_or(Json::Null, |s| {
+        Json::obj([
+            ("median_response", Json::num(s.median_response)),
+            ("mean_response", Json::num(s.mean_response)),
+            ("reps", s.reps.into()),
+        ])
+    });
+    Json::obj([
+        ("index", p.point.index.into()),
+        ("nodes", p.point.nodes.into()),
+        ("block_mb", p.point.block_mb.into()),
+        ("container_mb", u64::from(p.point.container_mb).into()),
+        (
+            "scheduler",
+            Json::str(match p.point.scheduler {
+                SchedulerPolicy::CapacityFifo => "capacity_fifo",
+                SchedulerPolicy::Fair => "fair",
+            }),
+        ),
+        ("job", Json::str(p.point.job.name())),
+        ("input_bytes", p.point.input_bytes.into()),
+        ("n_jobs", p.point.n_jobs.into()),
+        ("estimator", Json::str(p.point.estimator.name())),
+        ("reduces", u64::from(p.point.reduces).into()),
+        ("seed", p.point.seed.into()),
+        ("model", model),
+        ("sim", sim),
+        ("estimate", p.estimate().map_or(Json::Null, Json::num)),
+        ("measured", p.measured().map_or(Json::Null, Json::num)),
+    ])
+}
+
+/// Encode a whole sweep: points in expansion order plus the per-series
+/// error bands (present only when both backends ran).
+pub fn sweep_json(sweep: &SweepResult) -> Json {
+    let bands: Vec<Json> = error_bands(sweep)
+        .into_iter()
+        .map(|b| {
+            Json::obj([
+                ("estimator", Json::str(b.estimator.name())),
+                ("min", Json::num(b.band.min)),
+                ("max", Json::num(b.band.max)),
+                ("mean", Json::num(b.band.mean)),
+                ("points", u64::from(b.band.count).into()),
+            ])
+        })
+        .collect();
+    Json::obj([
+        ("name", Json::str(sweep.name.clone())),
+        ("num_points", sweep.points.len().into()),
+        (
+            "points",
+            Json::Arr(sweep.points.iter().map(point_json).collect()),
+        ),
+        ("error_bands", Json::Arr(bands)),
+    ])
+}
+
+/// Encode cache counters.
+pub fn cache_stats_json(s: &CacheStats) -> Json {
+    Json::obj([
+        ("hits", s.hits.into()),
+        ("misses", s.misses.into()),
+        ("coalesced", s.coalesced.into()),
+        ("evictions", s.evictions.into()),
+        ("entries", s.entries.into()),
+        ("capacity", s.capacity.into()),
+        ("schema_version", mr2_scenario::schema_version().into()),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn estimate_request_defaults_mirror_scenario_new() {
+        let r = parse_estimate_request("{}").unwrap();
+        assert_eq!(r.point.nodes, 4);
+        assert_eq!(r.point.block_mb, 128);
+        assert_eq!(r.point.container_mb, 1024);
+        assert_eq!(r.point.scheduler, SchedulerPolicy::CapacityFifo);
+        assert_eq!(r.point.job, JobKind::WordCount);
+        assert_eq!(r.point.input_bytes, GB);
+        assert_eq!(r.point.n_jobs, 1);
+        assert_eq!(r.point.estimator, EstimatorKind::ForkJoin);
+        assert_eq!(r.point.reduces, 4, "per-node default");
+        assert_eq!(r.point.seed, 1);
+        assert_eq!(r.backends, Backends::analytic_only());
+    }
+
+    #[test]
+    fn estimate_request_decodes_every_field() {
+        let r = parse_estimate_request(
+            r#"{"nodes":8,"block_mb":64,"container_mb":2048,"scheduler":"fair",
+                "job":"terasort","input_bytes":5368709120,"n_jobs":3,
+                "estimator":"tripathi","reduces":2,"seed":9,
+                "backends":{"analytic":true,"profile_calibration":true,"simulator":5}}"#,
+        )
+        .unwrap();
+        assert_eq!(r.point.nodes, 8);
+        assert_eq!(r.point.scheduler, SchedulerPolicy::Fair);
+        assert_eq!(r.point.job, JobKind::TeraSort);
+        assert_eq!(r.point.input_bytes, 5 * GB);
+        assert_eq!(r.point.estimator, EstimatorKind::Tripathi);
+        assert_eq!(r.point.reduces, 2, "fixed count overrides per-node");
+        assert_eq!(r.backends.simulator, Some(5));
+        assert!(r.backends.profile_calibration);
+    }
+
+    #[test]
+    fn estimate_request_rejects_bad_input() {
+        for (body, needle) in [
+            ("{", "invalid JSON"),
+            (r#"{"node":4}"#, "unknown estimate request field `node`"),
+            (r#"{"nodes":0}"#, "must be positive"),
+            (r#"{"nodes":-2}"#, "non-negative integer"),
+            (r#"{"scheduler":"yarn"}"#, "unknown scheduler"),
+            (r#"{"job":"sort"}"#, "unknown job"),
+            (r#"{"estimator":"magic"}"#, "unknown estimator"),
+            (r#"{"reduces":0}"#, "per_node"),
+            // 2^32 + 1024: silent truncation would price 4 TiB
+            // containers as 1 GiB ones.
+            (r#"{"container_mb":4294968320}"#, "fit 32 bits"),
+            (r#"{"reduces":4294967296}"#, "per_node"),
+            (
+                r#"{"backends":{"analytic":false,"simulator":null}}"#,
+                "at least one backend",
+            ),
+            (r#"{"backends":{"sim":1}}"#, "unknown backends field"),
+            ("[1,2]", "must be a JSON object"),
+        ] {
+            let err = parse_estimate_request(body).unwrap_err();
+            assert!(err.contains(needle), "{body} → {err}");
+        }
+    }
+
+    #[test]
+    fn scenario_request_builds_axes() {
+        let s = parse_scenario_request(
+            r#"{"name":"grow","nodes":[4,8,16],"n_jobs":[1,2],
+                "estimators":["fork_join","tripathi"],"jobs":["grep"],
+                "input_bytes":[1073741824],"seed":7}"#,
+        )
+        .unwrap();
+        assert_eq!(s.name, "grow");
+        assert_eq!(s.nodes, vec![4, 8, 16]);
+        assert_eq!(s.n_jobs, vec![1, 2]);
+        assert_eq!(
+            s.estimators,
+            vec![EstimatorKind::ForkJoin, EstimatorKind::Tripathi]
+        );
+        assert_eq!(s.jobs, vec![JobKind::Grep]);
+        assert_eq!(s.seed, 7);
+        assert_eq!(s.num_points(), 3 * 2 * 2);
+        assert_eq!(s.backends, Backends::analytic_only(), "serving default");
+    }
+
+    #[test]
+    fn scenario_request_rejects_invalid_specs() {
+        assert!(parse_scenario_request(r#"{"nodes":[]}"#)
+            .unwrap_err()
+            .contains("nodes axis is empty"));
+        assert!(
+            parse_scenario_request(r#"{"sweep":"zip","nodes":[1,2],"n_jobs":[1,2,3]}"#)
+                .unwrap_err()
+                .contains("zip axis")
+        );
+        assert!(parse_scenario_request(r#"{"axes":{}}"#)
+            .unwrap_err()
+            .contains("unknown scenario request field"));
+        assert!(
+            parse_scenario_request(r#"{"container_mb":[1024,4294968320]}"#)
+                .unwrap_err()
+                .contains("fit 32 bits")
+        );
+    }
+
+    #[test]
+    fn encoded_sweep_is_valid_json_with_bands() {
+        use mr2_scenario::{run_scenario, ResultCache, RunnerConfig};
+        let s = parse_scenario_request(
+            r#"{"nodes":[2],"input_bytes":[268435456],
+                "backends":{"analytic":true,"simulator":2}}"#,
+        )
+        .unwrap();
+        let sweep = run_scenario(&s, &ResultCache::new(), &RunnerConfig::serial());
+        let v = sweep_json(&sweep);
+        let text = v.render();
+        let back = Json::parse(&text).unwrap();
+        assert_eq!(back.get("num_points").unwrap().as_u64(), Some(1));
+        let pt = &back.get("points").unwrap().as_arr().unwrap()[0];
+        assert!(pt.get("estimate").unwrap().as_f64().unwrap() > 0.0);
+        assert!(pt.get("measured").unwrap().as_f64().unwrap() > 0.0);
+        assert!(!back
+            .get("error_bands")
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .is_empty());
+    }
+}

@@ -1,0 +1,77 @@
+//! The `mr2-serve` binary: the capacity-planning service as a process.
+//!
+//! ```text
+//! mr2-serve [--addr 127.0.0.1:8080] [--threads 4] [--cache-capacity 65536]
+//!           [--max-points 4096] [--cache-file results/serve-cache.txt]
+//!           [--persist-secs 30]
+//! ```
+//!
+//! Smoke it with curl:
+//!
+//! ```text
+//! curl http://127.0.0.1:8080/healthz
+//! curl -X POST http://127.0.0.1:8080/v1/estimate -d '{"nodes":8,"n_jobs":2}'
+//! ```
+
+use mr2_serve::{serve, ServeConfig};
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: mr2-serve [--addr HOST:PORT] [--threads N] [--cache-capacity N]\n\
+         \x20                [--max-points N] [--cache-file PATH] [--persist-secs N]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut cfg = ServeConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| -> String {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--addr" => cfg.addr = value("--addr"),
+            "--threads" => match value("--threads").parse() {
+                Ok(n) if n > 0 => cfg.threads = n,
+                _ => usage(),
+            },
+            "--cache-capacity" => match value("--cache-capacity").parse() {
+                Ok(n) => cfg.cache_capacity = n,
+                _ => usage(),
+            },
+            "--max-points" => match value("--max-points").parse() {
+                Ok(n) if n > 0 => cfg.max_points = n,
+                _ => usage(),
+            },
+            "--cache-file" => cfg.cache_file = Some(value("--cache-file").into()),
+            "--persist-secs" => match value("--persist-secs").parse::<u64>() {
+                Ok(n) if n > 0 => cfg.persist_every = Duration::from_secs(n),
+                _ => usage(),
+            },
+            "--help" | "-h" => usage(),
+            _ => {
+                eprintln!("unknown flag: {flag}");
+                usage()
+            }
+        }
+    }
+
+    match serve(cfg) {
+        Ok(handle) => {
+            println!("mr2-serve listening on http://{}", handle.addr);
+            // Serve until killed.
+            loop {
+                std::thread::park();
+            }
+        }
+        Err(e) => {
+            eprintln!("mr2-serve: bind failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

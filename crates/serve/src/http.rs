@@ -1,0 +1,296 @@
+//! A deliberately small HTTP/1.1 implementation over blocking streams —
+//! just enough protocol for a JSON API behind `std::net::TcpListener`:
+//! request-line + headers + `Content-Length` bodies in, status + headers
+//! + body out, one request per connection (`Connection: close`).
+//!
+//! Limits are enforced while reading (header block ≤ 16 KiB, body ≤
+//! 4 MiB) so a misbehaving client can't balloon a worker's memory, and
+//! `Expect: 100-continue` is honoured because stock `curl` sends it for
+//! larger bodies.
+
+use std::io::{Read, Write};
+
+/// Header block size limit.
+const MAX_HEAD: usize = 16 * 1024;
+/// Body size limit.
+pub const MAX_BODY: usize = 4 * 1024 * 1024;
+
+/// One parsed request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Uppercase method (`GET`, `POST`, …).
+    pub method: String,
+    /// Path with the query string stripped.
+    pub path: String,
+    /// Raw body bytes (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+/// A malformed or over-limit request, mapped to a status + message.
+#[derive(Debug)]
+pub struct HttpError {
+    /// Response status to send.
+    pub status: u16,
+    /// Human-readable reason.
+    pub message: String,
+}
+
+impl HttpError {
+    fn new(status: u16, message: impl Into<String>) -> HttpError {
+        HttpError {
+            status,
+            message: message.into(),
+        }
+    }
+}
+
+impl From<std::io::Error> for HttpError {
+    fn from(e: std::io::Error) -> HttpError {
+        HttpError::new(400, format!("read failed: {e}"))
+    }
+}
+
+/// Find the end of the header block in `buf`: the index just past the
+/// blank line, if present.
+fn head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .map(|i| i + 4)
+        .or_else(|| buf.windows(2).position(|w| w == b"\n\n").map(|i| i + 2))
+}
+
+/// Read one request from `stream`. Needs `Write` access too so it can
+/// acknowledge `Expect: 100-continue` before the client sends the body.
+pub fn read_request<S: Read + Write>(stream: &mut S) -> Result<Request, HttpError> {
+    // Read in chunks until the blank line ending the header block;
+    // whatever arrives past it is the start of the body (the connection
+    // serves one request, so over-reading can't swallow a next request).
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 1024];
+    let split = loop {
+        if let Some(end) = head_end(&buf) {
+            break end;
+        }
+        if buf.len() >= MAX_HEAD {
+            return Err(HttpError::new(431, "header block too large"));
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return Err(HttpError::new(400, "connection closed mid-request")),
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) => return Err(e.into()),
+        }
+    };
+    let mut early_body = buf.split_off(split);
+    let head = String::from_utf8(buf).map_err(|_| HttpError::new(400, "non-UTF-8 header"))?;
+    let mut lines = head.lines();
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| HttpError::new(400, "missing method"))?
+        .to_ascii_uppercase();
+    let target = parts
+        .next()
+        .ok_or_else(|| HttpError::new(400, "missing request target"))?;
+    let version = parts
+        .next()
+        .ok_or_else(|| HttpError::new(400, "missing HTTP version"))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::new(505, format!("unsupported {version}")));
+    }
+    let path = target.split('?').next().unwrap_or(target).to_string();
+
+    let mut content_length = 0usize;
+    let mut expects_continue = false;
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            continue;
+        };
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .parse()
+                .map_err(|_| HttpError::new(400, "bad Content-Length"))?;
+        } else if name.eq_ignore_ascii_case("transfer-encoding") {
+            return Err(HttpError::new(501, "chunked bodies not supported"));
+        } else if name.eq_ignore_ascii_case("expect") && value.eq_ignore_ascii_case("100-continue")
+        {
+            expects_continue = true;
+        }
+    }
+    if content_length > MAX_BODY {
+        return Err(HttpError::new(413, "body too large"));
+    }
+    if expects_continue && content_length > early_body.len() {
+        stream
+            .write_all(b"HTTP/1.1 100 Continue\r\n\r\n")
+            .map_err(|e| HttpError::new(400, format!("write failed: {e}")))?;
+        stream.flush().ok();
+    }
+    // The body starts with whatever was over-read past the headers.
+    early_body.truncate(content_length);
+    let mut body = early_body;
+    let remaining = content_length - body.len();
+    if remaining > 0 {
+        let start = body.len();
+        body.resize(content_length, 0);
+        stream.read_exact(&mut body[start..])?;
+    }
+    Ok(Request { method, path, body })
+}
+
+/// Canonical reason phrase for the statuses the service emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        505 => "HTTP Version Not Supported",
+        _ => "",
+    }
+}
+
+/// Write a complete response and flush. One response per connection.
+pub fn write_response<S: Write>(stream: &mut S, status: u16, body: &str) -> std::io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        reason(status),
+        body.len(),
+    )?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    /// A test stream: canned input (one segment per `read` call, the
+    /// way a socket delivers data in arbitrary packets), captured
+    /// output.
+    struct Pipe {
+        segments: std::collections::VecDeque<Vec<u8>>,
+        current: Cursor<Vec<u8>>,
+        output: Vec<u8>,
+    }
+
+    impl Pipe {
+        fn new(input: &str) -> Pipe {
+            Pipe::segmented(&[input])
+        }
+
+        fn segmented(inputs: &[&str]) -> Pipe {
+            Pipe {
+                segments: inputs.iter().map(|s| s.as_bytes().to_vec()).collect(),
+                current: Cursor::new(Vec::new()),
+                output: Vec::new(),
+            }
+        }
+    }
+
+    impl Read for Pipe {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            loop {
+                let n = self.current.read(buf)?;
+                if n > 0 {
+                    return Ok(n);
+                }
+                match self.segments.pop_front() {
+                    Some(next) => self.current = Cursor::new(next),
+                    None => return Ok(0),
+                }
+            }
+        }
+    }
+
+    impl Write for Pipe {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.output.extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn parses_get_without_body() {
+        let mut s = Pipe::new("GET /healthz?probe=1 HTTP/1.1\r\nHost: x\r\n\r\n");
+        let r = read_request(&mut s).unwrap();
+        assert_eq!(r.method, "GET");
+        assert_eq!(r.path, "/healthz", "query string stripped");
+        assert!(r.body.is_empty());
+    }
+
+    #[test]
+    fn parses_post_with_content_length() {
+        let mut s = Pipe::new(
+            "POST /v1/estimate HTTP/1.1\r\nContent-Type: application/json\r\ncontent-length: 7\r\n\r\n{\"a\":1}",
+        );
+        let r = read_request(&mut s).unwrap();
+        assert_eq!(r.method, "POST");
+        assert_eq!(r.body, b"{\"a\":1}");
+    }
+
+    #[test]
+    fn acknowledges_expect_continue() {
+        // A real Expect client holds the body back until the interim
+        // response arrives, so headers and body come in separate reads.
+        let mut s = Pipe::segmented(&[
+            "POST /v1/scenario HTTP/1.1\r\nExpect: 100-continue\r\nContent-Length: 2\r\n\r\n",
+            "{}",
+        ]);
+        let r = read_request(&mut s).unwrap();
+        assert_eq!(r.body, b"{}");
+        assert!(String::from_utf8_lossy(&s.output).starts_with("HTTP/1.1 100 Continue"));
+    }
+
+    #[test]
+    fn body_split_across_reads_and_overread_both_work() {
+        // Body delivered byte-meal after the header chunk.
+        let mut s = Pipe::segmented(&[
+            "POST /x HTTP/1.1\r\nContent-Length: 7\r\n\r\n",
+            "{\"a\"",
+            ":1}",
+        ]);
+        assert_eq!(read_request(&mut s).unwrap().body, b"{\"a\":1}");
+        // Body over-read together with the headers (no Expect), even
+        // with trailing junk past Content-Length.
+        let mut s = Pipe::new("POST /x HTTP/1.1\r\nContent-Length: 7\r\n\r\n{\"a\":1}junk");
+        let r = read_request(&mut s).unwrap();
+        assert_eq!(r.body, b"{\"a\":1}");
+        assert!(s.output.is_empty(), "no spurious 100 Continue");
+    }
+
+    #[test]
+    fn rejects_oversized_and_malformed() {
+        let mut s = Pipe::new("POST / HTTP/1.1\r\nContent-Length: 99999999\r\n\r\n");
+        assert_eq!(read_request(&mut s).unwrap_err().status, 413);
+        let mut s = Pipe::new("POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n");
+        assert_eq!(read_request(&mut s).unwrap_err().status, 400);
+        let mut s = Pipe::new("GARBAGE\r\n\r\n");
+        assert_eq!(read_request(&mut s).unwrap_err().status, 400);
+        let mut s = Pipe::new("GET / SPDY/9\r\n\r\n");
+        assert_eq!(read_request(&mut s).unwrap_err().status, 505);
+        let mut s = Pipe::new("POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n");
+        assert_eq!(read_request(&mut s).unwrap_err().status, 501);
+    }
+
+    #[test]
+    fn response_carries_length_and_close() {
+        let mut out = Vec::new();
+        write_response(&mut out, 200, "{\"ok\":true}").unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 11\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("{\"ok\":true}"));
+    }
+}

@@ -1,0 +1,291 @@
+//! The long-running service: a `TcpListener` accept loop feeding a
+//! fixed pool of worker threads, routing to the scenario engine with
+//! the shared [`ResultCache`] as state, plus a persistence thread that
+//! periodically snapshots the cache to disk.
+//!
+//! Endpoints:
+//!
+//! | method | path | body | answer |
+//! |---|---|---|---|
+//! | `GET`  | `/healthz` | — | liveness + uptime |
+//! | `GET`  | `/v1/cache/stats` | — | shared-cache counters |
+//! | `POST` | `/v1/estimate` | point spec | one evaluated point |
+//! | `POST` | `/v1/scenario` | scenario spec | full sweep + error bands |
+//!
+//! Concurrent identical queries cost one evaluation: the cache
+//! coalesces in-flight computations, so a thundering herd of the same
+//! what-if question does the model solve (or simulator run) once and
+//! fans the record out.
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::AssertUnwindSafe;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use mr2_scenario::{evaluate_point, run_scenario, PointResult, ResultCache, RunnerConfig};
+
+use crate::api;
+use crate::http::{read_request, write_response, HttpError, Request};
+use crate::json::Json;
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address, e.g. `127.0.0.1:8080` (port 0 picks one).
+    pub addr: String,
+    /// Worker threads handling requests.
+    pub threads: usize,
+    /// Shared-cache entry bound (0 = unbounded).
+    pub cache_capacity: usize,
+    /// Upper bound on points a single `/v1/scenario` may expand to.
+    pub max_points: usize,
+    /// Snapshot the cache here (loaded at startup when present).
+    pub cache_file: Option<PathBuf>,
+    /// How often the persistence thread snapshots a dirty cache.
+    pub persist_every: Duration,
+    /// Runner knobs for scenario sweeps (worker-thread count of the
+    /// *evaluation* pool, not the HTTP pool).
+    pub runner: RunnerConfig,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:8080".into(),
+            threads: 4,
+            cache_capacity: 65_536,
+            max_points: 4_096,
+            cache_file: None,
+            persist_every: Duration::from_secs(30),
+            runner: RunnerConfig::default(),
+        }
+    }
+}
+
+/// Shared state of all workers.
+struct State {
+    cache: ResultCache,
+    cfg: ServeConfig,
+    started: Instant,
+    /// Cache mutation stamp at the last successful snapshot, so clean
+    /// caches aren't rewritten. The *count* would go stale once the LRU
+    /// bound makes insert+evict churn under a constant entry count.
+    persisted_stamp: AtomicU64,
+}
+
+/// A running server; dropping the handle does **not** stop it — call
+/// [`ServerHandle::shutdown`].
+pub struct ServerHandle {
+    /// The bound address (with the real port when 0 was requested).
+    pub addr: SocketAddr,
+    state: Arc<State>,
+    stop: Arc<AtomicBool>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// Stop accepting, drain the workers, snapshot the cache one last
+    /// time, and join every thread.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake the blocking accept with a no-op connection.
+        let _ = TcpStream::connect(self.addr);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+        persist(&self.state);
+    }
+
+    /// The shared cache's counters (for tests and embedding).
+    pub fn cache_stats(&self) -> mr2_scenario::CacheStats {
+        self.state.cache.stats()
+    }
+}
+
+/// Bind and start the service; returns once the listener is live.
+pub fn serve(cfg: ServeConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&cfg.addr)?;
+    let addr = listener.local_addr()?;
+
+    let cache = ResultCache::with_capacity(cfg.cache_capacity);
+    if let Some(path) = &cfg.cache_file {
+        match cache.load(path) {
+            Ok(n) if n > 0 => eprintln!("mr2-serve: warmed {n} cache entries from {path:?}"),
+            Ok(_) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => eprintln!("mr2-serve: cache load failed ({path:?}): {e}"),
+        }
+    }
+    let state = Arc::new(State {
+        persisted_stamp: AtomicU64::new(cache.mutation_count()),
+        cache,
+        cfg: cfg.clone(),
+        started: Instant::now(),
+    });
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut threads = Vec::new();
+
+    // Fixed worker pool over one shared receiver.
+    let (tx, rx) = mpsc::channel::<TcpStream>();
+    let rx = Arc::new(Mutex::new(rx));
+    for i in 0..cfg.threads.max(1) {
+        let rx = Arc::clone(&rx);
+        let state = Arc::clone(&state);
+        threads.push(
+            std::thread::Builder::new()
+                .name(format!("mr2-serve-worker-{i}"))
+                .spawn(move || loop {
+                    let next = rx.lock().unwrap().recv();
+                    match next {
+                        Ok(stream) => handle_connection(stream, &state),
+                        Err(_) => break, // acceptor gone: drain complete
+                    }
+                })
+                .expect("spawn worker"),
+        );
+    }
+
+    // Acceptor: hands sockets to the pool until shutdown.
+    {
+        let stop = Arc::clone(&stop);
+        threads.push(
+            std::thread::Builder::new()
+                .name("mr2-serve-acceptor".into())
+                .spawn(move || {
+                    for stream in listener.incoming() {
+                        if stop.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        if let Ok(stream) = stream {
+                            // Slow or stalled clients time out instead of
+                            // pinning a worker forever.
+                            let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+                            let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+                            if tx.send(stream).is_err() {
+                                break;
+                            }
+                        }
+                    }
+                    // Dropping `tx` here lets the workers drain and exit.
+                })
+                .expect("spawn acceptor"),
+        );
+    }
+
+    // Persistence: snapshot the cache while it keeps growing.
+    if state.cfg.cache_file.is_some() {
+        let state = Arc::clone(&state);
+        let stop = Arc::clone(&stop);
+        threads.push(
+            std::thread::Builder::new()
+                .name("mr2-serve-persist".into())
+                .spawn(move || {
+                    let tick = Duration::from_millis(200);
+                    let mut elapsed = Duration::ZERO;
+                    while !stop.load(Ordering::SeqCst) {
+                        std::thread::sleep(tick);
+                        elapsed += tick;
+                        if elapsed >= state.cfg.persist_every {
+                            elapsed = Duration::ZERO;
+                            persist(&state);
+                        }
+                    }
+                })
+                .expect("spawn persister"),
+        );
+    }
+
+    Ok(ServerHandle {
+        addr,
+        state,
+        stop,
+        threads,
+    })
+}
+
+/// Snapshot the cache if its content changed since the last successful
+/// snapshot. The stamp is read *before* saving (a save racing new
+/// inserts re-saves on the next tick) and advanced only on success (a
+/// failed save stays dirty and retries).
+fn persist(state: &State) {
+    let Some(path) = &state.cfg.cache_file else {
+        return;
+    };
+    let stamp = state.cache.mutation_count();
+    if stamp == state.persisted_stamp.load(Ordering::SeqCst) {
+        return;
+    }
+    match state.cache.save(path) {
+        Ok(()) => state.persisted_stamp.store(stamp, Ordering::SeqCst),
+        Err(e) => eprintln!("mr2-serve: cache save failed ({path:?}): {e}"),
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, state: &State) {
+    let response = match read_request(&mut stream) {
+        Ok(req) => {
+            // A panicking evaluation must cost a 500, not a worker.
+            std::panic::catch_unwind(AssertUnwindSafe(|| route(&req, state)))
+                .unwrap_or_else(|_| (500, error_json("internal error: evaluation panicked")))
+        }
+        Err(HttpError { status, message }) => (status, error_json(&message)),
+    };
+    let _ = write_response(&mut stream, response.0, &response.1);
+}
+
+fn error_json(message: &str) -> String {
+    Json::obj([("error", Json::str(message))]).render()
+}
+
+fn route(req: &Request, state: &State) -> (u16, String) {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => (
+            200,
+            Json::obj([
+                ("status", Json::str("ok")),
+                (
+                    "uptime_secs",
+                    Json::num(state.started.elapsed().as_secs_f64()),
+                ),
+            ])
+            .render(),
+        ),
+        ("GET", "/v1/cache/stats") => (200, api::cache_stats_json(&state.cache.stats()).render()),
+        ("POST", "/v1/estimate") => match std::str::from_utf8(&req.body)
+            .map_err(|_| "body is not UTF-8".to_string())
+            .and_then(api::parse_estimate_request)
+        {
+            Ok(r) => {
+                let result: PointResult = evaluate_point(&r.point, &r.backends, &state.cache);
+                (200, api::point_json(&result).render())
+            }
+            Err(e) => (400, error_json(&e)),
+        },
+        ("POST", "/v1/scenario") => match std::str::from_utf8(&req.body)
+            .map_err(|_| "body is not UTF-8".to_string())
+            .and_then(api::parse_scenario_request)
+        {
+            Ok(scenario) => {
+                let n = scenario.num_points();
+                if n > state.cfg.max_points {
+                    return (
+                        400,
+                        error_json(&format!(
+                            "scenario expands to {n} points, above the service bound of {}",
+                            state.cfg.max_points
+                        )),
+                    );
+                }
+                let sweep = run_scenario(&scenario, &state.cache, &state.cfg.runner);
+                (200, api::sweep_json(&sweep).render())
+            }
+            Err(e) => (400, error_json(&e)),
+        },
+        (_, "/healthz") | (_, "/v1/cache/stats") | (_, "/v1/estimate") | (_, "/v1/scenario") => {
+            (405, error_json("method not allowed"))
+        }
+        _ => (404, error_json("no such endpoint")),
+    }
+}

@@ -1,0 +1,248 @@
+//! End-to-end tests of the capacity-planning service over real TCP:
+//! round-trips for every endpoint, error statuses, cache persistence
+//! across restarts, and the coalescing guarantee — concurrent identical
+//! scenario queries cost exactly one underlying evaluation.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Barrier;
+
+use mr2_serve::{serve, Json, ServeConfig};
+
+/// One HTTP/1.1 request over a fresh connection; returns (status, body).
+fn request(addr: std::net::SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut conn = TcpStream::connect(addr).expect("connect");
+    write!(
+        conn,
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("send");
+    let mut reply = String::new();
+    conn.read_to_string(&mut reply).expect("receive");
+    let status: u16 = reply
+        .strip_prefix("HTTP/1.1 ")
+        .and_then(|r| r.get(..3))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("malformed reply: {reply:?}"));
+    let payload = reply
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, payload)
+}
+
+fn test_config() -> ServeConfig {
+    ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        threads: 6,
+        ..ServeConfig::default()
+    }
+}
+
+#[test]
+fn healthz_and_stats_round_trip() {
+    let handle = serve(test_config()).unwrap();
+    let (status, body) = request(handle.addr, "GET", "/healthz", "");
+    assert_eq!(status, 200);
+    let v = Json::parse(&body).expect("health body is JSON");
+    assert_eq!(v.get("status").unwrap().as_str(), Some("ok"));
+    assert!(v.get("uptime_secs").unwrap().as_f64().unwrap() >= 0.0);
+
+    let (status, body) = request(handle.addr, "GET", "/v1/cache/stats", "");
+    assert_eq!(status, 200);
+    let v = Json::parse(&body).unwrap();
+    assert_eq!(v.get("entries").unwrap().as_u64(), Some(0));
+    assert_eq!(
+        v.get("schema_version").unwrap().as_u64(),
+        Some(mr2_scenario::schema_version())
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn estimate_round_trip_matches_direct_evaluation() {
+    let handle = serve(test_config()).unwrap();
+    let (status, body) = request(
+        handle.addr,
+        "POST",
+        "/v1/estimate",
+        r#"{"nodes":4,"input_bytes":268435456,"n_jobs":2}"#,
+    );
+    assert_eq!(status, 200, "{body}");
+    let v = Json::parse(&body).unwrap();
+    let served = v
+        .get("model")
+        .unwrap()
+        .get("fork_join")
+        .unwrap()
+        .as_f64()
+        .unwrap();
+
+    // The same point evaluated directly through the engine.
+    let req = r#"{"nodes":4,"input_bytes":268435456,"n_jobs":2}"#;
+    let parsed = mr2_serve::api::parse_estimate_request(req).unwrap();
+    let direct = mr2_scenario::evaluate_point(
+        &parsed.point,
+        &parsed.backends,
+        &mr2_scenario::ResultCache::new(),
+    );
+    assert_eq!(
+        served.to_bits(),
+        direct.model.unwrap().fork_join.to_bits(),
+        "served estimate is bit-identical to a direct evaluation"
+    );
+    assert_eq!(v.get("sim"), Some(&Json::Null), "simulator is opt-in");
+    assert!(v.get("estimate").unwrap().as_f64().unwrap() > 0.0);
+    handle.shutdown();
+}
+
+#[test]
+fn scenario_round_trip_reports_points_and_bands() {
+    let handle = serve(test_config()).unwrap();
+    let (status, body) = request(
+        handle.addr,
+        "POST",
+        "/v1/scenario",
+        r#"{"name":"grow","nodes":[2,3],"input_bytes":[268435456],
+            "backends":{"analytic":true,"simulator":1}}"#,
+    );
+    assert_eq!(status, 200, "{body}");
+    let v = Json::parse(&body).unwrap();
+    assert_eq!(v.get("num_points").unwrap().as_u64(), Some(2));
+    let points = v.get("points").unwrap().as_arr().unwrap();
+    assert_eq!(points.len(), 2);
+    assert_eq!(points[0].get("nodes").unwrap().as_u64(), Some(2));
+    assert_eq!(points[1].get("nodes").unwrap().as_u64(), Some(3));
+    for p in points {
+        assert!(p.get("estimate").unwrap().as_f64().unwrap() > 0.0);
+        assert!(p.get("measured").unwrap().as_f64().unwrap() > 0.0);
+    }
+    assert!(
+        !v.get("error_bands").unwrap().as_arr().unwrap().is_empty(),
+        "both backends ran, so bands are present"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn error_statuses_are_mapped() {
+    let handle = serve(ServeConfig {
+        max_points: 8,
+        ..test_config()
+    })
+    .unwrap();
+    let cases = [
+        ("GET", "/nope", "", 404),
+        ("DELETE", "/healthz", "", 405),
+        ("POST", "/v1/estimate", "{not json", 400),
+        ("POST", "/v1/estimate", r#"{"nodes":0}"#, 400),
+        ("POST", "/v1/scenario", r#"{"nodes":[]}"#, 400),
+        // Expanding past the service bound must be refused, not run.
+        (
+            "POST",
+            "/v1/scenario",
+            r#"{"nodes":[2,3,4],"n_jobs":[1,2,3]}"#,
+            400,
+        ),
+    ];
+    for (method, path, body, expected) in cases {
+        let (status, reply) = request(handle.addr, method, path, body);
+        assert_eq!(status, expected, "{method} {path}: {reply}");
+        assert!(
+            Json::parse(&reply).unwrap().get("error").is_some(),
+            "errors carry a message: {reply}"
+        );
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn concurrent_identical_scenarios_cost_one_evaluation() {
+    // The acceptance criterion: ≥4 concurrent clients posting the same
+    // scenario must trigger exactly one underlying evaluation. The
+    // shared cache coalesces in-flight requests, so whatever the
+    // interleaving — all four racing, or any of them arriving after the
+    // record is ready — the miss counter (one per executed compute
+    // closure) ends at exactly the number of distinct records: here 1
+    // (a single analytic solve, no profiling, no simulator).
+    const CLIENTS: usize = 6;
+    let handle = serve(test_config()).unwrap();
+    let body = r#"{"name":"herd","nodes":[6],"input_bytes":[1073741824],"n_jobs":[4],
+        "backends":{"analytic":true,"profile_calibration":false,"simulator":null}}"#;
+
+    let barrier = Barrier::new(CLIENTS);
+    let replies: Vec<(u16, String)> = std::thread::scope(|s| {
+        (0..CLIENTS)
+            .map(|_| {
+                s.spawn(|| {
+                    barrier.wait();
+                    request(handle.addr, "POST", "/v1/scenario", body)
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .collect()
+    });
+
+    for (status, reply) in &replies {
+        assert_eq!(*status, 200, "{reply}");
+        assert_eq!(
+            reply, &replies[0].1,
+            "every client sees the identical answer"
+        );
+    }
+
+    let stats = handle.cache_stats();
+    assert_eq!(
+        stats.misses, 1,
+        "exactly one evaluation under {CLIENTS} concurrent clients: {stats:?}"
+    );
+    assert_eq!(
+        stats.hits + stats.coalesced,
+        (CLIENTS - 1) as u64,
+        "everyone else was served the shared record: {stats:?}"
+    );
+
+    // And the stats endpoint reports the same numbers.
+    let (_, body) = request(handle.addr, "GET", "/v1/cache/stats", "");
+    let v = Json::parse(&body).unwrap();
+    assert_eq!(v.get("misses").unwrap().as_u64(), Some(1));
+    assert_eq!(v.get("entries").unwrap().as_u64(), Some(1));
+    handle.shutdown();
+}
+
+#[test]
+fn cache_snapshot_survives_restart() {
+    let dir = std::env::temp_dir().join(format!("mr2-serve-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let cache_file = dir.join("serve-cache.txt");
+
+    let cfg = ServeConfig {
+        cache_file: Some(cache_file.clone()),
+        ..test_config()
+    };
+    let handle = serve(cfg.clone()).unwrap();
+    let body = r#"{"nodes":3,"input_bytes":268435456}"#;
+    let (status, first) = request(handle.addr, "POST", "/v1/estimate", body);
+    assert_eq!(status, 200);
+    handle.shutdown(); // final snapshot happens here
+    assert!(cache_file.exists(), "shutdown persisted the cache");
+
+    // A fresh process-equivalent: same snapshot file, new server.
+    let handle = serve(cfg).unwrap();
+    assert_eq!(
+        handle.cache_stats().entries,
+        1,
+        "restart warmed the cache from disk"
+    );
+    let (status, second) = request(handle.addr, "POST", "/v1/estimate", body);
+    assert_eq!(status, 200);
+    assert_eq!(first, second, "warm answer is bit-identical");
+    let stats = handle.cache_stats();
+    assert_eq!(stats.misses, 0, "no re-evaluation after restart");
+    assert_eq!(stats.hits, 1);
+    handle.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}

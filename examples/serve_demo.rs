@@ -1,0 +1,69 @@
+//! The capacity-planning service end to end in one process: start
+//! `mr2-serve` on an ephemeral port, ask it what a cluster change does
+//! to response time, read the shared-cache counters, and shut down.
+//!
+//! ```text
+//! cargo run --release --example serve_demo
+//! ```
+
+use hadoop2_perf::serve::{serve, Json, ServeConfig};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+fn request(addr: std::net::SocketAddr, method: &str, path: &str, body: &str) -> String {
+    let mut conn = TcpStream::connect(addr).expect("connect");
+    write!(
+        conn,
+        "{method} {path} HTTP/1.1\r\nHost: demo\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("send");
+    let mut reply = String::new();
+    conn.read_to_string(&mut reply).expect("receive");
+    reply
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or(reply)
+}
+
+fn main() {
+    let handle = serve(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        ..ServeConfig::default()
+    })
+    .expect("bind");
+    println!("serving on http://{}\n", handle.addr);
+
+    println!(
+        "GET /healthz\n  {}\n",
+        request(handle.addr, "GET", "/healthz", "")
+    );
+
+    // One online what-if: "we run 4 concurrent 1 GB WordCounts — what
+    // does growing the cluster from 4 to 8 nodes buy us?"
+    let scenario = r#"{"name":"grow-the-cluster","nodes":[4,8],"n_jobs":[4],
+        "input_bytes":[1073741824]}"#;
+    let body = request(handle.addr, "POST", "/v1/scenario", scenario);
+    let v = Json::parse(&body).expect("valid JSON");
+    println!(
+        "POST /v1/scenario ({} points):",
+        v.get("num_points").unwrap().render()
+    );
+    for p in v.get("points").unwrap().as_arr().unwrap() {
+        println!(
+            "  {} nodes → fork/join estimate {:.1}s",
+            p.get("nodes").unwrap().render(),
+            p.get("estimate").unwrap().as_f64().unwrap()
+        );
+    }
+
+    // The same question again costs nothing: the shared cache answers.
+    request(handle.addr, "POST", "/v1/scenario", scenario);
+    println!(
+        "\nGET /v1/cache/stats (after asking twice)\n  {}",
+        request(handle.addr, "GET", "/v1/cache/stats", "")
+    );
+
+    handle.shutdown();
+    println!("\nserver drained and stopped.");
+}

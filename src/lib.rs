@@ -24,6 +24,9 @@ pub use mr2_model as model;
 /// The declarative what-if scenario engine (crate `mr2-scenario`).
 pub use mr2_scenario as scenario;
 
+/// The online capacity-planning service (crate `mr2-serve`).
+pub use mr2_serve as serve;
+
 /// The MapReduce-on-YARN execution simulator (crate `mapreduce-sim`).
 pub use mapreduce_sim as sim;
 
