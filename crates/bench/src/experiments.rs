@@ -195,11 +195,14 @@ impl ExperimentId {
 
 /// Project one evaluated scenario point onto a figure's series.
 fn to_point(r: &PointResult, x_axis: XAxis) -> Point {
-    let model = r.model.expect("paper backends include the analytic model");
+    let model = r
+        .model
+        .as_ref()
+        .expect("paper backends include the analytic model");
     Point {
         x: match x_axis {
             XAxis::Nodes => r.point.nodes as f64,
-            XAxis::Jobs => r.point.n_jobs as f64,
+            XAxis::Jobs => r.point.total_jobs() as f64,
         },
         measured: r.measured().expect("paper backends include the simulator"),
         fork_join: model.fork_join,
@@ -480,7 +483,8 @@ mod tests {
             assert!(s.backends.analytic && s.backends.profile_calibration);
         }
         assert_eq!(ExperimentId::Fig15.scenario().block_mb, vec![64]);
-        assert_eq!(ExperimentId::Fig11.scenario().n_jobs, vec![4]);
+        let fig11 = ExperimentId::Fig11.scenario().workload_values();
+        assert!(fig11.iter().all(|m| m.total_jobs() == 4));
     }
 
     #[test]
@@ -493,10 +497,8 @@ mod tests {
         let p12 = pts.remove(0);
         let p14 = mr2_scenario::expand(&ExperimentId::Fig14.scenario()).remove(0);
         assert_eq!(p12.nodes, p14.nodes);
-        assert_eq!(p12.input_bytes, p14.input_bytes);
-        assert_eq!(p12.n_jobs, p14.n_jobs);
         assert_eq!(p12.block_mb, p14.block_mb);
-        assert_eq!(p12.reduces, p14.reduces);
+        assert_eq!(p12.mix, p14.mix, "same resolved workload mix");
     }
 
     #[test]

@@ -163,7 +163,63 @@ pub fn job_inputs(
     }
 }
 
-/// Full model input for `n_jobs` identical concurrent jobs.
+/// One class of a heterogeneous workload mix: a job specification, how
+/// many concurrent copies of it run, and optionally a measured profile
+/// from a profiling run of *that* class (per-class calibration).
+#[derive(Debug, Clone)]
+pub struct MixClass {
+    /// The job this class runs.
+    pub spec: JobSpec,
+    /// Concurrent copies of it in the mix (≥ 1).
+    pub count: usize,
+    /// Measured per-class statistics refining the calibration CVs.
+    pub profile: Option<MeasuredProfile>,
+}
+
+/// Full model input for a heterogeneous mix of concurrent jobs: one
+/// [`JobClassInputs`] per job instance, classes in entry order with
+/// `count` consecutive copies each (the order [`crate::eval_mix`]
+/// reports per-class results in).
+pub fn mix_model_input(
+    cfg: &SimConfig,
+    classes: &[MixClass],
+    options: ModelOptions,
+    cal: &Calibration,
+) -> ModelInput {
+    assert!(!classes.is_empty(), "need at least one mix class");
+    assert!(classes.iter().all(|c| c.count >= 1), "empty mix class");
+    let total: usize = classes.iter().map(|c| c.count).sum();
+    let per_node = cfg.containers_per_node();
+    let cluster = ClusterInputs {
+        num_nodes: cfg.nodes,
+        cpu_per_node: cfg.cpu_cores.round().max(1.0) as u32,
+        disk_per_node: 1,
+        max_maps_per_node: per_node,
+        max_reduce_per_node: per_node,
+        reserved_containers: if cal.reserve_am && cfg.include_am_container {
+            // Saturate rather than wrap: an absurd job total must not
+            // silently reserve almost nothing.
+            u32::try_from(total).unwrap_or(u32::MAX)
+        } else {
+            0
+        },
+    };
+    let mut jobs = Vec::with_capacity(total);
+    for c in classes {
+        let job = job_inputs(cfg, &c.spec, cal, c.profile.as_ref());
+        for _ in 0..c.count {
+            jobs.push(job.clone());
+        }
+    }
+    ModelInput {
+        cluster,
+        jobs,
+        options,
+    }
+}
+
+/// Full model input for `n_jobs` identical concurrent jobs — the
+/// single-class convenience over [`mix_model_input`].
 pub fn model_input(
     cfg: &SimConfig,
     spec: &JobSpec,
@@ -173,25 +229,16 @@ pub fn model_input(
     measured: Option<&MeasuredProfile>,
 ) -> ModelInput {
     assert!(n_jobs >= 1);
-    let per_node = cfg.containers_per_node();
-    let cluster = ClusterInputs {
-        num_nodes: cfg.nodes,
-        cpu_per_node: cfg.cpu_cores.round().max(1.0) as u32,
-        disk_per_node: 1,
-        max_maps_per_node: per_node,
-        max_reduce_per_node: per_node,
-        reserved_containers: if cal.reserve_am && cfg.include_am_container {
-            n_jobs as u32
-        } else {
-            0
-        },
-    };
-    let job = job_inputs(cfg, spec, cal, measured);
-    ModelInput {
-        cluster,
-        jobs: vec![job; n_jobs],
+    mix_model_input(
+        cfg,
+        &[MixClass {
+            spec: spec.clone(),
+            count: n_jobs,
+            profile: measured.cloned(),
+        }],
         options,
-    }
+        cal,
+    )
 }
 
 /// The static Herodotou job-time estimate for the same configuration

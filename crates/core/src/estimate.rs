@@ -2,7 +2,7 @@
 //! paper's model estimates plus the related-work baselines.
 
 use crate::aria::{aria_bounds, AriaProfile, StageStats};
-use crate::calibrate::{herodotou_estimate, model_input, Calibration};
+use crate::calibrate::{herodotou_estimate, mix_model_input, Calibration, MixClass};
 use crate::input::{Estimator, ModelOptions};
 use crate::solver::{solve, SolveResult};
 use mapreduce_sim::profile::MeasuredProfile;
@@ -25,7 +25,132 @@ pub struct WorkloadEstimate {
     pub tripathi_detail: SolveResult,
 }
 
-/// Run both estimators and both baselines for `n_jobs` identical jobs.
+/// All four estimate series of one job class (or, aggregated, of the
+/// whole mix).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClassPoint {
+    /// Fork/join estimate.
+    pub fork_join: f64,
+    /// Tripathi estimate.
+    pub tripathi: f64,
+    /// ARIA baseline.
+    pub aria: f64,
+    /// Herodotou static baseline.
+    pub herodotou: f64,
+}
+
+/// Estimates for a heterogeneous mix: job-count-weighted aggregates
+/// plus one [`ClassPoint`] per mix class.
+#[derive(Debug, Clone)]
+pub struct MixEstimate {
+    /// Aggregate fork/join estimate (mean over every job of the mix).
+    pub fork_join: f64,
+    /// Aggregate Tripathi estimate.
+    pub tripathi: f64,
+    /// Aggregate ARIA baseline.
+    pub aria: f64,
+    /// Aggregate Herodotou baseline.
+    pub herodotou: f64,
+    /// Per-class estimates, in mix-entry order.
+    pub per_class: Vec<ClassPoint>,
+    /// Full fork/join solver output (per-job responses in mix order).
+    pub fork_join_detail: SolveResult,
+    /// Full Tripathi solver output.
+    pub tripathi_detail: SolveResult,
+}
+
+/// Run both estimators and both baselines for a heterogeneous mix of
+/// concurrent jobs — the paper's closed queueing network is inherently
+/// multi-class, so the mix feeds the solver as one `ModelInput` with a
+/// job entry per instance.
+///
+/// Baselines generalize the single-class forms: ARIA scales the slot
+/// pool by 1/total (FIFO averaging gives each of the concurrent jobs an
+/// equal share) and is evaluated per class, aggregated by job count;
+/// Herodotou serializes the whole mix, so every class sees the same
+/// static total.
+pub fn estimate_mix(
+    cfg: &SimConfig,
+    classes: &[MixClass],
+    options: &ModelOptions,
+    cal: &Calibration,
+) -> MixEstimate {
+    let mut fj_opts = options.clone();
+    fj_opts.estimator = Estimator::ForkJoin;
+    let mut tr_opts = options.clone();
+    tr_opts.estimator = Estimator::Tripathi;
+
+    let fj_input = mix_model_input(cfg, classes, fj_opts, cal);
+    let tr_input = mix_model_input(cfg, classes, tr_opts, cal);
+    let fj = solve(&fj_input);
+    let tr = solve(&tr_input);
+
+    let total: usize = classes.iter().map(|c| c.count).sum();
+    // ARIA baseline from the same initial statistics. The bounds model
+    // has no notion of concurrent jobs; following its own usage we scale
+    // the slot pool by 1/total (each concurrent job effectively receives
+    // an equal share under FIFO averaging).
+    let slots_total = fj_input
+        .cluster
+        .total_containers()
+        .saturating_sub(fj_input.cluster.reserved_containers)
+        .max(1);
+    let slots = (slots_total as f64 / total as f64).max(1.0) as u32;
+    let mk = |mean: f64, cv: f64| StageStats {
+        avg: mean,
+        max: mean * (1.0 + 2.0 * cv),
+    };
+    // Herodotou's static model serializes every job of the mix.
+    let herodotou: f64 = classes
+        .iter()
+        .map(|c| herodotou_estimate(cfg, &c.spec, cal) * c.count as f64)
+        .sum();
+
+    let mean_of = |slice: &[f64]| slice.iter().sum::<f64>() / slice.len() as f64;
+    let mut per_class = Vec::with_capacity(classes.len());
+    let mut aria_weighted = 0.0;
+    let mut offset = 0;
+    for c in classes {
+        let job = &fj_input.jobs[offset];
+        let profile = AriaProfile {
+            num_maps: job.num_maps,
+            num_reduces: job.num_reduces,
+            map: mk(job.initial_response[0], job.cv[0]),
+            shuffle_first: mk(job.initial_response[1], job.cv[1]),
+            shuffle_typical: mk(job.initial_response[1], job.cv[1]),
+            reduce: mk(job.initial_response[2], job.cv[2]),
+        };
+        let aria_class = aria_bounds(&profile, slots, slots).avg();
+        aria_weighted += aria_class * c.count as f64;
+        per_class.push(ClassPoint {
+            fork_join: mean_of(&fj.per_job_response[offset..offset + c.count]),
+            tripathi: mean_of(&tr.per_job_response[offset..offset + c.count]),
+            aria: aria_class,
+            herodotou,
+        });
+        offset += c.count;
+    }
+    // For one class the aggregate is the class value itself — dividing
+    // the weighted sum back out could round differently.
+    let aria = if classes.len() == 1 {
+        per_class[0].aria
+    } else {
+        aria_weighted / total as f64
+    };
+
+    MixEstimate {
+        fork_join: fj.avg_response,
+        tripathi: tr.avg_response,
+        aria,
+        herodotou,
+        per_class,
+        fork_join_detail: fj,
+        tripathi_detail: tr,
+    }
+}
+
+/// Run both estimators and both baselines for `n_jobs` identical jobs —
+/// the single-class convenience over [`estimate_mix`].
 ///
 /// `measured` optionally supplies duration CVs from a profiling run
 /// (§4.2.1's "sample techniques"); without it the calibration defaults are
@@ -39,50 +164,23 @@ pub fn estimate_workload(
     cal: &Calibration,
     measured: Option<&MeasuredProfile>,
 ) -> WorkloadEstimate {
-    let mut fj_opts = options.clone();
-    fj_opts.estimator = Estimator::ForkJoin;
-    let mut tr_opts = options.clone();
-    tr_opts.estimator = Estimator::Tripathi;
-
-    let fj_input = model_input(cfg, spec, n_jobs, fj_opts, cal, measured);
-    let tr_input = model_input(cfg, spec, n_jobs, tr_opts, cal, measured);
-    let fj = solve(&fj_input);
-    let tr = solve(&tr_input);
-
-    // ARIA baseline from the same initial statistics. The bounds model has
-    // no notion of concurrent jobs; following its own usage we scale the
-    // slot pool by 1/N (each of N identical jobs effectively receives an
-    // equal share under FIFO averaging).
-    let job = &fj_input.jobs[0];
-    let slots_total = fj_input
-        .cluster
-        .total_containers()
-        .saturating_sub(fj_input.cluster.reserved_containers)
-        .max(1);
-    let slots = (slots_total as f64 / n_jobs as f64).max(1.0) as u32;
-    let mk = |mean: f64, cv: f64| StageStats {
-        avg: mean,
-        max: mean * (1.0 + 2.0 * cv),
-    };
-    let profile = AriaProfile {
-        num_maps: job.num_maps,
-        num_reduces: job.num_reduces,
-        map: mk(job.initial_response[0], job.cv[0]),
-        shuffle_first: mk(job.initial_response[1], job.cv[1]),
-        shuffle_typical: mk(job.initial_response[1], job.cv[1]),
-        reduce: mk(job.initial_response[2], job.cv[2]),
-    };
-    let aria = aria_bounds(&profile, slots, slots).avg();
-
-    let herodotou = herodotou_estimate(cfg, spec, cal) * n_jobs as f64;
-
+    let e = estimate_mix(
+        cfg,
+        &[MixClass {
+            spec: spec.clone(),
+            count: n_jobs,
+            profile: measured.cloned(),
+        }],
+        options,
+        cal,
+    );
     WorkloadEstimate {
-        fork_join: fj.avg_response,
-        tripathi: tr.avg_response,
-        aria,
-        herodotou,
-        fork_join_detail: fj,
-        tripathi_detail: tr,
+        fork_join: e.fork_join,
+        tripathi: e.tripathi,
+        aria: e.aria,
+        herodotou: e.herodotou,
+        fork_join_detail: e.fork_join_detail,
+        tripathi_detail: e.tripathi_detail,
     }
 }
 
@@ -94,51 +192,94 @@ pub fn estimate_workload(
 /// `mr2-scenario`) bake this into their content hashes, so persisted
 /// results from an older model silently miss instead of serving stale
 /// numbers.
-pub const MODEL_SCHEMA_VERSION: u32 = 1;
+///
+/// v2: [`ModelPoint`] grew per-class estimates for heterogeneous
+/// workload mixes and its record gained a class-count field.
+pub const MODEL_SCHEMA_VERSION: u32 = 2;
 
 /// The analytic estimates of one configuration point — the narrow entry
 /// result batch evaluators (crate `mr2-scenario`) consume. A flat,
-/// comparison-ready subset of [`WorkloadEstimate`].
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// comparison-ready subset of [`MixEstimate`]: count-weighted aggregates
+/// plus one [`ClassPoint`] per mix class.
+#[derive(Debug, Clone, PartialEq)]
 pub struct ModelPoint {
-    /// Fork/join estimate.
+    /// Aggregate fork/join estimate.
     pub fork_join: f64,
-    /// Tripathi estimate.
+    /// Aggregate Tripathi estimate.
     pub tripathi: f64,
-    /// ARIA baseline.
+    /// Aggregate ARIA baseline.
     pub aria: f64,
-    /// Herodotou static baseline.
+    /// Aggregate Herodotou static baseline.
     pub herodotou: f64,
+    /// Per-class estimates, in mix-entry order (one entry for a
+    /// single-job point).
+    pub per_class: Vec<ClassPoint>,
 }
 
 impl ModelPoint {
-    /// Flat-record length of [`ModelPoint::to_record`].
-    pub const RECORD_LEN: usize = 4;
-
-    /// The stable serialized form: a flat `f64` record with a fixed
-    /// field order, the unit cache layers and services store and ship.
+    /// The stable serialized form: the four aggregates, the class count,
+    /// then four values per class — the unit cache layers and services
+    /// store and ship.
     pub fn to_record(&self) -> Vec<f64> {
-        vec![self.fork_join, self.tripathi, self.aria, self.herodotou]
+        let mut rec = Vec::with_capacity(5 + 4 * self.per_class.len());
+        rec.extend([self.fork_join, self.tripathi, self.aria, self.herodotou]);
+        rec.push(self.per_class.len() as f64);
+        for c in &self.per_class {
+            rec.extend([c.fork_join, c.tripathi, c.aria, c.herodotou]);
+        }
+        rec
     }
 
     /// Decode a record written by [`ModelPoint::to_record`]; `None` if
-    /// the length doesn't match (a corrupt or foreign record).
+    /// the shape doesn't match (a corrupt or foreign record).
     pub fn from_record(rec: &[f64]) -> Option<ModelPoint> {
-        match rec {
-            &[fork_join, tripathi, aria, herodotou] => Some(ModelPoint {
-                fork_join,
-                tripathi,
-                aria,
-                herodotou,
-            }),
-            _ => None,
+        let (head, classes) = rec.split_at_checked(5)?;
+        let n = head[4] as usize;
+        // A point always carries at least one class; a zero or
+        // mismatched count is a corrupt or foreign record.
+        if n == 0 || classes.len() != 4 * n {
+            return None;
         }
+        Some(ModelPoint {
+            fork_join: head[0],
+            tripathi: head[1],
+            aria: head[2],
+            herodotou: head[3],
+            per_class: classes
+                .chunks_exact(4)
+                .map(|c| ClassPoint {
+                    fork_join: c[0],
+                    tripathi: c[1],
+                    aria: c[2],
+                    herodotou: c[3],
+                })
+                .collect(),
+        })
+    }
+}
+
+/// Narrow batch-evaluation entry point for a heterogeneous mix: both
+/// estimators and both baselines, aggregate and per class. Deterministic
+/// in its inputs, which is what makes results content-addressable.
+pub fn eval_mix(
+    cfg: &SimConfig,
+    classes: &[MixClass],
+    options: &ModelOptions,
+    cal: &Calibration,
+) -> ModelPoint {
+    let e = estimate_mix(cfg, classes, options, cal);
+    ModelPoint {
+        fork_join: e.fork_join,
+        tripathi: e.tripathi,
+        aria: e.aria,
+        herodotou: e.herodotou,
+        per_class: e.per_class,
     }
 }
 
 /// Narrow batch-evaluation entry point: both estimators and both
-/// baselines for one `(cfg, spec, n_jobs)` point. Deterministic in its
-/// inputs, which is what makes results content-addressable.
+/// baselines for one `(cfg, spec, n_jobs)` point — the single-class
+/// convenience over [`eval_mix`].
 pub fn eval_point(
     cfg: &SimConfig,
     spec: &JobSpec,
@@ -147,13 +288,16 @@ pub fn eval_point(
     cal: &Calibration,
     measured: Option<&MeasuredProfile>,
 ) -> ModelPoint {
-    let e = estimate_workload(cfg, spec, n_jobs, options, cal, measured);
-    ModelPoint {
-        fork_join: e.fork_join,
-        tripathi: e.tripathi,
-        aria: e.aria,
-        herodotou: e.herodotou,
-    }
+    eval_mix(
+        cfg,
+        &[MixClass {
+            spec: spec.clone(),
+            count: n_jobs,
+            profile: measured.cloned(),
+        }],
+        options,
+        cal,
+    )
 }
 
 #[cfg(test)]
@@ -201,21 +345,105 @@ mod tests {
 
     #[test]
     fn model_point_record_roundtrip_is_bit_exact() {
+        let class = ClassPoint {
+            fork_join: 99.5,
+            tripathi: 0.5,
+            aria: 1.5,
+            herodotou: 2.5,
+        };
         let p = ModelPoint {
             fork_join: 0.1 + 0.2,
             tripathi: -0.0,
             aria: f64::from_bits(0x7ff0000000000001),
             herodotou: 1e300,
+            per_class: vec![class, class],
         };
         let rec = p.to_record();
-        assert_eq!(rec.len(), ModelPoint::RECORD_LEN);
+        assert_eq!(rec.len(), 5 + 4 * 2);
         let q = ModelPoint::from_record(&rec).unwrap();
         assert_eq!(q.fork_join.to_bits(), p.fork_join.to_bits());
         assert_eq!(q.tripathi.to_bits(), p.tripathi.to_bits());
         assert_eq!(q.aria.to_bits(), p.aria.to_bits());
         assert_eq!(q.herodotou.to_bits(), p.herodotou.to_bits());
+        assert_eq!(q.per_class, p.per_class);
         assert_eq!(ModelPoint::from_record(&rec[..3]), None);
+        // A class count that doesn't match the payload is corrupt.
         assert_eq!(ModelPoint::from_record(&[0.0; 5]), None);
+        assert_eq!(ModelPoint::from_record(&rec[..9]), None);
+    }
+
+    #[test]
+    fn mix_estimate_reports_per_class_and_weighted_aggregates() {
+        use mapreduce_sim::workload::{grep, terasort};
+        use mapreduce_sim::GB;
+        let cfg = SimConfig::paper_testbed(4);
+        let classes = [
+            MixClass {
+                spec: wordcount_1gb(4),
+                count: 2,
+                profile: None,
+            },
+            MixClass {
+                spec: terasort(GB, 4),
+                count: 1,
+                profile: None,
+            },
+            MixClass {
+                spec: grep(GB),
+                count: 1,
+                profile: None,
+            },
+        ];
+        let e = estimate_mix(
+            &cfg,
+            &classes,
+            &ModelOptions::default(),
+            &Calibration::default(),
+        );
+        assert_eq!(e.per_class.len(), 3);
+        assert_eq!(e.fork_join_detail.per_job_response.len(), 4);
+        for c in &e.per_class {
+            assert!(c.fork_join > 0.0 && c.fork_join.is_finite());
+            assert!(c.tripathi > 0.0 && c.aria > 0.0 && c.herodotou > 0.0);
+        }
+        // The aggregate fork/join is the job-count-weighted mean of the
+        // per-class means.
+        let weighted =
+            (2.0 * e.per_class[0].fork_join + e.per_class[1].fork_join + e.per_class[2].fork_join)
+                / 4.0;
+        assert!((e.fork_join - weighted).abs() < 1e-9);
+        // Herodotou serializes the mix: every class sees the same total.
+        assert_eq!(e.per_class[0].herodotou.to_bits(), e.herodotou.to_bits());
+        assert_eq!(e.per_class[1].herodotou.to_bits(), e.herodotou.to_bits());
+        // Grep's map-heavy class must respond faster than TeraSort's
+        // I/O-heavy one under the same contention.
+        assert!(e.per_class[2].fork_join < e.per_class[1].fork_join);
+    }
+
+    #[test]
+    fn single_class_mix_matches_eval_point_bit_for_bit() {
+        let cfg = SimConfig::paper_testbed(4);
+        let spec = wordcount_1gb(4);
+        let opts = ModelOptions::default();
+        let cal = Calibration::default();
+        let via_point = eval_point(&cfg, &spec, 3, &opts, &cal, None);
+        let via_mix = eval_mix(
+            &cfg,
+            &[MixClass {
+                spec: spec.clone(),
+                count: 3,
+                profile: None,
+            }],
+            &opts,
+            &cal,
+        );
+        assert_eq!(via_point, via_mix);
+        assert_eq!(via_point.per_class.len(), 1);
+        assert_eq!(
+            via_point.per_class[0].fork_join.to_bits(),
+            via_point.fork_join.to_bits(),
+            "one class ⇒ class estimate is the aggregate"
+        );
     }
 
     #[test]

@@ -34,10 +34,13 @@ pub mod solver;
 pub mod timeline;
 pub mod tree;
 
-pub use calibrate::{herodotou_estimate, job_inputs, model_input, Calibration};
+pub use calibrate::{
+    herodotou_estimate, job_inputs, mix_model_input, model_input, Calibration, MixClass,
+};
 pub use error::{abs_relative_error, relative_error, ErrorBand};
 pub use estimate::{
-    estimate_workload, eval_point, ModelPoint, WorkloadEstimate, MODEL_SCHEMA_VERSION,
+    estimate_mix, estimate_workload, eval_mix, eval_point, ClassPoint, MixEstimate, ModelPoint,
+    WorkloadEstimate, MODEL_SCHEMA_VERSION,
 };
 pub use input::{
     Center, ClusterInputs, Estimator, JobClassInputs, ModelInput, ModelOptions, TaskClass,

@@ -22,7 +22,10 @@ use simcore::{Samples, Welford};
 /// layers (crate `mr2-scenario`) bake this into their content hashes,
 /// so persisted results from an older simulator silently miss instead
 /// of serving stale numbers.
-pub const SIM_SCHEMA_VERSION: u32 = 1;
+///
+/// v2: [`SimPoint`] grew per-class medians for heterogeneous workload
+/// mixes and its record gained a class-count field.
+pub const SIM_SCHEMA_VERSION: u32 = 2;
 
 /// Duration statistics of one task class.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -196,54 +199,110 @@ pub fn measure_workload(
 
 /// Ground-truth numbers of one simulated configuration point — the
 /// narrow entry result batch evaluators (crate `mr2-scenario`) consume.
+///
+/// A point may carry a heterogeneous workload mix; every job class
+/// (one per [`eval_mix`] entry, in submission order) gets its own
+/// response-time series alongside the aggregate statistics.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimPoint {
     /// Median over repetitions of the per-repetition mean response (the
-    /// paper's reported statistic).
+    /// paper's reported statistic), over *all* jobs of the mix.
     pub median_response: f64,
     /// Mean over repetitions of the per-repetition mean response.
     pub mean_response: f64,
+    /// Per class, in submission order: median over repetitions of the
+    /// per-repetition mean response of that class's jobs.
+    pub per_class_median: Vec<f64>,
     /// Per-repetition mean job response times, in seed order.
     pub per_rep_mean: Vec<f64>,
 }
 
 impl SimPoint {
-    /// The stable serialized form: `[median, mean, per-rep means…]`, the
-    /// unit cache layers and services store and ship. Variable length
-    /// (two summary statistics plus one value per repetition).
+    /// The stable serialized form:
+    /// `[median, mean, #classes, per-class medians…, per-rep means…]`,
+    /// the unit cache layers and services store and ship. Variable
+    /// length (one value per class plus one per repetition).
     pub fn to_record(&self) -> Vec<f64> {
-        let mut rec = Vec::with_capacity(2 + self.per_rep_mean.len());
+        let mut rec = Vec::with_capacity(3 + self.per_class_median.len() + self.per_rep_mean.len());
         rec.push(self.median_response);
         rec.push(self.mean_response);
+        rec.push(self.per_class_median.len() as f64);
+        rec.extend_from_slice(&self.per_class_median);
         rec.extend_from_slice(&self.per_rep_mean);
         rec
     }
 
     /// Decode a record written by [`SimPoint::to_record`]; `None` if the
-    /// record is too short to carry the summary statistics.
+    /// record is too short to carry the summary statistics or its class
+    /// count doesn't fit (a corrupt or foreign record).
     pub fn from_record(rec: &[f64]) -> Option<SimPoint> {
         let (&median_response, rest) = rec.split_first()?;
-        let (&mean_response, per_rep) = rest.split_first()?;
+        let (&mean_response, rest) = rest.split_first()?;
+        let (&classes, rest) = rest.split_first()?;
+        let classes = classes as usize;
+        if classes > rest.len() {
+            return None;
+        }
+        let (per_class, per_rep) = rest.split_at(classes);
         Some(SimPoint {
             median_response,
             mean_response,
+            per_class_median: per_class.to_vec(),
             per_rep_mean: per_rep.to_vec(),
         })
     }
 }
 
+/// Narrow batch-evaluation entry point for a heterogeneous workload
+/// mix: simulate every class's jobs concurrently (all submitted at
+/// t = 0, in entry order — `count` copies per `(spec, count)` entry),
+/// `reps` seeded repetitions, and return aggregate plus per-class
+/// summary statistics. Deterministic in `(cfg, classes, reps)` —
+/// including `cfg.seed` — which is what makes results
+/// content-addressable.
+pub fn eval_mix(cfg: &SimConfig, classes: &[(JobSpec, usize)], reps: usize) -> SimPoint {
+    assert!(reps >= 1 && !classes.is_empty());
+    assert!(classes.iter().all(|&(_, n)| n >= 1), "empty class");
+    let total: usize = classes.iter().map(|&(_, n)| n).sum();
+    let mut medians = Samples::new();
+    let mut class_medians: Vec<Samples> = classes.iter().map(|_| Samples::new()).collect();
+    let mut per_rep_mean = Vec::with_capacity(reps);
+    for rep in 0..reps {
+        let mut c = cfg.clone();
+        c.seed = cfg.seed + rep as u64;
+        let mut sim = ClusterSim::new(c);
+        for (spec, n) in classes {
+            for _ in 0..*n {
+                sim.add_job(spec.clone(), 0.0);
+            }
+        }
+        let results = sim.run();
+        let mean = results.iter().map(|r| r.response_time()).sum::<f64>() / total as f64;
+        per_rep_mean.push(mean);
+        medians.push(mean);
+        let mut offset = 0;
+        for (ci, &(_, n)) in classes.iter().enumerate() {
+            let class = &results[offset..offset + n];
+            class_medians[ci].push(class.iter().map(|r| r.response_time()).sum::<f64>() / n as f64);
+            offset += n;
+        }
+    }
+    let mean_response = per_rep_mean.iter().sum::<f64>() / reps as f64;
+    SimPoint {
+        median_response: medians.median(),
+        mean_response,
+        per_class_median: class_medians.iter().map(|s| s.median()).collect(),
+        per_rep_mean,
+    }
+}
+
 /// Narrow batch-evaluation entry point: simulate `n_jobs` copies of
 /// `spec` on `cfg`, `reps` seeded repetitions, and return the summary
-/// statistics. Deterministic in `(cfg, spec, n_jobs, reps)` — including
-/// `cfg.seed` — which is what makes results content-addressable.
+/// statistics. The single-class convenience over [`eval_mix`] — a
+/// 1-entry mix produces the identical submission sequence, so the two
+/// forms are bit-identical.
 pub fn eval_point(cfg: &SimConfig, spec: &JobSpec, n_jobs: usize, reps: usize) -> SimPoint {
-    let m = measure_workload(spec, cfg, n_jobs, reps);
-    let mean_response = m.per_rep_mean.iter().sum::<f64>() / m.per_rep_mean.len() as f64;
-    SimPoint {
-        median_response: m.median_response,
-        mean_response,
-        per_rep_mean: m.per_rep_mean,
-    }
+    eval_mix(cfg, &[(spec.clone(), n_jobs)], reps)
 }
 
 #[cfg(test)]
@@ -297,12 +356,42 @@ mod tests {
     }
 
     #[test]
+    fn eval_mix_reports_per_class_medians_in_submission_order() {
+        let light = wordcount(128 * MB, 1);
+        let heavy = wordcount(512 * MB, 2);
+        let p = eval_mix(&cfg(), &[(light.clone(), 2), (heavy.clone(), 1)], 2);
+        assert_eq!(p.per_class_median.len(), 2);
+        assert_eq!(p.per_rep_mean.len(), 2);
+        assert!(
+            p.per_class_median[1] > p.per_class_median[0],
+            "the 4× larger job class must respond slower: {:?}",
+            p.per_class_median
+        );
+        // The aggregate mean sits between the class means.
+        assert!(p.median_response > p.per_class_median[0]);
+        assert!(p.median_response < p.per_class_median[1]);
+
+        // A 1-entry mix is bit-identical to the single-class entry point.
+        let a = eval_point(&cfg(), &light, 2, 2);
+        let b = eval_mix(&cfg(), &[(light, 2)], 2);
+        assert_eq!(a, b);
+        assert_eq!(a.per_class_median.len(), 1);
+        assert_eq!(
+            a.per_class_median[0].to_bits(),
+            a.median_response.to_bits(),
+            "one class ⇒ class median is the aggregate median"
+        );
+    }
+
+    #[test]
     fn records_roundtrip_bit_exact() {
         let spec = wordcount(256 * MB, 1);
-        let p = eval_point(&cfg(), &spec, 1, 2);
+        let p = eval_mix(&cfg(), &[(spec.clone(), 1), (wordcount(128 * MB, 1), 1)], 2);
         let q = SimPoint::from_record(&p.to_record()).unwrap();
         assert_eq!(q, p);
         assert_eq!(SimPoint::from_record(&[1.0]), None);
+        // A class count larger than the payload is a corrupt record.
+        assert_eq!(SimPoint::from_record(&[1.0, 1.0, 9.0, 1.0]), None);
 
         let (profile, _) = profile_job(&spec, &cfg());
         let rec = profile.to_record();

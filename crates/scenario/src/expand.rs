@@ -2,17 +2,21 @@
 //!
 //! Expansion order is deterministic and documented: cartesian sweeps
 //! enumerate axes with the *rightmost axis fastest* in the order
-//! `nodes → block_mb → container_mb → schedulers → jobs → input_bytes →
-//! n_jobs → estimators`; zip sweeps walk all axes in lock-step with
-//! length-1 axes broadcast. The `index` of every point is its position
-//! in that order, so serial and parallel runs agree on numbering.
+//! `nodes → block_mb → container_mb → schedulers → workload →
+//! map_failure_prob → estimators`, where a `Grid` workload contributes
+//! its three lists in the order `jobs → input_bytes → n_jobs` and a
+//! `Mixes` workload contributes one list; zip sweeps walk all axes in
+//! lock-step with length-1 axes broadcast. The `index` of every point
+//! is its position in that order, so serial and parallel runs agree on
+//! numbering.
 
-use crate::spec::{EvalPoint, Scenario, SweepMode};
+use crate::spec::{EvalPoint, Scenario, SweepMode, WorkloadAxis, WorkloadMix};
 
 /// Expand a scenario into its evaluation points.
 ///
-/// Panics (via [`Scenario::validate`]) on empty axes or zip-length
-/// mismatches.
+/// Panics (via [`Scenario::validate`]) on empty axes, zip-length
+/// mismatches, out-of-range failure probabilities, or invalid reduce
+/// counts.
 pub fn expand(s: &Scenario) -> Vec<EvalPoint> {
     s.validate();
     match s.sweep {
@@ -22,31 +26,28 @@ pub fn expand(s: &Scenario) -> Vec<EvalPoint> {
 }
 
 fn expand_cartesian(s: &Scenario) -> Vec<EvalPoint> {
+    let mixes = s.workload_values();
     let mut out = Vec::with_capacity(s.num_points());
     let mut index = 0;
     for &nodes in &s.nodes {
         for &block_mb in &s.block_mb {
             for &container_mb in &s.container_mb {
                 for &scheduler in &s.schedulers {
-                    for &job in &s.jobs {
-                        for &input_bytes in &s.input_bytes {
-                            for &n_jobs in &s.n_jobs {
-                                for &estimator in &s.estimators {
-                                    out.push(EvalPoint {
-                                        index,
-                                        nodes,
-                                        block_mb,
-                                        container_mb,
-                                        scheduler,
-                                        job,
-                                        input_bytes,
-                                        n_jobs,
-                                        estimator,
-                                        reduces: s.reduces.reduces(nodes),
-                                        seed: s.seed,
-                                    });
-                                    index += 1;
-                                }
+                    for mix in &mixes {
+                        for &map_failure_prob in &s.map_failure_prob {
+                            for &estimator in &s.estimators {
+                                out.push(EvalPoint {
+                                    index,
+                                    nodes,
+                                    block_mb,
+                                    container_mb,
+                                    scheduler,
+                                    mix: mix.resolve(nodes),
+                                    map_failure_prob,
+                                    estimator,
+                                    seed: s.seed,
+                                });
+                                index += 1;
                             }
                         }
                     }
@@ -61,6 +62,24 @@ fn expand_zip(s: &Scenario) -> Vec<EvalPoint> {
     let n = s.num_points();
     // Length-1 axes broadcast across the whole sweep.
     let pick = |i: usize, len: usize| if len == 1 { 0 } else { i };
+    // The workload's mix at zip position `i`: a `Grid` zips its three
+    // lists independently (each broadcasting on its own), an explicit
+    // mix list zips as one axis.
+    let mix_at = |i: usize| -> WorkloadMix {
+        match &s.workload {
+            WorkloadAxis::Grid {
+                jobs,
+                input_bytes,
+                n_jobs,
+            } => WorkloadMix::new([crate::spec::MixEntry::new(
+                jobs[pick(i, jobs.len())],
+                input_bytes[pick(i, input_bytes.len())],
+                n_jobs[pick(i, n_jobs.len())],
+            )
+            .with_reduces(s.reduces)]),
+            WorkloadAxis::Mixes(m) => m[pick(i, m.len())].clone(),
+        }
+    };
     (0..n)
         .map(|i| {
             let nodes = s.nodes[pick(i, s.nodes.len())];
@@ -70,11 +89,9 @@ fn expand_zip(s: &Scenario) -> Vec<EvalPoint> {
                 block_mb: s.block_mb[pick(i, s.block_mb.len())],
                 container_mb: s.container_mb[pick(i, s.container_mb.len())],
                 scheduler: s.schedulers[pick(i, s.schedulers.len())],
-                job: s.jobs[pick(i, s.jobs.len())],
-                input_bytes: s.input_bytes[pick(i, s.input_bytes.len())],
-                n_jobs: s.n_jobs[pick(i, s.n_jobs.len())],
+                mix: mix_at(i).resolve(nodes),
+                map_failure_prob: s.map_failure_prob[pick(i, s.map_failure_prob.len())],
                 estimator: s.estimators[pick(i, s.estimators.len())],
-                reduces: s.reduces.reduces(nodes),
                 seed: s.seed,
             }
         })
@@ -84,7 +101,7 @@ fn expand_zip(s: &Scenario) -> Vec<EvalPoint> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::spec::{EstimatorKind, JobKind, ReducePolicy};
+    use crate::spec::{EstimatorKind, JobKind, MixEntry, ReducePolicy};
     use mapreduce_sim::GB;
 
     #[test]
@@ -105,7 +122,9 @@ mod tests {
                     let expected_index = ni * 6 + ji * 2 + ei;
                     let matching: Vec<_> = pts
                         .iter()
-                        .filter(|p| p.nodes == nodes && p.n_jobs == n_jobs && p.estimator == est)
+                        .filter(|p| {
+                            p.nodes == nodes && p.total_jobs() == n_jobs && p.estimator == est
+                        })
                         .collect();
                     assert_eq!(matching.len(), 1, "{nodes}/{n_jobs}/{est:?}");
                     assert_eq!(matching[0].index, expected_index, "rightmost-fastest order");
@@ -119,6 +138,43 @@ mod tests {
     }
 
     #[test]
+    fn cartesian_mix_axis_is_exact() {
+        let mixes = [
+            WorkloadMix::single(JobKind::WordCount, GB, 1),
+            WorkloadMix::new([
+                MixEntry::new(JobKind::WordCount, GB, 1),
+                MixEntry::new(JobKind::TeraSort, GB, 1),
+            ]),
+            WorkloadMix::new([
+                MixEntry::new(JobKind::WordCount, GB, 2),
+                MixEntry::new(JobKind::TeraSort, GB, 1),
+                MixEntry::new(JobKind::Grep, GB, 1),
+            ]),
+        ];
+        let s = Scenario::new("mixgrid")
+            .axis_nodes([2usize, 4])
+            .axis_mixes(mixes.to_vec())
+            .axis_map_failure_prob([0.0, 0.2])
+            .axis_estimators([EstimatorKind::ForkJoin, EstimatorKind::Tripathi]);
+        assert_eq!(s.num_points(), 2 * 3 * 2 * 2);
+        let pts = expand(&s);
+        assert_eq!(pts.len(), 24, "mix axis participates in the product");
+        // The mix axis sits between schedulers and map_failure_prob:
+        // rightmost fastest means estimator, then failure, then mix.
+        assert_eq!(pts[0].mix.entries.len(), 1);
+        assert_eq!(pts[0].map_failure_prob, 0.0);
+        assert_eq!(pts[1].estimator, EstimatorKind::Tripathi);
+        assert_eq!(pts[2].map_failure_prob, 0.2);
+        assert_eq!(pts[4].mix.entries.len(), 2);
+        assert_eq!(pts[8].mix.entries.len(), 3);
+        assert_eq!(pts[8].mix.total_jobs(), 4);
+        assert_eq!(pts[12].nodes, 4);
+        // Reduce policies resolve against each point's node count.
+        assert_eq!(pts[0].mix.entries[0].reduces, 2);
+        assert_eq!(pts[12].mix.entries[0].reduces, 4);
+    }
+
+    #[test]
     fn zip_walks_in_lockstep_with_broadcast() {
         let s = Scenario::new("zip")
             .sweep_mode(SweepMode::Zip)
@@ -129,9 +185,28 @@ mod tests {
         assert_eq!(pts.len(), 3);
         for (i, (nodes, input)) in [(4, GB), (6, 2 * GB), (8, 5 * GB)].iter().enumerate() {
             assert_eq!(pts[i].nodes, *nodes);
-            assert_eq!(pts[i].input_bytes, *input);
-            assert_eq!(pts[i].n_jobs, 2);
+            assert_eq!(pts[i].mix.entries[0].input_bytes, *input);
+            assert_eq!(pts[i].total_jobs(), 2);
         }
+    }
+
+    #[test]
+    fn zip_mix_axis_is_one_axis() {
+        let s = Scenario::new("zipmix")
+            .sweep_mode(SweepMode::Zip)
+            .axis_nodes([2usize, 4])
+            .axis_mixes([
+                WorkloadMix::single(JobKind::Grep, GB, 1),
+                WorkloadMix::new([
+                    MixEntry::new(JobKind::WordCount, GB, 1),
+                    MixEntry::new(JobKind::TeraSort, GB, 1),
+                ]),
+            ]);
+        let pts = expand(&s);
+        assert_eq!(pts.len(), 2);
+        assert_eq!(pts[0].mix.entries[0].job, JobKind::Grep);
+        assert_eq!(pts[1].mix.entries.len(), 2);
+        assert_eq!(pts[1].mix.entries[0].reduces, 4, "resolved at 4 nodes");
     }
 
     #[test]
@@ -140,11 +215,11 @@ mod tests {
             .axis_nodes([4usize, 8])
             .reduce_policy(ReducePolicy::PerNode);
         let pts = expand(&s);
-        assert_eq!(pts[0].reduces, 4);
-        assert_eq!(pts[1].reduces, 8);
+        assert_eq!(pts[0].mix.entries[0].reduces, 4);
+        assert_eq!(pts[1].mix.entries[0].reduces, 8);
         let s = s.reduce_policy(ReducePolicy::Fixed(2));
         let pts = expand(&s);
-        assert!(pts.iter().all(|p| p.reduces == 2));
+        assert!(pts.iter().all(|p| p.mix.entries[0].reduces == 2));
     }
 
     #[test]
@@ -154,7 +229,9 @@ mod tests {
         let pts = expand(&s);
         assert_eq!(pts.len(), 3);
         for p in &pts {
-            p.job_spec().validate();
+            for spec in p.job_specs() {
+                spec.validate();
+            }
         }
     }
 }

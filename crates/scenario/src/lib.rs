@@ -5,20 +5,23 @@
 //! and this crate turns them into a batch evaluation service:
 //!
 //! * [`Scenario`] (module [`spec`]): a declarative sweep over cluster
-//!   axes (nodes, block size, container size, scheduler), workload axes
-//!   (job preset, input size, multiprogramming level N) and the
-//!   estimator series, combined [`SweepMode::Cartesian`] or
-//!   [`SweepMode::Zip`];
+//!   axes (nodes, block size, container size, scheduler), a first-class
+//!   [`WorkloadMix`] axis (heterogeneous job mixes; the `axis_jobs` /
+//!   `axis_input_bytes` / `axis_n_jobs` conveniences cross single-entry
+//!   mixes for homogeneous sweeps), a failure axis
+//!   (`map_failure_prob`), and the estimator series, combined
+//!   [`SweepMode::Cartesian`] or [`SweepMode::Zip`];
 //! * [`expand`]: deterministic expansion into [`EvalPoint`]s;
 //! * [`run_scenario`] (module [`runner`]): a parallel batch runner over
-//!   the narrow `eval_point` entry APIs of `mr2-model` (analytic) and
-//!   `mapreduce-sim` (ground truth);
+//!   the narrow `eval_mix` entry APIs of `mr2-model` (analytic) and
+//!   `mapreduce-sim` (ground truth), per-class results included;
 //! * [`ResultCache`] (module [`cache`]): a content-hashed store so
 //!   repeated sweeps, overlapping scenarios, and the estimator axis skip
 //!   already-evaluated points;
-//! * [`error_bands`] / [`render_report`] (module [`report`]): the
-//!   comparison layer joining estimates against simulation into
-//!   per-series `mr2_model::ErrorBand`s.
+//! * [`error_bands`] / [`class_error_bands`] / [`render_report`]
+//!   (module [`report`]): the comparison layer joining estimates
+//!   against simulation into aggregate and per-class
+//!   `mr2_model::ErrorBand`s.
 //!
 //! ```
 //! use mr2_scenario::{run_scenario, Backends, ResultCache, RunnerConfig, Scenario};
@@ -45,6 +48,12 @@ pub mod spec;
 
 pub use cache::{schema_version, CacheStats, KeyHasher, ResultCache};
 pub use expand::expand;
-pub use report::{error_bands, render_report, to_csv, SeriesBand};
-pub use runner::{evaluate_point, run_scenario, PointResult, RunnerConfig, SimResult, SweepResult};
-pub use spec::{Backends, EstimatorKind, EvalPoint, JobKind, ReducePolicy, Scenario, SweepMode};
+pub use report::{class_error_bands, error_bands, render_report, to_csv, ClassBand, SeriesBand};
+pub use runner::{
+    evaluate_point, run_scenario, select, select_class, PointResult, RunnerConfig, SimResult,
+    SweepResult,
+};
+pub use spec::{
+    Backends, EstimatorKind, EvalPoint, JobKind, MixEntry, ReducePolicy, ResolvedEntry,
+    ResolvedMix, Scenario, SweepMode, WorkloadAxis, WorkloadMix,
+};

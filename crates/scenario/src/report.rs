@@ -1,16 +1,16 @@
 //! The comparison layer: join analytic estimates against simulator
-//! ground truth and summarize accuracy per estimator series, reusing
-//! `mr2_model::ErrorBand` (the paper's §5.2 "error between x% and y%"
-//! statistic).
+//! ground truth and summarize accuracy per estimator series — aggregate
+//! and per job class — reusing `mr2_model::ErrorBand` (the paper's §5.2
+//! "error between x% and y%" statistic).
 
 use std::fmt::Write as _;
 
 use mr2_model::error::{relative_error, ErrorBand};
 
-use crate::runner::{select, SweepResult};
+use crate::runner::{select, select_class, SweepResult};
 use crate::spec::EstimatorKind;
 
-/// Accuracy of one estimator series over a sweep.
+/// Accuracy of one estimator series over a sweep (aggregate responses).
 #[derive(Debug, Clone, Copy)]
 pub struct SeriesBand {
     /// Which series.
@@ -19,9 +19,24 @@ pub struct SeriesBand {
     pub band: ErrorBand,
 }
 
+/// Accuracy of one estimator series for one job class (mix entry
+/// label) over a sweep.
+#[derive(Debug, Clone)]
+pub struct ClassBand {
+    /// The class label ([`crate::spec::MixEntry::label`] — job kind and
+    /// input size; copy counts aggregate).
+    pub class: String,
+    /// Which series.
+    pub estimator: EstimatorKind,
+    /// Error band over every matching class occurrence with both
+    /// backends present.
+    pub band: ErrorBand,
+}
+
 /// Per-estimator error bands over every point of `sweep` that has both
-/// an analytic estimate and a simulator measurement. Returns an empty
-/// vector when no point has both (single-backend sweeps).
+/// an analytic estimate and a simulator measurement, judged on the
+/// aggregate (whole-mix) response. Returns an empty vector when no
+/// point has both (single-backend sweeps).
 ///
 /// Bands are computed for every series in [`EstimatorKind::ALL`] — not
 /// just the swept `estimators` axis — since the model solve carries all
@@ -50,8 +65,56 @@ pub fn error_bands(sweep: &SweepResult) -> Vec<SeriesBand> {
         .collect()
 }
 
+/// Per-class error bands: for every distinct mix-entry label in the
+/// sweep (first-appearance order) and every estimator series, the band
+/// over that class's estimate-vs-measurement pairs across all points
+/// carrying both backends. Judged over every point regardless of the
+/// estimator axis — per-class accuracy is a property of the class, not
+/// of which series a point happens to report.
+pub fn class_error_bands(sweep: &SweepResult) -> Vec<ClassBand> {
+    let mut labels: Vec<String> = Vec::new();
+    for p in &sweep.points {
+        for e in &p.point.mix.entries {
+            let l = e.label();
+            if !labels.contains(&l) {
+                labels.push(l);
+            }
+        }
+    }
+    let mut out = Vec::new();
+    for label in labels {
+        for est in EstimatorKind::ALL {
+            let mut pairs = Vec::new();
+            for p in &sweep.points {
+                let (Some(model), Some(sim)) = (p.model.as_ref(), p.sim.as_ref()) else {
+                    continue;
+                };
+                for (i, e) in p.point.mix.entries.iter().enumerate() {
+                    if e.label() != label {
+                        continue;
+                    }
+                    if let (Some(cm), Some(&sm)) =
+                        (model.per_class.get(i), sim.per_class_median.get(i))
+                    {
+                        pairs.push((select_class(cm, est), sm));
+                    }
+                }
+            }
+            if !pairs.is_empty() {
+                out.push(ClassBand {
+                    class: label.clone(),
+                    estimator: est,
+                    band: ErrorBand::over(&pairs),
+                });
+            }
+        }
+    }
+    out
+}
+
 /// Markdown report: one row per point (configuration, estimate,
-/// measurement, signed error) followed by the per-series error bands.
+/// measurement, signed error) followed by the aggregate and per-class
+/// error bands.
 pub fn render_report(sweep: &SweepResult) -> String {
     let mut out = String::new();
     let _ = writeln!(
@@ -62,7 +125,7 @@ pub fn render_report(sweep: &SweepResult) -> String {
     );
     let _ = writeln!(
         out,
-        "| # | nodes | block | sched | job | input (MB) | N | estimator | estimate (s) | measured (s) | err |"
+        "| # | nodes | block | sched | mix | N | fail | estimator | estimate (s) | measured (s) | err |"
     );
     let _ = writeln!(out, "|---|---|---|---|---|---|---|---|---|---|---|");
     for p in &sweep.points {
@@ -79,9 +142,9 @@ pub fn render_report(sweep: &SweepResult) -> String {
             p.point.nodes,
             p.point.block_mb,
             p.point.scheduler,
-            p.point.job.name(),
-            p.point.input_bytes / (1024 * 1024),
-            p.point.n_jobs,
+            p.point.mix.name(),
+            p.point.total_jobs(),
+            p.point.map_failure_prob,
             p.point.estimator.name(),
         );
     }
@@ -101,14 +164,32 @@ pub fn render_report(sweep: &SweepResult) -> String {
             );
         }
     }
+    let class_bands = class_error_bands(sweep);
+    if !class_bands.is_empty() {
+        let _ = writeln!(out, "\n### per-class model vs simulator");
+        let _ = writeln!(out, "| class | series | band | mean | points |");
+        let _ = writeln!(out, "|---|---|---|---|---|");
+        for b in class_bands {
+            let _ = writeln!(
+                out,
+                "| {} | {} | {} | {:.1}% | {} |",
+                b.class,
+                b.estimator.name(),
+                b.band.as_percent_range(),
+                b.band.mean * 100.0,
+                b.band.count
+            );
+        }
+    }
     out
 }
 
 /// CSV of a sweep: one row per point, columns stable for downstream
-/// tooling.
+/// tooling. The `mix` column carries the resolved mix descriptor
+/// (`2xwordcount@1024MB+1xgrep@1024MB`).
 pub fn to_csv(sweep: &SweepResult) -> String {
     let mut out = String::from(
-        "index,nodes,block_mb,container_mb,scheduler,job,input_bytes,n_jobs,estimator,estimate,measured\n",
+        "index,nodes,block_mb,container_mb,scheduler,mix,total_jobs,map_failure_prob,estimator,estimate,measured\n",
     );
     for p in &sweep.points {
         let _ = writeln!(
@@ -119,9 +200,9 @@ pub fn to_csv(sweep: &SweepResult) -> String {
             p.point.block_mb,
             p.point.container_mb,
             p.point.scheduler,
-            p.point.job.name(),
-            p.point.input_bytes,
-            p.point.n_jobs,
+            p.point.mix.name(),
+            p.point.total_jobs(),
+            p.point.map_failure_prob,
             p.point.estimator.name(),
             p.estimate().map_or(String::new(), |v| format!("{v:.6}")),
             p.measured().map_or(String::new(), |v| format!("{v:.6}")),
@@ -134,9 +215,9 @@ pub fn to_csv(sweep: &SweepResult) -> String {
 mod tests {
     use super::*;
     use crate::runner::{PointResult, SimResult};
-    use crate::spec::{EstimatorKind, EvalPoint, JobKind};
+    use crate::spec::{EstimatorKind, EvalPoint, JobKind, MixEntry, WorkloadMix};
     use mapreduce_sim::{SchedulerPolicy, GB};
-    use mr2_model::ModelPoint;
+    use mr2_model::{ClassPoint, ModelPoint};
 
     fn fake_point(index: usize, estimator: EstimatorKind) -> PointResult {
         PointResult {
@@ -146,11 +227,13 @@ mod tests {
                 block_mb: 128,
                 container_mb: 1024,
                 scheduler: SchedulerPolicy::CapacityFifo,
-                job: JobKind::WordCount,
-                input_bytes: GB,
-                n_jobs: 1,
+                mix: WorkloadMix::new([
+                    MixEntry::new(JobKind::WordCount, GB, 1),
+                    MixEntry::new(JobKind::Grep, GB, 1),
+                ])
+                .resolve(4),
+                map_failure_prob: 0.0,
                 estimator,
-                reduces: 4,
                 seed: 1,
             },
             model: Some(ModelPoint {
@@ -158,10 +241,25 @@ mod tests {
                 tripathi: 120.0,
                 aria: 130.0,
                 herodotou: 80.0,
+                per_class: vec![
+                    ClassPoint {
+                        fork_join: 150.0,
+                        tripathi: 160.0,
+                        aria: 170.0,
+                        herodotou: 80.0,
+                    },
+                    ClassPoint {
+                        fork_join: 55.0,
+                        tripathi: 60.0,
+                        aria: 65.0,
+                        herodotou: 80.0,
+                    },
+                ],
             }),
             sim: Some(SimResult {
                 median_response: 100.0,
                 mean_response: 101.0,
+                per_class_median: vec![125.0, 50.0],
                 reps: 3,
             }),
         }
@@ -210,13 +308,37 @@ mod tests {
     }
 
     #[test]
+    fn class_bands_judge_each_class_separately() {
+        let s = sweep(&[EstimatorKind::ForkJoin]);
+        let bands = class_error_bands(&s);
+        // 2 classes × 4 series.
+        assert_eq!(bands.len(), 8);
+        let wc_fj = bands
+            .iter()
+            .find(|b| b.class == "wordcount@1024MB" && b.estimator == EstimatorKind::ForkJoin)
+            .unwrap();
+        // |150 - 125| / 125 = 20%.
+        assert!((wc_fj.band.mean - 0.20).abs() < 1e-12);
+        let grep_fj = bands
+            .iter()
+            .find(|b| b.class == "grep@1024MB" && b.estimator == EstimatorKind::ForkJoin)
+            .unwrap();
+        // |55 - 50| / 50 = 10%.
+        assert!((grep_fj.band.mean - 0.10).abs() < 1e-12);
+        assert_eq!(wc_fj.band.count, 1);
+    }
+
+    #[test]
     fn report_renders_table_and_bands() {
         let s = sweep(&[EstimatorKind::ForkJoin]);
         let r = render_report(&s);
         assert!(r.contains("scenario `fake`"));
         assert!(r.contains("| 0 | 4 | 128 |"));
+        assert!(r.contains("1xwordcount@1024MB+1xgrep@1024MB"));
         assert!(r.contains("+10.0%"));
         assert!(r.contains("model vs simulator"));
+        assert!(r.contains("per-class model vs simulator"));
+        assert!(r.contains("grep@1024MB"));
         assert!(r.contains("fork_join"));
     }
 
@@ -227,7 +349,10 @@ mod tests {
         let r = render_report(&s);
         assert!(r.contains("| — |"));
         assert!(error_bands(&s).is_empty());
+        assert!(class_error_bands(&s).is_empty());
         let csv = to_csv(&s);
         assert!(csv.lines().nth(1).unwrap().ends_with(','));
+        assert!(csv.starts_with("index,nodes,"));
+        assert!(csv.contains("1xwordcount@1024MB+1xgrep@1024MB"));
     }
 }

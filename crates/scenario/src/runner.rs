@@ -13,11 +13,11 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use mapreduce_sim::profile::{profile_job, MeasuredProfile};
-use mapreduce_sim::SimPoint;
-use mr2_model::{Calibration, ModelOptions, ModelPoint};
+use mapreduce_sim::{JobSpec, SimPoint};
+use mr2_model::{Calibration, ClassPoint, MixClass, ModelOptions, ModelPoint};
 
 use crate::cache::{KeyHasher, ResultCache};
-use crate::spec::{EstimatorKind, EvalPoint, Scenario};
+use crate::spec::{EstimatorKind, EvalPoint, ResolvedEntry, Scenario};
 
 /// Runner knobs.
 #[derive(Debug, Clone, Copy, Default)]
@@ -45,10 +45,14 @@ impl RunnerConfig {
 /// Ground truth of one evaluated point (simulator backend).
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimResult {
-    /// Median over repetitions of the per-rep mean response time.
+    /// Median over repetitions of the per-rep mean response time, over
+    /// all jobs of the mix.
     pub median_response: f64,
     /// Mean over repetitions.
     pub mean_response: f64,
+    /// Per mix entry, in submission order: median over repetitions of
+    /// that class's per-rep mean response.
+    pub per_class_median: Vec<f64>,
     /// Repetitions used.
     pub reps: usize,
 }
@@ -65,24 +69,45 @@ pub struct PointResult {
 }
 
 impl PointResult {
-    /// The estimate of the point's selected estimator series.
+    /// The aggregate estimate of the point's selected estimator series.
     pub fn estimate(&self) -> Option<f64> {
-        self.model.map(|m| select(&m, self.point.estimator))
+        self.model.as_ref().map(|m| select(m, self.point.estimator))
     }
 
     /// The measured (simulated) response the estimate is judged against.
     pub fn measured(&self) -> Option<f64> {
         self.sim.as_ref().map(|s| s.median_response)
     }
+
+    /// The selected series' estimate for mix entry `class`.
+    pub fn class_estimate(&self, class: usize) -> Option<f64> {
+        let m = self.model.as_ref()?;
+        Some(select_class(m.per_class.get(class)?, self.point.estimator))
+    }
+
+    /// The measured response of mix entry `class`.
+    pub fn class_measured(&self, class: usize) -> Option<f64> {
+        self.sim.as_ref()?.per_class_median.get(class).copied()
+    }
 }
 
-/// Pick one estimator series out of a full model solve.
+/// Pick one estimator series out of a full model solve's aggregate.
 pub fn select(m: &ModelPoint, e: EstimatorKind) -> f64 {
     match e {
         EstimatorKind::ForkJoin => m.fork_join,
         EstimatorKind::Tripathi => m.tripathi,
         EstimatorKind::Aria => m.aria,
         EstimatorKind::Herodotou => m.herodotou,
+    }
+}
+
+/// Pick one estimator series out of a per-class estimate.
+pub fn select_class(c: &ClassPoint, e: EstimatorKind) -> f64 {
+    match e {
+        EstimatorKind::ForkJoin => c.fork_join,
+        EstimatorKind::Tripathi => c.tripathi,
+        EstimatorKind::Aria => c.aria,
+        EstimatorKind::Herodotou => c.herodotou,
     }
 }
 
@@ -113,7 +138,7 @@ pub fn run_scenario(scenario: &Scenario, cache: &ResultCache, cfg: &RunnerConfig
     let mut rep_of: Vec<usize> = Vec::with_capacity(points.len());
     let mut unique: Vec<usize> = Vec::new();
     for (i, p) in points.iter().enumerate() {
-        let sig = config_key(p).u64(p.n_jobs as u64).finish();
+        let sig = point_key(p).finish();
         let rep = *first_with_sig.entry(sig).or_insert_with(|| {
             unique.push(i);
             i
@@ -148,8 +173,8 @@ pub fn run_scenario(scenario: &Scenario, cache: &ResultCache, cfg: &RunnerConfig
                     .as_ref()
                     .expect("every representative evaluated");
                 PointResult {
-                    point: *p,
-                    model: rep.model,
+                    point: p.clone(),
+                    model: rep.model.clone(),
                     sim: rep.sim.clone(),
                 }
             })
@@ -164,47 +189,61 @@ pub fn evaluate_point(
     cache: &ResultCache,
 ) -> PointResult {
     let cfg = point.sim_config();
-    let spec = point.job_spec();
 
     let sim = backends.simulator.map(|reps| {
-        let key = config_key(point)
-            .str("sim")
-            .u64(point.n_jobs as u64)
-            .u64(reps as u64)
-            .finish();
+        let key = point_key(point).str("sim").u64(reps as u64).finish();
         let rec = cache.get_or_compute(key, || {
-            mapreduce_sim::eval_point(&cfg, &spec, point.n_jobs, reps).to_record()
+            let classes: Vec<(JobSpec, usize)> = point
+                .mix
+                .entries
+                .iter()
+                .map(|e| (e.spec(), e.count))
+                .collect();
+            mapreduce_sim::eval_mix(&cfg, &classes, reps).to_record()
         });
         let p = SimPoint::from_record(&rec).expect("cached sim record shape");
         SimResult {
             median_response: p.median_response,
             mean_response: p.mean_response,
+            per_class_median: p.per_class_median,
             reps,
         }
     });
 
     let model = backends.analytic.then(|| {
-        let profile = backends.profile_calibration.then(|| {
-            // A profiling run executes one job alone, so its key must
-            // not include `n_jobs`: the whole multiprogramming axis of
-            // a configuration shares one profile.
-            let key = config_key(point).str("profile").finish();
-            let rec = cache.get_or_compute(key, || profile_job(&spec, &cfg).0.to_record());
-            MeasuredProfile::from_record(&rec).expect("cached profile record shape")
-        });
-        let key = config_key(point)
+        let classes: Vec<MixClass> = point
+            .mix
+            .entries
+            .iter()
+            .map(|e| {
+                let spec = e.spec();
+                let profile = backends.profile_calibration.then(|| {
+                    // A profiling run executes one job of the class
+                    // alone, so its key must not include the copy count:
+                    // every count of a class on a configuration — and
+                    // every other mix containing it — shares one
+                    // profile.
+                    let key = profile_key(point, e);
+                    let rec = cache.get_or_compute(key, || profile_job(&spec, &cfg).0.to_record());
+                    MeasuredProfile::from_record(&rec).expect("cached profile record shape")
+                });
+                MixClass {
+                    spec,
+                    count: e.count,
+                    profile,
+                }
+            })
+            .collect();
+        let key = point_key(point)
             .str("model")
-            .u64(point.n_jobs as u64)
             .bool(backends.profile_calibration)
             .finish();
         let rec = cache.get_or_compute(key, || {
-            mr2_model::eval_point(
+            mr2_model::eval_mix(
                 &cfg,
-                &spec,
-                point.n_jobs,
+                &classes,
                 &ModelOptions::default(),
                 &Calibration::default(),
-                profile.as_ref(),
             )
             .to_record()
         });
@@ -212,21 +251,21 @@ pub fn evaluate_point(
     });
 
     PointResult {
-        point: *point,
+        point: point.clone(),
         model,
         sim,
     }
 }
 
-/// Content key of a point's cluster + job configuration, on a
+/// Content key of a point's cluster configuration, on a
 /// schema-versioned hasher ([`KeyHasher::versioned`]) so model or
 /// simulator schema bumps invalidate every persisted result.
-/// Deliberately excludes `index` (a position, not an input),
+/// Deliberately excludes `index` (a position, not an input) and
 /// `estimator` (a reporting selector: all four series come from the
-/// same solve), and `n_jobs` (backend-dependent: a profiling run always
-/// executes one job alone). Each backend appends its tag and the
-/// remaining inputs it actually consumes.
-fn config_key(p: &EvalPoint) -> KeyHasher {
+/// same solve). The workload mix is appended separately (see
+/// [`point_key`]) because profiling runs are keyed per class, not per
+/// mix.
+fn cluster_key(p: &EvalPoint) -> KeyHasher {
     KeyHasher::versioned()
         .u64(p.nodes as u64)
         .u64(p.block_mb)
@@ -235,16 +274,34 @@ fn config_key(p: &EvalPoint) -> KeyHasher {
             mapreduce_sim::SchedulerPolicy::CapacityFifo => "capacity_fifo",
             mapreduce_sim::SchedulerPolicy::Fair => "fair",
         })
-        .str(p.job.name())
-        .u64(p.input_bytes)
-        .u64(p.reduces as u64)
+        .f64(p.map_failure_prob)
         .u64(p.seed)
+}
+
+/// Content key of a point's full evaluation signature: the cluster plus
+/// the canonical form of the resolved workload mix. Each backend
+/// appends its tag and the remaining inputs it actually consumes.
+fn point_key(p: &EvalPoint) -> KeyHasher {
+    p.mix.hash_into(cluster_key(p))
+}
+
+/// Content key of one class's profiling run: cluster plus the class's
+/// own job/input/reduces — no copy count, no sibling entries, so the
+/// profile is shared across every mix and multiprogramming level that
+/// contains the class.
+fn profile_key(p: &EvalPoint, e: &ResolvedEntry) -> u64 {
+    cluster_key(p)
+        .str("profile")
+        .str(e.job.name())
+        .u64(e.input_bytes)
+        .u64(e.reduces as u64)
+        .finish()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::spec::Backends;
+    use crate::spec::{Backends, JobKind, MixEntry, WorkloadMix};
     use mapreduce_sim::MB;
 
     fn tiny_scenario(name: &str) -> Scenario {
@@ -286,32 +343,46 @@ mod tests {
         assert_eq!(stats.misses, 2, "one sim + one model record");
         assert_eq!(stats.hits, 0, "repeat points are deduped pre-dispatch");
         // All four series come from the same solve and differ per kind.
-        let m = r.points[0].model.unwrap();
+        let m = r.points[0].model.clone().unwrap();
         for p in &r.points[1..] {
-            assert_eq!(p.model, Some(m));
+            assert_eq!(p.model.as_ref(), Some(&m));
         }
         assert_ne!(r.points[0].estimate(), r.points[1].estimate());
     }
 
     #[test]
     fn backend_and_options_change_the_cache_key() {
-        let p = crate::expand(&tiny_scenario("t"))[0];
-        let with = config_key(&p).str("model").bool(true).finish();
-        let without = config_key(&p).str("model").bool(false).finish();
+        let p = crate::expand(&tiny_scenario("t"))[0].clone();
+        let with = point_key(&p).str("model").bool(true).finish();
+        let without = point_key(&p).str("model").bool(false).finish();
         assert_ne!(with, without, "profile toggle must separate model keys");
         assert_ne!(
-            config_key(&p).str("sim").finish(),
-            config_key(&p).str("model").finish(),
+            point_key(&p).str("sim").finish(),
+            point_key(&p).str("model").finish(),
             "backend tag must separate keys"
         );
     }
 
     #[test]
-    fn profile_key_is_shared_across_the_n_jobs_axis() {
+    fn failure_probability_axis_changes_the_cache_key() {
+        let s = tiny_scenario("t")
+            .axis_n_jobs([1usize])
+            .axis_map_failure_prob([0.0, 0.2]);
+        let pts = crate::expand(&s);
+        assert_eq!(pts.len(), 2);
+        assert_ne!(
+            point_key(&pts[0]).finish(),
+            point_key(&pts[1]).finish(),
+            "failure probability is an evaluation input"
+        );
+    }
+
+    #[test]
+    fn profile_key_is_shared_across_counts_and_mixes() {
         let pts = crate::expand(&tiny_scenario("t")); // n_jobs axis: [1, 2]
         assert_eq!(
-            config_key(&pts[0]).str("profile").finish(),
-            config_key(&pts[1]).str("profile").finish(),
+            profile_key(&pts[0], &pts[0].mix.entries[0]),
+            profile_key(&pts[1], &pts[1].mix.entries[0]),
             "a profiling run executes one job alone; N must not split it"
         );
         let cache = ResultCache::new();
@@ -324,5 +395,54 @@ mod tests {
         // 2 N-points: 1 shared profile record + 2 model records.
         assert_eq!(cache.stats().entries, 3);
         assert_eq!(cache.stats().hits, 1, "second point reuses the profile");
+
+        // A heterogeneous mix containing the same class reuses that
+        // class's profile record and only profiles the novel class.
+        let het = Scenario::new("het")
+            .axis_nodes([2usize])
+            .axis_mixes([WorkloadMix::new([
+                MixEntry::new(JobKind::WordCount, 256 * MB, 2),
+                MixEntry::new(JobKind::Grep, 256 * MB, 1),
+            ])])
+            .with_backends(Backends {
+                analytic: true,
+                profile_calibration: true,
+                simulator: None,
+            });
+        run_scenario(&het, &cache, &RunnerConfig::serial());
+        // +1 grep profile, +1 mix model record; the wordcount profile
+        // is a cache hit.
+        assert_eq!(cache.stats().entries, 5);
+    }
+
+    #[test]
+    fn per_class_results_line_up_with_the_mix() {
+        let cache = ResultCache::new();
+        let s = Scenario::new("mix")
+            .axis_nodes([2usize])
+            .axis_mixes([WorkloadMix::new([
+                MixEntry::new(JobKind::Grep, 128 * MB, 1),
+                MixEntry::new(JobKind::TeraSort, 256 * MB, 2),
+            ])])
+            .with_backends(Backends {
+                analytic: true,
+                profile_calibration: false,
+                simulator: Some(1),
+            });
+        let r = run_scenario(&s, &cache, &RunnerConfig::serial());
+        let p = &r.points[0];
+        let model = p.model.as_ref().unwrap();
+        let sim = p.sim.as_ref().unwrap();
+        assert_eq!(model.per_class.len(), 2);
+        assert_eq!(sim.per_class_median.len(), 2);
+        for c in 0..2 {
+            assert!(p.class_estimate(c).unwrap() > 0.0);
+            assert!(p.class_measured(c).unwrap() > 0.0);
+        }
+        assert!(p.class_estimate(2).is_none());
+        // The small grep class must be faster than the terasort class
+        // in both backends.
+        assert!(sim.per_class_median[0] < sim.per_class_median[1]);
+        assert!(model.per_class[0].fork_join < model.per_class[1].fork_join);
     }
 }

@@ -5,7 +5,16 @@
 //! (module [`crate::expand`]) turns the spec into concrete
 //! [`crate::EvalPoint`]s; it never runs anything itself, so specs are
 //! cheap to build, inspect, and compare.
+//!
+//! The workload axis is a first-class [`WorkloadMix`]: an ordered list
+//! of [`MixEntry`]s — `(job kind, input size, count, reduce policy)` —
+//! so one point can run WordCount, TeraSort, and Grep concurrently on
+//! the same cluster. The `axis_jobs` / `axis_input_bytes` /
+//! `axis_n_jobs` builders remain as thin conveniences that cross three
+//! single-entry lists into 1-entry mixes, so homogeneous sweeps read
+//! the way they always did.
 
+use crate::cache::KeyHasher;
 use mapreduce_sim::{JobSpec, SchedulerPolicy, SimConfig, GB, MB};
 
 /// Which workload preset a point runs (see `mapreduce_sim::workload`).
@@ -29,14 +38,16 @@ impl JobKind {
         }
     }
 
-    /// Build the concrete job spec for this kind.
+    /// Build the concrete job spec for this kind. `reduces` is used as
+    /// given for every kind; [`Scenario::check`] validates counts
+    /// centrally, so no per-kind fix-ups happen here.
     pub fn spec(&self, input_bytes: u64, reduces: u32) -> JobSpec {
         match self {
             JobKind::WordCount => mapreduce_sim::workload::wordcount(input_bytes, reduces),
             JobKind::TeraSort => mapreduce_sim::workload::terasort(input_bytes, reduces),
             JobKind::Grep => {
                 let mut s = mapreduce_sim::workload::grep(input_bytes);
-                s.reduces = reduces.max(1);
+                s.reduces = reduces;
                 s
             }
         }
@@ -53,12 +64,240 @@ pub enum ReducePolicy {
 }
 
 impl ReducePolicy {
-    /// Reduce count for a cluster of `nodes` workers.
-    pub fn reduces(&self, nodes: usize) -> u32 {
+    /// Reduce count for a cluster of `nodes` workers, rejecting counts
+    /// that are zero or don't fit the simulator's 32-bit reduce field —
+    /// the checked form [`Scenario::check`] applies to every
+    /// `(nodes, entry)` combination before anything runs.
+    pub fn try_reduces(&self, nodes: usize) -> Result<u32, String> {
         match *self {
-            ReducePolicy::PerNode => nodes as u32,
-            ReducePolicy::Fixed(r) => r,
+            ReducePolicy::PerNode => u32::try_from(nodes)
+                .ok()
+                .filter(|&r| r > 0)
+                .ok_or_else(|| format!("per-node reduce count invalid for {nodes} nodes")),
+            ReducePolicy::Fixed(0) => Err("fixed reduce count must be positive".into()),
+            ReducePolicy::Fixed(r) => Ok(r),
         }
+    }
+
+    /// Reduce count for a cluster of `nodes` workers. Panics on counts
+    /// [`ReducePolicy::try_reduces`] rejects; expansion only calls this
+    /// after [`Scenario::check`] has validated every combination.
+    pub fn reduces(&self, nodes: usize) -> u32 {
+        self.try_reduces(nodes)
+            .expect("reduce counts validated by Scenario::check")
+    }
+}
+
+/// One entry of a [`WorkloadMix`]: `count` concurrent copies of one job
+/// kind at one input size, with its own reduce-sizing rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MixEntry {
+    /// Workload preset.
+    pub job: JobKind,
+    /// Input dataset size, bytes.
+    pub input_bytes: u64,
+    /// Concurrent copies of this job in the mix (≥ 1).
+    pub count: usize,
+    /// Reduce-count sizing rule for this entry.
+    pub reduces: ReducePolicy,
+}
+
+impl MixEntry {
+    /// An entry with the default per-node reduce sizing.
+    pub fn new(job: JobKind, input_bytes: u64, count: usize) -> MixEntry {
+        MixEntry {
+            job,
+            input_bytes,
+            count,
+            reduces: ReducePolicy::PerNode,
+        }
+    }
+
+    /// Override the reduce-sizing rule.
+    pub fn with_reduces(mut self, reduces: ReducePolicy) -> MixEntry {
+        self.reduces = reduces;
+        self
+    }
+
+    /// Stable class label (`wordcount@1024MB`) identifying this entry's
+    /// job class across points in reports — `count` is deliberately
+    /// excluded so bands aggregate over the count axis.
+    pub fn label(&self) -> String {
+        format!("{}@{}MB", self.job.name(), self.input_bytes / MB)
+    }
+
+    /// Stable display name (`2x wordcount@1024MB`, with `:r4` appended
+    /// for a fixed reduce count).
+    pub fn name(&self) -> String {
+        let reduces = match self.reduces {
+            ReducePolicy::PerNode => String::new(),
+            ReducePolicy::Fixed(r) => format!(":r{r}"),
+        };
+        format!("{}x{}{}", self.count, self.label(), reduces)
+    }
+}
+
+/// A heterogeneous workload: an ordered, non-empty list of
+/// [`MixEntry`]s all submitted concurrently (t = 0) to one cluster.
+///
+/// The entry order is semantic — it is the submission order of the
+/// simulator's job list, the class order of the solver's multi-class
+/// input, and the index order of every per-class result — and it is
+/// part of the canonical hashed form.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct WorkloadMix {
+    /// The entries, in submission order.
+    pub entries: Vec<MixEntry>,
+}
+
+impl WorkloadMix {
+    /// A mix from a list of entries.
+    pub fn new(entries: impl Into<Vec<MixEntry>>) -> WorkloadMix {
+        WorkloadMix {
+            entries: entries.into(),
+        }
+    }
+
+    /// A 1-entry mix — `count` copies of one job (the shape the
+    /// `axis_jobs`-style conveniences produce).
+    pub fn single(job: JobKind, input_bytes: u64, count: usize) -> WorkloadMix {
+        WorkloadMix {
+            entries: vec![MixEntry::new(job, input_bytes, count)],
+        }
+    }
+
+    /// Append an entry (builder style).
+    pub fn and(mut self, entry: MixEntry) -> WorkloadMix {
+        self.entries.push(entry);
+        self
+    }
+
+    /// Total concurrent jobs across all entries.
+    pub fn total_jobs(&self) -> usize {
+        self.entries.iter().map(|e| e.count).sum()
+    }
+
+    /// Stable display name: entry names joined with ` + `.
+    pub fn name(&self) -> String {
+        self.entries
+            .iter()
+            .map(MixEntry::name)
+            .collect::<Vec<_>>()
+            .join(" + ")
+    }
+
+    /// Validate the mix against a scenario's node axis: entries present,
+    /// counts positive, and every `(nodes, entry)` reduce count valid.
+    pub fn check(&self, nodes_axis: &[usize]) -> Result<(), String> {
+        if self.entries.is_empty() {
+            return Err("workload mix has no entries".into());
+        }
+        for e in &self.entries {
+            if e.count == 0 {
+                return Err(format!("mix entry `{}` has count 0", e.label()));
+            }
+            for &nodes in nodes_axis {
+                e.reduces
+                    .try_reduces(nodes)
+                    .map_err(|err| format!("mix entry `{}`: {err}", e.label()))?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Resolve the reduce policies at a concrete cluster size.
+    pub fn resolve(&self, nodes: usize) -> ResolvedMix {
+        ResolvedMix {
+            entries: self
+                .entries
+                .iter()
+                .map(|e| ResolvedEntry {
+                    job: e.job,
+                    input_bytes: e.input_bytes,
+                    count: e.count,
+                    reduces: e.reduces.reduces(nodes),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// A [`MixEntry`] with its reduce policy resolved to a concrete count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ResolvedEntry {
+    /// Workload preset.
+    pub job: JobKind,
+    /// Input dataset size, bytes.
+    pub input_bytes: u64,
+    /// Concurrent copies of this job in the mix.
+    pub count: usize,
+    /// Reduce tasks per job.
+    pub reduces: u32,
+}
+
+impl ResolvedEntry {
+    /// The concrete job spec of this class.
+    pub fn spec(&self) -> JobSpec {
+        self.job.spec(self.input_bytes, self.reduces)
+    }
+
+    /// Stable class label (`wordcount@1024MB`), matching
+    /// [`MixEntry::label`].
+    pub fn label(&self) -> String {
+        format!("{}@{}MB", self.job.name(), self.input_bytes / MB)
+    }
+}
+
+/// A [`WorkloadMix`] at a concrete cluster size — what an
+/// [`EvalPoint`] carries.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ResolvedMix {
+    /// The resolved entries, in submission order.
+    pub entries: Vec<ResolvedEntry>,
+}
+
+impl ResolvedMix {
+    /// Total concurrent jobs across all entries.
+    pub fn total_jobs(&self) -> usize {
+        self.entries.iter().map(|e| e.count).sum()
+    }
+
+    /// Stable display name (`2x wordcount@1024MB + 1x grep@1024MB`
+    /// without the `x` spacing — see [`MixEntry::name`]).
+    pub fn name(&self) -> String {
+        self.entries
+            .iter()
+            .map(|e| format!("{}x{}", e.count, e.label()))
+            .collect::<Vec<_>>()
+            .join("+")
+    }
+
+    /// The full concurrent job list, `count` copies per entry in
+    /// submission order.
+    pub fn job_specs(&self) -> Vec<JobSpec> {
+        let mut specs = Vec::with_capacity(self.total_jobs());
+        for e in &self.entries {
+            let spec = e.spec();
+            for _ in 0..e.count {
+                specs.push(spec.clone());
+            }
+        }
+        specs
+    }
+
+    /// Mix the canonical form into a cache key: entry count, then per
+    /// entry its job name, input size, copy count, and resolved reduce
+    /// count. Entry order is part of the form.
+    pub fn hash_into(&self, h: KeyHasher) -> KeyHasher {
+        let mut h = h.u64(self.entries.len() as u64);
+        for e in &self.entries {
+            h = h
+                .str(e.job.name())
+                .u64(e.input_bytes)
+                .u64(e.count as u64)
+                .u64(e.reduces as u64);
+        }
+        h
     }
 }
 
@@ -111,9 +350,9 @@ pub enum SweepMode {
 pub struct Backends {
     /// Run the analytic model (fork/join + Tripathi + both baselines).
     pub analytic: bool,
-    /// Calibrate the model from a single-job profiling run of the
-    /// simulator (the paper's "job history"; §4.2.1). Only meaningful
-    /// with `analytic`.
+    /// Calibrate the model from single-job profiling runs of the
+    /// simulator (the paper's "job history"; §4.2.1) — one profile per
+    /// mix entry. Only meaningful with `analytic`.
     pub profile_calibration: bool,
     /// Run the discrete-event simulator for ground truth: `Some(reps)`
     /// repeats each point `reps` times on consecutive seeds and reports
@@ -142,6 +381,77 @@ impl Backends {
     }
 }
 
+/// The workload axis of a [`Scenario`].
+///
+/// Both shapes expand to a list of [`WorkloadMix`]es; `Grid` is the
+/// convenience the `axis_jobs` / `axis_input_bytes` / `axis_n_jobs`
+/// builders populate, crossing three single-entry lists exactly the
+/// way the pre-mix triple of axes did (jobs outermost, N innermost; in
+/// zip mode the three remain independent lock-step axes).
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkloadAxis {
+    /// Homogeneous points from three crossed single-value lists; every
+    /// point runs `n_jobs` identical copies of one job, reduce counts
+    /// from the scenario-level [`Scenario::reduces`] policy.
+    Grid {
+        /// Job presets.
+        jobs: Vec<JobKind>,
+        /// Input dataset sizes, bytes.
+        input_bytes: Vec<u64>,
+        /// Multiprogramming levels (concurrent identical jobs).
+        n_jobs: Vec<usize>,
+    },
+    /// Explicit heterogeneous mixes; each value is one axis position.
+    Mixes(Vec<WorkloadMix>),
+}
+
+impl WorkloadAxis {
+    /// Per-axis lengths this workload contributes to the sweep, with
+    /// names for error messages (`Grid` contributes three independent
+    /// axes, `Mixes` one).
+    fn lens(&self) -> Vec<(&'static str, usize)> {
+        match self {
+            WorkloadAxis::Grid {
+                jobs,
+                input_bytes,
+                n_jobs,
+            } => vec![
+                ("jobs", jobs.len()),
+                ("input_bytes", input_bytes.len()),
+                ("n_jobs", n_jobs.len()),
+            ],
+            WorkloadAxis::Mixes(m) => vec![("mixes", m.len())],
+        }
+    }
+
+    /// The concrete mix values of the axis in cartesian expansion order
+    /// (`Grid`: jobs → input_bytes → n_jobs, rightmost fastest).
+    fn values(&self, default_reduces: ReducePolicy) -> Vec<WorkloadMix> {
+        match self {
+            WorkloadAxis::Grid {
+                jobs,
+                input_bytes,
+                n_jobs,
+            } => {
+                let mut out = Vec::with_capacity(jobs.len() * input_bytes.len() * n_jobs.len());
+                for &job in jobs {
+                    for &input in input_bytes {
+                        for &n in n_jobs {
+                            out.push(WorkloadMix {
+                                entries: vec![
+                                    MixEntry::new(job, input, n).with_reduces(default_reduces)
+                                ],
+                            });
+                        }
+                    }
+                }
+                out
+            }
+            WorkloadAxis::Mixes(m) => m.clone(),
+        }
+    }
+}
+
 /// A declarative what-if sweep over cluster, workload, and estimator
 /// axes.
 ///
@@ -163,16 +473,17 @@ pub struct Scenario {
     pub container_mb: Vec<u32>,
     /// Cluster axis: RM scheduler policy.
     pub schedulers: Vec<SchedulerPolicy>,
-    /// Workload axis: job preset.
-    pub jobs: Vec<JobKind>,
-    /// Workload axis: input dataset size in bytes.
-    pub input_bytes: Vec<u64>,
-    /// Workload axis: multiprogramming level N (concurrent identical
-    /// jobs).
-    pub n_jobs: Vec<usize>,
+    /// Workload axis: homogeneous grid or explicit heterogeneous mixes.
+    pub workload: WorkloadAxis,
+    /// Failure axis: probability that a map attempt fails mid-read and
+    /// is re-executed (`SimConfig::map_failure_prob`; the analytic
+    /// model has no failure notion, so only the simulator and the
+    /// profiling runs respond to it).
+    pub map_failure_prob: Vec<f64>,
     /// Estimator axis: which model series each point reports.
     pub estimators: Vec<EstimatorKind>,
-    /// Reduce-count sizing rule (not an axis; applied per point).
+    /// Reduce-count sizing rule for `Grid` workloads (explicit mixes
+    /// carry a policy per entry).
     pub reduces: ReducePolicy,
     /// Backends evaluated per point.
     pub backends: Backends,
@@ -191,9 +502,12 @@ impl Scenario {
             block_mb: vec![128],
             container_mb: vec![1024],
             schedulers: vec![SchedulerPolicy::CapacityFifo],
-            jobs: vec![JobKind::WordCount],
-            input_bytes: vec![GB],
-            n_jobs: vec![1],
+            workload: WorkloadAxis::Grid {
+                jobs: vec![JobKind::WordCount],
+                input_bytes: vec![GB],
+                n_jobs: vec![1],
+            },
+            map_failure_prob: vec![0.0],
             estimators: vec![EstimatorKind::ForkJoin],
             reduces: ReducePolicy::PerNode,
             backends: Backends::default(),
@@ -225,21 +539,51 @@ impl Scenario {
         self
     }
 
-    /// Set the job-preset axis.
+    /// The three `Grid` lists, for the convenience setters. Panics when
+    /// the workload axis holds explicit mixes — the two styles don't
+    /// compose (which list would a lone `axis_jobs` refine?).
+    fn grid_mut(&mut self, setter: &str) -> (&mut Vec<JobKind>, &mut Vec<u64>, &mut Vec<usize>) {
+        match &mut self.workload {
+            WorkloadAxis::Grid {
+                jobs,
+                input_bytes,
+                n_jobs,
+            } => (jobs, input_bytes, n_jobs),
+            WorkloadAxis::Mixes(_) => panic!(
+                "{setter}: the workload axis already holds explicit mixes; \
+                 build the whole axis with axis_mixes instead"
+            ),
+        }
+    }
+
+    /// Set the job-preset list of the workload grid.
     pub fn axis_jobs(mut self, v: impl Into<Vec<JobKind>>) -> Self {
-        self.jobs = v.into();
+        *self.grid_mut("axis_jobs").0 = v.into();
         self
     }
 
-    /// Set the input-size axis (bytes).
+    /// Set the input-size list of the workload grid (bytes).
     pub fn axis_input_bytes(mut self, v: impl Into<Vec<u64>>) -> Self {
-        self.input_bytes = v.into();
+        *self.grid_mut("axis_input_bytes").1 = v.into();
         self
     }
 
-    /// Set the multiprogramming-level axis.
+    /// Set the multiprogramming-level list of the workload grid.
     pub fn axis_n_jobs(mut self, v: impl Into<Vec<usize>>) -> Self {
-        self.n_jobs = v.into();
+        *self.grid_mut("axis_n_jobs").2 = v.into();
+        self
+    }
+
+    /// Set the workload axis to an explicit list of heterogeneous
+    /// mixes, replacing the grid conveniences.
+    pub fn axis_mixes(mut self, v: impl Into<Vec<WorkloadMix>>) -> Self {
+        self.workload = WorkloadAxis::Mixes(v.into());
+        self
+    }
+
+    /// Set the map-failure-probability axis.
+    pub fn axis_map_failure_prob(mut self, v: impl Into<Vec<f64>>) -> Self {
+        self.map_failure_prob = v.into();
         self
     }
 
@@ -255,7 +599,7 @@ impl Scenario {
         self
     }
 
-    /// Set the reduce-count rule.
+    /// Set the reduce-count rule for `Grid` workloads.
     pub fn reduce_policy(mut self, r: ReducePolicy) -> Self {
         self.reduces = r;
         self
@@ -273,8 +617,8 @@ impl Scenario {
         self
     }
 
-    /// Panic with a description if any axis is empty or a zip length
-    /// mismatches.
+    /// Panic with a description if the spec is invalid (see
+    /// [`Scenario::check`]).
     pub fn validate(&self) {
         if let Err(e) = self.check() {
             panic!("{e}");
@@ -283,38 +627,42 @@ impl Scenario {
 
     /// The non-panicking form of [`Scenario::validate`], for callers —
     /// like a serving layer — that must turn a bad spec into an error
-    /// response rather than a crash.
+    /// response rather than a crash. Checks axis presence, zip lengths,
+    /// failure-probability ranges, and — centrally, before anything
+    /// runs — every `(nodes, mix entry)` reduce-count resolution.
     pub fn check(&self) -> Result<(), String> {
-        for (name, empty) in [
-            ("nodes", self.nodes.is_empty()),
-            ("block_mb", self.block_mb.is_empty()),
-            ("container_mb", self.container_mb.is_empty()),
-            ("schedulers", self.schedulers.is_empty()),
-            ("jobs", self.jobs.is_empty()),
-            ("input_bytes", self.input_bytes.is_empty()),
-            ("n_jobs", self.n_jobs.is_empty()),
-            ("estimators", self.estimators.is_empty()),
-        ] {
-            if empty {
+        for (name, len) in self.axis_lens() {
+            if len == 0 {
                 return Err(format!("{name} axis is empty"));
             }
         }
         if !(self.backends.analytic || self.backends.simulator.is_some()) {
             return Err("at least one backend must be enabled".into());
         }
+        for &p in &self.map_failure_prob {
+            if !(0.0..1.0).contains(&p) {
+                return Err(format!("map_failure_prob {p} outside [0, 1)"));
+            }
+        }
+        match &self.workload {
+            WorkloadAxis::Grid { n_jobs, .. } => {
+                if let Some(n) = n_jobs.iter().find(|&&n| n == 0) {
+                    return Err(format!("n_jobs value {n} must be positive"));
+                }
+                for &nodes in &self.nodes {
+                    self.reduces.try_reduces(nodes)?;
+                }
+            }
+            WorkloadAxis::Mixes(mixes) => {
+                for m in mixes {
+                    m.check(&self.nodes)?;
+                }
+            }
+        }
         if self.sweep == SweepMode::Zip {
             let lens = self.axis_lens();
-            let max = lens.iter().copied().max().unwrap();
-            for (name, len) in [
-                ("nodes", lens[0]),
-                ("block_mb", lens[1]),
-                ("container_mb", lens[2]),
-                ("schedulers", lens[3]),
-                ("jobs", lens[4]),
-                ("input_bytes", lens[5]),
-                ("n_jobs", lens[6]),
-                ("estimators", lens[7]),
-            ] {
+            let max = lens.iter().map(|&(_, l)| l).max().unwrap();
+            for (name, len) in lens {
                 if len != max && len != 1 {
                     return Err(format!(
                         "zip axis {name} has length {len}, expected {max} or 1"
@@ -325,18 +673,26 @@ impl Scenario {
         Ok(())
     }
 
-    /// Lengths of all eight axes, in expansion order.
-    pub fn axis_lens(&self) -> [usize; 8] {
-        [
-            self.nodes.len(),
-            self.block_mb.len(),
-            self.container_mb.len(),
-            self.schedulers.len(),
-            self.jobs.len(),
-            self.input_bytes.len(),
-            self.n_jobs.len(),
-            self.estimators.len(),
-        ]
+    /// Names and lengths of every axis, in expansion order. The
+    /// workload axis contributes three entries in `Grid` shape and one
+    /// in `Mixes` shape.
+    pub fn axis_lens(&self) -> Vec<(&'static str, usize)> {
+        let mut lens = vec![
+            ("nodes", self.nodes.len()),
+            ("block_mb", self.block_mb.len()),
+            ("container_mb", self.container_mb.len()),
+            ("schedulers", self.schedulers.len()),
+        ];
+        lens.extend(self.workload.lens());
+        lens.push(("map_failure_prob", self.map_failure_prob.len()));
+        lens.push(("estimators", self.estimators.len()));
+        lens
+    }
+
+    /// The workload axis as concrete mix values, in cartesian expansion
+    /// order.
+    pub fn workload_values(&self) -> Vec<WorkloadMix> {
+        self.workload.values(self.reduces)
     }
 
     /// Number of points the scenario expands to.
@@ -344,20 +700,20 @@ impl Scenario {
     /// (`num_points() > limit`) stays sound for absurd axis products —
     /// a service must bounce those, not expand them.
     pub fn num_points(&self) -> usize {
+        let lens = self.axis_lens();
         match self.sweep {
-            SweepMode::Cartesian => self
-                .axis_lens()
+            SweepMode::Cartesian => lens
                 .iter()
-                .try_fold(1usize, |acc, &len| acc.checked_mul(len))
+                .try_fold(1usize, |acc, &(_, len)| acc.checked_mul(len))
                 .unwrap_or(usize::MAX),
-            SweepMode::Zip => self.axis_lens().into_iter().max().unwrap_or(0),
+            SweepMode::Zip => lens.into_iter().map(|(_, l)| l).max().unwrap_or(0),
         }
     }
 }
 
 /// One fully concrete configuration produced by expanding a
 /// [`Scenario`].
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EvalPoint {
     /// Position in the scenario's expansion order.
     pub index: usize,
@@ -369,16 +725,12 @@ pub struct EvalPoint {
     pub container_mb: u32,
     /// RM scheduler.
     pub scheduler: SchedulerPolicy,
-    /// Workload preset.
-    pub job: JobKind,
-    /// Input dataset size, bytes.
-    pub input_bytes: u64,
-    /// Concurrent identical jobs.
-    pub n_jobs: usize,
+    /// The workload mix, reduce counts resolved at `nodes`.
+    pub mix: ResolvedMix,
+    /// Map-attempt failure probability (simulator backends only).
+    pub map_failure_prob: f64,
     /// Reported estimator series.
     pub estimator: EstimatorKind,
-    /// Reduce tasks per job (already resolved from the policy).
-    pub reduces: u32,
     /// Base simulator seed.
     pub seed: u64,
 }
@@ -390,13 +742,20 @@ impl EvalPoint {
         cfg.block_size = self.block_mb * MB;
         cfg.container_size = yarn_sim::ResourceVector::new(self.container_mb.into(), 1);
         cfg.scheduler = self.scheduler;
+        cfg.map_failure_prob = self.map_failure_prob;
         cfg.seed = self.seed;
         cfg
     }
 
-    /// The job specification for this point.
-    pub fn job_spec(&self) -> JobSpec {
-        self.job.spec(self.input_bytes, self.reduces)
+    /// Total concurrent jobs at this point.
+    pub fn total_jobs(&self) -> usize {
+        self.mix.total_jobs()
+    }
+
+    /// The full concurrent job list for this point, in submission
+    /// order.
+    pub fn job_specs(&self) -> Vec<JobSpec> {
+        self.mix.job_specs()
     }
 }
 
@@ -412,6 +771,47 @@ mod tests {
             .axis_estimators(EstimatorKind::ALL);
         assert_eq!(s.num_points(), 3 * 2 * 4);
         s.validate();
+    }
+
+    #[test]
+    fn mix_axis_counts_as_one_axis() {
+        let s = Scenario::new("t").axis_nodes([4usize, 6]).axis_mixes([
+            WorkloadMix::single(JobKind::WordCount, GB, 2),
+            WorkloadMix::new([
+                MixEntry::new(JobKind::WordCount, GB, 1),
+                MixEntry::new(JobKind::TeraSort, 2 * GB, 1),
+                MixEntry::new(JobKind::Grep, GB, 2),
+            ]),
+        ]);
+        assert_eq!(s.num_points(), 2 * 2);
+        s.validate();
+        assert_eq!(s.workload_values().len(), 2);
+        assert_eq!(s.workload_values()[1].total_jobs(), 4);
+    }
+
+    #[test]
+    fn grid_conveniences_cross_into_single_entry_mixes() {
+        let s = Scenario::new("t")
+            .axis_jobs([JobKind::WordCount, JobKind::Grep])
+            .axis_input_bytes([GB, 2 * GB])
+            .axis_n_jobs([1usize, 3]);
+        let mixes = s.workload_values();
+        assert_eq!(mixes.len(), 8, "jobs × input_bytes × n_jobs");
+        // Rightmost (N) fastest, jobs outermost — the pre-mix order.
+        assert_eq!(mixes[0].entries[0].job, JobKind::WordCount);
+        assert_eq!(mixes[0].entries[0].count, 1);
+        assert_eq!(mixes[1].entries[0].count, 3);
+        assert_eq!(mixes[2].entries[0].input_bytes, 2 * GB);
+        assert_eq!(mixes[4].entries[0].job, JobKind::Grep);
+        assert!(mixes.iter().all(|m| m.entries.len() == 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "axis_jobs: the workload axis already holds explicit mixes")]
+    fn grid_setters_reject_an_explicit_mix_axis() {
+        let _ = Scenario::new("t")
+            .axis_mixes([WorkloadMix::single(JobKind::WordCount, GB, 1)])
+            .axis_jobs([JobKind::Grep]);
     }
 
     #[test]
@@ -472,37 +872,125 @@ mod tests {
             simulator: None,
         };
         assert!(s.check().unwrap_err().contains("at least one backend"));
+        assert!(Scenario::new("t")
+            .axis_map_failure_prob([1.5])
+            .check()
+            .unwrap_err()
+            .contains("outside [0, 1)"));
+        assert!(Scenario::new("t")
+            .axis_mixes(vec![WorkloadMix::new(Vec::new())])
+            .check()
+            .unwrap_err()
+            .contains("no entries"));
+    }
+
+    #[test]
+    fn check_validates_reduce_counts_centrally() {
+        // A zero fixed reduce count is rejected for every job kind —
+        // including the ones that used to silently clamp it.
+        let e = Scenario::new("t")
+            .reduce_policy(ReducePolicy::Fixed(0))
+            .check()
+            .unwrap_err();
+        assert!(e.contains("must be positive"), "{e}");
+        let e = Scenario::new("t")
+            .axis_mixes([WorkloadMix::new([
+                MixEntry::new(JobKind::Grep, GB, 1).with_reduces(ReducePolicy::Fixed(0))
+            ])])
+            .check()
+            .unwrap_err();
+        assert!(e.contains("grep@1024MB"), "names the entry: {e}");
+        // A node count that can't be a u32 reduce count is rejected
+        // instead of silently truncated.
+        if usize::BITS > 32 {
+            let e = Scenario::new("t")
+                .axis_nodes([(u32::MAX as usize) + 1])
+                .check()
+                .unwrap_err();
+            assert!(e.contains("per-node reduce count"), "{e}");
+        }
+        // Zero-count entries are rejected too.
+        let e = Scenario::new("t")
+            .axis_mixes([WorkloadMix::single(JobKind::WordCount, GB, 0)])
+            .check()
+            .unwrap_err();
+        assert!(e.contains("count 0"), "{e}");
     }
 
     #[test]
     fn reduce_policy_resolution() {
         assert_eq!(ReducePolicy::PerNode.reduces(6), 6);
         assert_eq!(ReducePolicy::Fixed(3).reduces(6), 3);
+        assert!(ReducePolicy::Fixed(0).try_reduces(6).is_err());
     }
 
     #[test]
-    fn point_materializes_config_and_spec() {
+    fn mix_naming_and_hashing_are_stable() {
+        let mix = WorkloadMix::new([
+            MixEntry::new(JobKind::WordCount, GB, 2),
+            MixEntry::new(JobKind::TeraSort, 5 * GB, 1).with_reduces(ReducePolicy::Fixed(3)),
+        ]);
+        assert_eq!(mix.name(), "2xwordcount@1024MB + 1xterasort@5120MB:r3");
+        assert_eq!(mix.total_jobs(), 3);
+        let resolved = mix.resolve(4);
+        assert_eq!(resolved.entries[0].reduces, 4);
+        assert_eq!(resolved.entries[1].reduces, 3);
+        assert_eq!(resolved.name(), "2xwordcount@1024MB+1xterasort@5120MB");
+        assert_eq!(resolved.job_specs().len(), 3);
+
+        let key = |m: &ResolvedMix| m.hash_into(KeyHasher::new()).finish();
+        assert_eq!(key(&resolved), key(&mix.resolve(4)), "canonical form");
+        assert_ne!(key(&resolved), key(&mix.resolve(6)), "reduces differ");
+        // Entry order is semantic: a reordered mix is a different form.
+        let swapped = WorkloadMix::new([mix.entries[1], mix.entries[0]]).resolve(4);
+        assert_ne!(key(&resolved), key(&swapped));
+        // And a policy-differing mix that resolves identically shares
+        // the canonical form (evaluations would be identical).
+        let fixed = WorkloadMix::new([
+            MixEntry::new(JobKind::WordCount, GB, 2).with_reduces(ReducePolicy::Fixed(4)),
+            mix.entries[1],
+        ]);
+        assert_eq!(key(&resolved), key(&fixed.resolve(4)));
+    }
+
+    #[test]
+    fn grep_accepts_any_validated_reduce_count() {
+        // The old Grep-only `.max(1)` clamp is gone: the kind uses the
+        // validated count like every other preset.
+        assert_eq!(JobKind::Grep.spec(GB, 3).reduces, 3);
+        assert_eq!(JobKind::WordCount.spec(GB, 3).reduces, 3);
+    }
+
+    #[test]
+    fn point_materializes_config_and_specs() {
         let p = EvalPoint {
             index: 0,
             nodes: 6,
             block_mb: 64,
             container_mb: 2048,
             scheduler: SchedulerPolicy::Fair,
-            job: JobKind::TeraSort,
-            input_bytes: GB,
-            n_jobs: 2,
+            mix: WorkloadMix::new([
+                MixEntry::new(JobKind::TeraSort, GB, 2),
+                MixEntry::new(JobKind::Grep, GB, 1),
+            ])
+            .resolve(6),
+            map_failure_prob: 0.1,
             estimator: EstimatorKind::Tripathi,
-            reduces: 6,
             seed: 9,
         };
         let cfg = p.sim_config();
         assert_eq!(cfg.nodes, 6);
         assert_eq!(cfg.block_size, 64 * MB);
         assert_eq!(cfg.scheduler, SchedulerPolicy::Fair);
+        assert_eq!(cfg.map_failure_prob, 0.1);
         assert_eq!(cfg.seed, 9);
-        let spec = p.job_spec();
-        assert_eq!(spec.reduces, 6);
-        assert_eq!(spec.input_bytes, GB);
-        spec.validate();
+        let specs = p.job_specs();
+        assert_eq!(specs.len(), 3);
+        assert_eq!(p.total_jobs(), 3);
+        assert_eq!(specs[0].reduces, 6);
+        assert_eq!(specs[2].reduces, 6, "grep takes the per-node count too");
+        for s in &specs {
+            s.validate();
+        }
     }
 }

@@ -1,11 +1,11 @@
 //! Integration tests of the scenario engine against the real backends:
-//! exact expansion, bit-identical cache hits, and determinism of the
-//! parallel runner.
+//! exact expansion, bit-identical cache hits, determinism of the
+//! parallel runner, and heterogeneous workload mixes end to end.
 
 use mapreduce_sim::MB;
 use mr2_scenario::{
-    error_bands, expand, run_scenario, Backends, EstimatorKind, ResultCache, RunnerConfig,
-    Scenario, SweepMode,
+    class_error_bands, error_bands, expand, run_scenario, schema_version, Backends, EstimatorKind,
+    JobKind, KeyHasher, MixEntry, ResultCache, RunnerConfig, Scenario, SweepMode, WorkloadMix,
 };
 
 /// A 3-axis sweep (cluster size × N × estimator) small enough for CI but
@@ -16,6 +16,25 @@ fn three_axis_scenario() -> Scenario {
         .axis_n_jobs([1usize, 2])
         .axis_estimators([EstimatorKind::ForkJoin, EstimatorKind::Tripathi])
         .axis_input_bytes([256 * MB])
+        .with_backends(Backends {
+            analytic: true,
+            profile_calibration: true,
+            simulator: Some(2),
+        })
+}
+
+/// A heterogeneous sweep: two mixes × two cluster sizes, both backends.
+fn mixed_scenario() -> Scenario {
+    Scenario::new("it-mixed")
+        .axis_nodes([2usize, 3])
+        .axis_mixes([
+            WorkloadMix::single(JobKind::WordCount, 256 * MB, 1),
+            WorkloadMix::new([
+                MixEntry::new(JobKind::WordCount, 256 * MB, 1),
+                MixEntry::new(JobKind::TeraSort, 128 * MB, 1),
+                MixEntry::new(JobKind::Grep, 256 * MB, 1),
+            ]),
+        ])
         .with_backends(Backends {
             analytic: true,
             profile_calibration: true,
@@ -38,14 +57,35 @@ fn spec_expansion_produces_the_exact_cartesian_grid() {
     }
     let actual: Vec<_> = pts
         .iter()
-        .map(|p| (p.nodes, p.n_jobs, p.estimator))
+        .map(|p| (p.nodes, p.total_jobs(), p.estimator))
         .collect();
     assert_eq!(actual, expected, "grid content and rightmost-fastest order");
 }
 
 #[test]
+fn mix_axis_expands_to_the_exact_grid() {
+    let s = mixed_scenario().axis_estimators([EstimatorKind::ForkJoin, EstimatorKind::Tripathi]);
+    assert_eq!(s.num_points(), 2 * 2 * 2, "nodes × mixes × estimators");
+    let pts = expand(&s);
+    assert_eq!(pts.len(), 8);
+    // Rightmost fastest: estimator, then mix, then nodes.
+    assert_eq!(pts[0].mix.entries.len(), 1);
+    assert_eq!(pts[2].mix.entries.len(), 3);
+    assert_eq!(pts[4].nodes, 3);
+    for (i, p) in pts.iter().enumerate() {
+        assert_eq!(p.index, i);
+        // Reduce counts resolve per point against its own node count.
+        for e in &p.mix.entries {
+            assert_eq!(e.reduces as usize, p.nodes);
+        }
+    }
+}
+
+#[test]
 fn parallel_sweep_equals_serial_sweep_bit_for_bit() {
-    let s = three_axis_scenario();
+    // A heterogeneous sweep: determinism must hold when points carry
+    // different mixes (and therefore very different evaluation costs).
+    let s = mixed_scenario();
     // Fresh caches so both runs actually evaluate.
     let serial = run_scenario(&s, &ResultCache::new(), &RunnerConfig::serial());
     let parallel = run_scenario(&s, &ResultCache::new(), &RunnerConfig { threads: 8 });
@@ -60,12 +100,14 @@ fn parallel_sweep_equals_serial_sweep_bit_for_bit() {
             mb.to_bits(),
             "measurement must be bit-identical"
         );
+        assert_eq!(a.model, b.model, "per-class estimates included");
+        assert_eq!(a.sim, b.sim, "per-class measurements included");
     }
 }
 
 #[test]
 fn second_identical_run_is_answered_from_the_cache() {
-    let s = three_axis_scenario();
+    let s = mixed_scenario();
     let cache = ResultCache::new();
     let first = run_scenario(&s, &cache, &RunnerConfig::default());
     let misses_after_first = cache.stats().misses;
@@ -91,6 +133,154 @@ fn estimator_axis_reuses_sim_and_model_evaluations() {
     // needing one sim + one model record — and the profiling run is
     // N-independent, so 2 node counts need only 2 profile records.
     assert_eq!(cache.stats().entries, 4 * 2 + 2);
+}
+
+#[test]
+fn convenience_builders_equal_an_explicit_single_entry_mix() {
+    // The acceptance criterion: a single-job scenario built via the
+    // `axis_jobs`-style conveniences must produce bit-identical
+    // `SweepResult`s to the equivalent explicit 1-entry mix.
+    let backends = Backends {
+        analytic: true,
+        profile_calibration: true,
+        simulator: Some(2),
+    };
+    let via_grid = Scenario::new("conv")
+        .axis_nodes([2usize, 3])
+        .axis_jobs([JobKind::TeraSort])
+        .axis_input_bytes([128 * MB])
+        .axis_n_jobs([2usize])
+        .with_backends(backends);
+    let via_mix = Scenario::new("conv")
+        .axis_nodes([2usize, 3])
+        .axis_mixes([WorkloadMix::single(JobKind::TeraSort, 128 * MB, 2)])
+        .with_backends(backends);
+
+    let a = run_scenario(&via_grid, &ResultCache::new(), &RunnerConfig::serial());
+    let b = run_scenario(&via_mix, &ResultCache::new(), &RunnerConfig::serial());
+    assert_eq!(a.points.len(), b.points.len());
+    for (x, y) in a.points.iter().zip(&b.points) {
+        assert_eq!(x, y, "bit-identical point results");
+    }
+
+    // And through a shared cache the second form is answered entirely
+    // from the first form's evaluations.
+    let cache = ResultCache::new();
+    run_scenario(&via_grid, &cache, &RunnerConfig::serial());
+    let misses = cache.stats().misses;
+    run_scenario(&via_mix, &cache, &RunnerConfig::serial());
+    assert_eq!(cache.stats().misses, misses, "same content keys");
+}
+
+#[test]
+fn heterogeneous_mix_reports_per_class_and_aggregate_bands() {
+    // The acceptance scenario: WordCount + TeraSort + Grep in one
+    // point, through both backends, with per-class *and* aggregate
+    // model-vs-sim error bands.
+    let s = Scenario::new("acceptance")
+        .axis_nodes([2usize])
+        .axis_mixes([WorkloadMix::new([
+            MixEntry::new(JobKind::WordCount, 256 * MB, 1),
+            MixEntry::new(JobKind::TeraSort, 256 * MB, 1),
+            MixEntry::new(JobKind::Grep, 256 * MB, 1),
+        ])])
+        .with_backends(Backends {
+            analytic: true,
+            profile_calibration: true,
+            simulator: Some(2),
+        });
+    let sweep = run_scenario(&s, &ResultCache::new(), &RunnerConfig::default());
+    assert_eq!(sweep.points.len(), 1);
+    let p = &sweep.points[0];
+    let model = p.model.as_ref().unwrap();
+    let sim = p.sim.as_ref().unwrap();
+    assert_eq!(model.per_class.len(), 3);
+    assert_eq!(sim.per_class_median.len(), 3);
+    for c in 0..3 {
+        assert!(p.class_estimate(c).unwrap() > 0.0);
+        assert!(p.class_measured(c).unwrap() > 0.0);
+    }
+
+    let aggregate = error_bands(&sweep);
+    assert!(!aggregate.is_empty(), "aggregate bands present");
+    let per_class = class_error_bands(&sweep);
+    assert_eq!(per_class.len(), 3 * 4, "3 classes × 4 series");
+    for label in ["wordcount@256MB", "terasort@256MB", "grep@256MB"] {
+        assert!(
+            per_class.iter().any(|b| b.class == label),
+            "band for {label}"
+        );
+    }
+    let report = mr2_scenario::render_report(&sweep);
+    assert!(report.contains("per-class model vs simulator"));
+}
+
+#[test]
+fn old_schema_snapshots_load_zero_entries() {
+    // The acceptance criterion for the version bump: a snapshot written
+    // under the previous combined schema (model v1 / sim v1) must load
+    // nothing into a current cache.
+    let old_combined: u64 = (1 << 32) | 1;
+    assert_ne!(
+        schema_version(),
+        old_combined,
+        "this PR bumped both schema versions"
+    );
+    assert_eq!(
+        schema_version(),
+        (u64::from(mr2_model::MODEL_SCHEMA_VERSION) << 32)
+            | u64::from(mapreduce_sim::SIM_SCHEMA_VERSION)
+    );
+
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!(
+        "mr2-scenario-old-schema-{}.txt",
+        std::process::id()
+    ));
+    std::fs::write(
+        &path,
+        format!("mr2-scenario-cache v1\nschema {old_combined:016x}\n0000000000000001,3ff0000000000000\n"),
+    )
+    .unwrap();
+    let cache = ResultCache::new();
+    assert_eq!(
+        cache.load(&path).unwrap(),
+        0,
+        "stale snapshot loads nothing"
+    );
+    assert_eq!(cache.stats().entries, 0);
+    std::fs::remove_file(path).ok();
+
+    // And the same content hashed under the two versions lands on
+    // different keys.
+    assert_ne!(
+        KeyHasher::with_schema_version(old_combined)
+            .str("p")
+            .finish(),
+        KeyHasher::versioned().str("p").finish(),
+    );
+}
+
+#[test]
+fn map_failure_axis_changes_ground_truth() {
+    let s = Scenario::new("failures")
+        .axis_nodes([2usize])
+        .axis_input_bytes([256 * MB])
+        .axis_map_failure_prob([0.0, 0.4])
+        .with_backends(Backends {
+            analytic: false,
+            profile_calibration: false,
+            simulator: Some(1),
+        });
+    let cache = ResultCache::new();
+    let sweep = run_scenario(&s, &cache, &RunnerConfig::serial());
+    assert_eq!(sweep.points.len(), 2);
+    assert_eq!(cache.stats().misses, 2, "two distinct sim evaluations");
+    let (clean, failing) = (sweep.points[0].measured(), sweep.points[1].measured());
+    assert!(
+        failing.unwrap() > clean.unwrap(),
+        "retried maps must slow the job: {clean:?} vs {failing:?}"
+    );
 }
 
 #[test]
@@ -159,9 +349,9 @@ fn zip_sweep_runs_end_to_end() {
     let sweep = run_scenario(&s, &ResultCache::new(), &RunnerConfig::default());
     assert_eq!(sweep.points.len(), 2);
     assert_eq!(sweep.points[0].point.nodes, 2);
-    assert_eq!(sweep.points[0].point.input_bytes, 128 * MB);
+    assert_eq!(sweep.points[0].point.mix.entries[0].input_bytes, 128 * MB);
     assert_eq!(sweep.points[1].point.nodes, 3);
-    assert_eq!(sweep.points[1].point.input_bytes, 256 * MB);
+    assert_eq!(sweep.points[1].point.mix.entries[0].input_bytes, 256 * MB);
     assert!(sweep.points.iter().all(|p| p.sim.is_none()));
     assert!(sweep.points.iter().all(|p| p.estimate().unwrap() > 0.0));
 }

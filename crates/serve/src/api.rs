@@ -10,8 +10,8 @@ use std::collections::BTreeMap;
 
 use mapreduce_sim::{SchedulerPolicy, GB};
 use mr2_scenario::{
-    error_bands, Backends, CacheStats, EstimatorKind, EvalPoint, JobKind, PointResult,
-    ReducePolicy, Scenario, SweepMode, SweepResult,
+    class_error_bands, error_bands, Backends, CacheStats, EstimatorKind, EvalPoint, JobKind,
+    MixEntry, PointResult, ReducePolicy, Scenario, SweepMode, SweepResult, WorkloadMix,
 };
 
 use crate::json::Json;
@@ -182,7 +182,60 @@ fn parse_reduces(map: &BTreeMap<String, Json>) -> Result<ReducePolicy, String> {
     }
 }
 
+/// Decode a probability field; must be a number in `[0, 1)`.
+fn field_prob(map: &BTreeMap<String, Json>, key: &str, default: f64) -> Result<f64, String> {
+    match map.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .as_f64()
+            .filter(|p| (0.0..1.0).contains(p))
+            .ok_or_else(|| format!("field `{key}` must be a number in [0, 1)")),
+    }
+}
+
+/// Decode one `mix` entry object: a job kind (required) with input
+/// size, copy count, and reduce policy.
+fn parse_mix_entry(v: &Json) -> Result<MixEntry, String> {
+    let map = known_object(v, "mix entry", &["job", "input_bytes", "count", "reduces"])?;
+    let job = map
+        .get("job")
+        .ok_or("mix entry needs a `job` field")?
+        .as_str()
+        .ok_or_else(|| "field `job` must be a string".to_string())
+        .and_then(parse_job)?;
+    Ok(MixEntry {
+        job,
+        input_bytes: field_positive(map, "input_bytes", GB)?,
+        count: field_positive(map, "count", 1)? as usize,
+        reduces: parse_reduces(map)?,
+    })
+}
+
+/// Decode a `mix` array into a [`WorkloadMix`].
+fn parse_mix(v: &Json) -> Result<WorkloadMix, String> {
+    let Json::Arr(items) = v else {
+        return Err("a mix must be an array of entry objects".into());
+    };
+    if items.is_empty() {
+        return Err("a mix must have at least one entry".into());
+    }
+    Ok(WorkloadMix::new(
+        items
+            .iter()
+            .map(parse_mix_entry)
+            .collect::<Result<Vec<_>, _>>()?,
+    ))
+}
+
+/// The single-job fields that conflict with an explicit mix.
+const SINGLE_JOB_FIELDS: [&str; 4] = ["job", "input_bytes", "n_jobs", "reduces"];
+
 /// Decode a `POST /v1/estimate` body.
+///
+/// The workload is either a `mix` array of entry objects or the
+/// original single-job fields (`job`, `input_bytes`, `n_jobs`,
+/// `reduces`), which decode as a 1-entry mix for back-compatibility;
+/// mixing the two styles is rejected.
 pub fn parse_estimate_request(body: &str) -> Result<EstimateRequest, String> {
     let v = Json::parse(body).map_err(|e| format!("invalid JSON: {e}"))?;
     let map = known_object(
@@ -196,6 +249,8 @@ pub fn parse_estimate_request(body: &str) -> Result<EstimateRequest, String> {
             "job",
             "input_bytes",
             "n_jobs",
+            "mix",
+            "map_failure_prob",
             "estimator",
             "reduces",
             "seed",
@@ -212,6 +267,23 @@ pub fn parse_estimate_request(body: &str) -> Result<EstimateRequest, String> {
         }
     };
     let nodes = field_positive(map, "nodes", 4)? as usize;
+    let mix = match map.get("mix") {
+        Some(v) => {
+            if let Some(conflict) = SINGLE_JOB_FIELDS.iter().find(|f| map.contains_key(**f)) {
+                return Err(format!(
+                    "field `{conflict}` conflicts with `mix`; describe the workload one way"
+                ));
+            }
+            parse_mix(v)?
+        }
+        None => WorkloadMix::new([MixEntry {
+            job: str_field("job")?.map_or(Ok(JobKind::WordCount), parse_job)?,
+            input_bytes: field_positive(map, "input_bytes", GB)?,
+            count: field_positive(map, "n_jobs", 1)? as usize,
+            reduces: parse_reduces(map)?,
+        }]),
+    };
+    mix.check(&[nodes])?;
     let point = EvalPoint {
         index: 0,
         nodes,
@@ -219,11 +291,9 @@ pub fn parse_estimate_request(body: &str) -> Result<EstimateRequest, String> {
         container_mb: field_positive_u32(map, "container_mb", 1024)?,
         scheduler: str_field("scheduler")?
             .map_or(Ok(SchedulerPolicy::CapacityFifo), parse_scheduler)?,
-        job: str_field("job")?.map_or(Ok(JobKind::WordCount), parse_job)?,
-        input_bytes: field_positive(map, "input_bytes", GB)?,
-        n_jobs: field_positive(map, "n_jobs", 1)? as usize,
+        mix: mix.resolve(nodes),
+        map_failure_prob: field_prob(map, "map_failure_prob", 0.0)?,
         estimator: str_field("estimator")?.map_or(Ok(EstimatorKind::ForkJoin), parse_estimator)?,
-        reduces: parse_reduces(map)?.reduces(nodes),
         seed: field_u64(map, "seed", 1)?,
     };
     let backends = match map.get("backends") {
@@ -238,6 +308,12 @@ pub fn parse_estimate_request(body: &str) -> Result<EstimateRequest, String> {
 
 /// Decode a `POST /v1/scenario` body into a [`Scenario`] (validated
 /// with [`Scenario::check`]).
+///
+/// The workload axis is either a `mixes` array (each element an array
+/// of mix-entry objects — one axis position per mix) or the original
+/// grid fields (`jobs`, `input_bytes`, `n_jobs`, `reduces`), which
+/// cross into 1-entry mixes for back-compatibility; mixing the two
+/// styles is rejected.
 pub fn parse_scenario_request(body: &str) -> Result<Scenario, String> {
     let v = Json::parse(body).map_err(|e| format!("invalid JSON: {e}"))?;
     let map = known_object(
@@ -253,6 +329,8 @@ pub fn parse_scenario_request(body: &str) -> Result<Scenario, String> {
             "jobs",
             "input_bytes",
             "n_jobs",
+            "mixes",
+            "map_failure_prob",
             "estimators",
             "reduces",
             "backends",
@@ -293,14 +371,48 @@ pub fn parse_scenario_request(body: &str) -> Result<Scenario, String> {
             .map(|x| parse_scheduler(x))
             .collect::<Result<_, _>>()?;
     }
-    if let Some(v) = field_str_list(map, "jobs")? {
-        s.jobs = v.iter().map(|x| parse_job(x)).collect::<Result<_, _>>()?;
+    if let Some(v) = map.get("mixes") {
+        let grid_fields = ["jobs", "input_bytes", "n_jobs", "reduces"];
+        if let Some(conflict) = grid_fields.iter().find(|f| map.contains_key(**f)) {
+            return Err(format!(
+                "field `{conflict}` conflicts with `mixes`; describe the workload one way"
+            ));
+        }
+        let Json::Arr(items) = v else {
+            return Err("field `mixes` must be an array of mixes".into());
+        };
+        s = s.axis_mixes(items.iter().map(parse_mix).collect::<Result<Vec<_>, _>>()?);
+    } else {
+        if let Some(v) = field_str_list(map, "jobs")? {
+            s = s.axis_jobs(
+                v.iter()
+                    .map(|x| parse_job(x))
+                    .collect::<Result<Vec<_>, _>>()?,
+            );
+        }
+        if let Some(v) = field_u64_list(map, "input_bytes")? {
+            s = s.axis_input_bytes(v);
+        }
+        if let Some(v) = field_u64_list(map, "n_jobs")? {
+            s = s.axis_n_jobs(v.into_iter().map(|n| n as usize).collect::<Vec<_>>());
+        }
+        s.reduces = parse_reduces(map)?;
     }
-    if let Some(v) = field_u64_list(map, "input_bytes")? {
-        s.input_bytes = v;
-    }
-    if let Some(v) = field_u64_list(map, "n_jobs")? {
-        s.n_jobs = v.into_iter().map(|n| n as usize).collect();
+    match map.get("map_failure_prob") {
+        None => {}
+        Some(Json::Arr(items)) => {
+            s.map_failure_prob = items
+                .iter()
+                .map(|v| {
+                    v.as_f64()
+                        .filter(|p| (0.0..1.0).contains(p))
+                        .ok_or("field `map_failure_prob` must be an array of numbers in [0, 1)")
+                })
+                .collect::<Result<_, _>>()?;
+        }
+        Some(_) => {
+            return Err("field `map_failure_prob` must be an array of numbers in [0, 1)".into())
+        }
     }
     if let Some(v) = field_str_list(map, "estimators")? {
         s.estimators = v
@@ -308,7 +420,6 @@ pub fn parse_scenario_request(body: &str) -> Result<Scenario, String> {
             .map(|x| parse_estimator(x))
             .collect::<Result<_, _>>()?;
     }
-    s.reduces = parse_reduces(map)?;
     if let Some(v) = map.get("backends") {
         // Scenario sweeps default to the analytic fast path too; the
         // paper methodology (simulator + profile) is opt-in per request.
@@ -321,20 +432,55 @@ pub fn parse_scenario_request(body: &str) -> Result<Scenario, String> {
     Ok(s)
 }
 
-/// Encode one evaluated point.
+/// Encode one evaluated point. The workload is a `mix` array (one
+/// object per class, resolved reduce counts included); per-class model
+/// estimates and simulator medians ride along in class order.
 pub fn point_json(p: &PointResult) -> Json {
-    let model = p.model.map_or(Json::Null, |m| {
+    let mix: Vec<Json> = p
+        .point
+        .mix
+        .entries
+        .iter()
+        .map(|e| {
+            Json::obj([
+                ("job", Json::str(e.job.name())),
+                ("input_bytes", e.input_bytes.into()),
+                ("count", e.count.into()),
+                ("reduces", u64::from(e.reduces).into()),
+            ])
+        })
+        .collect();
+    let model = p.model.as_ref().map_or(Json::Null, |m| {
+        let per_class: Vec<Json> = m
+            .per_class
+            .iter()
+            .zip(&p.point.mix.entries)
+            .map(|(c, e)| {
+                Json::obj([
+                    ("class", Json::str(e.label())),
+                    ("fork_join", Json::num(c.fork_join)),
+                    ("tripathi", Json::num(c.tripathi)),
+                    ("aria", Json::num(c.aria)),
+                    ("herodotou", Json::num(c.herodotou)),
+                ])
+            })
+            .collect();
         Json::obj([
             ("fork_join", Json::num(m.fork_join)),
             ("tripathi", Json::num(m.tripathi)),
             ("aria", Json::num(m.aria)),
             ("herodotou", Json::num(m.herodotou)),
+            ("per_class", Json::Arr(per_class)),
         ])
     });
     let sim = p.sim.as_ref().map_or(Json::Null, |s| {
         Json::obj([
             ("median_response", Json::num(s.median_response)),
             ("mean_response", Json::num(s.mean_response)),
+            (
+                "per_class_median",
+                Json::Arr(s.per_class_median.iter().copied().map(Json::num).collect()),
+            ),
             ("reps", s.reps.into()),
         ])
     });
@@ -350,11 +496,10 @@ pub fn point_json(p: &PointResult) -> Json {
                 SchedulerPolicy::Fair => "fair",
             }),
         ),
-        ("job", Json::str(p.point.job.name())),
-        ("input_bytes", p.point.input_bytes.into()),
-        ("n_jobs", p.point.n_jobs.into()),
+        ("mix", Json::Arr(mix)),
+        ("total_jobs", p.point.total_jobs().into()),
+        ("map_failure_prob", Json::num(p.point.map_failure_prob)),
         ("estimator", Json::str(p.point.estimator.name())),
-        ("reduces", u64::from(p.point.reduces).into()),
         ("seed", p.point.seed.into()),
         ("model", model),
         ("sim", sim),
@@ -363,13 +508,26 @@ pub fn point_json(p: &PointResult) -> Json {
     ])
 }
 
-/// Encode a whole sweep: points in expansion order plus the per-series
-/// error bands (present only when both backends ran).
+/// Encode a whole sweep: points in expansion order plus the aggregate
+/// and per-class error bands (present only when both backends ran).
 pub fn sweep_json(sweep: &SweepResult) -> Json {
     let bands: Vec<Json> = error_bands(sweep)
         .into_iter()
         .map(|b| {
             Json::obj([
+                ("estimator", Json::str(b.estimator.name())),
+                ("min", Json::num(b.band.min)),
+                ("max", Json::num(b.band.max)),
+                ("mean", Json::num(b.band.mean)),
+                ("points", u64::from(b.band.count).into()),
+            ])
+        })
+        .collect();
+    let per_class: Vec<Json> = class_error_bands(sweep)
+        .into_iter()
+        .map(|b| {
+            Json::obj([
+                ("class", Json::str(b.class)),
                 ("estimator", Json::str(b.estimator.name())),
                 ("min", Json::num(b.band.min)),
                 ("max", Json::num(b.band.max)),
@@ -386,6 +544,7 @@ pub fn sweep_json(sweep: &SweepResult) -> Json {
             Json::Arr(sweep.points.iter().map(point_json).collect()),
         ),
         ("error_bands", Json::Arr(bands)),
+        ("class_error_bands", Json::Arr(per_class)),
     ])
 }
 
@@ -413,32 +572,59 @@ mod tests {
         assert_eq!(r.point.block_mb, 128);
         assert_eq!(r.point.container_mb, 1024);
         assert_eq!(r.point.scheduler, SchedulerPolicy::CapacityFifo);
-        assert_eq!(r.point.job, JobKind::WordCount);
-        assert_eq!(r.point.input_bytes, GB);
-        assert_eq!(r.point.n_jobs, 1);
+        assert_eq!(r.point.mix.entries.len(), 1);
+        assert_eq!(r.point.mix.entries[0].job, JobKind::WordCount);
+        assert_eq!(r.point.mix.entries[0].input_bytes, GB);
+        assert_eq!(r.point.total_jobs(), 1);
         assert_eq!(r.point.estimator, EstimatorKind::ForkJoin);
-        assert_eq!(r.point.reduces, 4, "per-node default");
+        assert_eq!(r.point.mix.entries[0].reduces, 4, "per-node default");
+        assert_eq!(r.point.map_failure_prob, 0.0);
         assert_eq!(r.point.seed, 1);
         assert_eq!(r.backends, Backends::analytic_only());
     }
 
     #[test]
-    fn estimate_request_decodes_every_field() {
+    fn estimate_request_decodes_every_single_job_field() {
+        // The original single-job shape keeps decoding, as a 1-entry
+        // mix.
         let r = parse_estimate_request(
             r#"{"nodes":8,"block_mb":64,"container_mb":2048,"scheduler":"fair",
                 "job":"terasort","input_bytes":5368709120,"n_jobs":3,
-                "estimator":"tripathi","reduces":2,"seed":9,
+                "estimator":"tripathi","reduces":2,"seed":9,"map_failure_prob":0.25,
                 "backends":{"analytic":true,"profile_calibration":true,"simulator":5}}"#,
         )
         .unwrap();
         assert_eq!(r.point.nodes, 8);
         assert_eq!(r.point.scheduler, SchedulerPolicy::Fair);
-        assert_eq!(r.point.job, JobKind::TeraSort);
-        assert_eq!(r.point.input_bytes, 5 * GB);
+        assert_eq!(r.point.mix.entries[0].job, JobKind::TeraSort);
+        assert_eq!(r.point.mix.entries[0].input_bytes, 5 * GB);
+        assert_eq!(r.point.mix.entries[0].count, 3);
         assert_eq!(r.point.estimator, EstimatorKind::Tripathi);
-        assert_eq!(r.point.reduces, 2, "fixed count overrides per-node");
+        assert_eq!(
+            r.point.mix.entries[0].reduces, 2,
+            "fixed count overrides per-node"
+        );
+        assert_eq!(r.point.map_failure_prob, 0.25);
         assert_eq!(r.backends.simulator, Some(5));
         assert!(r.backends.profile_calibration);
+    }
+
+    #[test]
+    fn estimate_request_decodes_a_mix() {
+        let r = parse_estimate_request(
+            r#"{"nodes":4,"mix":[
+                {"job":"wordcount","input_bytes":1073741824,"count":2},
+                {"job":"terasort","input_bytes":2147483648,"reduces":3},
+                {"job":"grep"}]}"#,
+        )
+        .unwrap();
+        assert_eq!(r.point.mix.entries.len(), 3);
+        assert_eq!(r.point.total_jobs(), 4);
+        assert_eq!(r.point.mix.entries[0].count, 2);
+        assert_eq!(r.point.mix.entries[0].reduces, 4, "per-node at 4 nodes");
+        assert_eq!(r.point.mix.entries[1].reduces, 3, "fixed");
+        assert_eq!(r.point.mix.entries[2].job, JobKind::Grep);
+        assert_eq!(r.point.mix.entries[2].input_bytes, GB, "entry default");
     }
 
     #[test]
@@ -462,6 +648,22 @@ mod tests {
             ),
             (r#"{"backends":{"sim":1}}"#, "unknown backends field"),
             ("[1,2]", "must be a JSON object"),
+            (r#"{"map_failure_prob":1.0}"#, "in [0, 1)"),
+            (r#"{"map_failure_prob":"high"}"#, "in [0, 1)"),
+            // Mix errors.
+            (r#"{"mix":[]}"#, "at least one entry"),
+            (r#"{"mix":{}}"#, "array of entry objects"),
+            (r#"{"mix":[{"input_bytes":1}]}"#, "needs a `job` field"),
+            (r#"{"mix":[{"job":"grep","count":0}]}"#, "must be positive"),
+            (
+                r#"{"mix":[{"job":"grep","size":1}]}"#,
+                "unknown mix entry field `size`",
+            ),
+            // The two workload styles don't combine.
+            (
+                r#"{"n_jobs":2,"mix":[{"job":"grep"}]}"#,
+                "conflicts with `mix`",
+            ),
         ] {
             let err = parse_estimate_request(body).unwrap_err();
             assert!(err.contains(needle), "{body} → {err}");
@@ -478,15 +680,34 @@ mod tests {
         .unwrap();
         assert_eq!(s.name, "grow");
         assert_eq!(s.nodes, vec![4, 8, 16]);
-        assert_eq!(s.n_jobs, vec![1, 2]);
+        let mixes = s.workload_values();
+        assert_eq!(mixes.len(), 2, "jobs × input_bytes × n_jobs");
+        assert_eq!(mixes[0].entries[0].job, JobKind::Grep);
+        assert_eq!(mixes[1].total_jobs(), 2);
         assert_eq!(
             s.estimators,
             vec![EstimatorKind::ForkJoin, EstimatorKind::Tripathi]
         );
-        assert_eq!(s.jobs, vec![JobKind::Grep]);
         assert_eq!(s.seed, 7);
         assert_eq!(s.num_points(), 3 * 2 * 2);
         assert_eq!(s.backends, Backends::analytic_only(), "serving default");
+    }
+
+    #[test]
+    fn scenario_request_builds_a_mix_axis() {
+        let s = parse_scenario_request(
+            r#"{"name":"mixed","nodes":[4,8],
+                "mixes":[[{"job":"wordcount","count":2},{"job":"grep"}],
+                         [{"job":"terasort"}]],
+                "map_failure_prob":[0.0,0.1]}"#,
+        )
+        .unwrap();
+        assert_eq!(s.num_points(), 2 * 2 * 2, "nodes × mixes × failure");
+        let mixes = s.workload_values();
+        assert_eq!(mixes.len(), 2);
+        assert_eq!(mixes[0].entries.len(), 2);
+        assert_eq!(mixes[0].total_jobs(), 3);
+        assert_eq!(s.map_failure_prob, vec![0.0, 0.1]);
     }
 
     #[test]
@@ -507,13 +728,26 @@ mod tests {
                 .unwrap_err()
                 .contains("fit 32 bits")
         );
+        assert!(
+            parse_scenario_request(r#"{"jobs":["grep"],"mixes":[[{"job":"grep"}]]}"#)
+                .unwrap_err()
+                .contains("conflicts with `mixes`")
+        );
+        assert!(parse_scenario_request(r#"{"mixes":[[]]}"#)
+            .unwrap_err()
+            .contains("at least one entry"));
+        assert!(parse_scenario_request(r#"{"map_failure_prob":[2.0]}"#)
+            .unwrap_err()
+            .contains("in [0, 1)"));
     }
 
     #[test]
     fn encoded_sweep_is_valid_json_with_bands() {
         use mr2_scenario::{run_scenario, ResultCache, RunnerConfig};
         let s = parse_scenario_request(
-            r#"{"nodes":[2],"input_bytes":[268435456],
+            r#"{"nodes":[2],
+                "mixes":[[{"job":"wordcount","input_bytes":268435456},
+                          {"job":"grep","input_bytes":268435456}]],
                 "backends":{"analytic":true,"simulator":2}}"#,
         )
         .unwrap();
@@ -525,11 +759,47 @@ mod tests {
         let pt = &back.get("points").unwrap().as_arr().unwrap()[0];
         assert!(pt.get("estimate").unwrap().as_f64().unwrap() > 0.0);
         assert!(pt.get("measured").unwrap().as_f64().unwrap() > 0.0);
+        let mix = pt.get("mix").unwrap().as_arr().unwrap();
+        assert_eq!(mix.len(), 2);
+        assert_eq!(mix[0].get("job").unwrap().as_str(), Some("wordcount"));
+        assert_eq!(mix[0].get("reduces").unwrap().as_u64(), Some(2));
+        let per_class = pt
+            .get("model")
+            .unwrap()
+            .get("per_class")
+            .unwrap()
+            .as_arr()
+            .unwrap();
+        assert_eq!(per_class.len(), 2);
+        assert!(per_class[1].get("fork_join").unwrap().as_f64().unwrap() > 0.0);
+        assert_eq!(
+            per_class[1].get("class").unwrap().as_str(),
+            Some("grep@256MB")
+        );
+        assert_eq!(
+            pt.get("sim")
+                .unwrap()
+                .get("per_class_median")
+                .unwrap()
+                .as_arr()
+                .unwrap()
+                .len(),
+            2
+        );
         assert!(!back
             .get("error_bands")
             .unwrap()
             .as_arr()
             .unwrap()
             .is_empty());
+        assert_eq!(
+            back.get("class_error_bands")
+                .unwrap()
+                .as_arr()
+                .unwrap()
+                .len(),
+            2 * 4,
+            "2 classes × 4 series"
+        );
     }
 }

@@ -3,7 +3,7 @@
 //! ```text
 //! mr2-serve [--addr 127.0.0.1:8080] [--threads 4] [--cache-capacity 65536]
 //!           [--max-points 4096] [--cache-file results/serve-cache.txt]
-//!           [--persist-secs 30]
+//!           [--persist-secs 30] [--keep-alive-requests 32]
 //! ```
 //!
 //! Smoke it with curl:
@@ -19,7 +19,8 @@ use std::time::Duration;
 fn usage() -> ! {
     eprintln!(
         "usage: mr2-serve [--addr HOST:PORT] [--threads N] [--cache-capacity N]\n\
-         \x20                [--max-points N] [--cache-file PATH] [--persist-secs N]"
+         \x20                [--max-points N] [--cache-file PATH] [--persist-secs N]\n\
+         \x20                [--keep-alive-requests N]"
     );
     std::process::exit(2);
 }
@@ -51,6 +52,10 @@ fn main() {
             "--cache-file" => cfg.cache_file = Some(value("--cache-file").into()),
             "--persist-secs" => match value("--persist-secs").parse::<u64>() {
                 Ok(n) if n > 0 => cfg.persist_every = Duration::from_secs(n),
+                _ => usage(),
+            },
+            "--keep-alive-requests" => match value("--keep-alive-requests").parse() {
+                Ok(n) if n > 0 => cfg.keep_alive_requests = n,
                 _ => usage(),
             },
             "--help" | "-h" => usage(),

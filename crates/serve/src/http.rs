@@ -1,7 +1,10 @@
 //! A deliberately small HTTP/1.1 implementation over blocking streams —
 //! just enough protocol for a JSON API behind `std::net::TcpListener`:
-//! request-line + headers + `Content-Length` bodies in, status + headers
-//! + body out, one request per connection (`Connection: close`).
+//! request-line + headers + `Content-Length` bodies in, status +
+//! headers + body out, with connection reuse ([`Conn`]) — HTTP/1.1
+//! requests keep the connection alive by default, `Connection: close`
+//! (and HTTP/1.0) closes it, and bytes over-read past one request's
+//! body are carried over as the start of the next.
 //!
 //! Limits are enforced while reading (header block ≤ 16 KiB, body ≤
 //! 4 MiB) so a misbehaving client can't balloon a worker's memory, and
@@ -24,6 +27,10 @@ pub struct Request {
     pub path: String,
     /// Raw body bytes (empty when no `Content-Length`).
     pub body: Vec<u8>,
+    /// Whether the client asked to keep the connection open: an
+    /// explicit `Connection` header wins, otherwise the HTTP/1.1
+    /// default is keep-alive and the HTTP/1.0 default is close.
+    pub keep_alive: bool,
 }
 
 /// A malformed or over-limit request, mapped to a status + message.
@@ -59,84 +66,179 @@ fn head_end(buf: &[u8]) -> Option<usize> {
         .or_else(|| buf.windows(2).position(|w| w == b"\n\n").map(|i| i + 2))
 }
 
-/// Read one request from `stream`. Needs `Write` access too so it can
-/// acknowledge `Expect: 100-continue` before the client sends the body.
-pub fn read_request<S: Read + Write>(stream: &mut S) -> Result<Request, HttpError> {
-    // Read in chunks until the blank line ending the header block;
-    // whatever arrives past it is the start of the body (the connection
-    // serves one request, so over-reading can't swallow a next request).
-    let mut buf = Vec::with_capacity(512);
-    let mut chunk = [0u8; 1024];
-    let split = loop {
-        if let Some(end) = head_end(&buf) {
-            break end;
-        }
-        if buf.len() >= MAX_HEAD {
-            return Err(HttpError::new(431, "header block too large"));
-        }
-        match stream.read(&mut chunk) {
-            Ok(0) => return Err(HttpError::new(400, "connection closed mid-request")),
-            Ok(n) => buf.extend_from_slice(&chunk[..n]),
-            Err(e) => return Err(e.into()),
-        }
-    };
-    let mut early_body = buf.split_off(split);
-    let head = String::from_utf8(buf).map_err(|_| HttpError::new(400, "non-UTF-8 header"))?;
-    let mut lines = head.lines();
-    let request_line = lines.next().unwrap_or_default();
-    let mut parts = request_line.split_whitespace();
-    let method = parts
-        .next()
-        .ok_or_else(|| HttpError::new(400, "missing method"))?
-        .to_ascii_uppercase();
-    let target = parts
-        .next()
-        .ok_or_else(|| HttpError::new(400, "missing request target"))?;
-    let version = parts
-        .next()
-        .ok_or_else(|| HttpError::new(400, "missing HTTP version"))?;
-    if !version.starts_with("HTTP/1.") {
-        return Err(HttpError::new(505, format!("unsupported {version}")));
-    }
-    let path = target.split('?').next().unwrap_or(target).to_string();
+/// A connection serving a sequence of requests: the stream plus
+/// whatever was over-read past the previous request's body (with
+/// keep-alive, those bytes are the start of the next request and must
+/// not be dropped).
+#[derive(Debug)]
+pub struct Conn<S> {
+    stream: S,
+    carry: Vec<u8>,
+}
 
-    let mut content_length = 0usize;
-    let mut expects_continue = false;
-    for line in lines {
-        let Some((name, value)) = line.split_once(':') else {
-            continue;
-        };
-        let value = value.trim();
-        if name.eq_ignore_ascii_case("content-length") {
-            content_length = value
-                .parse()
-                .map_err(|_| HttpError::new(400, "bad Content-Length"))?;
-        } else if name.eq_ignore_ascii_case("transfer-encoding") {
-            return Err(HttpError::new(501, "chunked bodies not supported"));
-        } else if name.eq_ignore_ascii_case("expect") && value.eq_ignore_ascii_case("100-continue")
-        {
-            expects_continue = true;
+impl<S> Conn<S> {
+    /// Wrap a fresh stream.
+    pub fn new(stream: S) -> Conn<S> {
+        Conn {
+            stream,
+            carry: Vec::new(),
         }
     }
-    if content_length > MAX_BODY {
-        return Err(HttpError::new(413, "body too large"));
+
+    /// The underlying stream (e.g. to adjust socket timeouts).
+    pub fn get_ref(&self) -> &S {
+        &self.stream
     }
-    if expects_continue && content_length > early_body.len() {
-        stream
-            .write_all(b"HTTP/1.1 100 Continue\r\n\r\n")
-            .map_err(|e| HttpError::new(400, format!("write failed: {e}")))?;
-        stream.flush().ok();
+
+    /// Mutable access to the underlying stream (e.g. to write the
+    /// response).
+    pub fn stream_mut(&mut self) -> &mut S {
+        &mut self.stream
     }
-    // The body starts with whatever was over-read past the headers.
-    early_body.truncate(content_length);
-    let mut body = early_body;
-    let remaining = content_length - body.len();
-    if remaining > 0 {
-        let start = body.len();
-        body.resize(content_length, 0);
-        stream.read_exact(&mut body[start..])?;
+}
+
+impl<S: Read + Write> Conn<S> {
+    /// Block until the next request's first bytes are available (or
+    /// already carried over), up to the stream's *current* read
+    /// timeout; `false` means EOF, idle timeout, or a read error — the
+    /// connection is done. This separates the *idle* wait from the
+    /// reads *within* a request: a server sets a short idle timeout,
+    /// awaits, then restores its longer per-request timeout before
+    /// calling [`Conn::read_request`].
+    pub fn await_request(&mut self) -> bool {
+        if !self.carry.is_empty() {
+            return true;
+        }
+        let mut byte = [0u8; 1];
+        match self.stream.read(&mut byte) {
+            Ok(n) if n > 0 => {
+                self.carry.extend_from_slice(&byte[..n]);
+                true
+            }
+            _ => false,
+        }
     }
-    Ok(Request { method, path, body })
+
+    /// Read the next request from the connection. `Ok(None)` means the
+    /// client closed (or went idle past the socket's read timeout)
+    /// between requests — a clean end of the connection, not an error.
+    ///
+    /// Needs `Write` access too so it can acknowledge
+    /// `Expect: 100-continue` before the client sends the body.
+    pub fn read_request(&mut self) -> Result<Option<Request>, HttpError> {
+        // Read in chunks until the blank line ending the header block;
+        // whatever arrives past it belongs to the body (and past that,
+        // to the next request on the connection).
+        let mut buf = std::mem::take(&mut self.carry);
+        let mut chunk = [0u8; 1024];
+        let split = loop {
+            if let Some(end) = head_end(&buf) {
+                break end;
+            }
+            if buf.len() >= MAX_HEAD {
+                return Err(HttpError::new(431, "header block too large"));
+            }
+            match self.stream.read(&mut chunk) {
+                Ok(0) if buf.is_empty() => return Ok(None),
+                Ok(0) => return Err(HttpError::new(400, "connection closed mid-request")),
+                Ok(n) => buf.extend_from_slice(&chunk[..n]),
+                // Idle timeout while waiting for the next request is a
+                // clean close; mid-request it is an error.
+                Err(e)
+                    if buf.is_empty()
+                        && matches!(
+                            e.kind(),
+                            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                        ) =>
+                {
+                    return Ok(None)
+                }
+                Err(e) => return Err(e.into()),
+            }
+        };
+        let mut early_body = buf.split_off(split);
+        let head = String::from_utf8(buf).map_err(|_| HttpError::new(400, "non-UTF-8 header"))?;
+        let mut lines = head.lines();
+        let request_line = lines.next().unwrap_or_default();
+        let mut parts = request_line.split_whitespace();
+        let method = parts
+            .next()
+            .ok_or_else(|| HttpError::new(400, "missing method"))?
+            .to_ascii_uppercase();
+        let target = parts
+            .next()
+            .ok_or_else(|| HttpError::new(400, "missing request target"))?;
+        let version = parts
+            .next()
+            .ok_or_else(|| HttpError::new(400, "missing HTTP version"))?;
+        if !version.starts_with("HTTP/1.") {
+            return Err(HttpError::new(505, format!("unsupported {version}")));
+        }
+        let path = target.split('?').next().unwrap_or(target).to_string();
+
+        let mut content_length = 0usize;
+        let mut expects_continue = false;
+        // HTTP/1.1 defaults to keep-alive, HTTP/1.0 to close.
+        let mut keep_alive = version != "HTTP/1.0";
+        for line in lines {
+            let Some((name, value)) = line.split_once(':') else {
+                continue;
+            };
+            let value = value.trim();
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .parse()
+                    .map_err(|_| HttpError::new(400, "bad Content-Length"))?;
+            } else if name.eq_ignore_ascii_case("transfer-encoding") {
+                return Err(HttpError::new(501, "chunked bodies not supported"));
+            } else if name.eq_ignore_ascii_case("expect")
+                && value.eq_ignore_ascii_case("100-continue")
+            {
+                expects_continue = true;
+            } else if name.eq_ignore_ascii_case("connection") {
+                if value.eq_ignore_ascii_case("close") {
+                    keep_alive = false;
+                } else if value.eq_ignore_ascii_case("keep-alive") {
+                    keep_alive = true;
+                }
+            }
+        }
+        if content_length > MAX_BODY {
+            return Err(HttpError::new(413, "body too large"));
+        }
+        if expects_continue && content_length > early_body.len() {
+            self.stream
+                .write_all(b"HTTP/1.1 100 Continue\r\n\r\n")
+                .map_err(|e| HttpError::new(400, format!("write failed: {e}")))?;
+            self.stream.flush().ok();
+        }
+        // The body starts with whatever was over-read past the headers;
+        // anything past Content-Length is the next request's bytes.
+        if early_body.len() > content_length {
+            self.carry = early_body.split_off(content_length);
+        }
+        let mut body = early_body;
+        let remaining = content_length - body.len();
+        if remaining > 0 {
+            let start = body.len();
+            body.resize(content_length, 0);
+            self.stream.read_exact(&mut body[start..])?;
+        }
+        Ok(Some(Request {
+            method,
+            path,
+            body,
+            keep_alive,
+        }))
+    }
+}
+
+/// Read one request from a stream that serves a single request (test
+/// helper and one-shot paths); see [`Conn::read_request`].
+pub fn read_request<S: Read + Write>(stream: &mut S) -> Result<Request, HttpError> {
+    Conn::new(stream)
+        .read_request()?
+        .ok_or_else(|| HttpError::new(400, "connection closed mid-request"))
 }
 
 /// Canonical reason phrase for the statuses the service emits.
@@ -155,13 +257,21 @@ pub fn reason(status: u16) -> &'static str {
     }
 }
 
-/// Write a complete response and flush. One response per connection.
-pub fn write_response<S: Write>(stream: &mut S, status: u16, body: &str) -> std::io::Result<()> {
+/// Write a complete response and flush. `close` selects the
+/// `Connection` header: `close` ends the connection after this
+/// response, `keep-alive` invites the next request.
+pub fn write_response<S: Write>(
+    stream: &mut S,
+    status: u16,
+    body: &str,
+    close: bool,
+) -> std::io::Result<()> {
     write!(
         stream,
-        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
         reason(status),
         body.len(),
+        if close { "close" } else { "keep-alive" },
     )?;
     stream.write_all(body.as_bytes())?;
     stream.flush()
@@ -227,6 +337,7 @@ mod tests {
         assert_eq!(r.method, "GET");
         assert_eq!(r.path, "/healthz", "query string stripped");
         assert!(r.body.is_empty());
+        assert!(r.keep_alive, "HTTP/1.1 defaults to keep-alive");
     }
 
     #[test]
@@ -237,6 +348,59 @@ mod tests {
         let r = read_request(&mut s).unwrap();
         assert_eq!(r.method, "POST");
         assert_eq!(r.body, b"{\"a\":1}");
+    }
+
+    #[test]
+    fn connection_header_and_version_control_keep_alive() {
+        let mut s = Pipe::new("GET / HTTP/1.1\r\nConnection: close\r\n\r\n");
+        assert!(!read_request(&mut s).unwrap().keep_alive);
+        let mut s = Pipe::new("GET / HTTP/1.0\r\n\r\n");
+        assert!(!read_request(&mut s).unwrap().keep_alive, "1.0 default");
+        let mut s = Pipe::new("GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n");
+        assert!(read_request(&mut s).unwrap().keep_alive, "explicit wins");
+    }
+
+    #[test]
+    fn two_requests_on_one_connection_with_carryover() {
+        // Both requests (and the second's body) arrive in one packet:
+        // the bytes past the first body must carry over, not be
+        // dropped.
+        let mut conn = Conn::new(Pipe::new(
+            "POST /a HTTP/1.1\r\nContent-Length: 3\r\n\r\nonePOST /b HTTP/1.1\r\nContent-Length: 3\r\n\r\ntwo",
+        ));
+        let a = conn.read_request().unwrap().unwrap();
+        assert_eq!(
+            (a.path.as_str(), a.body.as_slice()),
+            ("/a", b"one".as_slice())
+        );
+        let b = conn.read_request().unwrap().unwrap();
+        assert_eq!(
+            (b.path.as_str(), b.body.as_slice()),
+            ("/b", b"two".as_slice())
+        );
+        assert!(conn.read_request().unwrap().is_none(), "clean EOF after");
+    }
+
+    #[test]
+    fn clean_eof_between_requests_is_none() {
+        let mut conn = Conn::new(Pipe::new("GET / HTTP/1.1\r\n\r\n"));
+        assert!(conn.read_request().unwrap().is_some());
+        assert!(conn.read_request().unwrap().is_none());
+    }
+
+    #[test]
+    fn await_request_consumes_nothing_a_read_would_miss() {
+        // Carried-over bytes count as a pending request without touching
+        // the stream; a fresh byte from the stream lands in the carry so
+        // the subsequent read_request sees the whole request.
+        let mut conn = Conn::new(Pipe::new("GET /next HTTP/1.1\r\n\r\n"));
+        assert!(conn.await_request(), "first byte arrived");
+        assert_eq!(conn.carry, b"G", "byte is carried, not dropped");
+        assert!(conn.await_request(), "carry alone is enough");
+        let r = conn.read_request().unwrap().unwrap();
+        assert_eq!(r.path, "/next");
+        // EOF while idle is a clean end of the connection.
+        assert!(!conn.await_request());
     }
 
     #[test]
@@ -261,12 +425,15 @@ mod tests {
             ":1}",
         ]);
         assert_eq!(read_request(&mut s).unwrap().body, b"{\"a\":1}");
-        // Body over-read together with the headers (no Expect), even
-        // with trailing junk past Content-Length.
-        let mut s = Pipe::new("POST /x HTTP/1.1\r\nContent-Length: 7\r\n\r\n{\"a\":1}junk");
-        let r = read_request(&mut s).unwrap();
+        // Body over-read together with the headers (no Expect); the
+        // trailing bytes past Content-Length stay in the carry buffer.
+        let mut conn = Conn::new(Pipe::new(
+            "POST /x HTTP/1.1\r\nContent-Length: 7\r\n\r\n{\"a\":1}junk",
+        ));
+        let r = conn.read_request().unwrap().unwrap();
         assert_eq!(r.body, b"{\"a\":1}");
-        assert!(s.output.is_empty(), "no spurious 100 Continue");
+        assert!(conn.get_ref().output.is_empty(), "no spurious 100 Continue");
+        assert_eq!(conn.carry, b"junk");
     }
 
     #[test]
@@ -284,13 +451,18 @@ mod tests {
     }
 
     #[test]
-    fn response_carries_length_and_close() {
+    fn response_carries_length_and_connection_header() {
         let mut out = Vec::new();
-        write_response(&mut out, 200, "{\"ok\":true}").unwrap();
+        write_response(&mut out, 200, "{\"ok\":true}", true).unwrap();
         let text = String::from_utf8(out).unwrap();
         assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
         assert!(text.contains("Content-Length: 11\r\n"));
         assert!(text.contains("Connection: close\r\n"));
         assert!(text.ends_with("{\"ok\":true}"));
+
+        let mut out = Vec::new();
+        write_response(&mut out, 200, "{}", false).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Connection: keep-alive\r\n"));
     }
 }

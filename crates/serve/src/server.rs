@@ -27,8 +27,13 @@ use std::time::{Duration, Instant};
 use mr2_scenario::{evaluate_point, run_scenario, PointResult, ResultCache, RunnerConfig};
 
 use crate::api;
-use crate::http::{read_request, write_response, HttpError, Request};
+use crate::http::{write_response, Conn, HttpError, Request};
 use crate::json::Json;
+
+/// Socket read/write budget while a request or response is in flight
+/// (the keep-alive *idle* wait between requests is configured
+/// separately, [`ServeConfig::keep_alive_idle`]).
+const REQUEST_TIMEOUT: Duration = Duration::from_secs(10);
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -41,10 +46,22 @@ pub struct ServeConfig {
     pub cache_capacity: usize,
     /// Upper bound on points a single `/v1/scenario` may expand to.
     pub max_points: usize,
+    /// Upper bound on concurrent jobs one point's workload mix may
+    /// carry (entry counts sum). `max_points` bounds the axis product
+    /// only; without this a single `{"count": 10^12}` entry would make
+    /// one evaluation allocate per-job state until the process dies.
+    pub max_jobs_per_point: usize,
     /// Snapshot the cache here (loaded at startup when present).
     pub cache_file: Option<PathBuf>,
     /// How often the persistence thread snapshots a dirty cache.
     pub persist_every: Duration,
+    /// Requests served per kept-alive connection before the service
+    /// closes it (bounds how long one client can pin a worker; 0 is
+    /// treated as 1).
+    pub keep_alive_requests: usize,
+    /// How long an idle kept-alive connection may sit between requests
+    /// before the service closes it.
+    pub keep_alive_idle: Duration,
     /// Runner knobs for scenario sweeps (worker-thread count of the
     /// *evaluation* pool, not the HTTP pool).
     pub runner: RunnerConfig,
@@ -57,8 +74,11 @@ impl Default for ServeConfig {
             threads: 4,
             cache_capacity: 65_536,
             max_points: 4_096,
+            max_jobs_per_point: 256,
             cache_file: None,
             persist_every: Duration::from_secs(30),
+            keep_alive_requests: 32,
+            keep_alive_idle: Duration::from_secs(5),
             runner: RunnerConfig::default(),
         }
     }
@@ -161,8 +181,8 @@ pub fn serve(cfg: ServeConfig) -> std::io::Result<ServerHandle> {
                         if let Ok(stream) = stream {
                             // Slow or stalled clients time out instead of
                             // pinning a worker forever.
-                            let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
-                            let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+                            let _ = stream.set_read_timeout(Some(REQUEST_TIMEOUT));
+                            let _ = stream.set_write_timeout(Some(REQUEST_TIMEOUT));
                             if tx.send(stream).is_err() {
                                 break;
                             }
@@ -223,20 +243,59 @@ fn persist(state: &State) {
     }
 }
 
-fn handle_connection(mut stream: TcpStream, state: &State) {
-    let response = match read_request(&mut stream) {
-        Ok(req) => {
-            // A panicking evaluation must cost a 500, not a worker.
-            std::panic::catch_unwind(AssertUnwindSafe(|| route(&req, state)))
-                .unwrap_or_else(|_| (500, error_json("internal error: evaluation panicked")))
+/// Serve one connection: up to `keep_alive_requests` requests when the
+/// client asks for keep-alive, closing on protocol errors, an explicit
+/// `Connection: close`, the request cap, or `keep_alive_idle` of
+/// silence between requests.
+fn handle_connection(stream: TcpStream, state: &State) {
+    let max_requests = state.cfg.keep_alive_requests.max(1);
+    let mut conn = Conn::new(stream);
+    for served in 0..max_requests {
+        if served > 0 {
+            // Between requests the socket waits at most the idle
+            // timeout; once the next request's first bytes arrive, the
+            // longer per-request timeout is restored so a slow body
+            // upload on a reused connection gets the same budget as on
+            // a fresh one.
+            let _ = conn
+                .get_ref()
+                .set_read_timeout(Some(state.cfg.keep_alive_idle));
+            let pending = conn.await_request();
+            let _ = conn.get_ref().set_read_timeout(Some(REQUEST_TIMEOUT));
+            if !pending {
+                return;
+            }
         }
-        Err(HttpError { status, message }) => (status, error_json(&message)),
-    };
-    let _ = write_response(&mut stream, response.0, &response.1);
+        let (status, body, close) = match conn.read_request() {
+            Ok(Some(req)) => {
+                // A panicking evaluation must cost a 500, not a worker.
+                let (status, body) =
+                    std::panic::catch_unwind(AssertUnwindSafe(|| route(&req, state)))
+                        .unwrap_or_else(|_| {
+                            (500, error_json("internal error: evaluation panicked"))
+                        });
+                (status, body, !req.keep_alive || served + 1 == max_requests)
+            }
+            // Client closed (or idled out) between requests.
+            Ok(None) => return,
+            // Protocol errors poison the framing; always close.
+            Err(HttpError { status, message }) => (status, error_json(&message), true),
+        };
+        if write_response(conn.stream_mut(), status, &body, close).is_err() || close {
+            return;
+        }
+    }
 }
 
 fn error_json(message: &str) -> String {
     Json::obj([("error", Json::str(message))]).render()
+}
+
+fn jobs_bound_message(jobs: usize, state: &State) -> String {
+    format!(
+        "workload mix carries {jobs} concurrent jobs, above the service bound of {}",
+        state.cfg.max_jobs_per_point
+    )
 }
 
 fn route(req: &Request, state: &State) -> (u16, String) {
@@ -258,6 +317,10 @@ fn route(req: &Request, state: &State) -> (u16, String) {
             .and_then(api::parse_estimate_request)
         {
             Ok(r) => {
+                let jobs = r.point.total_jobs();
+                if jobs > state.cfg.max_jobs_per_point {
+                    return (400, error_json(&jobs_bound_message(jobs, state)));
+                }
                 let result: PointResult = evaluate_point(&r.point, &r.backends, &state.cache);
                 (200, api::point_json(&result).render())
             }
@@ -277,6 +340,17 @@ fn route(req: &Request, state: &State) -> (u16, String) {
                             state.cfg.max_points
                         )),
                     );
+                }
+                // `max_points` bounds the axis product; each mix value
+                // must also keep its job total within the per-point
+                // bound.
+                if let Some(jobs) = scenario
+                    .workload_values()
+                    .iter()
+                    .map(|m| m.total_jobs())
+                    .find(|&jobs| jobs > state.cfg.max_jobs_per_point)
+                {
+                    return (400, error_json(&jobs_bound_message(jobs, state)));
                 }
                 let sweep = run_scenario(&scenario, &state.cache, &state.cfg.runner);
                 (200, api::sweep_json(&sweep).render())

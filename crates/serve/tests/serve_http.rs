@@ -1,34 +1,76 @@
 //! End-to-end tests of the capacity-planning service over real TCP:
-//! round-trips for every endpoint, error statuses, cache persistence
-//! across restarts, and the coalescing guarantee — concurrent identical
+//! round-trips for every endpoint (including heterogeneous workload
+//! mixes), HTTP keep-alive, error statuses, cache persistence across
+//! restarts, and the coalescing guarantee — concurrent identical
 //! scenario queries cost exactly one underlying evaluation.
 
-use std::io::{Read, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
 use std::sync::Barrier;
 
 use mr2_serve::{serve, Json, ServeConfig};
 
-/// One HTTP/1.1 request over a fresh connection; returns (status, body).
-fn request(addr: std::net::SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
-    let mut conn = TcpStream::connect(addr).expect("connect");
+/// Send one request on an open connection without closing it.
+fn send_request(conn: &mut TcpStream, method: &str, path: &str, body: &str, close: bool) {
+    let connection = if close { "close" } else { "keep-alive" };
     write!(
         conn,
-        "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n{body}",
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nConnection: {connection}\r\n\
+         Content-Length: {}\r\n\r\n{body}",
         body.len()
     )
     .expect("send");
-    let mut reply = String::new();
-    conn.read_to_string(&mut reply).expect("receive");
-    let status: u16 = reply
+}
+
+/// Read exactly one response off the connection (framed by
+/// `Content-Length`, so the socket can stay open); returns
+/// (status, body, connection-header value).
+fn read_response(reader: &mut BufReader<TcpStream>) -> (u16, String, String) {
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line).expect("status line");
+    let status: u16 = status_line
         .strip_prefix("HTTP/1.1 ")
         .and_then(|r| r.get(..3))
         .and_then(|s| s.parse().ok())
-        .unwrap_or_else(|| panic!("malformed reply: {reply:?}"));
-    let payload = reply
-        .split_once("\r\n\r\n")
-        .map(|(_, b)| b.to_string())
-        .unwrap_or_default();
+        .unwrap_or_else(|| panic!("malformed reply: {status_line:?}"));
+    let mut content_length = 0usize;
+    let mut connection = String::new();
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("header line");
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().expect("content length");
+            } else if name.eq_ignore_ascii_case("connection") {
+                connection = value.trim().to_string();
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).expect("body");
+    (
+        status,
+        String::from_utf8(body).expect("utf-8 body"),
+        connection,
+    )
+}
+
+/// One HTTP/1.1 request over a fresh connection (`Connection: close`);
+/// returns (status, body).
+fn request(addr: std::net::SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut conn = TcpStream::connect(addr).expect("connect");
+    send_request(&mut conn, method, path, body, true);
+    let mut reader = BufReader::new(conn);
+    let (status, payload, connection) = read_response(&mut reader);
+    assert_eq!(connection, "close", "the service honors Connection: close");
+    // And the server actually closes: the stream drains to EOF.
+    let mut rest = Vec::new();
+    reader.read_to_end(&mut rest).expect("drain");
+    assert!(rest.is_empty(), "no bytes past the framed response");
     (status, payload)
 }
 
@@ -126,6 +168,122 @@ fn scenario_round_trip_reports_points_and_bands() {
 }
 
 #[test]
+fn keep_alive_serves_two_requests_on_one_socket() {
+    let handle = serve(test_config()).unwrap();
+    let mut conn = TcpStream::connect(handle.addr).expect("connect");
+    send_request(&mut conn, "GET", "/healthz", "", false);
+    let mut reader = BufReader::new(conn.try_clone().expect("clone"));
+    let (status, body, connection) = read_response(&mut reader);
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(connection, "keep-alive");
+
+    // Second request on the very same socket.
+    send_request(
+        &mut conn,
+        "POST",
+        "/v1/estimate",
+        r#"{"nodes":2,"input_bytes":134217728}"#,
+        false,
+    );
+    let (status, body, connection) = read_response(&mut reader);
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(connection, "keep-alive");
+    assert!(Json::parse(&body).unwrap().get("estimate").is_some());
+
+    // A final Connection: close request ends the connection.
+    send_request(&mut conn, "GET", "/healthz", "", true);
+    let (status, _, connection) = read_response(&mut reader);
+    assert_eq!(status, 200);
+    assert_eq!(connection, "close");
+    let mut rest = Vec::new();
+    reader.read_to_end(&mut rest).expect("drain");
+    assert!(rest.is_empty());
+    handle.shutdown();
+}
+
+#[test]
+fn keep_alive_request_cap_closes_the_connection() {
+    let handle = serve(ServeConfig {
+        keep_alive_requests: 2,
+        ..test_config()
+    })
+    .unwrap();
+    let mut conn = TcpStream::connect(handle.addr).expect("connect");
+    let mut reader = BufReader::new(conn.try_clone().expect("clone"));
+    send_request(&mut conn, "GET", "/healthz", "", false);
+    let (_, _, connection) = read_response(&mut reader);
+    assert_eq!(connection, "keep-alive", "first request under the cap");
+    send_request(&mut conn, "GET", "/healthz", "", false);
+    let (_, _, connection) = read_response(&mut reader);
+    assert_eq!(connection, "close", "cap reached: the service closes");
+    let mut rest = Vec::new();
+    reader.read_to_end(&mut rest).expect("drain");
+    assert!(rest.is_empty(), "socket is closed after the cap");
+    handle.shutdown();
+}
+
+#[test]
+fn mix_round_trip_reports_per_class_estimates() {
+    let handle = serve(test_config()).unwrap();
+    // A heterogeneous mix through /v1/scenario, both backends.
+    let (status, body) = request(
+        handle.addr,
+        "POST",
+        "/v1/scenario",
+        r#"{"name":"mixed","nodes":[2],
+            "mixes":[[{"job":"wordcount","input_bytes":268435456,"count":2},
+                      {"job":"grep","input_bytes":268435456}]],
+            "backends":{"analytic":true,"simulator":1}}"#,
+    );
+    assert_eq!(status, 200, "{body}");
+    let v = Json::parse(&body).unwrap();
+    let pt = &v.get("points").unwrap().as_arr().unwrap()[0];
+    assert_eq!(pt.get("total_jobs").unwrap().as_u64(), Some(3));
+    let per_class = pt
+        .get("model")
+        .unwrap()
+        .get("per_class")
+        .unwrap()
+        .as_arr()
+        .unwrap();
+    assert_eq!(per_class.len(), 2, "per-class estimates in the reply");
+    assert!(per_class[0].get("fork_join").unwrap().as_f64().unwrap() > 0.0);
+    assert_eq!(
+        pt.get("sim")
+            .unwrap()
+            .get("per_class_median")
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .len(),
+        2
+    );
+    assert!(
+        !v.get("class_error_bands")
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .is_empty(),
+        "per-class bands present when both backends ran"
+    );
+
+    // The old single-job request shape still decodes on /v1/estimate.
+    let (status, body) = request(
+        handle.addr,
+        "POST",
+        "/v1/estimate",
+        r#"{"nodes":2,"job":"grep","input_bytes":268435456,"n_jobs":2}"#,
+    );
+    assert_eq!(status, 200, "{body}");
+    let v = Json::parse(&body).unwrap();
+    let mix = v.get("mix").unwrap().as_arr().unwrap();
+    assert_eq!(mix.len(), 1, "decoded as a 1-entry mix");
+    assert_eq!(mix[0].get("job").unwrap().as_str(), Some("grep"));
+    assert_eq!(mix[0].get("count").unwrap().as_u64(), Some(2));
+    handle.shutdown();
+}
+
+#[test]
 fn error_statuses_are_mapped() {
     let handle = serve(ServeConfig {
         max_points: 8,
@@ -143,6 +301,21 @@ fn error_statuses_are_mapped() {
             "POST",
             "/v1/scenario",
             r#"{"nodes":[2,3,4],"n_jobs":[1,2,3]}"#,
+            400,
+        ),
+        // A single point carrying an absurd job total must be refused
+        // before any per-job state is allocated — `max_points` can't
+        // see it, the per-point jobs bound must.
+        (
+            "POST",
+            "/v1/estimate",
+            r#"{"mix":[{"job":"grep","count":1000000000000}]}"#,
+            400,
+        ),
+        (
+            "POST",
+            "/v1/scenario",
+            r#"{"nodes":[2],"n_jobs":[1000000]}"#,
             400,
         ),
     ];

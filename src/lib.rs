@@ -17,6 +17,30 @@
 //! );
 //! assert!(est.fork_join > 0.0 && est.tripathi > est.fork_join * 0.5);
 //! ```
+//!
+//! Workloads are heterogeneous mixes end to end — the queueing network
+//! is multi-class, so one point can run different jobs concurrently and
+//! report per-class response times:
+//!
+//! ```
+//! use hadoop2_perf::scenario::{
+//!     run_scenario, Backends, JobKind, MixEntry, ResultCache, RunnerConfig, Scenario,
+//!     WorkloadMix,
+//! };
+//!
+//! let mix = WorkloadMix::new([
+//!     MixEntry::new(JobKind::WordCount, 256 * 1024 * 1024, 2),
+//!     MixEntry::new(JobKind::Grep, 256 * 1024 * 1024, 1),
+//! ]);
+//! let scenario = Scenario::new("doc-mix")
+//!     .axis_nodes([2usize])
+//!     .axis_mixes([mix])
+//!     .with_backends(Backends::analytic_only());
+//! let sweep = run_scenario(&scenario, &ResultCache::new(), &RunnerConfig::default());
+//! let per_class = &sweep.points[0].model.as_ref().unwrap().per_class;
+//! assert_eq!(per_class.len(), 2);
+//! assert!(per_class.iter().all(|c| c.fork_join > 0.0));
+//! ```
 
 /// The paper's analytic model (crate `mr2-model`).
 pub use mr2_model as model;
