@@ -51,6 +51,10 @@ pub struct MixEstimate {
     pub aria: f64,
     /// Aggregate Herodotou baseline.
     pub herodotou: f64,
+    /// Estimated makespan (first submission → last completion), from
+    /// the fork/join per-job responses and the arrival offsets. Equals
+    /// the slowest job's response under batch arrivals.
+    pub makespan: f64,
     /// Per-class estimates, in mix-entry order.
     pub per_class: Vec<ClassPoint>,
     /// Full fork/join solver output (per-job responses in mix order).
@@ -59,10 +63,66 @@ pub struct MixEstimate {
     pub tripathi_detail: SolveResult,
 }
 
+/// Windowed staggered-arrival approximation: per-job responses under an
+/// arrival schedule, interpolated between each job's *solo* response
+/// (no contention) and its response in the *saturated* t = 0 solve
+/// (every job concurrent).
+///
+/// The closed multi-class network the paper solves has no notion of
+/// time — it assumes all `N` jobs are in the system from t = 0. With
+/// staggered arrivals a job only contends while its execution window
+/// `[sⱼ, sⱼ + Rⱼ)` overlaps other jobs' windows, so we weight the
+/// contention penalty `fullⱼ − soloⱼ` by the mean pairwise window
+/// overlap φⱼ ∈ [0, 1] and iterate to a fixed point (window lengths
+/// depend on the responses and vice versa). Fully overlapping windows
+/// recover the saturated solve; disjoint windows recover the solo
+/// responses.
+fn windowed_responses(submits: &[f64], solo: &[f64], full: &[f64]) -> Vec<f64> {
+    let n = submits.len();
+    debug_assert!(solo.len() == n && full.len() == n);
+    if n <= 1 {
+        // A single job never contends: its window overlaps nothing.
+        return solo.to_vec();
+    }
+    let mut r = full.to_vec();
+    for _ in 0..64 {
+        let mut delta = 0.0f64;
+        let next: Vec<f64> = (0..n)
+            .map(|j| {
+                let (sj, ej) = (submits[j], submits[j] + r[j]);
+                let len = (ej - sj).max(1e-9);
+                let overlap: f64 = (0..n)
+                    .filter(|&k| k != j)
+                    .map(|k| (ej.min(submits[k] + r[k]) - sj.max(submits[k])).max(0.0))
+                    .sum();
+                let phi = (overlap / (len * (n - 1) as f64)).clamp(0.0, 1.0);
+                let v = solo[j] + phi * (full[j] - solo[j]);
+                delta = delta.max((v - r[j]).abs());
+                v
+            })
+            .collect();
+        r = next;
+        if delta < 1e-9 {
+            break;
+        }
+    }
+    r
+}
+
 /// Run both estimators and both baselines for a heterogeneous mix of
 /// concurrent jobs — the paper's closed queueing network is inherently
 /// multi-class, so the mix feeds the solver as one `ModelInput` with a
 /// job entry per instance.
+///
+/// `submits` gives each job's submission offset in seconds, one per job
+/// in mix order (`count` consecutive entries per class); an empty slice
+/// — or any all-equal schedule — means batch arrivals, the paper's
+/// t = 0 assumption, and produces the plain saturated solve
+/// bit-for-bit. Under a genuinely staggered schedule the fork/join and
+/// Tripathi per-job responses go through the windowed approximation
+/// ([`windowed_responses`]); the ARIA and Herodotou baselines keep
+/// their batch forms deliberately — they are the static t = 0 models
+/// whose breakage under staggered arrivals the error bands quantify.
 ///
 /// Baselines generalize the single-class forms: ARIA scales the slot
 /// pool by 1/total (FIFO averaging gives each of the concurrent jobs an
@@ -72,6 +132,7 @@ pub struct MixEstimate {
 pub fn estimate_mix(
     cfg: &SimConfig,
     classes: &[MixClass],
+    submits: &[f64],
     options: &ModelOptions,
     cal: &Calibration,
 ) -> MixEstimate {
@@ -80,12 +141,22 @@ pub fn estimate_mix(
     let mut tr_opts = options.clone();
     tr_opts.estimator = Estimator::Tripathi;
 
-    let fj_input = mix_model_input(cfg, classes, fj_opts, cal);
-    let tr_input = mix_model_input(cfg, classes, tr_opts, cal);
+    let fj_input = mix_model_input(cfg, classes, fj_opts.clone(), cal);
+    let tr_input = mix_model_input(cfg, classes, tr_opts.clone(), cal);
     let fj = solve(&fj_input);
     let tr = solve(&tr_input);
 
     let total: usize = classes.iter().map(|c| c.count).sum();
+    assert!(
+        submits.is_empty() || submits.len() == total,
+        "need one submit offset per job ({} != {total})",
+        submits.len()
+    );
+    assert!(
+        submits.iter().all(|t| t.is_finite() && *t >= 0.0),
+        "submit offsets must be finite and non-negative"
+    );
+    let staggered = submits.iter().any(|&t| t != submits[0]);
     // ARIA baseline from the same initial statistics. The bounds model
     // has no notion of concurrent jobs; following its own usage we scale
     // the slot pool by 1/total (each concurrent job effectively receives
@@ -106,6 +177,32 @@ pub fn estimate_mix(
         .map(|c| herodotou_estimate(cfg, &c.spec, cal) * c.count as f64)
         .sum();
 
+    // Per-job responses of the two queueing estimators: the saturated
+    // solve verbatim for batch arrivals (bit-identical to the pre-
+    // arrival-schedule behaviour), the windowed solo↔saturated
+    // interpolation for genuinely staggered schedules.
+    let (fj_jobs, tr_jobs) = if staggered {
+        let mut solo_fj = Vec::with_capacity(total);
+        let mut solo_tr = Vec::with_capacity(total);
+        for c in classes {
+            let alone = [MixClass {
+                spec: c.spec.clone(),
+                count: 1,
+                profile: c.profile.clone(),
+            }];
+            let s_fj = solve(&mix_model_input(cfg, &alone, fj_opts.clone(), cal)).avg_response;
+            let s_tr = solve(&mix_model_input(cfg, &alone, tr_opts.clone(), cal)).avg_response;
+            solo_fj.extend(std::iter::repeat_n(s_fj, c.count));
+            solo_tr.extend(std::iter::repeat_n(s_tr, c.count));
+        }
+        (
+            windowed_responses(submits, &solo_fj, &fj.per_job_response),
+            windowed_responses(submits, &solo_tr, &tr.per_job_response),
+        )
+    } else {
+        (fj.per_job_response.clone(), tr.per_job_response.clone())
+    };
+
     let mean_of = |slice: &[f64]| slice.iter().sum::<f64>() / slice.len() as f64;
     let mut per_class = Vec::with_capacity(classes.len());
     let mut aria_weighted = 0.0;
@@ -123,8 +220,8 @@ pub fn estimate_mix(
         let aria_class = aria_bounds(&profile, slots, slots).avg();
         aria_weighted += aria_class * c.count as f64;
         per_class.push(ClassPoint {
-            fork_join: mean_of(&fj.per_job_response[offset..offset + c.count]),
-            tripathi: mean_of(&tr.per_job_response[offset..offset + c.count]),
+            fork_join: mean_of(&fj_jobs[offset..offset + c.count]),
+            tripathi: mean_of(&tr_jobs[offset..offset + c.count]),
             aria: aria_class,
             herodotou,
         });
@@ -138,11 +235,29 @@ pub fn estimate_mix(
         aria_weighted / total as f64
     };
 
+    let submit_at = |j: usize| submits.get(j).copied().unwrap_or(0.0);
+    let first = (0..total).map(submit_at).fold(f64::MAX, f64::min);
+    let makespan = (0..total)
+        .map(|j| submit_at(j) + fj_jobs[j])
+        .fold(0.0, f64::max)
+        - first;
+
     MixEstimate {
-        fork_join: fj.avg_response,
-        tripathi: tr.avg_response,
+        // Keep the solver's own aggregate for batch arrivals — dividing
+        // the per-job list back out could round differently.
+        fork_join: if staggered {
+            mean_of(&fj_jobs)
+        } else {
+            fj.avg_response
+        },
+        tripathi: if staggered {
+            mean_of(&tr_jobs)
+        } else {
+            tr.avg_response
+        },
         aria,
         herodotou,
+        makespan,
         per_class,
         fork_join_detail: fj,
         tripathi_detail: tr,
@@ -171,6 +286,7 @@ pub fn estimate_workload(
             count: n_jobs,
             profile: measured.cloned(),
         }],
+        &[],
         options,
         cal,
     );
@@ -195,7 +311,11 @@ pub fn estimate_workload(
 ///
 /// v2: [`ModelPoint`] grew per-class estimates for heterogeneous
 /// workload mixes and its record gained a class-count field.
-pub const MODEL_SCHEMA_VERSION: u32 = 2;
+///
+/// v3: [`estimate_mix`]/[`eval_mix`] take per-job submit offsets (the
+/// windowed staggered-arrival approximation) and [`ModelPoint`] grew a
+/// makespan estimate (its record a makespan field).
+pub const MODEL_SCHEMA_VERSION: u32 = 3;
 
 /// The analytic estimates of one configuration point — the narrow entry
 /// result batch evaluators (crate `mr2-scenario`) consume. A flat,
@@ -211,18 +331,22 @@ pub struct ModelPoint {
     pub aria: f64,
     /// Aggregate Herodotou static baseline.
     pub herodotou: f64,
+    /// Estimated makespan (first submission → last completion), from
+    /// the fork/join per-job responses and the arrival offsets.
+    pub makespan: f64,
     /// Per-class estimates, in mix-entry order (one entry for a
     /// single-job point).
     pub per_class: Vec<ClassPoint>,
 }
 
 impl ModelPoint {
-    /// The stable serialized form: the four aggregates, the class count,
-    /// then four values per class — the unit cache layers and services
-    /// store and ship.
+    /// The stable serialized form: the four aggregates, the makespan,
+    /// the class count, then four values per class — the unit cache
+    /// layers and services store and ship.
     pub fn to_record(&self) -> Vec<f64> {
-        let mut rec = Vec::with_capacity(5 + 4 * self.per_class.len());
+        let mut rec = Vec::with_capacity(6 + 4 * self.per_class.len());
         rec.extend([self.fork_join, self.tripathi, self.aria, self.herodotou]);
+        rec.push(self.makespan);
         rec.push(self.per_class.len() as f64);
         for c in &self.per_class {
             rec.extend([c.fork_join, c.tripathi, c.aria, c.herodotou]);
@@ -233,8 +357,8 @@ impl ModelPoint {
     /// Decode a record written by [`ModelPoint::to_record`]; `None` if
     /// the shape doesn't match (a corrupt or foreign record).
     pub fn from_record(rec: &[f64]) -> Option<ModelPoint> {
-        let (head, classes) = rec.split_at_checked(5)?;
-        let n = head[4] as usize;
+        let (head, classes) = rec.split_at_checked(6)?;
+        let n = head[5] as usize;
         // A point always carries at least one class; a zero or
         // mismatched count is a corrupt or foreign record.
         if n == 0 || classes.len() != 4 * n {
@@ -245,6 +369,7 @@ impl ModelPoint {
             tripathi: head[1],
             aria: head[2],
             herodotou: head[3],
+            makespan: head[4],
             per_class: classes
                 .chunks_exact(4)
                 .map(|c| ClassPoint {
@@ -258,28 +383,32 @@ impl ModelPoint {
     }
 }
 
-/// Narrow batch-evaluation entry point for a heterogeneous mix: both
-/// estimators and both baselines, aggregate and per class. Deterministic
-/// in its inputs, which is what makes results content-addressable.
+/// Narrow batch-evaluation entry point for a heterogeneous mix with an
+/// arrival schedule: both estimators and both baselines, aggregate and
+/// per class. `submits` holds one submission offset per job in mix
+/// order; an empty slice means batch (t = 0) arrivals. Deterministic in
+/// its inputs, which is what makes results content-addressable.
 pub fn eval_mix(
     cfg: &SimConfig,
     classes: &[MixClass],
+    submits: &[f64],
     options: &ModelOptions,
     cal: &Calibration,
 ) -> ModelPoint {
-    let e = estimate_mix(cfg, classes, options, cal);
+    let e = estimate_mix(cfg, classes, submits, options, cal);
     ModelPoint {
         fork_join: e.fork_join,
         tripathi: e.tripathi,
         aria: e.aria,
         herodotou: e.herodotou,
+        makespan: e.makespan,
         per_class: e.per_class,
     }
 }
 
 /// Narrow batch-evaluation entry point: both estimators and both
-/// baselines for one `(cfg, spec, n_jobs)` point — the single-class
-/// convenience over [`eval_mix`].
+/// baselines for one `(cfg, spec, n_jobs)` point — the single-class,
+/// batch-arrival convenience over [`eval_mix`].
 pub fn eval_point(
     cfg: &SimConfig,
     spec: &JobSpec,
@@ -295,6 +424,7 @@ pub fn eval_point(
             count: n_jobs,
             profile: measured.cloned(),
         }],
+        &[],
         options,
         cal,
     )
@@ -356,20 +486,22 @@ mod tests {
             tripathi: -0.0,
             aria: f64::from_bits(0x7ff0000000000001),
             herodotou: 1e300,
+            makespan: 123.5,
             per_class: vec![class, class],
         };
         let rec = p.to_record();
-        assert_eq!(rec.len(), 5 + 4 * 2);
+        assert_eq!(rec.len(), 6 + 4 * 2);
         let q = ModelPoint::from_record(&rec).unwrap();
         assert_eq!(q.fork_join.to_bits(), p.fork_join.to_bits());
         assert_eq!(q.tripathi.to_bits(), p.tripathi.to_bits());
         assert_eq!(q.aria.to_bits(), p.aria.to_bits());
         assert_eq!(q.herodotou.to_bits(), p.herodotou.to_bits());
+        assert_eq!(q.makespan.to_bits(), p.makespan.to_bits());
         assert_eq!(q.per_class, p.per_class);
         assert_eq!(ModelPoint::from_record(&rec[..3]), None);
         // A class count that doesn't match the payload is corrupt.
-        assert_eq!(ModelPoint::from_record(&[0.0; 5]), None);
-        assert_eq!(ModelPoint::from_record(&rec[..9]), None);
+        assert_eq!(ModelPoint::from_record(&[0.0; 6]), None);
+        assert_eq!(ModelPoint::from_record(&rec[..10]), None);
     }
 
     #[test]
@@ -397,6 +529,7 @@ mod tests {
         let e = estimate_mix(
             &cfg,
             &classes,
+            &[],
             &ModelOptions::default(),
             &Calibration::default(),
         );
@@ -434,6 +567,7 @@ mod tests {
                 count: 3,
                 profile: None,
             }],
+            &[],
             &opts,
             &cal,
         );
@@ -444,6 +578,99 @@ mod tests {
             via_point.fork_join.to_bits(),
             "one class ⇒ class estimate is the aggregate"
         );
+    }
+
+    #[test]
+    fn equal_offset_schedules_match_batch_bit_for_bit() {
+        let cfg = SimConfig::paper_testbed(4);
+        let classes = [MixClass {
+            spec: wordcount_1gb(4),
+            count: 3,
+            profile: None,
+        }];
+        let opts = ModelOptions::default();
+        let cal = Calibration::default();
+        let batch = eval_mix(&cfg, &classes, &[], &opts, &cal);
+        let zeros = eval_mix(&cfg, &classes, &[0.0; 3], &opts, &cal);
+        // Any all-equal schedule is batch: the jobs fully overlap, so
+        // the saturated t = 0 solve applies verbatim.
+        let shifted = eval_mix(&cfg, &classes, &[60.0; 3], &opts, &cal);
+        assert_eq!(batch, zeros);
+        assert_eq!(batch.fork_join.to_bits(), shifted.fork_join.to_bits());
+        assert_eq!(batch.per_class, shifted.per_class);
+        // Batch makespan is the slowest job's fork/join response.
+        let slowest = batch
+            .per_class
+            .iter()
+            .map(|c| c.fork_join)
+            .fold(0.0, f64::max);
+        assert!(batch.makespan >= slowest * 0.999);
+    }
+
+    #[test]
+    fn staggered_responses_sit_between_solo_and_saturated() {
+        let cfg = SimConfig::paper_testbed(4);
+        let spec = wordcount_1gb(4);
+        let classes = [MixClass {
+            spec: spec.clone(),
+            count: 3,
+            profile: None,
+        }];
+        let opts = ModelOptions::default();
+        let cal = Calibration::default();
+        let solo = estimate_workload(&cfg, &spec, 1, &opts, &cal, None).fork_join;
+        let batch = eval_mix(&cfg, &classes, &[], &opts, &cal);
+
+        // A modest stagger: windows still overlap, so the estimate must
+        // land strictly between running alone and full saturation.
+        let dt = solo * 0.25;
+        let staggered = eval_mix(&cfg, &classes, &[0.0, dt, 2.0 * dt], &opts, &cal);
+        assert!(
+            staggered.fork_join < batch.fork_join,
+            "partial overlap must relieve contention: {} vs {}",
+            staggered.fork_join,
+            batch.fork_join
+        );
+        assert!(
+            staggered.fork_join > solo,
+            "overlapping windows still contend: {} vs solo {}",
+            staggered.fork_join,
+            solo
+        );
+        assert!(staggered.tripathi < batch.tripathi);
+        // The makespan covers the last arrival plus its response.
+        assert!(staggered.makespan > 2.0 * dt + solo * 0.999);
+
+        // Arrivals spaced far beyond the solo response are disjoint:
+        // every job effectively runs alone.
+        let far = solo * 10.0;
+        let disjoint = eval_mix(&cfg, &classes, &[0.0, far, 2.0 * far], &opts, &cal);
+        assert!(
+            (disjoint.fork_join - solo).abs() / solo < 1e-6,
+            "disjoint windows must recover the solo response: {} vs {}",
+            disjoint.fork_join,
+            solo
+        );
+        assert!((disjoint.makespan - (2.0 * far + solo)).abs() / solo < 1e-6);
+        // The static baselines deliberately keep their t = 0 forms.
+        assert_eq!(disjoint.aria.to_bits(), batch.aria.to_bits());
+        assert_eq!(disjoint.herodotou.to_bits(), batch.herodotou.to_bits());
+    }
+
+    #[test]
+    fn windowed_responses_interpolate_by_overlap() {
+        // Disjoint windows → solo; heavy overlap → close to full.
+        let solo = [10.0, 10.0];
+        let full = [30.0, 30.0];
+        let disjoint = windowed_responses(&[0.0, 1000.0], &solo, &full);
+        assert!((disjoint[0] - 10.0).abs() < 1e-6, "{disjoint:?}");
+        assert!((disjoint[1] - 10.0).abs() < 1e-6);
+        let partial = windowed_responses(&[0.0, 5.0], &solo, &full);
+        for r in &partial {
+            assert!(*r > 10.0 && *r < 30.0, "{partial:?}");
+        }
+        // A single job never contends: it gets its solo response.
+        assert_eq!(windowed_responses(&[7.0], &[10.0], &[30.0]), vec![10.0]);
     }
 
     #[test]

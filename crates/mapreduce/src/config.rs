@@ -59,6 +59,12 @@ pub struct SimConfig {
     /// Probability that a map attempt fails mid-read and is re-executed
     /// (YARN re-requests a container for the retry).
     pub map_failure_prob: f64,
+    /// Straggler injection: node 0's CPU, disk, and NIC run this factor
+    /// *slower* than the rest of the cluster (1.0 = homogeneous, the
+    /// default). Tasks placed there straggle, extending job tails the
+    /// way one degraded machine does on a real cluster; the analytic
+    /// model assumes homogeneous nodes and ignores it.
+    pub slow_node_factor: f64,
     /// RM scheduler policy.
     pub scheduler: SchedulerPolicy,
     /// RNG seed; two runs with equal config and seed are identical.
@@ -89,6 +95,7 @@ impl Default for SimConfig {
             slowstart: 0.05,
             jitter_cv: 0.28,
             map_failure_prob: 0.0,
+            slow_node_factor: 1.0,
             scheduler: SchedulerPolicy::default(),
             seed: 1,
         }
@@ -131,6 +138,10 @@ impl SimConfig {
             (0.0..1.0).contains(&self.map_failure_prob),
             "failure prob in [0,1)"
         );
+        assert!(
+            self.slow_node_factor.is_finite() && self.slow_node_factor >= 1.0,
+            "slow node factor must be a finite slowdown >= 1"
+        );
     }
 }
 
@@ -155,6 +166,16 @@ mod tests {
         assert_eq!(c.containers_per_node(), 4); // vcore-bound
         c.container_size = ResourceVector::new(4096, 1);
         assert_eq!(c.containers_per_node(), 4); // memory-bound
+    }
+
+    #[test]
+    #[should_panic(expected = "slow node factor")]
+    fn validate_rejects_speedup_slow_node_factor() {
+        let c = SimConfig {
+            slow_node_factor: 0.5,
+            ..SimConfig::default()
+        };
+        c.validate();
     }
 
     #[test]

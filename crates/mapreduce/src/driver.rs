@@ -152,10 +152,16 @@ impl ClusterSim {
         };
         let rm = ResourceManager::new(cluster, scheduler);
         let nodes = (0..cfg.nodes)
-            .map(|_| NodeRes {
-                cpu: FairShare::new(cfg.cpu_cores, 1.0),
-                disk: FairShare::new(cfg.disk_bw, cfg.disk_bw),
-                nic: FairShare::new(cfg.nic_bw, cfg.nic_bw),
+            .map(|i| {
+                // Straggler injection: node 0 runs `slow_node_factor`×
+                // slower across every resource, so any task placed there
+                // straggles the way it would on one degraded machine.
+                let slow = if i == 0 { cfg.slow_node_factor } else { 1.0 };
+                NodeRes {
+                    cpu: FairShare::new(cfg.cpu_cores / slow, 1.0 / slow),
+                    disk: FairShare::new(cfg.disk_bw / slow, cfg.disk_bw / slow),
+                    nic: FairShare::new(cfg.nic_bw / slow, cfg.nic_bw / slow),
+                }
             })
             .collect();
         let jitter = if cfg.jitter_cv > 0.0 {

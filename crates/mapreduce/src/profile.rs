@@ -25,7 +25,12 @@ use simcore::{Samples, Welford};
 ///
 /// v2: [`SimPoint`] grew per-class medians for heterogeneous workload
 /// mixes and its record gained a class-count field.
-pub const SIM_SCHEMA_VERSION: u32 = 2;
+///
+/// v3: [`eval_mix`] takes per-job submit offsets (trace-driven arrival
+/// schedules), [`SimPoint`] grew a makespan statistic (its record a
+/// makespan field), and `SimConfig` grew straggler injection
+/// (`slow_node_factor`).
+pub const SIM_SCHEMA_VERSION: u32 = 3;
 
 /// Duration statistics of one task class.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -210,8 +215,15 @@ pub struct SimPoint {
     pub median_response: f64,
     /// Mean over repetitions of the per-repetition mean response.
     pub mean_response: f64,
+    /// Median over repetitions of the per-repetition makespan: last
+    /// finish minus first submission. Under batch arrivals this is the
+    /// slowest job's response; under staggered or trace arrivals the two
+    /// statistics diverge and both matter (per-job latency vs. how long
+    /// the cluster is occupied).
+    pub makespan: f64,
     /// Per class, in submission order: median over repetitions of the
-    /// per-repetition mean response of that class's jobs.
+    /// per-repetition mean response of that class's jobs. Responses are
+    /// measured from each job's *own* submit time.
     pub per_class_median: Vec<f64>,
     /// Per-repetition mean job response times, in seed order.
     pub per_rep_mean: Vec<f64>,
@@ -219,13 +231,14 @@ pub struct SimPoint {
 
 impl SimPoint {
     /// The stable serialized form:
-    /// `[median, mean, #classes, per-class medians…, per-rep means…]`,
-    /// the unit cache layers and services store and ship. Variable
-    /// length (one value per class plus one per repetition).
+    /// `[median, mean, makespan, #classes, per-class medians…, per-rep
+    /// means…]`, the unit cache layers and services store and ship.
+    /// Variable length (one value per class plus one per repetition).
     pub fn to_record(&self) -> Vec<f64> {
-        let mut rec = Vec::with_capacity(3 + self.per_class_median.len() + self.per_rep_mean.len());
+        let mut rec = Vec::with_capacity(4 + self.per_class_median.len() + self.per_rep_mean.len());
         rec.push(self.median_response);
         rec.push(self.mean_response);
+        rec.push(self.makespan);
         rec.push(self.per_class_median.len() as f64);
         rec.extend_from_slice(&self.per_class_median);
         rec.extend_from_slice(&self.per_rep_mean);
@@ -238,6 +251,7 @@ impl SimPoint {
     pub fn from_record(rec: &[f64]) -> Option<SimPoint> {
         let (&median_response, rest) = rec.split_first()?;
         let (&mean_response, rest) = rest.split_first()?;
+        let (&makespan, rest) = rest.split_first()?;
         let (&classes, rest) = rest.split_first()?;
         let classes = classes as usize;
         if classes > rest.len() {
@@ -247,6 +261,7 @@ impl SimPoint {
         Some(SimPoint {
             median_response,
             mean_response,
+            makespan,
             per_class_median: per_class.to_vec(),
             per_rep_mean: per_rep.to_vec(),
         })
@@ -254,32 +269,63 @@ impl SimPoint {
 }
 
 /// Narrow batch-evaluation entry point for a heterogeneous workload
-/// mix: simulate every class's jobs concurrently (all submitted at
-/// t = 0, in entry order — `count` copies per `(spec, count)` entry),
+/// mix with an arrival schedule: simulate every class's jobs (`count`
+/// copies per `(spec, count)` entry, in entry order) on one cluster,
 /// `reps` seeded repetitions, and return aggregate plus per-class
-/// summary statistics. Deterministic in `(cfg, classes, reps)` —
-/// including `cfg.seed` — which is what makes results
-/// content-addressable.
-pub fn eval_mix(cfg: &SimConfig, classes: &[(JobSpec, usize)], reps: usize) -> SimPoint {
+/// summary statistics.
+///
+/// `submits` gives each job's submission time in seconds, one entry per
+/// job in submission order (`submits.len() == Σ count`); an empty slice
+/// means batch arrivals — every job at t = 0, the pre-arrival-schedule
+/// behaviour, bit-identical to passing explicit zeros. Per-job response
+/// times are measured from each job's own submit time; the makespan
+/// spans first submission to last finish. Deterministic in
+/// `(cfg, classes, submits, reps)` — including `cfg.seed` — which is
+/// what makes results content-addressable.
+pub fn eval_mix(
+    cfg: &SimConfig,
+    classes: &[(JobSpec, usize)],
+    submits: &[f64],
+    reps: usize,
+) -> SimPoint {
     assert!(reps >= 1 && !classes.is_empty());
     assert!(classes.iter().all(|&(_, n)| n >= 1), "empty class");
     let total: usize = classes.iter().map(|&(_, n)| n).sum();
+    assert!(
+        submits.is_empty() || submits.len() == total,
+        "need one submit offset per job ({} != {total})",
+        submits.len()
+    );
+    assert!(
+        submits.iter().all(|t| t.is_finite() && *t >= 0.0),
+        "submit offsets must be finite and non-negative"
+    );
+    let submit_at = |j: usize| submits.get(j).copied().unwrap_or(0.0);
     let mut medians = Samples::new();
+    let mut makespans = Samples::new();
     let mut class_medians: Vec<Samples> = classes.iter().map(|_| Samples::new()).collect();
     let mut per_rep_mean = Vec::with_capacity(reps);
     for rep in 0..reps {
         let mut c = cfg.clone();
         c.seed = cfg.seed + rep as u64;
         let mut sim = ClusterSim::new(c);
+        let mut j = 0;
         for (spec, n) in classes {
             for _ in 0..*n {
-                sim.add_job(spec.clone(), 0.0);
+                sim.add_job(spec.clone(), submit_at(j));
+                j += 1;
             }
         }
         let results = sim.run();
         let mean = results.iter().map(|r| r.response_time()).sum::<f64>() / total as f64;
         per_rep_mean.push(mean);
         medians.push(mean);
+        let first_submit = results
+            .iter()
+            .map(|r| r.submitted_at)
+            .fold(f64::MAX, f64::min);
+        let last_finish = results.iter().map(|r| r.finished_at).fold(0.0, f64::max);
+        makespans.push(last_finish - first_submit);
         let mut offset = 0;
         for (ci, &(_, n)) in classes.iter().enumerate() {
             let class = &results[offset..offset + n];
@@ -291,6 +337,7 @@ pub fn eval_mix(cfg: &SimConfig, classes: &[(JobSpec, usize)], reps: usize) -> S
     SimPoint {
         median_response: medians.median(),
         mean_response,
+        makespan: makespans.median(),
         per_class_median: class_medians.iter().map(|s| s.median()).collect(),
         per_rep_mean,
     }
@@ -298,17 +345,17 @@ pub fn eval_mix(cfg: &SimConfig, classes: &[(JobSpec, usize)], reps: usize) -> S
 
 /// Narrow batch-evaluation entry point: simulate `n_jobs` copies of
 /// `spec` on `cfg`, `reps` seeded repetitions, and return the summary
-/// statistics. The single-class convenience over [`eval_mix`] — a
-/// 1-entry mix produces the identical submission sequence, so the two
-/// forms are bit-identical.
+/// statistics. The single-class, batch-arrival convenience over
+/// [`eval_mix`] — a 1-entry mix produces the identical submission
+/// sequence, so the two forms are bit-identical.
 pub fn eval_point(cfg: &SimConfig, spec: &JobSpec, n_jobs: usize, reps: usize) -> SimPoint {
-    eval_mix(cfg, &[(spec.clone(), n_jobs)], reps)
+    eval_mix(cfg, &[(spec.clone(), n_jobs)], &[], reps)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::MB;
+    use crate::config::{GB, MB};
     use crate::workload::wordcount;
 
     fn cfg() -> SimConfig {
@@ -359,7 +406,7 @@ mod tests {
     fn eval_mix_reports_per_class_medians_in_submission_order() {
         let light = wordcount(128 * MB, 1);
         let heavy = wordcount(512 * MB, 2);
-        let p = eval_mix(&cfg(), &[(light.clone(), 2), (heavy.clone(), 1)], 2);
+        let p = eval_mix(&cfg(), &[(light.clone(), 2), (heavy.clone(), 1)], &[], 2);
         assert_eq!(p.per_class_median.len(), 2);
         assert_eq!(p.per_rep_mean.len(), 2);
         assert!(
@@ -370,10 +417,12 @@ mod tests {
         // The aggregate mean sits between the class means.
         assert!(p.median_response > p.per_class_median[0]);
         assert!(p.median_response < p.per_class_median[1]);
+        // Batch arrivals: the makespan is the slowest job's response.
+        assert!(p.makespan >= p.per_class_median[1]);
 
         // A 1-entry mix is bit-identical to the single-class entry point.
         let a = eval_point(&cfg(), &light, 2, 2);
-        let b = eval_mix(&cfg(), &[(light, 2)], 2);
+        let b = eval_mix(&cfg(), &[(light, 2)], &[], 2);
         assert_eq!(a, b);
         assert_eq!(a.per_class_median.len(), 1);
         assert_eq!(
@@ -384,14 +433,80 @@ mod tests {
     }
 
     #[test]
+    fn empty_submits_are_bit_identical_to_explicit_zeros() {
+        let spec = wordcount(256 * MB, 1);
+        let classes = [(spec.clone(), 2), (wordcount(128 * MB, 1), 1)];
+        let a = eval_mix(&cfg(), &classes, &[], 2);
+        let b = eval_mix(&cfg(), &classes, &[0.0, 0.0, 0.0], 2);
+        assert_eq!(a, b, "batch arrivals are the all-zero offset schedule");
+    }
+
+    #[test]
+    fn staggered_arrivals_cut_contention_and_stretch_the_makespan() {
+        // Two identical jobs: submitted together they contend; submitted
+        // far apart each effectively runs alone, so the mean response
+        // drops while the makespan grows past the batch makespan.
+        let spec = wordcount(512 * MB, 2);
+        let classes = [(spec.clone(), 2)];
+        let batch = eval_mix(&cfg(), &classes, &[], 1);
+        let solo = eval_point(&cfg(), &spec, 1, 1);
+        let gap = solo.median_response * 3.0;
+        let staggered = eval_mix(&cfg(), &classes, &[0.0, gap], 1);
+        assert!(
+            staggered.mean_response < batch.mean_response,
+            "disjoint windows must relieve contention: staggered {} vs batch {}",
+            staggered.mean_response,
+            batch.mean_response
+        );
+        assert!(
+            staggered.makespan > batch.makespan,
+            "spreading arrivals occupies the cluster longer: {} vs {}",
+            staggered.makespan,
+            batch.makespan
+        );
+        // Responses are measured from each job's own submission, so the
+        // second job's response is close to running alone.
+        assert!(staggered.makespan >= gap + solo.median_response * 0.9);
+    }
+
+    #[test]
+    fn slow_node_straggles_the_job() {
+        // 2 nodes, one of them 4× slower: tasks placed on node 0 run
+        // slower, extending the measured response.
+        let spec = wordcount(GB, 2);
+        let clean = eval_point(&cfg(), &spec, 1, 2);
+        let mut slow_cfg = cfg();
+        slow_cfg.slow_node_factor = 4.0;
+        let slow = eval_point(&slow_cfg, &spec, 1, 2);
+        assert!(
+            slow.median_response > clean.median_response * 1.2,
+            "a 4× slow node must straggle the job: {} vs {}",
+            slow.median_response,
+            clean.median_response
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "one submit offset per job")]
+    fn eval_mix_rejects_mismatched_submit_lengths() {
+        let spec = wordcount(128 * MB, 1);
+        eval_mix(&cfg(), &[(spec, 2)], &[0.0], 1);
+    }
+
+    #[test]
     fn records_roundtrip_bit_exact() {
         let spec = wordcount(256 * MB, 1);
-        let p = eval_mix(&cfg(), &[(spec.clone(), 1), (wordcount(128 * MB, 1), 1)], 2);
+        let p = eval_mix(
+            &cfg(),
+            &[(spec.clone(), 1), (wordcount(128 * MB, 1), 1)],
+            &[0.0, 2.5],
+            2,
+        );
         let q = SimPoint::from_record(&p.to_record()).unwrap();
         assert_eq!(q, p);
         assert_eq!(SimPoint::from_record(&[1.0]), None);
         // A class count larger than the payload is a corrupt record.
-        assert_eq!(SimPoint::from_record(&[1.0, 1.0, 9.0, 1.0]), None);
+        assert_eq!(SimPoint::from_record(&[1.0, 1.0, 9.0, 9.0, 1.0]), None);
 
         let (profile, _) = profile_job(&spec, &cfg());
         let rec = profile.to_record();

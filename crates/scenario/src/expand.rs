@@ -3,14 +3,14 @@
 //! Expansion order is deterministic and documented: cartesian sweeps
 //! enumerate axes with the *rightmost axis fastest* in the order
 //! `nodes → block_mb → container_mb → schedulers → workload →
-//! map_failure_prob → estimators`, where a `Grid` workload contributes
-//! its three lists in the order `jobs → input_bytes → n_jobs` and a
-//! `Mixes` workload contributes one list; zip sweeps walk all axes in
-//! lock-step with length-1 axes broadcast. The `index` of every point
-//! is its position in that order, so serial and parallel runs agree on
-//! numbering.
+//! arrivals → map_failure_prob → slow_node_factor → estimators`, where
+//! a `Grid` workload contributes its three lists in the order
+//! `jobs → input_bytes → n_jobs` and a `Mixes` workload contributes one
+//! list; zip sweeps walk all axes in lock-step with length-1 axes
+//! broadcast. The `index` of every point is its position in that order,
+//! so serial and parallel runs agree on numbering.
 
-use crate::spec::{EvalPoint, Scenario, SweepMode, WorkloadAxis, WorkloadMix};
+use crate::spec::{EvalPoint, Scenario, SweepMode};
 
 /// Expand a scenario into its evaluation points.
 ///
@@ -34,20 +34,26 @@ fn expand_cartesian(s: &Scenario) -> Vec<EvalPoint> {
             for &container_mb in &s.container_mb {
                 for &scheduler in &s.schedulers {
                     for mix in &mixes {
-                        for &map_failure_prob in &s.map_failure_prob {
-                            for &estimator in &s.estimators {
-                                out.push(EvalPoint {
-                                    index,
-                                    nodes,
-                                    block_mb,
-                                    container_mb,
-                                    scheduler,
-                                    mix: mix.resolve(nodes),
-                                    map_failure_prob,
-                                    estimator,
-                                    seed: s.seed,
-                                });
-                                index += 1;
+                        for arrivals in &s.arrivals {
+                            for &map_failure_prob in &s.map_failure_prob {
+                                for &slow_node_factor in &s.slow_node_factor {
+                                    for &estimator in &s.estimators {
+                                        out.push(EvalPoint {
+                                            index,
+                                            nodes,
+                                            block_mb,
+                                            container_mb,
+                                            scheduler,
+                                            mix: mix.resolve(nodes),
+                                            arrivals: arrivals.clone(),
+                                            map_failure_prob,
+                                            slow_node_factor,
+                                            estimator,
+                                            seed: s.seed,
+                                        });
+                                        index += 1;
+                                    }
+                                }
                             }
                         }
                     }
@@ -60,26 +66,11 @@ fn expand_cartesian(s: &Scenario) -> Vec<EvalPoint> {
 
 fn expand_zip(s: &Scenario) -> Vec<EvalPoint> {
     let n = s.num_points();
-    // Length-1 axes broadcast across the whole sweep.
+    // Length-1 axes broadcast across the whole sweep. The workload's
+    // mix at zip position `i` comes from `Scenario::zip_workload_at`
+    // (a `Grid` zips its three lists independently, an explicit mix
+    // list zips as one axis).
     let pick = |i: usize, len: usize| if len == 1 { 0 } else { i };
-    // The workload's mix at zip position `i`: a `Grid` zips its three
-    // lists independently (each broadcasting on its own), an explicit
-    // mix list zips as one axis.
-    let mix_at = |i: usize| -> WorkloadMix {
-        match &s.workload {
-            WorkloadAxis::Grid {
-                jobs,
-                input_bytes,
-                n_jobs,
-            } => WorkloadMix::new([crate::spec::MixEntry::new(
-                jobs[pick(i, jobs.len())],
-                input_bytes[pick(i, input_bytes.len())],
-                n_jobs[pick(i, n_jobs.len())],
-            )
-            .with_reduces(s.reduces)]),
-            WorkloadAxis::Mixes(m) => m[pick(i, m.len())].clone(),
-        }
-    };
     (0..n)
         .map(|i| {
             let nodes = s.nodes[pick(i, s.nodes.len())];
@@ -89,8 +80,10 @@ fn expand_zip(s: &Scenario) -> Vec<EvalPoint> {
                 block_mb: s.block_mb[pick(i, s.block_mb.len())],
                 container_mb: s.container_mb[pick(i, s.container_mb.len())],
                 scheduler: s.schedulers[pick(i, s.schedulers.len())],
-                mix: mix_at(i).resolve(nodes),
+                mix: s.zip_workload_at(i).resolve(nodes),
+                arrivals: s.arrivals[pick(i, s.arrivals.len())].clone(),
                 map_failure_prob: s.map_failure_prob[pick(i, s.map_failure_prob.len())],
+                slow_node_factor: s.slow_node_factor[pick(i, s.slow_node_factor.len())],
                 estimator: s.estimators[pick(i, s.estimators.len())],
                 seed: s.seed,
             }
@@ -101,7 +94,7 @@ fn expand_zip(s: &Scenario) -> Vec<EvalPoint> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::spec::{EstimatorKind, JobKind, MixEntry, ReducePolicy};
+    use crate::spec::{EstimatorKind, JobKind, MixEntry, ReducePolicy, WorkloadMix};
     use mapreduce_sim::GB;
 
     #[test]

@@ -8,13 +8,21 @@
 //!   axes (nodes, block size, container size, scheduler), a first-class
 //!   [`WorkloadMix`] axis (heterogeneous job mixes; the `axis_jobs` /
 //!   `axis_input_bytes` / `axis_n_jobs` conveniences cross single-entry
-//!   mixes for homogeneous sweeps), a failure axis
-//!   (`map_failure_prob`), and the estimator series, combined
-//!   [`SweepMode::Cartesian`] or [`SweepMode::Zip`];
+//!   mixes for homogeneous sweeps), an arrival axis
+//!   ([`ArrivalSchedule`]: batch, staggered, or explicit trace offsets
+//!   — when jobs arrive is a workload dimension of its own), failure
+//!   and straggler axes (`map_failure_prob`, `slow_node_factor`), and
+//!   the estimator series, combined [`SweepMode::Cartesian`] or
+//!   [`SweepMode::Zip`];
+//! * [`JobTrace`] (module [`trace`]): Hadoop job-history / Rumen-style
+//!   JSON-lines ingestion, so sweeps replay recorded production mixes
+//!   (each replayed job keeps its submission offset) instead of
+//!   synthetic presets;
 //! * [`expand`]: deterministic expansion into [`EvalPoint`]s;
 //! * [`run_scenario`] (module [`runner`]): a parallel batch runner over
-//!   the narrow `eval_mix` entry APIs of `mr2-model` (analytic) and
-//!   `mapreduce-sim` (ground truth), per-class results included;
+//!   the narrow `eval_mix` entry APIs of `mr2-model` (analytic, with
+//!   the windowed staggered-arrival approximation) and `mapreduce-sim`
+//!   (ground truth), per-class results and makespans included;
 //! * [`ResultCache`] (module [`cache`]): a content-hashed store so
 //!   repeated sweeps, overlapping scenarios, and the estimator axis skip
 //!   already-evaluated points;
@@ -42,9 +50,11 @@
 
 pub mod cache;
 pub mod expand;
+pub mod json;
 pub mod report;
 pub mod runner;
 pub mod spec;
+pub mod trace;
 
 pub use cache::{schema_version, CacheStats, KeyHasher, ResultCache};
 pub use expand::expand;
@@ -54,6 +64,7 @@ pub use runner::{
     SweepResult,
 };
 pub use spec::{
-    Backends, EstimatorKind, EvalPoint, JobKind, MixEntry, ReducePolicy, ResolvedEntry,
-    ResolvedMix, Scenario, SweepMode, WorkloadAxis, WorkloadMix,
+    ArrivalSchedule, Backends, EstimatorKind, EvalPoint, JobKind, MixEntry, ReducePolicy,
+    ResolvedEntry, ResolvedMix, Scenario, SweepMode, WorkloadAxis, WorkloadMix,
 };
+pub use trace::{JobTrace, TraceError, TraceJob};

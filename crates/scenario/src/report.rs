@@ -125,27 +125,35 @@ pub fn render_report(sweep: &SweepResult) -> String {
     );
     let _ = writeln!(
         out,
-        "| # | nodes | block | sched | mix | N | fail | estimator | estimate (s) | measured (s) | err |"
+        "| # | nodes | block | sched | mix | N | arrivals | fail | slow | estimator | estimate (s) | measured (s) | err | mk est (s) | mk meas (s) |"
     );
-    let _ = writeln!(out, "|---|---|---|---|---|---|---|---|---|---|---|");
+    let _ = writeln!(
+        out,
+        "|---|---|---|---|---|---|---|---|---|---|---|---|---|---|---|"
+    );
     for p in &sweep.points {
-        let est = p.estimate().map_or("—".to_string(), |v| format!("{v:.1}"));
-        let meas = p.measured().map_or("—".to_string(), |v| format!("{v:.1}"));
+        let fmt = |v: Option<f64>| v.map_or("—".to_string(), |v| format!("{v:.1}"));
         let err = match (p.estimate(), p.measured()) {
             (Some(e), Some(m)) => format!("{:+.1}%", relative_error(e, m) * 100.0),
             _ => "—".to_string(),
         };
         let _ = writeln!(
             out,
-            "| {} | {} | {} | {:?} | {} | {} | {} | {} | {est} | {meas} | {err} |",
+            "| {} | {} | {} | {:?} | {} | {} | {} | {} | {} | {} | {} | {} | {err} | {} | {} |",
             p.point.index,
             p.point.nodes,
             p.point.block_mb,
             p.point.scheduler,
             p.point.mix.name(),
             p.point.total_jobs(),
+            p.point.arrivals.name(),
             p.point.map_failure_prob,
+            p.point.slow_node_factor,
             p.point.estimator.name(),
+            fmt(p.estimate()),
+            fmt(p.measured()),
+            fmt(p.estimate_makespan()),
+            fmt(p.measured_makespan()),
         );
     }
     let bands = error_bands(sweep);
@@ -186,15 +194,18 @@ pub fn render_report(sweep: &SweepResult) -> String {
 
 /// CSV of a sweep: one row per point, columns stable for downstream
 /// tooling. The `mix` column carries the resolved mix descriptor
-/// (`2xwordcount@1024MB+1xgrep@1024MB`).
+/// (`2xwordcount@1024MB+1xgrep@1024MB`); `arrivals` the schedule name
+/// (`batch`, `stagger@500ms`, `trace[12]`). Response time and makespan
+/// are separate columns — they diverge under non-batch arrivals.
 pub fn to_csv(sweep: &SweepResult) -> String {
     let mut out = String::from(
-        "index,nodes,block_mb,container_mb,scheduler,mix,total_jobs,map_failure_prob,estimator,estimate,measured\n",
+        "index,nodes,block_mb,container_mb,scheduler,mix,total_jobs,arrivals,map_failure_prob,slow_node_factor,estimator,estimate,measured,estimate_makespan,measured_makespan\n",
     );
     for p in &sweep.points {
+        let num = |v: Option<f64>| v.map_or(String::new(), |v| format!("{v:.6}"));
         let _ = writeln!(
             out,
-            "{},{},{},{},{:?},{},{},{},{},{},{}",
+            "{},{},{},{},{:?},{},{},{},{},{},{},{},{},{},{}",
             p.point.index,
             p.point.nodes,
             p.point.block_mb,
@@ -202,10 +213,14 @@ pub fn to_csv(sweep: &SweepResult) -> String {
             p.point.scheduler,
             p.point.mix.name(),
             p.point.total_jobs(),
+            p.point.arrivals.name(),
             p.point.map_failure_prob,
+            p.point.slow_node_factor,
             p.point.estimator.name(),
-            p.estimate().map_or(String::new(), |v| format!("{v:.6}")),
-            p.measured().map_or(String::new(), |v| format!("{v:.6}")),
+            num(p.estimate()),
+            num(p.measured()),
+            num(p.estimate_makespan()),
+            num(p.measured_makespan()),
         );
     }
     out
@@ -215,7 +230,7 @@ pub fn to_csv(sweep: &SweepResult) -> String {
 mod tests {
     use super::*;
     use crate::runner::{PointResult, SimResult};
-    use crate::spec::{EstimatorKind, EvalPoint, JobKind, MixEntry, WorkloadMix};
+    use crate::spec::{ArrivalSchedule, EstimatorKind, EvalPoint, JobKind, MixEntry, WorkloadMix};
     use mapreduce_sim::{SchedulerPolicy, GB};
     use mr2_model::{ClassPoint, ModelPoint};
 
@@ -232,7 +247,9 @@ mod tests {
                     MixEntry::new(JobKind::Grep, GB, 1),
                 ])
                 .resolve(4),
+                arrivals: ArrivalSchedule::Batch,
                 map_failure_prob: 0.0,
+                slow_node_factor: 1.0,
                 estimator,
                 seed: 1,
             },
@@ -241,6 +258,7 @@ mod tests {
                 tripathi: 120.0,
                 aria: 130.0,
                 herodotou: 80.0,
+                makespan: 150.0,
                 per_class: vec![
                     ClassPoint {
                         fork_join: 150.0,
@@ -259,6 +277,7 @@ mod tests {
             sim: Some(SimResult {
                 median_response: 100.0,
                 mean_response: 101.0,
+                makespan: 140.0,
                 per_class_median: vec![125.0, 50.0],
                 reps: 3,
             }),
@@ -335,6 +354,8 @@ mod tests {
         assert!(r.contains("scenario `fake`"));
         assert!(r.contains("| 0 | 4 | 128 |"));
         assert!(r.contains("1xwordcount@1024MB+1xgrep@1024MB"));
+        assert!(r.contains("| batch |"), "arrival schedule column");
+        assert!(r.contains("| 150.0 | 140.0 |"), "makespan columns");
         assert!(r.contains("+10.0%"));
         assert!(r.contains("model vs simulator"));
         assert!(r.contains("per-class model vs simulator"));
@@ -353,6 +374,12 @@ mod tests {
         let csv = to_csv(&s);
         assert!(csv.lines().nth(1).unwrap().ends_with(','));
         assert!(csv.starts_with("index,nodes,"));
+        assert!(
+            csv.contains("arrivals"),
+            "csv header names the arrival axis"
+        );
+        assert!(csv.contains("measured_makespan"));
+        assert!(csv.contains(",batch,"));
         assert!(csv.contains("1xwordcount@1024MB+1xgrep@1024MB"));
     }
 }

@@ -46,10 +46,15 @@ impl RunnerConfig {
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimResult {
     /// Median over repetitions of the per-rep mean response time, over
-    /// all jobs of the mix.
+    /// all jobs of the mix (responses measured from each job's own
+    /// submit time).
     pub median_response: f64,
     /// Mean over repetitions.
     pub mean_response: f64,
+    /// Median over repetitions of the makespan (first submission →
+    /// last completion). Diverges from response time under staggered
+    /// or trace arrivals.
+    pub makespan: f64,
     /// Per mix entry, in submission order: median over repetitions of
     /// that class's per-rep mean response.
     pub per_class_median: Vec<f64>,
@@ -77,6 +82,17 @@ impl PointResult {
     /// The measured (simulated) response the estimate is judged against.
     pub fn measured(&self) -> Option<f64> {
         self.sim.as_ref().map(|s| s.median_response)
+    }
+
+    /// The model's makespan estimate (fork/join-based — the paper's
+    /// best estimator — regardless of the point's reporting series).
+    pub fn estimate_makespan(&self) -> Option<f64> {
+        self.model.as_ref().map(|m| m.makespan)
+    }
+
+    /// The measured (simulated) makespan.
+    pub fn measured_makespan(&self) -> Option<f64> {
+        self.sim.as_ref().map(|s| s.makespan)
     }
 
     /// The selected series' estimate for mix entry `class`.
@@ -189,6 +205,7 @@ pub fn evaluate_point(
     cache: &ResultCache,
 ) -> PointResult {
     let cfg = point.sim_config();
+    let submits = point.submit_offsets();
 
     let sim = backends.simulator.map(|reps| {
         let key = point_key(point).str("sim").u64(reps as u64).finish();
@@ -199,12 +216,13 @@ pub fn evaluate_point(
                 .iter()
                 .map(|e| (e.spec(), e.count))
                 .collect();
-            mapreduce_sim::eval_mix(&cfg, &classes, reps).to_record()
+            mapreduce_sim::eval_mix(&cfg, &classes, &submits, reps).to_record()
         });
         let p = SimPoint::from_record(&rec).expect("cached sim record shape");
         SimResult {
             median_response: p.median_response,
             mean_response: p.mean_response,
+            makespan: p.makespan,
             per_class_median: p.per_class_median,
             reps,
         }
@@ -242,6 +260,7 @@ pub fn evaluate_point(
             mr2_model::eval_mix(
                 &cfg,
                 &classes,
+                &submits,
                 &ModelOptions::default(),
                 &Calibration::default(),
             )
@@ -275,14 +294,18 @@ fn cluster_key(p: &EvalPoint) -> KeyHasher {
             mapreduce_sim::SchedulerPolicy::Fair => "fair",
         })
         .f64(p.map_failure_prob)
+        .f64(p.slow_node_factor)
         .u64(p.seed)
 }
 
-/// Content key of a point's full evaluation signature: the cluster plus
-/// the canonical form of the resolved workload mix. Each backend
-/// appends its tag and the remaining inputs it actually consumes.
+/// Content key of a point's full evaluation signature: the cluster, the
+/// canonical form of the resolved workload mix, and the arrival
+/// schedule. Each backend appends its tag and the remaining inputs it
+/// actually consumes. The arrival schedule deliberately does *not*
+/// enter [`profile_key`]: profiling runs execute one job alone at
+/// t = 0 whatever the point's arrivals.
 fn point_key(p: &EvalPoint) -> KeyHasher {
-    p.mix.hash_into(cluster_key(p))
+    p.arrivals.hash_into(p.mix.hash_into(cluster_key(p)))
 }
 
 /// Content key of one class's profiling run: cluster plus the class's

@@ -7,12 +7,17 @@
 //! cheap to build, inspect, and compare.
 //!
 //! The workload axis is a first-class [`WorkloadMix`]: an ordered list
-//! of [`MixEntry`]s — `(job kind, input size, count, reduce policy)` —
-//! so one point can run WordCount, TeraSort, and Grep concurrently on
-//! the same cluster. The `axis_jobs` / `axis_input_bytes` /
-//! `axis_n_jobs` builders remain as thin conveniences that cross three
-//! single-entry lists into 1-entry mixes, so homogeneous sweeps read
-//! the way they always did.
+//! of [`MixEntry`]s — `(job kind, input size, count, reduce policy,
+//! submit offset)` — so one point can run WordCount, TeraSort, and Grep
+//! concurrently on the same cluster. The `axis_jobs` /
+//! `axis_input_bytes` / `axis_n_jobs` builders remain as thin
+//! conveniences that cross three single-entry lists into 1-entry mixes,
+//! so homogeneous sweeps read the way they always did.
+//!
+//! *When* the jobs arrive is its own dimension: every entry carries a
+//! `submit_offset_ms` (trace replay assigns each replayed job its
+//! recorded arrival), and the scenario-level [`ArrivalSchedule`] axis
+//! layers batch, staggered, or explicit-trace offsets on top.
 
 use crate::cache::KeyHasher;
 use mapreduce_sim::{JobSpec, SchedulerPolicy, SimConfig, GB, MB};
@@ -88,8 +93,8 @@ impl ReducePolicy {
     }
 }
 
-/// One entry of a [`WorkloadMix`]: `count` concurrent copies of one job
-/// kind at one input size, with its own reduce-sizing rule.
+/// One entry of a [`WorkloadMix`]: `count` copies of one job kind at
+/// one input size, with its own reduce-sizing rule and submit offset.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct MixEntry {
     /// Workload preset.
@@ -100,16 +105,24 @@ pub struct MixEntry {
     pub count: usize,
     /// Reduce-count sizing rule for this entry.
     pub reduces: ReducePolicy,
+    /// Submission offset of this entry's jobs, milliseconds after the
+    /// point's t = 0 (all copies share it; an [`ArrivalSchedule`] layers
+    /// additional per-job offsets on top). Milliseconds as integers —
+    /// the native resolution of Hadoop job-history timestamps — keep
+    /// the canonical hashed form exact.
+    pub submit_offset_ms: u64,
 }
 
 impl MixEntry {
-    /// An entry with the default per-node reduce sizing.
+    /// An entry with the default per-node reduce sizing, submitted at
+    /// t = 0.
     pub fn new(job: JobKind, input_bytes: u64, count: usize) -> MixEntry {
         MixEntry {
             job,
             input_bytes,
             count,
             reduces: ReducePolicy::PerNode,
+            submit_offset_ms: 0,
         }
     }
 
@@ -119,26 +132,51 @@ impl MixEntry {
         self
     }
 
+    /// Override the submission offset (milliseconds after t = 0).
+    pub fn at_offset_ms(mut self, submit_offset_ms: u64) -> MixEntry {
+        self.submit_offset_ms = submit_offset_ms;
+        self
+    }
+
     /// Stable class label (`wordcount@1024MB`) identifying this entry's
-    /// job class across points in reports — `count` is deliberately
-    /// excluded so bands aggregate over the count axis.
+    /// job class across points in reports — `count` and submit offset
+    /// are deliberately excluded so bands aggregate over the count axis
+    /// and across arrival positions.
     pub fn label(&self) -> String {
         format!("{}@{}MB", self.job.name(), self.input_bytes / MB)
     }
 
-    /// Stable display name (`2x wordcount@1024MB`, with `:r4` appended
-    /// for a fixed reduce count).
+    /// Stable display name (`2xwordcount@1024MB`, with `:r4` appended
+    /// for a fixed reduce count and `+500ms` for a nonzero submit
+    /// offset).
     pub fn name(&self) -> String {
         let reduces = match self.reduces {
             ReducePolicy::PerNode => String::new(),
             ReducePolicy::Fixed(r) => format!(":r{r}"),
         };
-        format!("{}x{}{}", self.count, self.label(), reduces)
+        format!(
+            "{}x{}{}{}",
+            self.count,
+            self.label(),
+            reduces,
+            offset_suffix(self.submit_offset_ms)
+        )
+    }
+}
+
+/// The `+500ms` display suffix for a nonzero submit offset, shared by
+/// the entry and resolved-mix names so the two forms can't diverge.
+fn offset_suffix(submit_offset_ms: u64) -> String {
+    if submit_offset_ms > 0 {
+        format!("+{submit_offset_ms}ms")
+    } else {
+        String::new()
     }
 }
 
 /// A heterogeneous workload: an ordered, non-empty list of
-/// [`MixEntry`]s all submitted concurrently (t = 0) to one cluster.
+/// [`MixEntry`]s submitted to one cluster, each at its own
+/// `submit_offset_ms` (0 by default — the batch case).
 ///
 /// The entry order is semantic — it is the submission order of the
 /// simulator's job list, the class order of the solver's multi-class
@@ -216,6 +254,7 @@ impl WorkloadMix {
                     input_bytes: e.input_bytes,
                     count: e.count,
                     reduces: e.reduces.reduces(nodes),
+                    submit_offset_ms: e.submit_offset_ms,
                 })
                 .collect(),
         }
@@ -233,6 +272,8 @@ pub struct ResolvedEntry {
     pub count: usize,
     /// Reduce tasks per job.
     pub reduces: u32,
+    /// Submission offset, milliseconds after the point's t = 0.
+    pub submit_offset_ms: u64,
 }
 
 impl ResolvedEntry {
@@ -262,12 +303,19 @@ impl ResolvedMix {
         self.entries.iter().map(|e| e.count).sum()
     }
 
-    /// Stable display name (`2x wordcount@1024MB + 1x grep@1024MB`
-    /// without the `x` spacing — see [`MixEntry::name`]).
+    /// Stable display name (`2xwordcount@1024MB+1xgrep@1024MB`, with
+    /// `+500ms` appended per entry for nonzero submit offsets).
     pub fn name(&self) -> String {
         self.entries
             .iter()
-            .map(|e| format!("{}x{}", e.count, e.label()))
+            .map(|e| {
+                format!(
+                    "{}x{}{}",
+                    e.count,
+                    e.label(),
+                    offset_suffix(e.submit_offset_ms)
+                )
+            })
             .collect::<Vec<_>>()
             .join("+")
     }
@@ -286,8 +334,8 @@ impl ResolvedMix {
     }
 
     /// Mix the canonical form into a cache key: entry count, then per
-    /// entry its job name, input size, copy count, and resolved reduce
-    /// count. Entry order is part of the form.
+    /// entry its job name, input size, copy count, resolved reduce
+    /// count, and submit offset. Entry order is part of the form.
     pub fn hash_into(&self, h: KeyHasher) -> KeyHasher {
         let mut h = h.u64(self.entries.len() as u64);
         for e in &self.entries {
@@ -295,9 +343,93 @@ impl ResolvedMix {
                 .str(e.job.name())
                 .u64(e.input_bytes)
                 .u64(e.count as u64)
-                .u64(e.reduces as u64);
+                .u64(e.reduces as u64)
+                .u64(e.submit_offset_ms);
         }
         h
+    }
+}
+
+/// How a point's jobs arrive over time, layered on top of the per-entry
+/// submit offsets — a first-class workload dimension
+/// ([`Scenario::axis_arrivals`]).
+///
+/// Offsets are milliseconds as integers (the native resolution of
+/// Hadoop job-history timestamps), so the canonical hashed form — and
+/// therefore every cache key — is exact.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum ArrivalSchedule {
+    /// Every job at its entry's own offset (t = 0 by default) — the
+    /// paper's assumption and the pre-arrival-schedule behaviour.
+    Batch,
+    /// Job `i` (flattened submission order) arrives `i × interval_ms`
+    /// after its entry offset — a constant-rate open-loop approximation.
+    Staggered {
+        /// Gap between consecutive arrivals, milliseconds.
+        interval_ms: u64,
+    },
+    /// Explicit per-job offsets in submission order; must carry exactly
+    /// one offset per job of the mix it is paired with
+    /// ([`ArrivalSchedule::check`]).
+    Trace {
+        /// Per-job offsets, milliseconds.
+        offsets_ms: Vec<u64>,
+    },
+}
+
+impl ArrivalSchedule {
+    /// Stable display name used in reports and CSV (`batch`,
+    /// `stagger@500ms`, `trace[12]`).
+    pub fn name(&self) -> String {
+        match self {
+            ArrivalSchedule::Batch => "batch".into(),
+            ArrivalSchedule::Staggered { interval_ms } => format!("stagger@{interval_ms}ms"),
+            ArrivalSchedule::Trace { offsets_ms } => format!("trace[{}]", offsets_ms.len()),
+        }
+    }
+
+    /// Mix the canonical form into a cache key (tag plus payload, so
+    /// `Batch` and `Staggered(0)` stay distinct forms even though they
+    /// evaluate identically).
+    pub fn hash_into(&self, h: KeyHasher) -> KeyHasher {
+        match self {
+            ArrivalSchedule::Batch => h.str("batch"),
+            ArrivalSchedule::Staggered { interval_ms } => h.str("stagger").u64(*interval_ms),
+            ArrivalSchedule::Trace { offsets_ms } => {
+                let mut h = h.str("trace").u64(offsets_ms.len() as u64);
+                for &o in offsets_ms {
+                    h = h.u64(o);
+                }
+                h
+            }
+        }
+    }
+
+    /// Validate the schedule against a mix it would be paired with: a
+    /// `Trace` must carry exactly one offset per job.
+    pub fn check(&self, mix: &WorkloadMix) -> Result<(), String> {
+        if let ArrivalSchedule::Trace { offsets_ms } = self {
+            let jobs = mix.total_jobs();
+            if offsets_ms.len() != jobs {
+                return Err(format!(
+                    "trace arrival schedule has {} offsets but mix `{}` has {jobs} jobs",
+                    offsets_ms.len(),
+                    mix.name()
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// The additional offset (seconds) of job `j` in flattened
+    /// submission order.
+    fn offset_secs(&self, j: usize) -> f64 {
+        let ms = match self {
+            ArrivalSchedule::Batch => 0,
+            ArrivalSchedule::Staggered { interval_ms } => (j as u64).saturating_mul(*interval_ms),
+            ArrivalSchedule::Trace { offsets_ms } => offsets_ms[j],
+        };
+        ms as f64 / 1000.0
     }
 }
 
@@ -475,11 +607,22 @@ pub struct Scenario {
     pub schedulers: Vec<SchedulerPolicy>,
     /// Workload axis: homogeneous grid or explicit heterogeneous mixes.
     pub workload: WorkloadAxis,
+    /// Arrival axis: how each point's jobs are spread over time, on top
+    /// of the per-entry submit offsets. Both backends respond — the
+    /// simulator submits at the scheduled times, the analytic model
+    /// applies the windowed staggered-arrival approximation.
+    pub arrivals: Vec<ArrivalSchedule>,
     /// Failure axis: probability that a map attempt fails mid-read and
     /// is re-executed (`SimConfig::map_failure_prob`; the analytic
     /// model has no failure notion, so only the simulator and the
     /// profiling runs respond to it).
     pub map_failure_prob: Vec<f64>,
+    /// Straggler axis: slowdown factor of node 0
+    /// (`SimConfig::slow_node_factor`; 1.0 = homogeneous). Like the
+    /// failure axis, only the simulator and the profiling runs respond
+    /// — the analytic model assumes homogeneous nodes, and the error
+    /// bands quantify where that breaks.
+    pub slow_node_factor: Vec<f64>,
     /// Estimator axis: which model series each point reports.
     pub estimators: Vec<EstimatorKind>,
     /// Reduce-count sizing rule for `Grid` workloads (explicit mixes
@@ -507,7 +650,9 @@ impl Scenario {
                 input_bytes: vec![GB],
                 n_jobs: vec![1],
             },
+            arrivals: vec![ArrivalSchedule::Batch],
             map_failure_prob: vec![0.0],
+            slow_node_factor: vec![1.0],
             estimators: vec![EstimatorKind::ForkJoin],
             reduces: ReducePolicy::PerNode,
             backends: Backends::default(),
@@ -581,9 +726,21 @@ impl Scenario {
         self
     }
 
+    /// Set the arrival-schedule axis.
+    pub fn axis_arrivals(mut self, v: impl Into<Vec<ArrivalSchedule>>) -> Self {
+        self.arrivals = v.into();
+        self
+    }
+
     /// Set the map-failure-probability axis.
     pub fn axis_map_failure_prob(mut self, v: impl Into<Vec<f64>>) -> Self {
         self.map_failure_prob = v.into();
+        self
+    }
+
+    /// Set the straggler (slow-node slowdown factor) axis.
+    pub fn axis_slow_node_factor(mut self, v: impl Into<Vec<f64>>) -> Self {
+        self.slow_node_factor = v.into();
         self
     }
 
@@ -644,6 +801,13 @@ impl Scenario {
                 return Err(format!("map_failure_prob {p} outside [0, 1)"));
             }
         }
+        for &f in &self.slow_node_factor {
+            if !(f.is_finite() && f >= 1.0) {
+                return Err(format!(
+                    "slow_node_factor {f} must be a finite slowdown >= 1"
+                ));
+            }
+        }
         match &self.workload {
             WorkloadAxis::Grid { n_jobs, .. } => {
                 if let Some(n) = n_jobs.iter().find(|&&n| n == 0) {
@@ -670,7 +834,58 @@ impl Scenario {
                 }
             }
         }
+        // Every (mix, arrival schedule) pairing the sweep will actually
+        // evaluate must be consistent: a `Trace` schedule needs exactly
+        // one offset per job. Cartesian pairs every mix with every
+        // schedule; zip pairs position-wise (with length-1 broadcast).
+        // Only `Trace` can fail, so the pairing walk is skipped for the
+        // common batch/staggered axes — it would otherwise materialize
+        // the whole workload grid just to validate nothing.
+        if self
+            .arrivals
+            .iter()
+            .any(|a| matches!(a, ArrivalSchedule::Trace { .. }))
+        {
+            match self.sweep {
+                SweepMode::Cartesian => {
+                    let mixes = self.workload_values();
+                    for a in &self.arrivals {
+                        for m in &mixes {
+                            a.check(m)?;
+                        }
+                    }
+                }
+                SweepMode::Zip => {
+                    let pick = |i: usize, len: usize| if len == 1 { 0 } else { i };
+                    for i in 0..self.num_points() {
+                        self.arrivals[pick(i, self.arrivals.len())]
+                            .check(&self.zip_workload_at(i))?;
+                    }
+                }
+            }
+        }
         Ok(())
+    }
+
+    /// The workload mix at zip position `i`: a `Grid` zips its three
+    /// lists independently (each broadcasting on its own), an explicit
+    /// mix list zips as one axis. Shared by [`Scenario::check`] and the
+    /// expander so validation covers exactly what runs.
+    pub(crate) fn zip_workload_at(&self, i: usize) -> WorkloadMix {
+        let pick = |i: usize, len: usize| if len == 1 { 0 } else { i };
+        match &self.workload {
+            WorkloadAxis::Grid {
+                jobs,
+                input_bytes,
+                n_jobs,
+            } => WorkloadMix::new([MixEntry::new(
+                jobs[pick(i, jobs.len())],
+                input_bytes[pick(i, input_bytes.len())],
+                n_jobs[pick(i, n_jobs.len())],
+            )
+            .with_reduces(self.reduces)]),
+            WorkloadAxis::Mixes(m) => m[pick(i, m.len())].clone(),
+        }
     }
 
     /// Names and lengths of every axis, in expansion order. The
@@ -684,7 +899,9 @@ impl Scenario {
             ("schedulers", self.schedulers.len()),
         ];
         lens.extend(self.workload.lens());
+        lens.push(("arrivals", self.arrivals.len()));
         lens.push(("map_failure_prob", self.map_failure_prob.len()));
+        lens.push(("slow_node_factor", self.slow_node_factor.len()));
         lens.push(("estimators", self.estimators.len()));
         lens
     }
@@ -727,8 +944,13 @@ pub struct EvalPoint {
     pub scheduler: SchedulerPolicy,
     /// The workload mix, reduce counts resolved at `nodes`.
     pub mix: ResolvedMix,
+    /// How the mix's jobs arrive over time.
+    pub arrivals: ArrivalSchedule,
     /// Map-attempt failure probability (simulator backends only).
     pub map_failure_prob: f64,
+    /// Node-0 slowdown factor — straggler injection (simulator backends
+    /// only; 1.0 = homogeneous).
+    pub slow_node_factor: f64,
     /// Reported estimator series.
     pub estimator: EstimatorKind,
     /// Base simulator seed.
@@ -743,6 +965,7 @@ impl EvalPoint {
         cfg.container_size = yarn_sim::ResourceVector::new(self.container_mb.into(), 1);
         cfg.scheduler = self.scheduler;
         cfg.map_failure_prob = self.map_failure_prob;
+        cfg.slow_node_factor = self.slow_node_factor;
         cfg.seed = self.seed;
         cfg
     }
@@ -756,6 +979,21 @@ impl EvalPoint {
     /// order.
     pub fn job_specs(&self) -> Vec<JobSpec> {
         self.mix.job_specs()
+    }
+
+    /// Every job's submission time in seconds, in submission order:
+    /// the entry's own offset plus the arrival schedule's per-job
+    /// offset. All zeros under default (batch, offset-free) workloads.
+    pub fn submit_offsets(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.total_jobs());
+        let mut j = 0;
+        for e in &self.mix.entries {
+            for _ in 0..e.count {
+                out.push(e.submit_offset_ms as f64 / 1000.0 + self.arrivals.offset_secs(j));
+                j += 1;
+            }
+        }
+        out
     }
 }
 
@@ -974,7 +1212,9 @@ mod tests {
                 MixEntry::new(JobKind::Grep, GB, 1),
             ])
             .resolve(6),
+            arrivals: ArrivalSchedule::Batch,
             map_failure_prob: 0.1,
+            slow_node_factor: 2.5,
             estimator: EstimatorKind::Tripathi,
             seed: 9,
         };
@@ -983,6 +1223,7 @@ mod tests {
         assert_eq!(cfg.block_size, 64 * MB);
         assert_eq!(cfg.scheduler, SchedulerPolicy::Fair);
         assert_eq!(cfg.map_failure_prob, 0.1);
+        assert_eq!(cfg.slow_node_factor, 2.5);
         assert_eq!(cfg.seed, 9);
         let specs = p.job_specs();
         assert_eq!(specs.len(), 3);
@@ -992,5 +1233,150 @@ mod tests {
         for s in &specs {
             s.validate();
         }
+        assert_eq!(p.submit_offsets(), vec![0.0; 3], "batch is all-zero");
+    }
+
+    #[test]
+    fn submit_offsets_layer_schedule_on_entry_offsets() {
+        let mix = WorkloadMix::new([
+            MixEntry::new(JobKind::WordCount, GB, 2).at_offset_ms(250),
+            MixEntry::new(JobKind::Grep, GB, 1).at_offset_ms(4000),
+        ]);
+        let point = |arrivals: ArrivalSchedule| EvalPoint {
+            index: 0,
+            nodes: 4,
+            block_mb: 128,
+            container_mb: 1024,
+            scheduler: SchedulerPolicy::CapacityFifo,
+            mix: mix.resolve(4),
+            arrivals,
+            map_failure_prob: 0.0,
+            slow_node_factor: 1.0,
+            estimator: EstimatorKind::ForkJoin,
+            seed: 1,
+        };
+        // Batch: per-entry offsets only; copies of one entry share it.
+        assert_eq!(
+            point(ArrivalSchedule::Batch).submit_offsets(),
+            vec![0.25, 0.25, 4.0]
+        );
+        // Staggered: job index × interval on top of the entry offsets.
+        assert_eq!(
+            point(ArrivalSchedule::Staggered { interval_ms: 1000 }).submit_offsets(),
+            vec![0.25, 1.25, 6.0]
+        );
+        // Trace: explicit per-job offsets on top.
+        assert_eq!(
+            point(ArrivalSchedule::Trace {
+                offsets_ms: vec![0, 500, 100]
+            })
+            .submit_offsets(),
+            vec![0.25, 0.75, 4.1]
+        );
+    }
+
+    #[test]
+    fn arrival_schedule_names_hashes_and_checks() {
+        assert_eq!(ArrivalSchedule::Batch.name(), "batch");
+        assert_eq!(
+            ArrivalSchedule::Staggered { interval_ms: 500 }.name(),
+            "stagger@500ms"
+        );
+        let trace = ArrivalSchedule::Trace {
+            offsets_ms: vec![0, 10, 20],
+        };
+        assert_eq!(trace.name(), "trace[3]");
+
+        let key = |a: &ArrivalSchedule| a.hash_into(KeyHasher::new()).finish();
+        assert_ne!(key(&ArrivalSchedule::Batch), key(&trace));
+        // Batch and a zero stagger evaluate identically but are
+        // distinct canonical forms.
+        assert_ne!(
+            key(&ArrivalSchedule::Batch),
+            key(&ArrivalSchedule::Staggered { interval_ms: 0 })
+        );
+        assert_ne!(
+            key(&trace),
+            key(&ArrivalSchedule::Trace {
+                offsets_ms: vec![0, 10, 30]
+            })
+        );
+
+        // A trace schedule must cover every job of its mix.
+        let mix = WorkloadMix::single(JobKind::WordCount, GB, 3);
+        assert!(trace.check(&mix).is_ok());
+        let short = ArrivalSchedule::Trace {
+            offsets_ms: vec![0],
+        };
+        let e = short.check(&mix).unwrap_err();
+        assert!(e.contains("1 offsets") && e.contains("3 jobs"), "{e}");
+        assert!(ArrivalSchedule::Batch.check(&mix).is_ok());
+    }
+
+    #[test]
+    fn arrivals_axis_participates_in_check_and_counts() {
+        let s = Scenario::new("t").axis_n_jobs([2usize]).axis_arrivals([
+            ArrivalSchedule::Batch,
+            ArrivalSchedule::Staggered { interval_ms: 500 },
+            ArrivalSchedule::Trace {
+                offsets_ms: vec![0, 2000],
+            },
+        ]);
+        assert_eq!(s.num_points(), 3);
+        s.validate();
+
+        // A trace that doesn't match a mix's job count is rejected
+        // against every cartesian pairing.
+        let e = Scenario::new("t")
+            .axis_n_jobs([2usize, 3])
+            .axis_arrivals([ArrivalSchedule::Trace {
+                offsets_ms: vec![0, 2000],
+            }])
+            .check()
+            .unwrap_err();
+        assert!(e.contains("2 offsets"), "{e}");
+
+        // In zip mode only position-wise pairings are validated.
+        Scenario::new("t")
+            .sweep_mode(SweepMode::Zip)
+            .axis_n_jobs([2usize, 3])
+            .axis_arrivals([
+                ArrivalSchedule::Trace {
+                    offsets_ms: vec![0, 2000],
+                },
+                ArrivalSchedule::Trace {
+                    offsets_ms: vec![0, 1000, 2000],
+                },
+            ])
+            .validate();
+    }
+
+    #[test]
+    fn slow_node_factor_axis_is_validated() {
+        let s = Scenario::new("t").axis_slow_node_factor([1.0, 2.0, 8.0]);
+        assert_eq!(s.num_points(), 3);
+        s.validate();
+        for bad in [0.5, 0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let e = Scenario::new("t")
+                .axis_slow_node_factor([bad])
+                .check()
+                .unwrap_err();
+            assert!(e.contains("slow_node_factor"), "{bad} → {e}");
+        }
+    }
+
+    #[test]
+    fn entry_offsets_enter_names_and_canonical_form() {
+        let plain = WorkloadMix::single(JobKind::WordCount, GB, 1);
+        let offset = WorkloadMix::new([MixEntry::new(JobKind::WordCount, GB, 1).at_offset_ms(750)]);
+        assert_eq!(offset.entries[0].name(), "1xwordcount@1024MB+750ms");
+        assert_eq!(
+            offset.entries[0].label(),
+            "wordcount@1024MB",
+            "label ignores offsets"
+        );
+        assert_eq!(offset.resolve(4).name(), "1xwordcount@1024MB+750ms");
+        let key = |m: &WorkloadMix| m.resolve(4).hash_into(KeyHasher::new()).finish();
+        assert_ne!(key(&plain), key(&offset), "offset is an evaluation input");
     }
 }

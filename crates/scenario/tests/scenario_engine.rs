@@ -4,8 +4,9 @@
 
 use mapreduce_sim::MB;
 use mr2_scenario::{
-    class_error_bands, error_bands, expand, run_scenario, schema_version, Backends, EstimatorKind,
-    JobKind, KeyHasher, MixEntry, ResultCache, RunnerConfig, Scenario, SweepMode, WorkloadMix,
+    class_error_bands, error_bands, expand, run_scenario, schema_version, ArrivalSchedule,
+    Backends, EstimatorKind, JobKind, JobTrace, KeyHasher, MixEntry, ResultCache, RunnerConfig,
+    Scenario, SweepMode, WorkloadMix,
 };
 
 /// A 3-axis sweep (cluster size × N × estimator) small enough for CI but
@@ -217,47 +218,180 @@ fn heterogeneous_mix_reports_per_class_and_aggregate_bands() {
 
 #[test]
 fn old_schema_snapshots_load_zero_entries() {
-    // The acceptance criterion for the version bump: a snapshot written
-    // under the previous combined schema (model v1 / sim v1) must load
-    // nothing into a current cache.
-    let old_combined: u64 = (1 << 32) | 1;
-    assert_ne!(
-        schema_version(),
-        old_combined,
-        "this PR bumped both schema versions"
-    );
+    // The acceptance criterion for the version bump: snapshots written
+    // under previous combined schemas must load nothing into a current
+    // cache. The PR-3-era snapshot (model v2 / sim v2) is a committed
+    // fixture — the exact bytes that generation of builds persisted.
+    let pr3_combined: u64 = (2 << 32) | 2;
+    for old_combined in [(1u64 << 32) | 1, pr3_combined] {
+        assert_ne!(
+            schema_version(),
+            old_combined,
+            "this PR bumped both schema versions"
+        );
+    }
     assert_eq!(
         schema_version(),
         (u64::from(mr2_model::MODEL_SCHEMA_VERSION) << 32)
             | u64::from(mapreduce_sim::SIM_SCHEMA_VERSION)
     );
 
-    let dir = std::env::temp_dir();
-    let path = dir.join(format!(
-        "mr2-scenario-old-schema-{}.txt",
-        std::process::id()
-    ));
-    std::fs::write(
-        &path,
-        format!("mr2-scenario-cache v1\nschema {old_combined:016x}\n0000000000000001,3ff0000000000000\n"),
-    )
-    .unwrap();
+    let fixture = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures/pr3_cache_snapshot.txt");
+    let body = std::fs::read_to_string(&fixture).unwrap();
+    assert!(
+        body.contains(&format!("schema {pr3_combined:016x}")),
+        "fixture carries the PR-3 combined schema"
+    );
     let cache = ResultCache::new();
     assert_eq!(
-        cache.load(&path).unwrap(),
+        cache.load(&fixture).unwrap(),
         0,
-        "stale snapshot loads nothing"
+        "PR-3-era snapshot loads nothing"
     );
     assert_eq!(cache.stats().entries, 0);
-    std::fs::remove_file(path).ok();
 
     // And the same content hashed under the two versions lands on
     // different keys.
     assert_ne!(
-        KeyHasher::with_schema_version(old_combined)
+        KeyHasher::with_schema_version(pr3_combined)
             .str("p")
             .finish(),
         KeyHasher::versioned().str("p").finish(),
+    );
+}
+
+#[test]
+fn batch_arrivals_are_bit_identical_to_the_pr3_shape() {
+    // The acceptance criterion: a sweep that spells out batch arrivals
+    // (the new axis) produces bit-identical `SweepResult`s to the same
+    // scenario in PR 3's shape — no arrivals axis touched, offset-free
+    // mixes.
+    let backends = Backends {
+        analytic: true,
+        profile_calibration: true,
+        simulator: Some(2),
+    };
+    let pr3_shape = Scenario::new("arr")
+        .axis_nodes([2usize, 3])
+        .axis_mixes([WorkloadMix::new([
+            MixEntry::new(JobKind::WordCount, 256 * MB, 1),
+            MixEntry::new(JobKind::Grep, 256 * MB, 1),
+        ])])
+        .with_backends(backends);
+    let explicit = pr3_shape.clone().axis_arrivals([ArrivalSchedule::Batch]);
+
+    let a = run_scenario(&pr3_shape, &ResultCache::new(), &RunnerConfig::serial());
+    let b = run_scenario(&explicit, &ResultCache::new(), &RunnerConfig::serial());
+    assert_eq!(a.points.len(), b.points.len());
+    for (x, y) in a.points.iter().zip(&b.points) {
+        assert_eq!(x, y, "bit-identical point results");
+    }
+
+    // And through a shared cache the explicit form is answered entirely
+    // from the default form's evaluations — same content keys.
+    let cache = ResultCache::new();
+    run_scenario(&pr3_shape, &cache, &RunnerConfig::serial());
+    let misses = cache.stats().misses;
+    run_scenario(&explicit, &cache, &RunnerConfig::serial());
+    assert_eq!(cache.stats().misses, misses, "same content keys");
+}
+
+#[test]
+fn arrival_schedule_axis_changes_ground_truth_and_cache_keys() {
+    let s = Scenario::new("arrivals")
+        .axis_nodes([2usize])
+        .axis_input_bytes([512 * MB])
+        .axis_n_jobs([3usize])
+        .axis_arrivals([
+            ArrivalSchedule::Batch,
+            ArrivalSchedule::Staggered {
+                interval_ms: 120_000,
+            },
+        ])
+        .with_backends(Backends {
+            analytic: true,
+            profile_calibration: false,
+            simulator: Some(2),
+        });
+    let cache = ResultCache::new();
+    let sweep = run_scenario(&s, &cache, &RunnerConfig::serial());
+    assert_eq!(sweep.points.len(), 2);
+    assert_eq!(
+        cache.stats().misses,
+        4,
+        "each schedule is its own evaluation (sim + model per schedule)"
+    );
+    let (batch, staggered) = (&sweep.points[0], &sweep.points[1]);
+    // Staggering relieves contention (lower response) but occupies the
+    // cluster longer (higher makespan) — in both backends.
+    assert!(staggered.measured().unwrap() < batch.measured().unwrap());
+    assert!(staggered.measured_makespan().unwrap() > batch.measured_makespan().unwrap());
+    assert!(staggered.estimate().unwrap() < batch.estimate().unwrap());
+    assert!(staggered.estimate_makespan().unwrap() > batch.estimate_makespan().unwrap());
+    // Response and makespan now genuinely diverge in the report/CSV.
+    let csv = mr2_scenario::to_csv(&sweep);
+    assert!(csv.contains("stagger@120000ms"));
+    assert!(csv.contains("measured_makespan"));
+    let report = mr2_scenario::render_report(&sweep);
+    assert!(report.contains("stagger@120000ms"));
+}
+
+#[test]
+fn trace_replay_reports_per_class_error_bands() {
+    // The acceptance criterion: replaying a trace through `Scenario`
+    // yields per-class model-vs-sim error bands.
+    let trace = JobTrace::parse(
+        "{\"job_id\":\"j1\",\"job\":\"wordcount\",\"submit_time_ms\":0,\"input_bytes\":268435456}\n\
+         {\"job_id\":\"j2\",\"job\":\"grep\",\"submit_time_ms\":45000,\"input_bytes\":268435456}\n\
+         {\"job_id\":\"j3\",\"job\":\"terasort\",\"submit_time_ms\":90000,\"input_bytes\":134217728}",
+    )
+    .unwrap();
+    let s = Scenario::new("replay")
+        .axis_nodes([2usize])
+        .axis_mixes([trace.to_mix()])
+        .with_backends(Backends {
+            analytic: true,
+            profile_calibration: true,
+            simulator: Some(2),
+        });
+    let sweep = run_scenario(&s, &ResultCache::new(), &RunnerConfig::default());
+    let p = &sweep.points[0];
+    assert_eq!(p.point.mix.entries.len(), 3, "one class per trace job");
+    assert_eq!(p.point.submit_offsets(), vec![0.0, 45.0, 90.0]);
+    let bands = class_error_bands(&sweep);
+    assert_eq!(bands.len(), 3 * 4, "3 replayed classes × 4 series");
+    for b in &bands {
+        assert!(b.band.mean.is_finite());
+    }
+    assert!(!error_bands(&sweep).is_empty());
+    // The replayed mix's makespan covers the last arrival.
+    assert!(p.measured_makespan().unwrap() > 90.0);
+    assert!(p.estimate_makespan().unwrap() > 90.0);
+}
+
+#[test]
+fn straggler_axis_changes_ground_truth() {
+    // Second half of the ROADMAP failure-injection item: a slow node
+    // measurably slows the simulated workload, and the axis separates
+    // cache keys.
+    let s = Scenario::new("stragglers")
+        .axis_nodes([2usize])
+        .axis_input_bytes([512 * MB])
+        .axis_slow_node_factor([1.0, 4.0])
+        .with_backends(Backends {
+            analytic: false,
+            profile_calibration: false,
+            simulator: Some(2),
+        });
+    let cache = ResultCache::new();
+    let sweep = run_scenario(&s, &cache, &RunnerConfig::serial());
+    assert_eq!(sweep.points.len(), 2);
+    assert_eq!(cache.stats().misses, 2, "two distinct sim evaluations");
+    let (clean, slow) = (sweep.points[0].measured(), sweep.points[1].measured());
+    assert!(
+        slow.unwrap() > clean.unwrap() * 1.1,
+        "a 4x slow node must straggle the workload: {clean:?} vs {slow:?}"
     );
 }
 

@@ -10,8 +10,9 @@ use std::collections::BTreeMap;
 
 use mapreduce_sim::{SchedulerPolicy, GB};
 use mr2_scenario::{
-    class_error_bands, error_bands, Backends, CacheStats, EstimatorKind, EvalPoint, JobKind,
-    MixEntry, PointResult, ReducePolicy, Scenario, SweepMode, SweepResult, WorkloadMix,
+    class_error_bands, error_bands, ArrivalSchedule, Backends, CacheStats, EstimatorKind,
+    EvalPoint, JobKind, MixEntry, PointResult, ReducePolicy, Scenario, SweepMode, SweepResult,
+    WorkloadMix,
 };
 
 use crate::json::Json;
@@ -193,10 +194,72 @@ fn field_prob(map: &BTreeMap<String, Json>, key: &str, default: f64) -> Result<f
     }
 }
 
+/// Decode a slowdown-factor field; must be a finite number ≥ 1.
+fn field_slowdown(map: &BTreeMap<String, Json>, key: &str, default: f64) -> Result<f64, String> {
+    match map.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .as_f64()
+            .filter(|f| f.is_finite() && *f >= 1.0)
+            .ok_or_else(|| format!("field `{key}` must be a finite number >= 1")),
+    }
+}
+
+/// Decode an `arrivals` value: the string `"batch"`, a
+/// `{"staggered_ms": N}` object, or a `{"trace_ms": [...]}` object with
+/// one offset per job. An absent field decodes as `Batch`, so clients
+/// from before arrival schedules are untouched.
+fn parse_arrivals(v: &Json) -> Result<ArrivalSchedule, String> {
+    const SHAPE: &str =
+        "field `arrivals` must be `\"batch\"`, `{\"staggered_ms\": N}`, or `{\"trace_ms\": [...]}`";
+    match v {
+        Json::Str(s) if s == "batch" => Ok(ArrivalSchedule::Batch),
+        Json::Obj(_) => {
+            let map = known_object(v, "arrivals", &["staggered_ms", "trace_ms"])?;
+            match (map.get("staggered_ms"), map.get("trace_ms")) {
+                (Some(n), None) => n
+                    .as_u64()
+                    .map(|interval_ms| ArrivalSchedule::Staggered { interval_ms })
+                    .ok_or_else(|| "field `staggered_ms` must be a non-negative integer".into()),
+                (None, Some(Json::Arr(items))) => items
+                    .iter()
+                    .map(|o| {
+                        o.as_u64().ok_or_else(|| {
+                            "field `trace_ms` must be an array of non-negative integers".to_string()
+                        })
+                    })
+                    .collect::<Result<Vec<_>, _>>()
+                    .map(|offsets_ms| ArrivalSchedule::Trace { offsets_ms }),
+                _ => Err(SHAPE.into()),
+            }
+        }
+        _ => Err(SHAPE.into()),
+    }
+}
+
+/// Encode an [`ArrivalSchedule`] in the request shape, so responses
+/// echo what a client would send.
+fn arrivals_json(a: &ArrivalSchedule) -> Json {
+    match a {
+        ArrivalSchedule::Batch => Json::str("batch"),
+        ArrivalSchedule::Staggered { interval_ms } => {
+            Json::obj([("staggered_ms", (*interval_ms).into())])
+        }
+        ArrivalSchedule::Trace { offsets_ms } => Json::obj([(
+            "trace_ms",
+            Json::Arr(offsets_ms.iter().map(|&o| o.into()).collect()),
+        )]),
+    }
+}
+
 /// Decode one `mix` entry object: a job kind (required) with input
-/// size, copy count, and reduce policy.
+/// size, copy count, reduce policy, and submit offset.
 fn parse_mix_entry(v: &Json) -> Result<MixEntry, String> {
-    let map = known_object(v, "mix entry", &["job", "input_bytes", "count", "reduces"])?;
+    let map = known_object(
+        v,
+        "mix entry",
+        &["job", "input_bytes", "count", "reduces", "submit_offset_ms"],
+    )?;
     let job = map
         .get("job")
         .ok_or("mix entry needs a `job` field")?
@@ -208,6 +271,7 @@ fn parse_mix_entry(v: &Json) -> Result<MixEntry, String> {
         input_bytes: field_positive(map, "input_bytes", GB)?,
         count: field_positive(map, "count", 1)? as usize,
         reduces: parse_reduces(map)?,
+        submit_offset_ms: field_u64(map, "submit_offset_ms", 0)?,
     })
 }
 
@@ -250,7 +314,9 @@ pub fn parse_estimate_request(body: &str) -> Result<EstimateRequest, String> {
             "input_bytes",
             "n_jobs",
             "mix",
+            "arrivals",
             "map_failure_prob",
+            "slow_node_factor",
             "estimator",
             "reduces",
             "seed",
@@ -281,9 +347,15 @@ pub fn parse_estimate_request(body: &str) -> Result<EstimateRequest, String> {
             input_bytes: field_positive(map, "input_bytes", GB)?,
             count: field_positive(map, "n_jobs", 1)? as usize,
             reduces: parse_reduces(map)?,
+            submit_offset_ms: 0,
         }]),
     };
     mix.check(&[nodes])?;
+    let arrivals = match map.get("arrivals") {
+        None => ArrivalSchedule::Batch,
+        Some(v) => parse_arrivals(v)?,
+    };
+    arrivals.check(&mix)?;
     let point = EvalPoint {
         index: 0,
         nodes,
@@ -292,7 +364,9 @@ pub fn parse_estimate_request(body: &str) -> Result<EstimateRequest, String> {
         scheduler: str_field("scheduler")?
             .map_or(Ok(SchedulerPolicy::CapacityFifo), parse_scheduler)?,
         mix: mix.resolve(nodes),
+        arrivals,
         map_failure_prob: field_prob(map, "map_failure_prob", 0.0)?,
+        slow_node_factor: field_slowdown(map, "slow_node_factor", 1.0)?,
         estimator: str_field("estimator")?.map_or(Ok(EstimatorKind::ForkJoin), parse_estimator)?,
         seed: field_u64(map, "seed", 1)?,
     };
@@ -330,7 +404,9 @@ pub fn parse_scenario_request(body: &str) -> Result<Scenario, String> {
             "input_bytes",
             "n_jobs",
             "mixes",
+            "arrivals",
             "map_failure_prob",
+            "slow_node_factor",
             "estimators",
             "reduces",
             "backends",
@@ -398,6 +474,18 @@ pub fn parse_scenario_request(body: &str) -> Result<Scenario, String> {
         }
         s.reduces = parse_reduces(map)?;
     }
+    match map.get("arrivals") {
+        None => {}
+        Some(Json::Arr(items)) => {
+            s = s.axis_arrivals(
+                items
+                    .iter()
+                    .map(parse_arrivals)
+                    .collect::<Result<Vec<_>, _>>()?,
+            );
+        }
+        Some(_) => return Err("field `arrivals` must be an array of arrival schedules".into()),
+    }
     match map.get("map_failure_prob") {
         None => {}
         Some(Json::Arr(items)) => {
@@ -413,6 +501,20 @@ pub fn parse_scenario_request(body: &str) -> Result<Scenario, String> {
         Some(_) => {
             return Err("field `map_failure_prob` must be an array of numbers in [0, 1)".into())
         }
+    }
+    match map.get("slow_node_factor") {
+        None => {}
+        Some(Json::Arr(items)) => {
+            s.slow_node_factor = items
+                .iter()
+                .map(|v| {
+                    v.as_f64()
+                        .filter(|f| f.is_finite() && *f >= 1.0)
+                        .ok_or("field `slow_node_factor` must be an array of numbers >= 1")
+                })
+                .collect::<Result<_, _>>()?;
+        }
+        Some(_) => return Err("field `slow_node_factor` must be an array of numbers >= 1".into()),
     }
     if let Some(v) = field_str_list(map, "estimators")? {
         s.estimators = v
@@ -433,8 +535,10 @@ pub fn parse_scenario_request(body: &str) -> Result<Scenario, String> {
 }
 
 /// Encode one evaluated point. The workload is a `mix` array (one
-/// object per class, resolved reduce counts included); per-class model
-/// estimates and simulator medians ride along in class order.
+/// object per class, resolved reduce counts and submit offsets
+/// included); per-class model estimates and simulator medians ride
+/// along in class order, and both backends report response time and
+/// makespan separately (they diverge under non-batch arrivals).
 pub fn point_json(p: &PointResult) -> Json {
     let mix: Vec<Json> = p
         .point
@@ -447,6 +551,7 @@ pub fn point_json(p: &PointResult) -> Json {
                 ("input_bytes", e.input_bytes.into()),
                 ("count", e.count.into()),
                 ("reduces", u64::from(e.reduces).into()),
+                ("submit_offset_ms", e.submit_offset_ms.into()),
             ])
         })
         .collect();
@@ -470,6 +575,7 @@ pub fn point_json(p: &PointResult) -> Json {
             ("tripathi", Json::num(m.tripathi)),
             ("aria", Json::num(m.aria)),
             ("herodotou", Json::num(m.herodotou)),
+            ("makespan", Json::num(m.makespan)),
             ("per_class", Json::Arr(per_class)),
         ])
     });
@@ -477,6 +583,7 @@ pub fn point_json(p: &PointResult) -> Json {
         Json::obj([
             ("median_response", Json::num(s.median_response)),
             ("mean_response", Json::num(s.mean_response)),
+            ("makespan", Json::num(s.makespan)),
             (
                 "per_class_median",
                 Json::Arr(s.per_class_median.iter().copied().map(Json::num).collect()),
@@ -498,7 +605,9 @@ pub fn point_json(p: &PointResult) -> Json {
         ),
         ("mix", Json::Arr(mix)),
         ("total_jobs", p.point.total_jobs().into()),
+        ("arrivals", arrivals_json(&p.point.arrivals)),
         ("map_failure_prob", Json::num(p.point.map_failure_prob)),
+        ("slow_node_factor", Json::num(p.point.slow_node_factor)),
         ("estimator", Json::str(p.point.estimator.name())),
         ("seed", p.point.seed.into()),
         ("model", model),
@@ -578,9 +687,75 @@ mod tests {
         assert_eq!(r.point.total_jobs(), 1);
         assert_eq!(r.point.estimator, EstimatorKind::ForkJoin);
         assert_eq!(r.point.mix.entries[0].reduces, 4, "per-node default");
+        assert_eq!(r.point.arrivals, ArrivalSchedule::Batch, "absent = batch");
         assert_eq!(r.point.map_failure_prob, 0.0);
+        assert_eq!(r.point.slow_node_factor, 1.0);
         assert_eq!(r.point.seed, 1);
         assert_eq!(r.backends, Backends::analytic_only());
+    }
+
+    #[test]
+    fn estimate_request_decodes_arrivals_and_stragglers() {
+        let r = parse_estimate_request(
+            r#"{"nodes":4,"n_jobs":3,"arrivals":{"staggered_ms":2000},"slow_node_factor":2.5}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            r.point.arrivals,
+            ArrivalSchedule::Staggered { interval_ms: 2000 }
+        );
+        assert_eq!(r.point.slow_node_factor, 2.5);
+        assert_eq!(r.point.submit_offsets(), vec![0.0, 2.0, 4.0]);
+
+        let r =
+            parse_estimate_request(r#"{"nodes":4,"n_jobs":2,"arrivals":{"trace_ms":[0,1500]}}"#)
+                .unwrap();
+        assert_eq!(
+            r.point.arrivals,
+            ArrivalSchedule::Trace {
+                offsets_ms: vec![0, 1500]
+            }
+        );
+
+        // Mix entries carry their own submit offsets.
+        let r = parse_estimate_request(
+            r#"{"nodes":4,"mix":[
+                {"job":"wordcount"},
+                {"job":"grep","submit_offset_ms":30000}]}"#,
+        )
+        .unwrap();
+        assert_eq!(r.point.mix.entries[1].submit_offset_ms, 30000);
+        assert_eq!(r.point.submit_offsets(), vec![0.0, 30.0]);
+
+        // Explicit batch still decodes.
+        let r = parse_estimate_request(r#"{"arrivals":"batch"}"#).unwrap();
+        assert_eq!(r.point.arrivals, ArrivalSchedule::Batch);
+    }
+
+    #[test]
+    fn estimate_request_rejects_bad_arrivals_and_stragglers() {
+        for (body, needle) in [
+            (r#"{"arrivals":"burst"}"#, "must be `\"batch\"`"),
+            (
+                r#"{"arrivals":{"staggered_ms":-5}}"#,
+                "non-negative integer",
+            ),
+            (
+                r#"{"arrivals":{"staggered_ms":1,"trace_ms":[0]}}"#,
+                "must be `\"batch\"`",
+            ),
+            (r#"{"arrivals":{"later_ms":1}}"#, "unknown arrivals field"),
+            (r#"{"n_jobs":3,"arrivals":{"trace_ms":[0,5]}}"#, "2 offsets"),
+            (r#"{"slow_node_factor":0.5}"#, ">= 1"),
+            (r#"{"slow_node_factor":"slow"}"#, ">= 1"),
+            (
+                r#"{"mix":[{"job":"grep","submit_offset_ms":-1}]}"#,
+                "non-negative integer",
+            ),
+        ] {
+            let err = parse_estimate_request(body).unwrap_err();
+            assert!(err.contains(needle), "{body} → {err}");
+        }
     }
 
     #[test]
@@ -711,6 +886,34 @@ mod tests {
     }
 
     #[test]
+    fn scenario_request_builds_arrival_and_straggler_axes() {
+        let s = parse_scenario_request(
+            r#"{"name":"arrivals","nodes":[4],"n_jobs":[2],
+                "arrivals":["batch",{"staggered_ms":60000},{"trace_ms":[0,90000]}],
+                "slow_node_factor":[1.0,4.0]}"#,
+        )
+        .unwrap();
+        assert_eq!(s.num_points(), 3 * 2, "arrivals × slow_node_factor");
+        assert_eq!(s.arrivals.len(), 3);
+        assert_eq!(
+            s.arrivals[1],
+            ArrivalSchedule::Staggered { interval_ms: 60000 }
+        );
+        assert_eq!(s.slow_node_factor, vec![1.0, 4.0]);
+
+        // Mixes may carry per-entry offsets (trace replay through the
+        // service).
+        let s = parse_scenario_request(
+            r#"{"nodes":[2,4],
+                "mixes":[[{"job":"wordcount"},
+                          {"job":"grep","submit_offset_ms":45000}]]}"#,
+        )
+        .unwrap();
+        let mixes = s.workload_values();
+        assert_eq!(mixes[0].entries[1].submit_offset_ms, 45000);
+    }
+
+    #[test]
     fn scenario_request_rejects_invalid_specs() {
         assert!(parse_scenario_request(r#"{"nodes":[]}"#)
             .unwrap_err()
@@ -739,6 +942,18 @@ mod tests {
         assert!(parse_scenario_request(r#"{"map_failure_prob":[2.0]}"#)
             .unwrap_err()
             .contains("in [0, 1)"));
+        assert!(parse_scenario_request(r#"{"arrivals":"batch"}"#)
+            .unwrap_err()
+            .contains("array of arrival schedules"));
+        assert!(parse_scenario_request(r#"{"slow_node_factor":[0.25]}"#)
+            .unwrap_err()
+            .contains(">= 1"));
+        // A trace schedule must fit every mix it crosses.
+        assert!(
+            parse_scenario_request(r#"{"n_jobs":[1,2],"arrivals":[{"trace_ms":[0]}]}"#)
+                .unwrap_err()
+                .contains("1 offsets")
+        );
     }
 
     #[test]
@@ -763,6 +978,29 @@ mod tests {
         assert_eq!(mix.len(), 2);
         assert_eq!(mix[0].get("job").unwrap().as_str(), Some("wordcount"));
         assert_eq!(mix[0].get("reduces").unwrap().as_u64(), Some(2));
+        assert_eq!(mix[0].get("submit_offset_ms").unwrap().as_u64(), Some(0));
+        assert_eq!(pt.get("arrivals").unwrap().as_str(), Some("batch"));
+        assert_eq!(pt.get("slow_node_factor").unwrap().as_f64(), Some(1.0));
+        assert!(
+            pt.get("model")
+                .unwrap()
+                .get("makespan")
+                .unwrap()
+                .as_f64()
+                .unwrap()
+                > 0.0,
+            "model makespan emitted"
+        );
+        assert!(
+            pt.get("sim")
+                .unwrap()
+                .get("makespan")
+                .unwrap()
+                .as_f64()
+                .unwrap()
+                > 0.0,
+            "sim makespan emitted"
+        );
         let per_class = pt
             .get("model")
             .unwrap()

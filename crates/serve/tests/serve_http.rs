@@ -168,6 +168,66 @@ fn scenario_round_trip_reports_points_and_bands() {
 }
 
 #[test]
+fn arrivals_round_trip_reports_makespans_while_old_requests_decode_unchanged() {
+    let handle = serve(test_config()).unwrap();
+    // An arrivals-bearing estimate: two staggered jobs, both backends.
+    let (status, body) = request(
+        handle.addr,
+        "POST",
+        "/v1/estimate",
+        r#"{"nodes":2,"input_bytes":268435456,"n_jobs":2,
+            "arrivals":{"staggered_ms":60000},
+            "backends":{"analytic":true,"simulator":1}}"#,
+    );
+    assert_eq!(status, 200, "{body}");
+    let v = Json::parse(&body).unwrap();
+    assert_eq!(
+        v.get("arrivals")
+            .unwrap()
+            .get("staggered_ms")
+            .unwrap()
+            .as_u64(),
+        Some(60000),
+        "the reply echoes the schedule"
+    );
+    let response = v.get("measured").unwrap().as_f64().unwrap();
+    let makespan = v
+        .get("sim")
+        .unwrap()
+        .get("makespan")
+        .unwrap()
+        .as_f64()
+        .unwrap();
+    assert!(
+        makespan > response && makespan > 60.0,
+        "staggered arrivals split makespan from response: {makespan} vs {response}"
+    );
+    assert!(
+        v.get("model")
+            .unwrap()
+            .get("makespan")
+            .unwrap()
+            .as_f64()
+            .unwrap()
+            > 60.0
+    );
+
+    // An arrivals-free request (the PR 3 client shape) still decodes —
+    // absent field means batch.
+    let (status, body) = request(
+        handle.addr,
+        "POST",
+        "/v1/estimate",
+        r#"{"nodes":2,"input_bytes":268435456,"n_jobs":2}"#,
+    );
+    assert_eq!(status, 200, "{body}");
+    let v = Json::parse(&body).unwrap();
+    assert_eq!(v.get("arrivals").unwrap().as_str(), Some("batch"));
+    assert!(v.get("estimate").unwrap().as_f64().unwrap() > 0.0);
+    handle.shutdown();
+}
+
+#[test]
 fn keep_alive_serves_two_requests_on_one_socket() {
     let handle = serve(test_config()).unwrap();
     let mut conn = TcpStream::connect(handle.addr).expect("connect");

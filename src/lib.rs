@@ -20,7 +20,10 @@
 //!
 //! Workloads are heterogeneous mixes end to end — the queueing network
 //! is multi-class, so one point can run different jobs concurrently and
-//! report per-class response times:
+//! report per-class response times. Arrival schedules are a workload
+//! dimension of their own: mix entries carry submit offsets (trace
+//! replay via [`scenario::trace`]) and the `axis_arrivals` axis layers
+//! batch/staggered/trace schedules on top:
 //!
 //! ```
 //! use hadoop2_perf::scenario::{
