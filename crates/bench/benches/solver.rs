@@ -1,4 +1,8 @@
-//! Full A1–A6 solver cost for the paper's experiment configurations.
+//! Full A1–A6 solver cost for the paper's experiment configurations,
+//! plus the observability guard: the same solve with metrics recording
+//! on and off. Both cases sit in the committed baseline, so the ≤25%
+//! regression gate holds the registry's hot-path cost to the noise
+//! floor — instrumentation must stay effectively free.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mapreduce_sim::workload::wordcount;
@@ -39,9 +43,45 @@ fn bench_solver(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_registry_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("registry");
+    let cfg = SimConfig::paper_testbed(4);
+    let spec = wordcount(GB, 4);
+    let inp = model_input(
+        &cfg,
+        &spec,
+        1,
+        ModelOptions::default(),
+        &Calibration::default(),
+        None,
+    );
+    // Recording on is the process default; the disabled case turns the
+    // solver's counter adds into single relaxed loads. Near-identical
+    // medians for the pair are the evidence that instrumentation costs
+    // nothing on the solve path.
+    g.bench_with_input(
+        BenchmarkId::new("recording_on", "fig10_1gb_1job_4n"),
+        &inp,
+        |b, inp| {
+            mr2_obs::set_enabled(true);
+            b.iter(|| solve(black_box(inp)))
+        },
+    );
+    g.bench_with_input(
+        BenchmarkId::new("recording_off", "fig10_1gb_1job_4n"),
+        &inp,
+        |b, inp| {
+            mr2_obs::set_enabled(false);
+            b.iter(|| solve(black_box(inp)));
+            mr2_obs::set_enabled(true);
+        },
+    );
+    g.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_solver
+    targets = bench_solver, bench_registry_overhead
 }
 criterion_main!(benches);

@@ -16,6 +16,8 @@
 //! (Vianna's subset strategy) plus its FIFO queueing offset from the
 //! timeline.
 
+use std::sync::OnceLock;
+
 use crate::input::{Estimator, ModelInput, TaskClass};
 use crate::overlap::{overlap_factors, population};
 use crate::timeline::{build_timeline, ShuffleSpec, Timeline, TimelineConfig, TimelineJob};
@@ -28,6 +30,29 @@ use queueing::{harmonic, overlap_mva};
 /// (0 = keep old, 1 = pure replacement). Plain replacement can oscillate
 /// between two timelines; 0.5 is a standard safe choice.
 const DAMPING: f64 = 0.5;
+
+/// A2–A6 iterations executed by [`solve`], batched into one atomic add
+/// per solve (the inner MVA reports its own iteration counter).
+fn solver_iterations() -> &'static mr2_obs::Counter {
+    static C: OnceLock<mr2_obs::Counter> = OnceLock::new();
+    C.get_or_init(|| {
+        mr2_obs::counter(
+            "mr2_solver_iterations_total",
+            "A2-A6 iterations executed by the modified-MVA solver.",
+        )
+    })
+}
+
+/// Solves whose ε-test never passed within the iteration budget.
+fn solver_failures() -> &'static mr2_obs::Counter {
+    static C: OnceLock<mr2_obs::Counter> = OnceLock::new();
+    C.get_or_init(|| {
+        mr2_obs::counter(
+            "mr2_solver_convergence_failures_total",
+            "Modified-MVA solves that exhausted the iteration budget before the epsilon test passed.",
+        )
+    })
+}
 
 /// Output of one solver run.
 #[derive(Debug, Clone)]
@@ -239,6 +264,7 @@ fn eval_tripathi(
 /// Run the modified MVA algorithm on `input`.
 #[allow(clippy::needless_range_loop)] // (job, class) index pairs read clearer
 pub fn solve(input: &ModelInput) -> SolveResult {
+    let _timer = mr2_obs::span("model.solve");
     input.validate();
     let net = build_network(input);
     let caps = capacities(input);
@@ -356,6 +382,10 @@ pub fn solve(input: &ModelInput) -> SolveResult {
             break;
         }
         prev_avg = avg;
+    }
+    solver_iterations().add(result.iterations as u64);
+    if !result.converged {
+        solver_failures().inc();
     }
     result
 }

@@ -1,0 +1,180 @@
+//! # mr2-obs — the workspace's observability substrate
+//!
+//! A process-wide [`Registry`] of named metrics — monotonic [`Counter`]s,
+//! [`Gauge`]s, and log-bucketed [`Histogram`]s — plus RAII [`span`]
+//! timers and a per-request trace context, with zero dependencies
+//! (`std` only; the build environment has no crates.io access).
+//!
+//! The paper decomposes MapReduce response time into measurable phases;
+//! this crate gives the *serving system* the same treatment the models
+//! give the *workload*: every layer (HTTP front end, scenario runner,
+//! MVA/fork-join solver, event-driven simulator) records into one
+//! registry that `GET /metrics` renders in Prometheus text exposition
+//! format.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Lock-free hot path.** Recording an observation is a handful of
+//!    relaxed atomic operations on an `Arc`-shared cell — no locks, no
+//!    allocation. The registry's `RwLock` is touched only to *obtain* a
+//!    handle; call sites cache handles in `OnceLock` statics.
+//! 2. **Cheap when off.** [`set_enabled`]`(false)` turns every
+//!    observation into one relaxed load and a branch, so instrumented
+//!    hot loops stay inside the bench suite's regression gate.
+//! 3. **Snapshot-able.** Rendering never blocks recorders: it takes the
+//!    registry read lock and reads each atomic once.
+//!
+//! ```
+//! use mr2_obs as obs;
+//!
+//! let solves = obs::counter("doc_solves_total", "Model solves performed.");
+//! {
+//!     let _timer = obs::span("doc.solve"); // records mr2_span_seconds{span="doc.solve"}
+//!     solves.inc();
+//! }
+//! assert!(solves.value() >= 1);
+//! assert!(obs::render().contains("doc_solves_total"));
+//! ```
+//!
+//! ## Traces
+//!
+//! A trace is a thread-local request context: [`begin_trace`] installs
+//! it, every *top-level* [`span`] that closes on that thread while it
+//! is active appends one `(name, start, duration)` entry, and
+//! [`end_trace`] returns the ordered breakdown. Nested spans (depth
+//! ≥ 1) still record into their histograms but stay out of the trace,
+//! so a trace's spans are sequential and their durations can never sum
+//! past the request's wall time. Worker threads spawned during a
+//! request do not inherit the context — a trace reports what *this*
+//! thread did, which is exactly the sequential breakdown a `"debug"`
+//! reply needs.
+
+mod metrics;
+mod registry;
+mod span;
+
+pub use metrics::{Buckets, Counter, Gauge, Histogram, HistogramSnapshot};
+pub use registry::{MetricKind, Registry};
+pub use span::{begin_trace, end_trace, observe_span, trace_active, Span, Trace, TraceSpan};
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// The process-wide registry every helper below records into.
+pub fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(Registry::new)
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Whether observations are being recorded (default: yes).
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Globally enable or disable recording. Handles stay valid either
+/// way; while disabled, every observation is a relaxed load and a
+/// branch (the benchmark suite's "≈0 overhead" configuration).
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Get or register the unlabelled counter `name` in the process
+/// registry. Panics if `name` is already registered as another kind.
+pub fn counter(name: &'static str, help: &'static str) -> Counter {
+    registry().counter(name, help, &[])
+}
+
+/// Get or register a labelled counter series.
+pub fn counter_with(name: &'static str, help: &'static str, labels: &[(&str, &str)]) -> Counter {
+    registry().counter(name, help, labels)
+}
+
+/// Get or register the unlabelled gauge `name`.
+pub fn gauge(name: &'static str, help: &'static str) -> Gauge {
+    registry().gauge(name, help, &[])
+}
+
+/// Get or register a labelled gauge series.
+pub fn gauge_with(name: &'static str, help: &'static str, labels: &[(&str, &str)]) -> Gauge {
+    registry().gauge(name, help, labels)
+}
+
+/// Get or register the unlabelled histogram `name` with `buckets`.
+pub fn histogram(name: &'static str, help: &'static str, buckets: Buckets) -> Histogram {
+    registry().histogram(name, help, &[], buckets)
+}
+
+/// Get or register a labelled histogram series.
+pub fn histogram_with(
+    name: &'static str,
+    help: &'static str,
+    labels: &[(&str, &str)],
+    buckets: Buckets,
+) -> Histogram {
+    registry().histogram(name, help, labels, buckets)
+}
+
+/// Start an RAII span timer named `name`. On drop it records its
+/// elapsed seconds into `mr2_span_seconds{span=name}` and, when a
+/// trace is active on this thread and the span is top-level, appends
+/// itself to the trace breakdown.
+pub fn span(name: &'static str) -> Span {
+    Span::start(name)
+}
+
+/// Render every registered metric in Prometheus text exposition format
+/// (content type `text/plain; version=0.0.4`).
+pub fn render() -> String {
+    registry().render()
+}
+
+/// Process-wide request-id source (access logs and trace contexts).
+pub fn next_request_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Serializes tests that toggle [`set_enabled`] against tests that
+/// assert exact observation counts (unit tests share one process-wide
+/// registry and flag).
+#[cfg(test)]
+pub(crate) mod tests_support {
+    use std::sync::{Mutex, MutexGuard, OnceLock};
+
+    pub(crate) fn flag_lock() -> MutexGuard<'static, ()> {
+        static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+        LOCK.get_or_init(|| Mutex::new(()))
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_ids_are_unique_and_increasing() {
+        let a = next_request_id();
+        let b = next_request_id();
+        assert!(b > a);
+    }
+
+    #[test]
+    fn helpers_register_into_the_shared_registry() {
+        counter("lib_test_total", "doc").add(3);
+        gauge("lib_test_gauge", "doc").set(2.5);
+        histogram("lib_test_hist", "doc", Buckets::TIME).observe(0.01);
+        let text = render();
+        for needle in [
+            "# TYPE lib_test_total counter",
+            "# TYPE lib_test_gauge gauge",
+            "# TYPE lib_test_hist histogram",
+        ] {
+            assert!(text.contains(needle), "missing {needle} in:\n{text}");
+        }
+    }
+}

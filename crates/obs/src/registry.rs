@@ -1,0 +1,354 @@
+//! The process-wide metric registry: name → family (help, kind) →
+//! labelled series → shared atomic cell, plus the Prometheus text
+//! renderer.
+//!
+//! Registration is idempotent — asking for an existing (name, labels)
+//! key returns a handle onto the *same* cell — so call sites simply
+//! describe the metric where they use it and cache the handle in a
+//! `OnceLock` static. The lock is a read-mostly `RwLock`: obtaining an
+//! already-registered handle takes the read lock only.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::AtomicU64;
+use std::sync::{Arc, RwLock};
+
+use crate::metrics::{Buckets, Counter, Gauge, Histogram, HistogramCore};
+
+/// What a metric family measures — determines the exposition `# TYPE`
+/// line and the render shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonically increasing event count.
+    Counter,
+    /// Instantaneous value.
+    Gauge,
+    /// Log-bucketed distribution.
+    Histogram,
+}
+
+impl MetricKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+/// One labelled series' cell.
+#[derive(Debug, Clone)]
+enum Series {
+    Counter(Arc<AtomicU64>),
+    Gauge(Arc<AtomicU64>),
+    Histogram(Arc<HistogramCore>),
+}
+
+/// All series of one metric name.
+#[derive(Debug)]
+struct Family {
+    help: &'static str,
+    kind: MetricKind,
+    /// Sorted label pairs → cell; the `BTreeMap` gives the exposition a
+    /// deterministic series order.
+    series: BTreeMap<Vec<(String, String)>, Series>,
+}
+
+/// A named collection of metric families. Most code uses the
+/// process-wide instance via [`crate::registry`] and the free
+/// functions; a private registry is occasionally useful in tests.
+#[derive(Debug, Default)]
+pub struct Registry {
+    families: RwLock<BTreeMap<&'static str, Family>>,
+}
+
+/// Canonical (sorted, owned) form of a label set.
+fn label_key(labels: &[(&str, &str)]) -> Vec<(String, String)> {
+    let mut key: Vec<(String, String)> = labels
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect();
+    key.sort();
+    key
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Get or create the series (name, labels), verifying the family's
+    /// kind. Panics on a kind conflict — that is a programming error
+    /// (two call sites disagreeing about what `name` measures), not a
+    /// runtime condition.
+    fn series(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        kind: MetricKind,
+        labels: &[(&str, &str)],
+        make: impl FnOnce() -> Series,
+    ) -> Series {
+        let key = label_key(labels);
+        if let Some(family) = self.families.read().unwrap().get(name) {
+            assert_eq!(
+                family.kind, kind,
+                "metric `{name}` already registered as a {:?}",
+                family.kind
+            );
+            if let Some(cell) = family.series.get(&key) {
+                return cell.clone();
+            }
+        }
+        let mut families = self.families.write().unwrap();
+        let family = families.entry(name).or_insert_with(|| Family {
+            help,
+            kind,
+            series: BTreeMap::new(),
+        });
+        assert_eq!(
+            family.kind, kind,
+            "metric `{name}` already registered as a {:?}",
+            family.kind
+        );
+        family.series.entry(key).or_insert_with(make).clone()
+    }
+
+    /// Get or register a counter series.
+    pub fn counter(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        labels: &[(&str, &str)],
+    ) -> Counter {
+        let cell = self.series(name, help, MetricKind::Counter, labels, || {
+            Series::Counter(Arc::new(AtomicU64::new(0)))
+        });
+        match cell {
+            Series::Counter(c) => Counter(c),
+            _ => unreachable!("kind checked by series()"),
+        }
+    }
+
+    /// Get or register a gauge series.
+    pub fn gauge(&self, name: &'static str, help: &'static str, labels: &[(&str, &str)]) -> Gauge {
+        let cell = self.series(name, help, MetricKind::Gauge, labels, || {
+            Series::Gauge(Arc::new(AtomicU64::new(0f64.to_bits())))
+        });
+        match cell {
+            Series::Gauge(g) => Gauge(g),
+            _ => unreachable!("kind checked by series()"),
+        }
+    }
+
+    /// Get or register a histogram series. The bucket spec applies on
+    /// first registration; later callers receive the existing ladder.
+    pub fn histogram(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        labels: &[(&str, &str)],
+        buckets: Buckets,
+    ) -> Histogram {
+        let cell = self.series(name, help, MetricKind::Histogram, labels, || {
+            Series::Histogram(Arc::new(HistogramCore::new(buckets)))
+        });
+        match cell {
+            Series::Histogram(h) => Histogram(h),
+            _ => unreachable!("kind checked by series()"),
+        }
+    }
+
+    /// Render every family in Prometheus text exposition format:
+    /// `# HELP` / `# TYPE` headers, one line per series, histograms as
+    /// cumulative `_bucket{le=…}` plus `_sum` and `_count`.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let families = self.families.read().unwrap();
+        for (name, family) in families.iter() {
+            if !family.help.is_empty() {
+                let _ = writeln!(out, "# HELP {name} {}", escape_help(family.help));
+            }
+            let _ = writeln!(out, "# TYPE {name} {}", family.kind.as_str());
+            for (labels, series) in &family.series {
+                match series {
+                    Series::Counter(c) => {
+                        let _ = writeln!(
+                            out,
+                            "{name}{} {}",
+                            render_labels(labels, None),
+                            c.load(std::sync::atomic::Ordering::Relaxed)
+                        );
+                    }
+                    Series::Gauge(g) => {
+                        let _ = writeln!(
+                            out,
+                            "{name}{} {}",
+                            render_labels(labels, None),
+                            fmt_f64(f64::from_bits(g.load(std::sync::atomic::Ordering::Relaxed)))
+                        );
+                    }
+                    Series::Histogram(core) => {
+                        let snap = Histogram(Arc::clone(core)).snapshot();
+                        let mut cumulative = 0u64;
+                        for (i, upper) in snap.uppers.iter().enumerate() {
+                            cumulative += snap.counts[i];
+                            let _ = writeln!(
+                                out,
+                                "{name}_bucket{} {cumulative}",
+                                render_labels(labels, Some(&fmt_f64(*upper)))
+                            );
+                        }
+                        cumulative += snap.counts[snap.uppers.len()];
+                        let _ = writeln!(
+                            out,
+                            "{name}_bucket{} {cumulative}",
+                            render_labels(labels, Some("+Inf"))
+                        );
+                        let _ = writeln!(
+                            out,
+                            "{name}_sum{} {}",
+                            render_labels(labels, None),
+                            fmt_f64(snap.sum)
+                        );
+                        let _ = writeln!(
+                            out,
+                            "{name}_count{} {cumulative}",
+                            render_labels(labels, None)
+                        );
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Format a label set (optionally with a trailing `le`) as
+/// `{k="v",…}`, or nothing when empty.
+fn render_labels(labels: &[(String, String)], le: Option<&str>) -> String {
+    if labels.is_empty() && le.is_none() {
+        return String::new();
+    }
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    if let Some(le) = le {
+        parts.push(format!("le=\"{le}\""));
+    }
+    format!("{{{}}}", parts.join(","))
+}
+
+/// Escape a label value per the exposition format.
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Escape a help string per the exposition format.
+fn escape_help(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+/// Exposition-format float: integral values render without a mantissa
+/// tail, everything else through Rust's shortest round-trip `Display`.
+fn fmt_f64(v: f64) -> String {
+    if v.is_infinite() {
+        return if v > 0.0 {
+            "+Inf".into()
+        } else {
+            "-Inf".into()
+        };
+    }
+    format!("{v}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_key_returns_the_same_cell() {
+        let r = Registry::new();
+        let a = r.counter("reg_total", "doc", &[("path", "/x")]);
+        let b = r.counter("reg_total", "doc", &[("path", "/x")]);
+        a.inc();
+        b.inc();
+        assert_eq!(a.value(), 2, "one shared cell behind both handles");
+        // Label order does not split the series.
+        let c = r.counter("reg_multi", "doc", &[("a", "1"), ("b", "2")]);
+        let d = r.counter("reg_multi", "doc", &[("b", "2"), ("a", "1")]);
+        c.inc();
+        assert_eq!(d.value(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_conflicts_panic() {
+        let r = Registry::new();
+        r.counter("reg_conflict", "doc", &[]);
+        r.gauge("reg_conflict", "doc", &[]);
+    }
+
+    #[test]
+    fn render_produces_valid_exposition_lines() {
+        let r = Registry::new();
+        r.counter(
+            "app_requests_total",
+            "Requests served.",
+            &[("path", "/healthz")],
+        )
+        .add(3);
+        r.gauge("app_queue_depth", "Sockets awaiting a worker.", &[])
+            .set(2.0);
+        let h = r.histogram(
+            "app_latency_seconds",
+            "Request latency.",
+            &[],
+            Buckets {
+                start: 0.5,
+                factor: 2.0,
+                count: 2,
+            },
+        );
+        h.observe(0.4);
+        h.observe(0.6);
+        h.observe(9.0);
+        let text = r.render();
+        let lines: Vec<&str> = text.lines().collect();
+        // Families render in name order with HELP/TYPE headers.
+        assert_eq!(lines[0], "# HELP app_latency_seconds Request latency.");
+        assert_eq!(lines[1], "# TYPE app_latency_seconds histogram");
+        assert!(text.contains("app_latency_seconds_bucket{le=\"0.5\"} 1"));
+        assert!(
+            text.contains("app_latency_seconds_bucket{le=\"1\"} 2"),
+            "{text}"
+        );
+        assert!(text.contains("app_latency_seconds_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("app_latency_seconds_sum 10"));
+        assert!(text.contains("app_latency_seconds_count 3"));
+        assert!(text.contains("app_queue_depth 2"));
+        assert!(text.contains("app_requests_total{path=\"/healthz\"} 3"));
+        // Every non-comment line is `name{labels} value` with a finite
+        // numeric value — the shape a Prometheus scraper accepts.
+        for line in lines.iter().filter(|l| !l.starts_with('#')) {
+            let (_, value) = line.rsplit_once(' ').expect("value separated by a space");
+            assert!(
+                value == "+Inf" || value.parse::<f64>().is_ok(),
+                "unparseable value in line: {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let r = Registry::new();
+        r.counter("reg_escape_total", "doc", &[("q", "a\"b\\c\nd")])
+            .inc();
+        assert!(r.render().contains("q=\"a\\\"b\\\\c\\nd\""));
+    }
+}

@@ -1,0 +1,238 @@
+//! RAII span timers and the thread-local trace context.
+//!
+//! Every [`Span`](crate::span) records its elapsed seconds into the
+//! `mr2_span_seconds{span=…}` histogram family. When a trace is active
+//! on the thread ([`begin_trace`]), *top-level* spans additionally
+//! append `(name, start offset, duration)` to the trace; nested spans
+//! record into their histograms only. That depth-0 rule keeps a
+//! trace's spans strictly sequential, so their durations sum to at
+//! most the traced request's wall time — the invariant a `"debug"`
+//! reply's breakdown relies on.
+//!
+//! The context is deliberately **not** propagated to spawned threads:
+//! a trace is "what this request's thread did, in order", and parallel
+//! workers report through the registry instead.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::{OnceLock, RwLock};
+use std::time::{Duration, Instant};
+
+use crate::metrics::{Buckets, Histogram};
+
+/// Histogram family every span records into.
+const SPAN_FAMILY: &str = "mr2_span_seconds";
+const SPAN_HELP: &str = "Elapsed seconds of named code spans.";
+
+/// Cache of span-name → histogram handle, so starting a span on a hot
+/// path costs one `RwLock` read after the first use of each name.
+fn span_histogram(name: &'static str) -> Histogram {
+    static CACHE: OnceLock<RwLock<HashMap<&'static str, Histogram>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| RwLock::new(HashMap::new()));
+    if let Some(h) = cache.read().unwrap().get(name) {
+        return h.clone();
+    }
+    let h = crate::histogram_with(SPAN_FAMILY, SPAN_HELP, &[("span", name)], Buckets::TIME);
+    cache.write().unwrap().entry(name).or_insert(h).clone()
+}
+
+/// One completed span inside a [`Trace`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceSpan {
+    /// Span name (as passed to [`crate::span`]).
+    pub name: &'static str,
+    /// Offset of the span's start from the trace's start.
+    pub start: Duration,
+    /// How long the span ran.
+    pub duration: Duration,
+}
+
+/// A finished request trace: the ordered breakdown of what the traced
+/// thread did between [`begin_trace`] and [`end_trace`].
+#[derive(Debug, Clone)]
+pub struct Trace {
+    /// The request id the trace was begun with.
+    pub request_id: u64,
+    /// Wall time between begin and end.
+    pub wall: Duration,
+    /// Top-level spans, in completion order (which, being sequential,
+    /// is also start order).
+    pub spans: Vec<TraceSpan>,
+}
+
+struct ActiveTrace {
+    request_id: u64,
+    started: Instant,
+    /// Open spans on this thread; only depth-0 spans enter the trace.
+    depth: u32,
+    spans: Vec<TraceSpan>,
+}
+
+thread_local! {
+    static ACTIVE: RefCell<Option<ActiveTrace>> = const { RefCell::new(None) };
+}
+
+/// Install a trace context on the current thread. Returns `false` (and
+/// leaves the existing context untouched) if one is already active.
+pub fn begin_trace(request_id: u64) -> bool {
+    ACTIVE.with(|slot| {
+        let mut slot = slot.borrow_mut();
+        if slot.is_some() {
+            return false;
+        }
+        *slot = Some(ActiveTrace {
+            request_id,
+            started: Instant::now(),
+            depth: 0,
+            spans: Vec::new(),
+        });
+        true
+    })
+}
+
+/// Whether a trace context is active on the current thread.
+pub fn trace_active() -> bool {
+    ACTIVE.with(|slot| slot.borrow().is_some())
+}
+
+/// Remove the current thread's trace context and return the breakdown;
+/// `None` when no trace is active.
+pub fn end_trace() -> Option<Trace> {
+    ACTIVE.with(|slot| {
+        slot.borrow_mut().take().map(|t| Trace {
+            request_id: t.request_id,
+            wall: t.started.elapsed(),
+            spans: t.spans,
+        })
+    })
+}
+
+/// Record an already-measured duration into `mr2_span_seconds{span=…}`
+/// without an RAII guard — for call sites whose timing cannot be
+/// scoped cleanly (e.g. a cache that times only its hit branch). Does
+/// not interact with the trace context.
+pub fn observe_span(name: &'static str, seconds: f64) {
+    if crate::enabled() {
+        span_histogram(name).observe(seconds);
+    }
+}
+
+/// A running span timer; see [`crate::span`]. Dropping it records the
+/// observation.
+#[derive(Debug)]
+pub struct Span {
+    name: &'static str,
+    started: Instant,
+    /// The span's depth in the active trace at start (`None`: no trace
+    /// on this thread — registry recording only).
+    trace_depth: Option<u32>,
+}
+
+impl Span {
+    pub(crate) fn start(name: &'static str) -> Span {
+        let trace_depth = ACTIVE.with(|slot| {
+            slot.borrow_mut().as_mut().map(|t| {
+                let d = t.depth;
+                t.depth += 1;
+                d
+            })
+        });
+        Span {
+            name,
+            started: Instant::now(),
+            trace_depth,
+        }
+    }
+
+    /// The span's name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let duration = self.started.elapsed();
+        if crate::enabled() {
+            span_histogram(self.name).observe(duration.as_secs_f64());
+        }
+        if let Some(depth) = self.trace_depth {
+            ACTIVE.with(|slot| {
+                if let Some(t) = slot.borrow_mut().as_mut() {
+                    t.depth = t.depth.saturating_sub(1);
+                    if depth == 0 {
+                        t.spans.push(TraceSpan {
+                            name: self.name,
+                            start: self.started.saturating_duration_since(t.started),
+                            duration,
+                        });
+                    }
+                }
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spin(us: u64) {
+        let until = Instant::now() + Duration::from_micros(us);
+        while Instant::now() < until {
+            std::hint::spin_loop();
+        }
+    }
+
+    #[test]
+    fn spans_record_into_the_histogram_family() {
+        let h = span_histogram("span_test.basic");
+        let before = h.count();
+        {
+            let _s = crate::span("span_test.basic");
+            spin(50);
+        }
+        assert_eq!(h.count(), before + 1);
+        assert!(h.quantile(1.0).unwrap() >= 1e-6);
+    }
+
+    #[test]
+    fn trace_collects_top_level_spans_in_order_and_sum_is_bounded() {
+        assert!(begin_trace(41));
+        assert!(!begin_trace(42), "no nested trace contexts");
+        {
+            let _a = crate::span("span_test.first");
+            spin(200);
+        }
+        {
+            let _b = crate::span("span_test.outer");
+            let _nested = crate::span("span_test.inner");
+            spin(200);
+        }
+        let t = end_trace().expect("trace was active");
+        assert!(end_trace().is_none(), "context consumed");
+        assert_eq!(t.request_id, 41);
+        let names: Vec<&str> = t.spans.iter().map(|s| s.name).collect();
+        assert_eq!(
+            names,
+            vec!["span_test.first", "span_test.outer"],
+            "nested spans stay out of the trace"
+        );
+        assert!(t.spans[0].start <= t.spans[1].start, "ordered by start");
+        let sum: Duration = t.spans.iter().map(|s| s.duration).sum();
+        assert!(
+            sum <= t.wall,
+            "sequential spans cannot out-sum the wall time ({sum:?} vs {wall:?})",
+            wall = t.wall
+        );
+    }
+
+    #[test]
+    fn spawned_threads_do_not_inherit_the_trace() {
+        assert!(begin_trace(77));
+        let child_active = std::thread::spawn(trace_active).join().unwrap();
+        assert!(!child_active);
+        let t = end_trace().unwrap();
+        assert!(t.spans.is_empty());
+    }
+}

@@ -12,7 +12,33 @@
 //!   concurrently never queue behind each other. With all factors 1 it
 //!   reduces exactly to Bard–Schweitzer.
 
+use std::sync::OnceLock;
+
 use crate::network::{ClosedNetwork, MvaSolution, StationKind};
+
+/// Iterations executed by [`overlap_mva`]'s fixed point, batched into
+/// one atomic add per solve so the loop body stays uninstrumented.
+fn mva_iterations() -> &'static mr2_obs::Counter {
+    static C: OnceLock<mr2_obs::Counter> = OnceLock::new();
+    C.get_or_init(|| {
+        mr2_obs::counter(
+            "mr2_mva_iterations_total",
+            "Fixed-point iterations executed by the overlap-MVA solver.",
+        )
+    })
+}
+
+/// Solves that hit [`MAX_ITER`] without the response-time delta
+/// dropping below [`EPSILON`].
+fn mva_failures() -> &'static mr2_obs::Counter {
+    static C: OnceLock<mr2_obs::Counter> = OnceLock::new();
+    C.get_or_init(|| {
+        mr2_obs::counter(
+            "mr2_mva_convergence_failures_total",
+            "Overlap-MVA solves that exhausted the iteration budget before converging.",
+        )
+    })
+}
 
 /// Convergence threshold for the fixed-point solvers — the paper's ε
 /// (§4.2.6): "We use ε = 10⁻⁷, which is the recommended value for MVA".
@@ -186,7 +212,10 @@ pub fn overlap_mva(
     let mut response = vec![0.0f64; c_n];
     let mut throughput = vec![0.0f64; c_n];
 
+    let mut iterations = 0u64;
+    let mut converged = false;
     for _iter in 0..MAX_ITER {
+        iterations += 1;
         let mut max_delta = 0.0f64;
         for i in 0..c_n {
             let mut r_total = 0.0;
@@ -232,8 +261,13 @@ pub fn overlap_mva(
             }
         }
         if max_delta < EPSILON {
+            converged = true;
             break;
         }
+    }
+    mva_iterations().add(iterations);
+    if !converged && iterations > 0 {
+        mva_failures().inc();
     }
 
     let mut utilization = vec![0.0; k_n];

@@ -32,7 +32,36 @@ use std::collections::{BTreeMap, HashMap};
 use std::io::Write as _;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Live process-wide mirrors of the per-cache counters: every
+/// [`ResultCache`] in the process increments these `mr2-obs` families
+/// alongside its own [`CacheStats`] atomics, so `GET /metrics` shows
+/// cache behaviour without polling each cache instance.
+fn obs_counters() -> &'static [mr2_obs::Counter; 4] {
+    static C: OnceLock<[mr2_obs::Counter; 4]> = OnceLock::new();
+    C.get_or_init(|| {
+        [
+            mr2_obs::counter(
+                "mr2_cache_hits_total",
+                "Result-cache lookups answered from a ready entry.",
+            ),
+            mr2_obs::counter(
+                "mr2_cache_misses_total",
+                "Result-cache lookups that computed a fresh entry.",
+            ),
+            mr2_obs::counter(
+                "mr2_cache_coalesced_total",
+                "Result-cache lookups that waited on an identical in-flight computation.",
+            ),
+            mr2_obs::counter(
+                "mr2_cache_evictions_total",
+                "Result-cache entries evicted by the LRU bound.",
+            ),
+        ]
+    })
+}
 
 /// Combined schema version of everything a cached record depends on:
 /// the analytic model ([`mr2_model::MODEL_SCHEMA_VERSION`]) and the
@@ -292,6 +321,7 @@ impl ResultCache {
     /// interleaving and concurrent identical queries cost one
     /// evaluation. If the computing caller panics its waiters recompute.
     pub fn get_or_compute<F: FnOnce() -> Vec<f64>>(&self, key: u64, compute: F) -> Arc<Vec<f64>> {
+        let lookup_started = Instant::now();
         let mut compute = Some(compute);
         loop {
             let flight = {
@@ -301,16 +331,26 @@ impl ResultCache {
                         let value = Arc::clone(value);
                         inner.touch(key);
                         self.hits.fetch_add(1, Ordering::Relaxed);
+                        obs_counters()[0].inc();
+                        // Only the hit branch times the lookup itself;
+                        // misses are dominated by `compute` and carry
+                        // their own spans.
+                        mr2_obs::observe_span(
+                            "cache.lookup",
+                            lookup_started.elapsed().as_secs_f64(),
+                        );
                         return value;
                     }
                     Some(Slot::Pending(flight)) => {
                         self.coalesced.fetch_add(1, Ordering::Relaxed);
+                        obs_counters()[2].inc();
                         Arc::clone(flight)
                     }
                     None => {
                         let flight = Arc::new(Flight::new());
                         inner.map.insert(key, Slot::Pending(Arc::clone(&flight)));
                         self.misses.fetch_add(1, Ordering::Relaxed);
+                        obs_counters()[1].inc();
                         drop(inner);
 
                         let mut guard = FlightGuard {
@@ -327,6 +367,7 @@ impl ResultCache {
                             inner.insert_ready(key, Arc::clone(&value), self.capacity)
                         };
                         self.evictions.fetch_add(evicted, Ordering::Relaxed);
+                        obs_counters()[3].add(evicted);
                         flight.publish(FlightState::Ready(Arc::clone(&value)));
                         return value;
                     }
@@ -459,6 +500,7 @@ impl ResultCache {
             if !inner.map.contains_key(&key) {
                 let evicted = inner.insert_ready(key, Arc::new(values), self.capacity);
                 self.evictions.fetch_add(evicted, Ordering::Relaxed);
+                obs_counters()[3].add(evicted);
                 loaded += 1;
             }
         }

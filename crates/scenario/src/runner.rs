@@ -10,7 +10,7 @@
 //! results in the same order.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
 
 use mapreduce_sim::profile::{profile_job, MeasuredProfile};
 use mapreduce_sim::{JobSpec, SimPoint};
@@ -208,8 +208,12 @@ pub fn evaluate_point(
     let submits = point.submit_offsets();
 
     let sim = backends.simulator.map(|reps| {
+        // Outer span: cache lookup + (on a miss) the simulation run;
+        // the inner span times the run alone.
+        let _phase = mr2_obs::span("point.sim");
         let key = point_key(point).str("sim").u64(reps as u64).finish();
         let rec = cache.get_or_compute(key, || {
+            let _run = mr2_obs::span("sim.run");
             let classes: Vec<(JobSpec, usize)> = point
                 .mix
                 .entries
@@ -229,6 +233,7 @@ pub fn evaluate_point(
     });
 
     let model = backends.analytic.then(|| {
+        let _phase = mr2_obs::span("point.model");
         let classes: Vec<MixClass> = point
             .mix
             .entries
@@ -242,7 +247,10 @@ pub fn evaluate_point(
                     // every other mix containing it — shares one
                     // profile.
                     let key = profile_key(point, e);
-                    let rec = cache.get_or_compute(key, || profile_job(&spec, &cfg).0.to_record());
+                    let rec = cache.get_or_compute(key, || {
+                        let _run = mr2_obs::span("profile.run");
+                        profile_job(&spec, &cfg).0.to_record()
+                    });
                     MeasuredProfile::from_record(&rec).expect("cached profile record shape")
                 });
                 MixClass {
@@ -257,6 +265,7 @@ pub fn evaluate_point(
             .bool(backends.profile_calibration)
             .finish();
         let rec = cache.get_or_compute(key, || {
+            let _run = mr2_obs::span("model.eval");
             mr2_model::eval_mix(
                 &cfg,
                 &classes,
@@ -269,11 +278,23 @@ pub fn evaluate_point(
         ModelPoint::from_record(&rec).expect("cached model record shape")
     });
 
+    points_evaluated().inc();
     PointResult {
         point: point.clone(),
         model,
         sim,
     }
+}
+
+/// Points evaluated by [`evaluate_point`] (cache hits included).
+fn points_evaluated() -> &'static mr2_obs::Counter {
+    static C: OnceLock<mr2_obs::Counter> = OnceLock::new();
+    C.get_or_init(|| {
+        mr2_obs::counter(
+            "mr2_points_evaluated_total",
+            "Evaluation points processed by the scenario runner.",
+        )
+    })
 }
 
 /// Content key of a point's cluster configuration, on a

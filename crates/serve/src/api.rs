@@ -26,6 +26,27 @@ pub struct EstimateRequest {
     /// Which backends to run. Defaults to the analytic model only —
     /// the online-query fast path; simulator ground truth is opt-in.
     pub backends: Backends,
+    /// Attach a per-span timing breakdown to the reply (`"debug": true`).
+    pub debug: bool,
+}
+
+/// A decoded `POST /v1/scenario` body.
+#[derive(Debug, Clone)]
+pub struct ScenarioRequest {
+    /// The sweep to run.
+    pub scenario: Scenario,
+    /// Attach a per-span timing breakdown to the reply (`"debug": true`).
+    pub debug: bool,
+}
+
+/// Decode a `debug` field: absent means off.
+fn field_debug(map: &BTreeMap<String, Json>) -> Result<bool, String> {
+    match map.get("debug") {
+        None => Ok(false),
+        Some(v) => v
+            .as_bool()
+            .ok_or_else(|| "field `debug` must be a boolean".to_string()),
+    }
 }
 
 fn parse_scheduler(s: &str) -> Result<SchedulerPolicy, String> {
@@ -321,6 +342,7 @@ pub fn parse_estimate_request(body: &str) -> Result<EstimateRequest, String> {
             "reduces",
             "seed",
             "backends",
+            "debug",
         ],
     )?;
     let str_field = |key: &str| -> Result<Option<&str>, String> {
@@ -377,7 +399,11 @@ pub fn parse_estimate_request(body: &str) -> Result<EstimateRequest, String> {
     if !backends.analytic && backends.simulator.is_none() {
         return Err("at least one backend must be enabled".into());
     }
-    Ok(EstimateRequest { point, backends })
+    Ok(EstimateRequest {
+        point,
+        backends,
+        debug: field_debug(map)?,
+    })
 }
 
 /// Decode a `POST /v1/scenario` body into a [`Scenario`] (validated
@@ -388,7 +414,7 @@ pub fn parse_estimate_request(body: &str) -> Result<EstimateRequest, String> {
 /// grid fields (`jobs`, `input_bytes`, `n_jobs`, `reduces`), which
 /// cross into 1-entry mixes for back-compatibility; mixing the two
 /// styles is rejected.
-pub fn parse_scenario_request(body: &str) -> Result<Scenario, String> {
+pub fn parse_scenario_request(body: &str) -> Result<ScenarioRequest, String> {
     let v = Json::parse(body).map_err(|e| format!("invalid JSON: {e}"))?;
     let map = known_object(
         &v,
@@ -411,6 +437,7 @@ pub fn parse_scenario_request(body: &str) -> Result<Scenario, String> {
             "reduces",
             "backends",
             "seed",
+            "debug",
         ],
     )?;
     let name = match map.get("name") {
@@ -531,7 +558,33 @@ pub fn parse_scenario_request(body: &str) -> Result<Scenario, String> {
     }
     s.seed = field_u64(map, "seed", 1)?;
     s.check()?;
-    Ok(s)
+    Ok(ScenarioRequest {
+        scenario: s,
+        debug: field_debug(map)?,
+    })
+}
+
+/// Encode a finished [`mr2_obs::Trace`] as the reply's `debug` object:
+/// the request id, the measured wall time, and the ordered top-level
+/// span breakdown. Spans are sequential by construction, so their
+/// durations sum to at most `wall_ms`.
+pub fn debug_json(trace: &mr2_obs::Trace) -> Json {
+    let spans: Vec<Json> = trace
+        .spans
+        .iter()
+        .map(|s| {
+            Json::obj([
+                ("name", Json::str(s.name)),
+                ("start_ms", Json::num(s.start.as_secs_f64() * 1e3)),
+                ("duration_ms", Json::num(s.duration.as_secs_f64() * 1e3)),
+            ])
+        })
+        .collect();
+    Json::obj([
+        ("request_id", trace.request_id.into()),
+        ("wall_ms", Json::num(trace.wall.as_secs_f64() * 1e3)),
+        ("spans", Json::Arr(spans)),
+    ])
 }
 
 /// Encode one evaluated point. The workload is a `mix` array (one
@@ -657,6 +710,17 @@ pub fn sweep_json(sweep: &SweepResult) -> Json {
     ])
 }
 
+/// Fraction of resolved lookups answered from a ready entry (0 when
+/// the cache has seen none).
+pub fn hit_ratio(s: &CacheStats) -> f64 {
+    let lookups = s.hits + s.misses;
+    if lookups == 0 {
+        0.0
+    } else {
+        s.hits as f64 / lookups as f64
+    }
+}
+
 /// Encode cache counters.
 pub fn cache_stats_json(s: &CacheStats) -> Json {
     Json::obj([
@@ -664,6 +728,7 @@ pub fn cache_stats_json(s: &CacheStats) -> Json {
         ("misses", s.misses.into()),
         ("coalesced", s.coalesced.into()),
         ("evictions", s.evictions.into()),
+        ("hit_ratio", Json::num(hit_ratio(s))),
         ("entries", s.entries.into()),
         ("capacity", s.capacity.into()),
         ("schema_version", mr2_scenario::schema_version().into()),
@@ -852,7 +917,8 @@ mod tests {
                 "estimators":["fork_join","tripathi"],"jobs":["grep"],
                 "input_bytes":[1073741824],"seed":7}"#,
         )
-        .unwrap();
+        .unwrap()
+        .scenario;
         assert_eq!(s.name, "grow");
         assert_eq!(s.nodes, vec![4, 8, 16]);
         let mixes = s.workload_values();
@@ -876,7 +942,8 @@ mod tests {
                          [{"job":"terasort"}]],
                 "map_failure_prob":[0.0,0.1]}"#,
         )
-        .unwrap();
+        .unwrap()
+        .scenario;
         assert_eq!(s.num_points(), 2 * 2 * 2, "nodes × mixes × failure");
         let mixes = s.workload_values();
         assert_eq!(mixes.len(), 2);
@@ -892,7 +959,8 @@ mod tests {
                 "arrivals":["batch",{"staggered_ms":60000},{"trace_ms":[0,90000]}],
                 "slow_node_factor":[1.0,4.0]}"#,
         )
-        .unwrap();
+        .unwrap()
+        .scenario;
         assert_eq!(s.num_points(), 3 * 2, "arrivals × slow_node_factor");
         assert_eq!(s.arrivals.len(), 3);
         assert_eq!(
@@ -908,7 +976,8 @@ mod tests {
                 "mixes":[[{"job":"wordcount"},
                           {"job":"grep","submit_offset_ms":45000}]]}"#,
         )
-        .unwrap();
+        .unwrap()
+        .scenario;
         let mixes = s.workload_values();
         assert_eq!(mixes[0].entries[1].submit_offset_ms, 45000);
     }
@@ -965,7 +1034,8 @@ mod tests {
                           {"job":"grep","input_bytes":268435456}]],
                 "backends":{"analytic":true,"simulator":2}}"#,
         )
-        .unwrap();
+        .unwrap()
+        .scenario;
         let sweep = run_scenario(&s, &ResultCache::new(), &RunnerConfig::serial());
         let v = sweep_json(&sweep);
         let text = v.render();

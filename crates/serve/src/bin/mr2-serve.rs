@@ -3,7 +3,7 @@
 //! ```text
 //! mr2-serve [--addr 127.0.0.1:8080] [--threads 4] [--cache-capacity 65536]
 //!           [--max-points 4096] [--cache-file results/serve-cache.txt]
-//!           [--persist-secs 30] [--keep-alive-requests 32]
+//!           [--persist-secs 30] [--keep-alive-requests 32] [--no-access-log]
 //! ```
 //!
 //! Smoke it with curl:
@@ -11,6 +11,7 @@
 //! ```text
 //! curl http://127.0.0.1:8080/healthz
 //! curl -X POST http://127.0.0.1:8080/v1/estimate -d '{"nodes":8,"n_jobs":2}'
+//! curl http://127.0.0.1:8080/metrics
 //! ```
 
 use mr2_serve::{serve, ServeConfig};
@@ -20,7 +21,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: mr2-serve [--addr HOST:PORT] [--threads N] [--cache-capacity N]\n\
          \x20                [--max-points N] [--cache-file PATH] [--persist-secs N]\n\
-         \x20                [--keep-alive-requests N]"
+         \x20                [--keep-alive-requests N] [--no-access-log]"
     );
     std::process::exit(2);
 }
@@ -58,6 +59,7 @@ fn main() {
                 Ok(n) if n > 0 => cfg.keep_alive_requests = n,
                 _ => usage(),
             },
+            "--no-access-log" => cfg.access_log = false,
             "--help" | "-h" => usage(),
             _ => {
                 eprintln!("unknown flag: {flag}");

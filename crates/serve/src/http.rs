@@ -257,6 +257,12 @@ pub fn reason(status: u16) -> &'static str {
     }
 }
 
+/// `Content-Type` of JSON responses (every endpoint except `/metrics`).
+pub const CONTENT_TYPE_JSON: &str = "application/json";
+
+/// `Content-Type` of the Prometheus text exposition format.
+pub const CONTENT_TYPE_METRICS: &str = "text/plain; version=0.0.4";
+
 /// Write a complete response and flush. `close` selects the
 /// `Connection` header: `close` ends the connection after this
 /// response, `keep-alive` invites the next request.
@@ -264,11 +270,12 @@ pub fn write_response<S: Write>(
     stream: &mut S,
     status: u16,
     body: &str,
+    content_type: &str,
     close: bool,
 ) -> std::io::Result<()> {
     write!(
         stream,
-        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
         reason(status),
         body.len(),
         if close { "close" } else { "keep-alive" },
@@ -453,16 +460,18 @@ mod tests {
     #[test]
     fn response_carries_length_and_connection_header() {
         let mut out = Vec::new();
-        write_response(&mut out, 200, "{\"ok\":true}", true).unwrap();
+        write_response(&mut out, 200, "{\"ok\":true}", CONTENT_TYPE_JSON, true).unwrap();
         let text = String::from_utf8(out).unwrap();
         assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Type: application/json\r\n"));
         assert!(text.contains("Content-Length: 11\r\n"));
         assert!(text.contains("Connection: close\r\n"));
         assert!(text.ends_with("{\"ok\":true}"));
 
         let mut out = Vec::new();
-        write_response(&mut out, 200, "{}", false).unwrap();
+        write_response(&mut out, 200, "{}", CONTENT_TYPE_METRICS, false).unwrap();
         let text = String::from_utf8(out).unwrap();
         assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(text.contains("Content-Type: text/plain; version=0.0.4\r\n"));
     }
 }

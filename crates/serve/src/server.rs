@@ -3,11 +3,12 @@
 //! the shared [`ResultCache`] as state, plus a persistence thread that
 //! periodically snapshots the cache to disk.
 //!
-//! Endpoints:
+//! Endpoints (one row of [`ROUTES`] each):
 //!
 //! | method | path | body | answer |
 //! |---|---|---|---|
-//! | `GET`  | `/healthz` | — | liveness + uptime |
+//! | `GET`  | `/healthz` | — | liveness + uptime + request count |
+//! | `GET`  | `/metrics` | — | Prometheus text exposition of the process registry |
 //! | `GET`  | `/v1/cache/stats` | — | shared-cache counters |
 //! | `POST` | `/v1/estimate` | point spec | one evaluated point |
 //! | `POST` | `/v1/scenario` | scenario spec | full sweep + error bands |
@@ -16,6 +17,12 @@
 //! coalesces in-flight computations, so a thundering herd of the same
 //! what-if question does the model solve (or simulator run) once and
 //! fans the record out.
+//!
+//! Every request is observable three ways: per-route counters and
+//! latency histograms in the `mr2-obs` registry (scraped via
+//! `GET /metrics`), one structured access-log line on stderr
+//! ([`ServeConfig::access_log`]), and — when a request body carries
+//! `"debug": true` — a per-span timing breakdown attached to the reply.
 
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::AssertUnwindSafe;
@@ -24,10 +31,13 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use mr2_obs as obs;
 use mr2_scenario::{evaluate_point, run_scenario, PointResult, ResultCache, RunnerConfig};
 
 use crate::api;
-use crate::http::{write_response, Conn, HttpError, Request};
+use crate::http::{
+    write_response, Conn, HttpError, Request, CONTENT_TYPE_JSON, CONTENT_TYPE_METRICS,
+};
 use crate::json::Json;
 
 /// Socket read/write budget while a request or response is in flight
@@ -65,6 +75,9 @@ pub struct ServeConfig {
     /// Runner knobs for scenario sweeps (worker-thread count of the
     /// *evaluation* pool, not the HTTP pool).
     pub runner: RunnerConfig,
+    /// Write one structured line per request to stderr (request id,
+    /// method, path, status, response bytes, latency).
+    pub access_log: bool,
 }
 
 impl Default for ServeConfig {
@@ -80,7 +93,97 @@ impl Default for ServeConfig {
             keep_alive_requests: 32,
             keep_alive_idle: Duration::from_secs(5),
             runner: RunnerConfig::default(),
+            access_log: true,
         }
+    }
+}
+
+/// Request-layer metric handles. Per-route series go through the
+/// registry's read-lock lookup on each request (negligible next to an
+/// evaluation); unlabelled series are cached in `OnceLock` statics.
+mod metrics {
+    use super::obs;
+
+    pub fn requests(method: &str, path: &str, status: u16) -> obs::Counter {
+        obs::counter_with(
+            "mr2_http_requests_total",
+            "HTTP requests served, by method, route, and status.",
+            &[
+                ("method", method),
+                ("path", path),
+                ("status", &status.to_string()),
+            ],
+        )
+    }
+
+    pub fn latency(path: &str) -> obs::Histogram {
+        obs::histogram_with(
+            "mr2_http_request_seconds",
+            "Request handling latency, parse to response built, by route.",
+            &[("path", path)],
+            obs::Buckets::TIME,
+        )
+    }
+
+    pub fn requests_served() -> &'static obs::Counter {
+        static C: std::sync::OnceLock<obs::Counter> = std::sync::OnceLock::new();
+        C.get_or_init(|| {
+            obs::counter(
+                "mr2_serve_requests_total",
+                "HTTP requests served, all routes (the /healthz aggregate).",
+            )
+        })
+    }
+
+    pub fn queue_depth() -> &'static obs::Gauge {
+        static G: std::sync::OnceLock<obs::Gauge> = std::sync::OnceLock::new();
+        G.get_or_init(|| {
+            obs::gauge(
+                "mr2_serve_queue_depth",
+                "Accepted connections waiting for a worker thread.",
+            )
+        })
+    }
+
+    pub fn queue_wait() -> &'static obs::Histogram {
+        static H: std::sync::OnceLock<obs::Histogram> = std::sync::OnceLock::new();
+        H.get_or_init(|| {
+            obs::histogram(
+                "mr2_serve_queue_wait_seconds",
+                "Time an accepted connection waited for a worker thread.",
+                obs::Buckets::TIME,
+            )
+        })
+    }
+
+    pub fn uptime() -> &'static obs::Gauge {
+        static G: std::sync::OnceLock<obs::Gauge> = std::sync::OnceLock::new();
+        G.get_or_init(|| {
+            obs::gauge(
+                "mr2_serve_uptime_seconds",
+                "Seconds since the service started (set at scrape time).",
+            )
+        })
+    }
+
+    pub fn cache_entries() -> &'static obs::Gauge {
+        static G: std::sync::OnceLock<obs::Gauge> = std::sync::OnceLock::new();
+        G.get_or_init(|| {
+            obs::gauge(
+                "mr2_cache_entries",
+                "Entries resident in the service's shared result cache (set at scrape time).",
+            )
+        })
+    }
+
+    pub fn cache_hit_ratio() -> &'static obs::Gauge {
+        static G: std::sync::OnceLock<obs::Gauge> = std::sync::OnceLock::new();
+        G.get_or_init(|| {
+            obs::gauge(
+                "mr2_cache_hit_ratio",
+                "hits / (hits + misses) of the service's shared result cache (set at scrape time).",
+            )
+        })
     }
 }
 
@@ -147,8 +250,9 @@ pub fn serve(cfg: ServeConfig) -> std::io::Result<ServerHandle> {
     let stop = Arc::new(AtomicBool::new(false));
     let mut threads = Vec::new();
 
-    // Fixed worker pool over one shared receiver.
-    let (tx, rx) = mpsc::channel::<TcpStream>();
+    // Fixed worker pool over one shared receiver. Each queued socket
+    // carries its enqueue time so the pool's backlog is measurable.
+    let (tx, rx) = mpsc::channel::<(TcpStream, Instant)>();
     let rx = Arc::new(Mutex::new(rx));
     for i in 0..cfg.threads.max(1) {
         let rx = Arc::clone(&rx);
@@ -159,7 +263,11 @@ pub fn serve(cfg: ServeConfig) -> std::io::Result<ServerHandle> {
                 .spawn(move || loop {
                     let next = rx.lock().unwrap().recv();
                     match next {
-                        Ok(stream) => handle_connection(stream, &state),
+                        Ok((stream, queued_at)) => {
+                            metrics::queue_depth().dec();
+                            metrics::queue_wait().observe(queued_at.elapsed().as_secs_f64());
+                            handle_connection(stream, &state)
+                        }
                         Err(_) => break, // acceptor gone: drain complete
                     }
                 })
@@ -183,7 +291,9 @@ pub fn serve(cfg: ServeConfig) -> std::io::Result<ServerHandle> {
                             // pinning a worker forever.
                             let _ = stream.set_read_timeout(Some(REQUEST_TIMEOUT));
                             let _ = stream.set_write_timeout(Some(REQUEST_TIMEOUT));
-                            if tx.send(stream).is_err() {
+                            metrics::queue_depth().inc();
+                            if tx.send((stream, Instant::now())).is_err() {
+                                metrics::queue_depth().dec();
                                 break;
                             }
                         }
@@ -266,23 +376,71 @@ fn handle_connection(stream: TcpStream, state: &State) {
                 return;
             }
         }
-        let (status, body, close) = match conn.read_request() {
+        let (resp, close) = match conn.read_request() {
             Ok(Some(req)) => {
+                let request_id = obs::next_request_id();
+                let started = Instant::now();
                 // A panicking evaluation must cost a 500, not a worker.
-                let (status, body) =
-                    std::panic::catch_unwind(AssertUnwindSafe(|| route(&req, state)))
+                let resp =
+                    std::panic::catch_unwind(AssertUnwindSafe(|| route(&req, state, request_id)))
                         .unwrap_or_else(|_| {
-                            (500, error_json("internal error: evaluation panicked"))
+                            // A panicked debug request may strand its
+                            // thread-local trace; clear it so later
+                            // requests on this worker start clean.
+                            let _ = obs::end_trace();
+                            Response::json(500, error_json("internal error: evaluation panicked"))
                         });
-                (status, body, !req.keep_alive || served + 1 == max_requests)
+                let latency = started.elapsed();
+                let path = canonical_path(&req.path);
+                metrics::requests(&req.method, path, resp.status).inc();
+                metrics::latency(path).observe(latency.as_secs_f64());
+                metrics::requests_served().inc();
+                if state.cfg.access_log {
+                    eprintln!(
+                        "mr2-serve: request id={request_id} method={} path={} status={} bytes={} micros={}",
+                        req.method,
+                        req.path,
+                        resp.status,
+                        resp.body.len(),
+                        latency.as_micros(),
+                    );
+                }
+                (resp, !req.keep_alive || served + 1 == max_requests)
             }
             // Client closed (or idled out) between requests.
             Ok(None) => return,
             // Protocol errors poison the framing; always close.
-            Err(HttpError { status, message }) => (status, error_json(&message), true),
+            Err(HttpError { status, message }) => {
+                (Response::json(status, error_json(&message)), true)
+            }
         };
-        if write_response(conn.stream_mut(), status, &body, close).is_err() || close {
+        let ok = write_response(
+            conn.stream_mut(),
+            resp.status,
+            &resp.body,
+            resp.content_type,
+            close,
+        );
+        if ok.is_err() || close {
             return;
+        }
+    }
+}
+
+/// A routed response: status, body, and the body's content type
+/// (everything but `/metrics` is JSON).
+struct Response {
+    status: u16,
+    body: String,
+    content_type: &'static str,
+}
+
+impl Response {
+    fn json(status: u16, body: String) -> Response {
+        Response {
+            status,
+            body,
+            content_type: CONTENT_TYPE_JSON,
         }
     }
 }
@@ -298,9 +456,53 @@ fn jobs_bound_message(jobs: usize, state: &State) -> String {
     )
 }
 
-fn route(req: &Request, state: &State) -> (u16, String) {
-    match (req.method.as_str(), req.path.as_str()) {
-        ("GET", "/healthz") => (
+/// The service's endpoints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Endpoint {
+    Healthz,
+    Metrics,
+    CacheStats,
+    Estimate,
+    Scenario,
+}
+
+/// The route table: dispatch, the 405 fallback, and the metric path
+/// labels all read these rows, so adding an endpoint is one new row
+/// (replacing the hand-maintained 405 path list that had to be kept in
+/// sync with the dispatch match).
+const ROUTES: &[(&str, &str, Endpoint)] = &[
+    ("GET", "/healthz", Endpoint::Healthz),
+    ("GET", "/metrics", Endpoint::Metrics),
+    ("GET", "/v1/cache/stats", Endpoint::CacheStats),
+    ("POST", "/v1/estimate", Endpoint::Estimate),
+    ("POST", "/v1/scenario", Endpoint::Scenario),
+];
+
+/// The canonical route path used as the metric label — known paths
+/// stay themselves, everything else collapses to `other` so a client
+/// probing random paths can't mint unbounded label values.
+fn canonical_path(path: &str) -> &'static str {
+    ROUTES
+        .iter()
+        .find(|(_, p, _)| *p == path)
+        .map(|&(_, p, _)| p)
+        .unwrap_or("other")
+}
+
+fn route(req: &Request, state: &State, request_id: u64) -> Response {
+    let hit = ROUTES
+        .iter()
+        .find(|(m, p, _)| *m == req.method && *p == req.path);
+    let Some(&(_, _, endpoint)) = hit else {
+        // Same path under another method is a 405, unknown path a 404.
+        return if ROUTES.iter().any(|(_, p, _)| *p == req.path) {
+            Response::json(405, error_json("method not allowed"))
+        } else {
+            Response::json(404, error_json("no such endpoint"))
+        };
+    };
+    match endpoint {
+        Endpoint::Healthz => Response::json(
             200,
             Json::obj([
                 ("status", Json::str("ok")),
@@ -308,58 +510,118 @@ fn route(req: &Request, state: &State) -> (u16, String) {
                     "uptime_secs",
                     Json::num(state.started.elapsed().as_secs_f64()),
                 ),
+                ("requests_total", metrics::requests_served().value().into()),
             ])
             .render(),
         ),
-        ("GET", "/v1/cache/stats") => (200, api::cache_stats_json(&state.cache.stats()).render()),
-        ("POST", "/v1/estimate") => match std::str::from_utf8(&req.body)
-            .map_err(|_| "body is not UTF-8".to_string())
-            .and_then(api::parse_estimate_request)
-        {
-            Ok(r) => {
-                let jobs = r.point.total_jobs();
-                if jobs > state.cfg.max_jobs_per_point {
-                    return (400, error_json(&jobs_bound_message(jobs, state)));
-                }
-                let result: PointResult = evaluate_point(&r.point, &r.backends, &state.cache);
-                (200, api::point_json(&result).render())
-            }
-            Err(e) => (400, error_json(&e)),
-        },
-        ("POST", "/v1/scenario") => match std::str::from_utf8(&req.body)
-            .map_err(|_| "body is not UTF-8".to_string())
-            .and_then(api::parse_scenario_request)
-        {
-            Ok(scenario) => {
-                let n = scenario.num_points();
-                if n > state.cfg.max_points {
-                    return (
-                        400,
-                        error_json(&format!(
-                            "scenario expands to {n} points, above the service bound of {}",
-                            state.cfg.max_points
-                        )),
-                    );
-                }
-                // `max_points` bounds the axis product; each mix value
-                // must also keep its job total within the per-point
-                // bound.
-                if let Some(jobs) = scenario
-                    .workload_values()
-                    .iter()
-                    .map(|m| m.total_jobs())
-                    .find(|&jobs| jobs > state.cfg.max_jobs_per_point)
-                {
-                    return (400, error_json(&jobs_bound_message(jobs, state)));
-                }
-                let sweep = run_scenario(&scenario, &state.cache, &state.cfg.runner);
-                (200, api::sweep_json(&sweep).render())
-            }
-            Err(e) => (400, error_json(&e)),
-        },
-        (_, "/healthz") | (_, "/v1/cache/stats") | (_, "/v1/estimate") | (_, "/v1/scenario") => {
-            (405, error_json("method not allowed"))
+        Endpoint::Metrics => metrics_response(state),
+        Endpoint::CacheStats => {
+            Response::json(200, api::cache_stats_json(&state.cache.stats()).render())
         }
-        _ => (404, error_json("no such endpoint")),
+        Endpoint::Estimate => estimate_response(req, state, request_id),
+        Endpoint::Scenario => scenario_response(req, state, request_id),
+    }
+}
+
+/// Render the process registry, refreshing the scrape-time gauges
+/// (uptime, cache entries, hit ratio) first. The cache's monotonic
+/// counters are incremented live by the cache itself.
+fn metrics_response(state: &State) -> Response {
+    metrics::uptime().set(state.started.elapsed().as_secs_f64());
+    let stats = state.cache.stats();
+    metrics::cache_entries().set(stats.entries as f64);
+    metrics::cache_hit_ratio().set(api::hit_ratio(&stats));
+    Response {
+        status: 200,
+        body: obs::render(),
+        content_type: CONTENT_TYPE_METRICS,
+    }
+}
+
+/// Insert the trace breakdown into a reply object under `"debug"`.
+fn attach_debug(body: &mut Json, trace: &obs::Trace) {
+    if let Json::Obj(map) = body {
+        map.insert("debug".into(), api::debug_json(trace));
+    }
+}
+
+fn estimate_response(req: &Request, state: &State, request_id: u64) -> Response {
+    match std::str::from_utf8(&req.body)
+        .map_err(|_| "body is not UTF-8".to_string())
+        .and_then(api::parse_estimate_request)
+    {
+        Ok(r) => {
+            let jobs = r.point.total_jobs();
+            if jobs > state.cfg.max_jobs_per_point {
+                return Response::json(400, error_json(&jobs_bound_message(jobs, state)));
+            }
+            // With `"debug": true` the evaluation runs under a trace
+            // context: the runner's top-level spans (point.model,
+            // point.sim) and the encode span below form the breakdown.
+            let traced = r.debug && obs::begin_trace(request_id);
+            let result: PointResult = evaluate_point(&r.point, &r.backends, &state.cache);
+            let mut body = {
+                let _enc = obs::span("response.encode");
+                api::point_json(&result)
+            };
+            if traced {
+                if let Some(trace) = obs::end_trace() {
+                    attach_debug(&mut body, &trace);
+                }
+            }
+            Response::json(200, body.render())
+        }
+        Err(e) => Response::json(400, error_json(&e)),
+    }
+}
+
+fn scenario_response(req: &Request, state: &State, request_id: u64) -> Response {
+    match std::str::from_utf8(&req.body)
+        .map_err(|_| "body is not UTF-8".to_string())
+        .and_then(api::parse_scenario_request)
+    {
+        Ok(r) => {
+            let scenario = &r.scenario;
+            let n = scenario.num_points();
+            if n > state.cfg.max_points {
+                return Response::json(
+                    400,
+                    error_json(&format!(
+                        "scenario expands to {n} points, above the service bound of {}",
+                        state.cfg.max_points
+                    )),
+                );
+            }
+            // `max_points` bounds the axis product; each mix value
+            // must also keep its job total within the per-point
+            // bound.
+            if let Some(jobs) = scenario
+                .workload_values()
+                .iter()
+                .map(|m| m.total_jobs())
+                .find(|&jobs| jobs > state.cfg.max_jobs_per_point)
+            {
+                return Response::json(400, error_json(&jobs_bound_message(jobs, state)));
+            }
+            // The sweep's own point spans run on the runner's pool
+            // threads, which deliberately don't inherit the trace; the
+            // breakdown shows the sequential phases this thread saw.
+            let traced = r.debug && obs::begin_trace(request_id);
+            let sweep = {
+                let _run = obs::span("scenario.run");
+                run_scenario(scenario, &state.cache, &state.cfg.runner)
+            };
+            let mut body = {
+                let _enc = obs::span("response.encode");
+                api::sweep_json(&sweep)
+            };
+            if traced {
+                if let Some(trace) = obs::end_trace() {
+                    attach_debug(&mut body, &trace);
+                }
+            }
+            Response::json(200, body.render())
+        }
+        Err(e) => Response::json(400, error_json(&e)),
     }
 }

@@ -1,8 +1,10 @@
 //! End-to-end tests of the capacity-planning service over real TCP:
 //! round-trips for every endpoint (including heterogeneous workload
 //! mixes), HTTP keep-alive, error statuses, cache persistence across
-//! restarts, and the coalescing guarantee — concurrent identical
-//! scenario queries cost exactly one underlying evaluation.
+//! restarts, the coalescing guarantee — concurrent identical scenario
+//! queries cost exactly one underlying evaluation — and observability:
+//! the `/metrics` exposition spans every instrumented layer and
+//! `"debug": true` replies carry a span breakdown bounded by wall time.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
@@ -78,8 +80,23 @@ fn test_config() -> ServeConfig {
     ServeConfig {
         addr: "127.0.0.1:0".into(),
         threads: 6,
+        access_log: false,
         ..ServeConfig::default()
     }
+}
+
+/// Value of the first sample line starting with `series` (family name
+/// plus any labels, exactly as rendered) in a `/metrics` body; 0 when
+/// the series is absent.
+fn metric_value(metrics: &str, series: &str) -> f64 {
+    metrics
+        .lines()
+        .filter(|l| !l.starts_with('#'))
+        .find_map(|l| {
+            l.strip_prefix(series)
+                .and_then(|rest| rest.trim().parse::<f64>().ok())
+        })
+        .unwrap_or(0.0)
 }
 
 #[test]
@@ -90,6 +107,10 @@ fn healthz_and_stats_round_trip() {
     let v = Json::parse(&body).expect("health body is JSON");
     assert_eq!(v.get("status").unwrap().as_str(), Some("ok"));
     assert!(v.get("uptime_secs").unwrap().as_f64().unwrap() >= 0.0);
+    assert!(
+        v.get("requests_total").unwrap().as_u64().is_some(),
+        "health reply carries the served-request aggregate"
+    );
 
     let (status, body) = request(handle.addr, "GET", "/v1/cache/stats", "");
     assert_eq!(status, 200);
@@ -98,6 +119,11 @@ fn healthz_and_stats_round_trip() {
     assert_eq!(
         v.get("schema_version").unwrap().as_u64(),
         Some(mr2_scenario::schema_version())
+    );
+    assert_eq!(
+        v.get("hit_ratio").unwrap().as_f64(),
+        Some(0.0),
+        "no lookups yet: the derived ratio is 0, not NaN"
     );
     handle.shutdown();
 }
@@ -279,6 +305,144 @@ fn keep_alive_request_cap_closes_the_connection() {
     let mut rest = Vec::new();
     reader.read_to_end(&mut rest).expect("drain");
     assert!(rest.is_empty(), "socket is closed after the cap");
+    handle.shutdown();
+}
+
+#[test]
+fn metrics_scrape_spans_all_layers_and_counts_keep_alive_requests() {
+    let handle = serve(test_config()).unwrap();
+    // Drive every instrumented layer: a scenario through both backends
+    // (analytic solver + simulator + runner + a cache miss), then the
+    // identical body again for a cache hit.
+    let body = r#"{"name":"obs","nodes":[2],"input_bytes":[268435456],
+        "backends":{"analytic":true,"simulator":1}}"#;
+    let (status, reply) = request(handle.addr, "POST", "/v1/scenario", body);
+    assert_eq!(status, 200, "{reply}");
+    let (status, _) = request(handle.addr, "POST", "/v1/scenario", body);
+    assert_eq!(status, 200);
+
+    // Two scrapes on ONE kept-alive socket.
+    let mut conn = TcpStream::connect(handle.addr).expect("connect");
+    let mut reader = BufReader::new(conn.try_clone().expect("clone"));
+    send_request(&mut conn, "GET", "/metrics", "", false);
+    let (status, first, connection) = read_response(&mut reader);
+    assert_eq!(status, 200);
+    assert_eq!(connection, "keep-alive");
+    send_request(&mut conn, "GET", "/metrics", "", true);
+    let (status, second, _) = read_response(&mut reader);
+    assert_eq!(status, 200);
+
+    // Exposition shape: HELP/TYPE preambles and a healthy family count.
+    assert!(first.starts_with("# HELP "), "{first}");
+    let families = first.lines().filter(|l| l.starts_with("# TYPE ")).count();
+    assert!(families >= 8, "only {families} families:\n{first}");
+
+    // All four instrumented layers are represented.
+    for family in [
+        "mr2_http_requests_total",     // serve: per-route counters
+        "mr2_http_request_seconds",    // serve: latency histogram
+        "mr2_serve_queue_depth",       // serve: worker backlog gauge
+        "mr2_points_evaluated_total",  // runner
+        "mr2_cache_hits_total",        // result cache
+        "mr2_cache_misses_total",      // result cache
+        "mr2_solver_iterations_total", // analytic solver
+        "mr2_sim_events_total",        // simulator
+        "mr2_sim_event_heap_depth",    // simulator
+        "mr2_span_seconds",            // phase timings
+    ] {
+        assert!(
+            first.contains(&format!("# TYPE {family} ")),
+            "family {family} missing:\n{first}"
+        );
+    }
+    // The repeated scenario body was answered from the cache.
+    assert!(metric_value(&first, "mr2_cache_hits_total") >= 1.0);
+
+    // The metrics route counts itself: a request is recorded after its
+    // response is built, so the second scrape on the same socket sees
+    // the first one (the registry is process-wide and other tests race
+    // it, hence monotonic `>=`, not equality).
+    let series = "mr2_http_requests_total{method=\"GET\",path=\"/metrics\",status=\"200\"}";
+    let (v1, v2) = (metric_value(&first, series), metric_value(&second, series));
+    assert!(
+        v2 >= v1 + 1.0,
+        "second scrape counts the first: {v1} -> {v2}\n{second}"
+    );
+    handle.shutdown();
+}
+
+/// Assert the shape of a `"debug"` breakdown: a request id, ordered
+/// non-negative spans including `expect_span` and the encode phase, and
+/// durations summing to at most the measured wall time.
+fn assert_debug_breakdown(v: &Json, expect_span: &str) {
+    let debug = v.get("debug").expect("debug object attached");
+    assert!(debug.get("request_id").unwrap().as_u64().unwrap() >= 1);
+    let wall = debug.get("wall_ms").unwrap().as_f64().unwrap();
+    let spans = debug.get("spans").unwrap().as_arr().unwrap();
+    assert!(!spans.is_empty(), "breakdown has spans");
+    let mut sum = 0.0;
+    let mut names = Vec::new();
+    for s in spans {
+        names.push(s.get("name").unwrap().as_str().unwrap().to_string());
+        let start = s.get("start_ms").unwrap().as_f64().unwrap();
+        let duration = s.get("duration_ms").unwrap().as_f64().unwrap();
+        assert!(start >= 0.0 && duration >= 0.0);
+        sum += duration;
+    }
+    assert!(names.iter().any(|n| n == expect_span), "{names:?}");
+    assert!(names.iter().any(|n| n == "response.encode"), "{names:?}");
+    assert!(
+        sum <= wall + 1e-6,
+        "span sum {sum}ms bounded by wall {wall}ms: {names:?}"
+    );
+}
+
+#[test]
+fn debug_flag_attaches_span_breakdown_bounded_by_wall_time() {
+    let handle = serve(test_config()).unwrap();
+    // /v1/estimate with both backends: the runner's phase spans land in
+    // the trace alongside the encode span.
+    let (status, body) = request(
+        handle.addr,
+        "POST",
+        "/v1/estimate",
+        r#"{"nodes":2,"input_bytes":268435456,"debug":true,
+            "backends":{"analytic":true,"simulator":1}}"#,
+    );
+    assert_eq!(status, 200, "{body}");
+    let v = Json::parse(&body).unwrap();
+    assert_debug_breakdown(&v, "point.model");
+
+    // /v1/scenario: the sweep runs as one traced phase on this thread
+    // (the evaluation pool's own spans deliberately stay out).
+    let (status, body) = request(
+        handle.addr,
+        "POST",
+        "/v1/scenario",
+        r#"{"name":"dbg","nodes":[2,3],"input_bytes":[268435456],"debug":true}"#,
+    );
+    assert_eq!(status, 200, "{body}");
+    let v = Json::parse(&body).unwrap();
+    assert_debug_breakdown(&v, "scenario.run");
+
+    // Off by default: no debug key in the reply.
+    let (status, body) = request(
+        handle.addr,
+        "POST",
+        "/v1/estimate",
+        r#"{"nodes":2,"input_bytes":268435456}"#,
+    );
+    assert_eq!(status, 200);
+    assert!(Json::parse(&body).unwrap().get("debug").is_none());
+
+    // A non-boolean value is refused, not silently ignored.
+    let (status, body) = request(
+        handle.addr,
+        "POST",
+        "/v1/estimate",
+        r#"{"nodes":2,"debug":"yes"}"#,
+    );
+    assert_eq!(status, 400, "{body}");
     handle.shutdown();
 }
 

@@ -3,8 +3,9 @@
 //! Facade crate re-exporting the whole workspace: the analytic model
 //! ([`model`]), the discrete-event cluster simulator ([`sim`]) and its
 //! substrates ([`yarn`], [`hdfs`], [`des`]), the queueing-theory
-//! toolkit ([`queueing`]), and the declarative what-if scenario engine
-//! ([`scenario`]).
+//! toolkit ([`queueing`]), the declarative what-if scenario engine
+//! ([`scenario`]), and the process-wide metrics registry ([`obs`])
+//! every layer reports into.
 //!
 //! ```
 //! use hadoop2_perf::model::{estimate_workload, Calibration, ModelOptions};
@@ -68,3 +69,6 @@ pub use simcore as des;
 
 /// Closed queueing networks, MVA, phase-type distributions.
 pub use queueing;
+
+/// Counters, gauges, histograms, and span timers (crate `mr2-obs`).
+pub use mr2_obs as obs;
