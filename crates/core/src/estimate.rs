@@ -315,7 +315,27 @@ pub fn estimate_workload(
 /// v3: [`estimate_mix`]/[`eval_mix`] take per-job submit offsets (the
 /// windowed staggered-arrival approximation) and [`ModelPoint`] grew a
 /// makespan estimate (its record a makespan field).
-pub const MODEL_SCHEMA_VERSION: u32 = 3;
+///
+/// v4: open Poisson arrivals ([`crate::open::eval_open_mix`]) —
+/// [`ModelPoint`] grew an optional [`OpenMetrics`] tail (bottleneck
+/// utilization, knee rate, saturation rate) appended to its record.
+pub const MODEL_SCHEMA_VERSION: u32 = 4;
+
+/// Steady-state saturation metrics of an open-arrival evaluation — the
+/// tail of a [`ModelPoint`] produced by [`crate::open::eval_open_mix`]
+/// (absent on closed/batch points).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpenMetrics {
+    /// Utilization of the hottest resource pool at the evaluated λ.
+    pub bottleneck_utilization: f64,
+    /// Total arrival rate at which the bottleneck reaches the knee
+    /// utilization ([`crate::open::DEFAULT_KNEE_UTILIZATION`]) — the
+    /// practical capacity ceiling.
+    pub knee_rate: f64,
+    /// Total arrival rate at which the bottleneck saturates (ρ = 1);
+    /// past it no steady state exists and responses are infinite.
+    pub saturation_rate: f64,
+}
 
 /// The analytic estimates of one configuration point — the narrow entry
 /// result batch evaluators (crate `mr2-scenario`) consume. A flat,
@@ -337,19 +357,30 @@ pub struct ModelPoint {
     /// Per-class estimates, in mix-entry order (one entry for a
     /// single-job point).
     pub per_class: Vec<ClassPoint>,
+    /// Saturation metrics when the point was evaluated under open
+    /// Poisson arrivals; `None` for closed/batch points.
+    pub open: Option<OpenMetrics>,
 }
 
 impl ModelPoint {
     /// The stable serialized form: the four aggregates, the makespan,
-    /// the class count, then four values per class — the unit cache
-    /// layers and services store and ship.
+    /// the class count, four values per class, then — only for
+    /// open-arrival points — the three [`OpenMetrics`] values. The
+    /// unit cache layers and services store and ship this.
     pub fn to_record(&self) -> Vec<f64> {
-        let mut rec = Vec::with_capacity(6 + 4 * self.per_class.len());
+        let mut rec = Vec::with_capacity(6 + 4 * self.per_class.len() + 3);
         rec.extend([self.fork_join, self.tripathi, self.aria, self.herodotou]);
         rec.push(self.makespan);
         rec.push(self.per_class.len() as f64);
         for c in &self.per_class {
             rec.extend([c.fork_join, c.tripathi, c.aria, c.herodotou]);
+        }
+        if let Some(open) = &self.open {
+            rec.extend([
+                open.bottleneck_utilization,
+                open.knee_rate,
+                open.saturation_rate,
+            ]);
         }
         rec
     }
@@ -357,20 +388,31 @@ impl ModelPoint {
     /// Decode a record written by [`ModelPoint::to_record`]; `None` if
     /// the shape doesn't match (a corrupt or foreign record).
     pub fn from_record(rec: &[f64]) -> Option<ModelPoint> {
-        let (head, classes) = rec.split_at_checked(6)?;
+        let (head, tail) = rec.split_at_checked(6)?;
         let n = head[5] as usize;
-        // A point always carries at least one class; a zero or
-        // mismatched count is a corrupt or foreign record.
-        if n == 0 || classes.len() != 4 * n {
+        // A point always carries at least one class; the tail is the
+        // classes plus, for open-arrival points, exactly three
+        // saturation values. Anything else is corrupt or foreign.
+        let open = if n == 0 {
             return None;
-        }
+        } else if tail.len() == 4 * n {
+            None
+        } else if tail.len() == 4 * n + 3 {
+            Some(OpenMetrics {
+                bottleneck_utilization: tail[4 * n],
+                knee_rate: tail[4 * n + 1],
+                saturation_rate: tail[4 * n + 2],
+            })
+        } else {
+            return None;
+        };
         Some(ModelPoint {
             fork_join: head[0],
             tripathi: head[1],
             aria: head[2],
             herodotou: head[3],
             makespan: head[4],
-            per_class: classes
+            per_class: tail[..4 * n]
                 .chunks_exact(4)
                 .map(|c| ClassPoint {
                     fork_join: c[0],
@@ -379,6 +421,7 @@ impl ModelPoint {
                     herodotou: c[3],
                 })
                 .collect(),
+            open,
         })
     }
 }
@@ -403,6 +446,7 @@ pub fn eval_mix(
         herodotou: e.herodotou,
         makespan: e.makespan,
         per_class: e.per_class,
+        open: None,
     }
 }
 
@@ -488,6 +532,7 @@ mod tests {
             herodotou: 1e300,
             makespan: 123.5,
             per_class: vec![class, class],
+            open: None,
         };
         let rec = p.to_record();
         assert_eq!(rec.len(), 6 + 4 * 2);
@@ -498,10 +543,29 @@ mod tests {
         assert_eq!(q.herodotou.to_bits(), p.herodotou.to_bits());
         assert_eq!(q.makespan.to_bits(), p.makespan.to_bits());
         assert_eq!(q.per_class, p.per_class);
+        assert_eq!(q.open, None);
         assert_eq!(ModelPoint::from_record(&rec[..3]), None);
         // A class count that doesn't match the payload is corrupt.
         assert_eq!(ModelPoint::from_record(&[0.0; 6]), None);
         assert_eq!(ModelPoint::from_record(&rec[..10]), None);
+
+        // An open-arrival point carries its three-value tail, with the
+        // saturation rate's +∞ surviving the round trip bit-exactly.
+        let open = ModelPoint {
+            open: Some(OpenMetrics {
+                bottleneck_utilization: 0.75,
+                knee_rate: 0.09,
+                saturation_rate: f64::INFINITY,
+            }),
+            ..p.clone()
+        };
+        let rec = open.to_record();
+        assert_eq!(rec.len(), 6 + 4 * 2 + 3);
+        let q = ModelPoint::from_record(&rec).unwrap();
+        assert_eq!(q.open, open.open);
+        assert_eq!(q.per_class, open.per_class);
+        // A tail of any other length is corrupt.
+        assert_eq!(ModelPoint::from_record(&rec[..rec.len() - 1]), None);
     }
 
     #[test]

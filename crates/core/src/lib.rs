@@ -28,6 +28,7 @@ pub mod error;
 pub mod estimate;
 pub mod herodotou;
 pub mod input;
+pub mod open;
 pub mod overlap;
 pub mod resources;
 pub mod solver;
@@ -40,11 +41,12 @@ pub use calibrate::{
 pub use error::{abs_relative_error, relative_error, ErrorBand};
 pub use estimate::{
     estimate_mix, estimate_workload, eval_mix, eval_point, ClassPoint, MixEstimate, ModelPoint,
-    WorkloadEstimate, MODEL_SCHEMA_VERSION,
+    OpenMetrics, WorkloadEstimate, MODEL_SCHEMA_VERSION,
 };
 pub use input::{
     Center, ClusterInputs, Estimator, JobClassInputs, ModelInput, ModelOptions, TaskClass,
 };
+pub use open::{eval_open_mix, DEFAULT_KNEE_UTILIZATION};
 pub use resources::{
     job_resources, mean_cluster_share, task_resources, JobResources, TaskResources,
 };

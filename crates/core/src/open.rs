@@ -1,0 +1,298 @@
+//! Open-arrival evaluation: jobs stream in as a Poisson process instead
+//! of standing in the closed t = 0 batch the paper solves.
+//!
+//! The closed model answers "N jobs are in the system"; capacity
+//! planning asks "jobs *arrive* at rate λ — what response do they see,
+//! and where does the cluster saturate?" This module answers by
+//! decomposition:
+//!
+//! 1. each mix class's *solo* response comes from the paper's own
+//!    closed machinery (a count = 1 solve — timelines, precedence
+//!    trees, overlap-adjusted MVA — so intra-job parallelism is
+//!    modeled exactly as in the closed case);
+//! 2. the *inter-job* contention comes from an open product-form
+//!    network over the cluster's service centers
+//!    ([`queueing::solve_open`]): each arriving class-c job deposits
+//!    its total work at the CPU, disk, and NIC pools, utilizations are
+//!    `ρ_k = Σ_c λ_c·W_ck / m_k`, and the class's extra *waiting* time
+//!    is its open residence minus its bare service demand;
+//! 3. the open response is the sum: solo response + open waiting.
+//!
+//! Because every ρ_k is linear in λ, saturation is analytic: the
+//! bottleneck crosses ρ = 1 at `λ_sat = λ/ρ_max`, and the *knee* — the
+//! arrival rate past which responses climb steeply — is where the
+//! bottleneck crosses [`DEFAULT_KNEE_UTILIZATION`]. Past `λ_sat` no
+//! steady state exists and responses are reported as `∞`.
+//!
+//! The ARIA and Herodotou baselines have no open-arrival form; they are
+//! reported as their static single-job values, the same deliberate
+//! "t = 0 models under a schedule they don't understand" treatment the
+//! staggered-arrival path gives them.
+
+use crate::calibrate::{mix_model_input, Calibration, MixClass};
+use crate::estimate::{estimate_mix, ClassPoint, ModelPoint, OpenMetrics};
+use crate::input::ModelInput;
+use mapreduce_sim::SimConfig;
+use queueing::network::{ClosedNetwork, Station};
+use queueing::solve_open;
+
+/// Bottleneck utilization defining the saturation *knee*: the arrival
+/// rate at which the hottest resource reaches this load. 0.9 is the
+/// conventional "responses start to diverge" operating ceiling — at
+/// ρ = 0.9 an M/M/1's waiting time is already 9× its service time.
+pub const DEFAULT_KNEE_UTILIZATION: f64 = 0.9;
+
+/// Total service demand one class-`c` job places on each cluster-wide
+/// center pool `(cpu, disk, nic)`, summing every task of the job: maps
+/// carry the map-class demand, each reduce carries the shuffle/sort and
+/// merge class demands.
+fn job_work(job: &crate::input::JobClassInputs) -> [f64; 3] {
+    let tasks = [
+        f64::from(job.num_maps),
+        f64::from(job.num_reduces),
+        f64::from(job.num_reduces),
+    ];
+    let mut work = [0.0; 3];
+    for (c, &n) in tasks.iter().enumerate() {
+        for (k, w) in work.iter_mut().enumerate() {
+            *w += n * job.demands[c][k];
+        }
+    }
+    work
+}
+
+/// The open contention network: one multi-server station per
+/// cluster-wide resource pool (`n·cpuPerNode` cores, `n·diskPerNode`
+/// disks, `n` NICs — the same capacities the closed network spreads
+/// across per-node stations), one class per *mix class* whose demand is
+/// the whole job's work at that pool. Fixed overheads are pure delay
+/// and contribute no queueing, so they are left out.
+fn open_network(input: &ModelInput, classes: &[MixClass]) -> ClosedNetwork {
+    let n = input.cluster.num_nodes as u32;
+    let stations = vec![
+        Station::multi("cpu", (n * input.cluster.cpu_per_node).max(1)),
+        Station::multi("disk", (n * input.cluster.disk_per_node).max(1)),
+        Station::multi("nic", n.max(1)),
+    ];
+    let mut names = Vec::with_capacity(classes.len());
+    let mut demands = Vec::with_capacity(classes.len());
+    let mut offset = 0;
+    for (i, c) in classes.iter().enumerate() {
+        names.push(format!("mix{i}"));
+        demands.push(job_work(&input.jobs[offset]).to_vec());
+        offset += c.count;
+    }
+    ClosedNetwork::new(stations, names, demands)
+}
+
+/// Evaluate a heterogeneous mix under open Poisson arrivals at
+/// `arrival_rate` total jobs/second (split across classes by their
+/// `count` share). Returns a [`ModelPoint`] whose fork/join and
+/// Tripathi series are open responses (solo + waiting), whose
+/// baselines are the static solo values, and whose
+/// [`ModelPoint::open`] tail carries the bottleneck utilization and
+/// the knee/saturation rates. Unstable points (`λ ≥ λ_sat`) report
+/// infinite responses — the far side of the knee, not an error.
+pub fn eval_open_mix(
+    cfg: &SimConfig,
+    classes: &[MixClass],
+    arrival_rate: f64,
+    options: &crate::input::ModelOptions,
+    cal: &Calibration,
+) -> ModelPoint {
+    assert!(
+        arrival_rate.is_finite() && arrival_rate > 0.0,
+        "arrival rate must be positive and finite"
+    );
+    let input = mix_model_input(cfg, classes, options.clone(), cal);
+    let net = open_network(&input, classes);
+
+    let total: usize = classes.iter().map(|c| c.count).sum();
+    let rates: Vec<f64> = classes
+        .iter()
+        .map(|c| arrival_rate * c.count as f64 / total as f64)
+        .collect();
+    let sol = solve_open(&net, &rates);
+
+    let mut per_class = Vec::with_capacity(classes.len());
+    let mut agg = [0.0f64; 4]; // fj, tr, aria, herodotou, rate-weighted
+    for (i, c) in classes.iter().enumerate() {
+        // The solo point: the paper's full closed solve of this class
+        // running alone, plus its static baselines.
+        let alone = [MixClass {
+            spec: c.spec.clone(),
+            count: 1,
+            profile: c.profile.clone(),
+        }];
+        let solo = estimate_mix(cfg, &alone, &[], options, cal);
+        let demand: f64 = net.demands[i].iter().sum();
+        let waiting = if sol.stable {
+            (sol.response[i] - demand).max(0.0)
+        } else {
+            f64::INFINITY
+        };
+        let point = ClassPoint {
+            fork_join: solo.fork_join + waiting,
+            tripathi: solo.tripathi + waiting,
+            aria: solo.aria,
+            herodotou: solo.herodotou,
+        };
+        let w = c.count as f64 / total as f64;
+        agg[0] += w * point.fork_join;
+        agg[1] += w * point.tripathi;
+        agg[2] += w * point.aria;
+        agg[3] += w * point.herodotou;
+        per_class.push(point);
+    }
+    // One class: the aggregate is the class value itself (weight 1
+    // multiplication could round differently).
+    if classes.len() == 1 {
+        agg = [
+            per_class[0].fork_join,
+            per_class[0].tripathi,
+            per_class[0].aria,
+            per_class[0].herodotou,
+        ];
+    }
+
+    // Expected span of `total` Poisson arrivals plus the last one's
+    // steady-state sojourn — the finite-sample makespan a simulator
+    // drawing the same number of arrivals would see on average.
+    let makespan = (total - 1) as f64 / arrival_rate + agg[0];
+
+    let saturation_rate = arrival_rate * sol.saturation_scale();
+    ModelPoint {
+        fork_join: agg[0],
+        tripathi: agg[1],
+        aria: agg[2],
+        herodotou: agg[3],
+        makespan,
+        per_class,
+        open: Some(OpenMetrics {
+            bottleneck_utilization: sol.bottleneck_utilization(),
+            knee_rate: DEFAULT_KNEE_UTILIZATION * saturation_rate,
+            saturation_rate,
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::input::ModelOptions;
+    use mapreduce_sim::workload::{grep, wordcount_1gb};
+    use mapreduce_sim::GB;
+
+    fn one_class() -> Vec<MixClass> {
+        vec![MixClass {
+            spec: wordcount_1gb(4),
+            count: 1,
+            profile: None,
+        }]
+    }
+
+    #[test]
+    fn open_response_is_monotone_in_arrival_rate() {
+        let cfg = SimConfig::paper_testbed(4);
+        let (opts, cal) = (ModelOptions::default(), Calibration::default());
+        let classes = one_class();
+        let mut last = 0.0;
+        let mut rate = 1e-4;
+        for _ in 0..8 {
+            let p = eval_open_mix(&cfg, &classes, rate, &opts, &cal);
+            assert!(
+                p.fork_join > last,
+                "response must be non-decreasing in λ: {} at λ={rate}",
+                p.fork_join
+            );
+            assert!(p.tripathi > 0.0);
+            last = p.fork_join;
+            rate *= 2.0;
+        }
+    }
+
+    #[test]
+    fn knee_sits_below_saturation_and_divides_finite_from_infinite() {
+        let cfg = SimConfig::paper_testbed(4);
+        let (opts, cal) = (ModelOptions::default(), Calibration::default());
+        let classes = one_class();
+        let probe = eval_open_mix(&cfg, &classes, 1e-3, &opts, &cal);
+        let open = probe.open.expect("open tail present");
+        assert!(open.saturation_rate.is_finite() && open.saturation_rate > 0.0);
+        assert!(
+            (open.knee_rate - DEFAULT_KNEE_UTILIZATION * open.saturation_rate).abs()
+                < 1e-12 * open.saturation_rate
+        );
+
+        // Below the knee: finite, stable. Past saturation: infinite.
+        let below = eval_open_mix(&cfg, &classes, open.knee_rate * 0.5, &opts, &cal);
+        assert!(below.fork_join.is_finite());
+        assert!(below.open.unwrap().bottleneck_utilization < DEFAULT_KNEE_UTILIZATION);
+        let past = eval_open_mix(&cfg, &classes, open.saturation_rate * 1.1, &opts, &cal);
+        assert!(past.fork_join.is_infinite());
+        assert!(past.open.unwrap().bottleneck_utilization > 1.0);
+        // Saturation itself is scale-invariant: both probes agree on it.
+        let s1 = below.open.unwrap().saturation_rate;
+        assert!((s1 - open.saturation_rate).abs() < 1e-9 * s1);
+    }
+
+    #[test]
+    fn vanishing_rate_recovers_the_solo_response() {
+        let cfg = SimConfig::paper_testbed(4);
+        let (opts, cal) = (ModelOptions::default(), Calibration::default());
+        let classes = one_class();
+        let solo = estimate_mix(&cfg, &classes, &[], &opts, &cal);
+        let p = eval_open_mix(&cfg, &classes, 1e-9, &opts, &cal);
+        assert!(
+            (p.fork_join - solo.fork_join).abs() / solo.fork_join < 1e-6,
+            "λ→0 must recover the solo closed solve: {} vs {}",
+            p.fork_join,
+            solo.fork_join
+        );
+    }
+
+    #[test]
+    fn more_nodes_raise_the_saturation_rate_and_cut_response() {
+        let cfg4 = SimConfig::paper_testbed(4);
+        let cfg8 = SimConfig::paper_testbed(8);
+        let (opts, cal) = (ModelOptions::default(), Calibration::default());
+        let classes = one_class();
+        let rate = {
+            let probe = eval_open_mix(&cfg4, &classes, 1e-3, &opts, &cal);
+            probe.open.unwrap().knee_rate * 0.8
+        };
+        let small = eval_open_mix(&cfg4, &classes, rate, &opts, &cal);
+        let big = eval_open_mix(&cfg8, &classes, rate, &opts, &cal);
+        assert!(big.fork_join < small.fork_join, "more nodes, less waiting");
+        assert!(
+            big.open.unwrap().saturation_rate > small.open.unwrap().saturation_rate,
+            "more nodes absorb a higher λ"
+        );
+    }
+
+    #[test]
+    fn mixed_classes_split_the_rate_by_count() {
+        let cfg = SimConfig::paper_testbed(4);
+        let (opts, cal) = (ModelOptions::default(), Calibration::default());
+        let classes = vec![
+            MixClass {
+                spec: wordcount_1gb(4),
+                count: 3,
+                profile: None,
+            },
+            MixClass {
+                spec: grep(GB),
+                count: 1,
+                profile: None,
+            },
+        ];
+        let p = eval_open_mix(&cfg, &classes, 1e-3, &opts, &cal);
+        assert_eq!(p.per_class.len(), 2);
+        assert!(p.per_class.iter().all(|c| c.fork_join.is_finite()));
+        // The aggregate is the count-weighted mean.
+        let weighted = (3.0 * p.per_class[0].fork_join + p.per_class[1].fork_join) / 4.0;
+        assert!((p.fork_join - weighted).abs() < 1e-9 * weighted.max(1.0));
+        // Baselines stay static solo values (no open form).
+        assert!(p.per_class[0].aria.is_finite() && p.per_class[0].herodotou.is_finite());
+    }
+}

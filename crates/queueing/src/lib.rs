@@ -12,7 +12,10 @@
 //!   and maxima of independent phase-type variables, with per-node
 //!   re-fitting by coefficient of variation;
 //! * [`forkjoin`]: the Varki harmonic-number fork/join approximation;
-//! * [`markov`]: a small CTMC solver used as ground truth in tests.
+//! * [`markov`]: a small CTMC solver used as ground truth in tests;
+//! * [`open`]: the open (Poisson-arrival) counterpart — exact
+//!   product-form utilizations and response times over the same
+//!   station/demand definitions, with analytic saturation detection.
 
 pub mod bounds;
 pub mod distribution;
@@ -20,6 +23,7 @@ pub mod forkjoin;
 pub mod markov;
 pub mod mva;
 pub mod network;
+pub mod open;
 
 pub use bounds::{
     demand_summary, response_lower_bound, response_upper_bound, throughput_upper_bound,
@@ -28,3 +32,4 @@ pub use distribution::ExpPoly;
 pub use forkjoin::{fork_join_response, harmonic};
 pub use mva::{approximate_mva, exact_mva, overlap_mva, EPSILON, MAX_ITER};
 pub use network::{ClosedNetwork, MvaSolution, Station, StationKind};
+pub use open::{solve_open, OpenSolution};

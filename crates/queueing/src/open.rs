@@ -1,0 +1,239 @@
+//! Open (Poisson-arrival) multi-class product-form network solve.
+//!
+//! The closed machinery (MVA and friends) answers "N customers
+//! circulate forever"; capacity planning needs the *open* question —
+//! jobs arrive as a Poisson stream at rate λ and the network either
+//! reaches a steady state or saturates. Under the product-form
+//! assumptions already made by the closed side (exponential service,
+//! FCFS/PS queueing stations, infinite-server delay stations) the open
+//! network decomposes exactly: each queueing station is an M/M/1 with
+//! utilization ρ_k = Σ_c λ_c·D_ck, each delay station contributes its
+//! bare demand, and per-class response is Σ_k D_ck/(1−ρ_k) over
+//! queueing stations plus Σ_k D_ck over delay stations.
+//!
+//! Multi-server stations go through the same Seidmann expansion the
+//! closed solver uses ([`ClosedNetwork::expand_multiserver`]), so the
+//! open and closed answers describe the same physical network.
+//!
+//! Because every ρ_k is *linear* in the arrival rates, saturation is
+//! analytic: scaling all rates by `x` saturates the bottleneck exactly
+//! at `x = 1/ρ_max`. [`OpenSolution::saturation_scale`] exposes that
+//! factor, and the knee — the scale at which the bottleneck crosses a
+//! target utilization `u` — is `u · saturation_scale`.
+
+use crate::network::{ClosedNetwork, StationKind};
+
+/// Steady-state metrics of an open multi-class network, or the
+/// saturation verdict when no steady state exists.
+#[derive(Debug, Clone)]
+pub struct OpenSolution {
+    /// Utilization per station (post-expansion station order),
+    /// `ρ_k = Σ_c λ_c·D_ck`. Delay stations report their traffic
+    /// intensity (mean customers in service), which may exceed 1.
+    pub utilization: Vec<f64>,
+    /// Residence time per class per station, `C × K`; infinite at a
+    /// saturated queueing station.
+    pub residence: Vec<Vec<f64>>,
+    /// Total response time per class (sum over stations); infinite when
+    /// any station the class visits is saturated.
+    pub response: Vec<f64>,
+    /// Index of the most-utilized *queueing* station.
+    pub bottleneck: usize,
+    /// Whether every queueing station has ρ < 1 (a steady state
+    /// exists).
+    pub stable: bool,
+}
+
+impl OpenSolution {
+    /// Utilization of the bottleneck queueing station.
+    pub fn bottleneck_utilization(&self) -> f64 {
+        self.utilization[self.bottleneck]
+    }
+
+    /// The factor by which all arrival rates can be scaled before the
+    /// bottleneck saturates: `1/ρ_max` (infinite when the network is
+    /// idle). Scaling rates by exactly this factor drives ρ_max to 1.
+    pub fn saturation_scale(&self) -> f64 {
+        let rho = self.bottleneck_utilization();
+        if rho > 0.0 {
+            1.0 / rho
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// Solve the open network: the stations and demands of `net` (the
+/// closed definition is reused verbatim — demands mean the same thing)
+/// fed by independent Poisson streams, one per class, at `rates`
+/// jobs/second. Multi-server stations are Seidmann-expanded first.
+///
+/// Saturated networks still return: utilizations are exact, and the
+/// response of any class touching a saturated station is
+/// `f64::INFINITY` — the caller decides whether that is an error or
+/// just the far side of the knee.
+pub fn solve_open(net: &ClosedNetwork, rates: &[f64]) -> OpenSolution {
+    assert_eq!(rates.len(), net.num_classes(), "one arrival rate per class");
+    assert!(
+        rates.iter().all(|r| r.is_finite() && *r >= 0.0),
+        "arrival rates must be finite and non-negative"
+    );
+    let net = net.expand_multiserver();
+    let (c_n, k_n) = (net.num_classes(), net.num_stations());
+
+    let mut utilization = vec![0.0; k_n];
+    for (rate, demands) in rates.iter().zip(&net.demands) {
+        for (u, d) in utilization.iter_mut().zip(demands) {
+            *u += rate * d;
+        }
+    }
+
+    let mut bottleneck = 0;
+    let mut rho_max = f64::NEG_INFINITY;
+    for (k, s) in net.stations.iter().enumerate() {
+        if s.kind == StationKind::Queueing && utilization[k] > rho_max {
+            rho_max = utilization[k];
+            bottleneck = k;
+        }
+    }
+    let stable = rho_max < 1.0;
+
+    let mut residence = vec![vec![0.0; k_n]; c_n];
+    let mut response = vec![0.0; c_n];
+    for c in 0..c_n {
+        for k in 0..k_n {
+            let d = net.demands[c][k];
+            let r = match net.stations[k].kind {
+                StationKind::Delay => d,
+                StationKind::Queueing => {
+                    if utilization[k] < 1.0 {
+                        d / (1.0 - utilization[k])
+                    } else if d > 0.0 {
+                        f64::INFINITY
+                    } else {
+                        0.0
+                    }
+                }
+            };
+            residence[c][k] = r;
+            response[c] += r;
+        }
+    }
+
+    OpenSolution {
+        utilization,
+        residence,
+        response,
+        bottleneck,
+        stable,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::Station;
+
+    fn mm1(demand: f64) -> ClosedNetwork {
+        ClosedNetwork::new(
+            vec![Station::queueing("cpu")],
+            vec!["a".into()],
+            vec![vec![demand]],
+        )
+    }
+
+    #[test]
+    fn single_class_mm1_matches_textbook() {
+        // M/M/1: R = D/(1−ρ). D = 2 s, λ = 0.25/s → ρ = 0.5, R = 4 s.
+        let sol = solve_open(&mm1(2.0), &[0.25]);
+        assert!((sol.utilization[0] - 0.5).abs() < 1e-12);
+        assert!((sol.response[0] - 4.0).abs() < 1e-12);
+        assert!(sol.stable);
+        assert!((sol.saturation_scale() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_rate_recovers_bare_demands() {
+        let net = ClosedNetwork::new(
+            vec![Station::queueing("cpu"), Station::delay("think")],
+            vec!["a".into()],
+            vec![vec![1.5, 3.0]],
+        );
+        let sol = solve_open(&net, &[0.0]);
+        assert_eq!(sol.response[0], 4.5, "no load: response is raw demand");
+        assert!(sol.stable);
+        assert_eq!(sol.saturation_scale(), f64::INFINITY);
+    }
+
+    #[test]
+    fn saturated_station_reports_infinite_response() {
+        let sol = solve_open(&mm1(2.0), &[0.6]); // ρ = 1.2
+        assert!(!sol.stable);
+        assert!((sol.utilization[0] - 1.2).abs() < 1e-12);
+        assert!(sol.response[0].is_infinite());
+    }
+
+    #[test]
+    fn response_is_monotone_in_rate() {
+        let mut last = 0.0;
+        for i in 1..10 {
+            let rate = 0.05 * i as f64; // up to ρ = 0.9
+            let sol = solve_open(&mm1(2.0), &[rate]);
+            assert!(
+                sol.response[0] > last,
+                "response must grow with λ: {} at λ={rate}",
+                sol.response[0]
+            );
+            last = sol.response[0];
+        }
+    }
+
+    #[test]
+    fn multi_class_shares_the_queue() {
+        // Two classes on one station: ρ = λ_a·D_a + λ_b·D_b, both
+        // classes see the same inflation factor.
+        let net = ClosedNetwork::new(
+            vec![Station::queueing("cpu")],
+            vec!["a".into(), "b".into()],
+            vec![vec![1.0], vec![2.0]],
+        );
+        let sol = solve_open(&net, &[0.2, 0.15]); // ρ = 0.5
+        assert!((sol.utilization[0] - 0.5).abs() < 1e-12);
+        assert!((sol.response[0] - 2.0).abs() < 1e-12);
+        assert!((sol.response[1] - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multi_server_station_is_seidmann_expanded() {
+        // 4 servers, D = 2: queue leg D/4 = 0.5, delay leg 1.5.
+        // λ = 1 → ρ_queue = 0.5, R = 0.5/0.5 + 1.5 = 2.5.
+        let net = ClosedNetwork::new(
+            vec![Station::multi("cpu", 4)],
+            vec!["a".into()],
+            vec![vec![2.0]],
+        );
+        let sol = solve_open(&net, &[1.0]);
+        assert!((sol.bottleneck_utilization() - 0.5).abs() < 1e-12);
+        assert!((sol.response[0] - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bottleneck_picks_the_hottest_queueing_station() {
+        let net = ClosedNetwork::new(
+            vec![
+                Station::queueing("cpu"),
+                Station::queueing("disk"),
+                Station::delay("think"),
+            ],
+            vec!["a".into()],
+            vec![vec![1.0, 3.0, 10.0]],
+        );
+        let sol = solve_open(&net, &[0.2]);
+        assert_eq!(sol.bottleneck, 1, "disk (ρ=0.6) beats cpu (ρ=0.2)");
+        assert!(
+            (sol.utilization[2] - 2.0).abs() < 1e-12,
+            "delay intensity may exceed 1 without saturating anything"
+        );
+        assert!(sol.stable);
+    }
+}

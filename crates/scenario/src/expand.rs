@@ -3,7 +3,8 @@
 //! Expansion order is deterministic and documented: cartesian sweeps
 //! enumerate axes with the *rightmost axis fastest* in the order
 //! `nodes → block_mb → container_mb → schedulers → workload →
-//! arrivals → map_failure_prob → slow_node_factor → estimators`, where
+//! arrivals → arrival_rate → map_failure_prob → slow_node_factor →
+//! estimators`, where
 //! a `Grid` workload contributes its three lists in the order
 //! `jobs → input_bytes → n_jobs` and a `Mixes` workload contributes one
 //! list; zip sweeps walk all axes in lock-step with length-1 axes
@@ -35,23 +36,26 @@ fn expand_cartesian(s: &Scenario) -> Vec<EvalPoint> {
                 for &scheduler in &s.schedulers {
                     for mix in &mixes {
                         for arrivals in &s.arrivals {
-                            for &map_failure_prob in &s.map_failure_prob {
-                                for &slow_node_factor in &s.slow_node_factor {
-                                    for &estimator in &s.estimators {
-                                        out.push(EvalPoint {
-                                            index,
-                                            nodes,
-                                            block_mb,
-                                            container_mb,
-                                            scheduler,
-                                            mix: mix.resolve(nodes),
-                                            arrivals: arrivals.clone(),
-                                            map_failure_prob,
-                                            slow_node_factor,
-                                            estimator,
-                                            seed: s.seed,
-                                        });
-                                        index += 1;
+                            for &arrival_rate in &s.arrival_rate {
+                                for &map_failure_prob in &s.map_failure_prob {
+                                    for &slow_node_factor in &s.slow_node_factor {
+                                        for &estimator in &s.estimators {
+                                            out.push(EvalPoint {
+                                                index,
+                                                nodes,
+                                                block_mb,
+                                                container_mb,
+                                                scheduler,
+                                                mix: mix.resolve(nodes),
+                                                arrivals: arrivals.clone(),
+                                                arrival_rate,
+                                                map_failure_prob,
+                                                slow_node_factor,
+                                                estimator,
+                                                seed: s.seed,
+                                            });
+                                            index += 1;
+                                        }
                                     }
                                 }
                             }
@@ -82,6 +86,7 @@ fn expand_zip(s: &Scenario) -> Vec<EvalPoint> {
                 scheduler: s.schedulers[pick(i, s.schedulers.len())],
                 mix: s.zip_workload_at(i).resolve(nodes),
                 arrivals: s.arrivals[pick(i, s.arrivals.len())].clone(),
+                arrival_rate: s.arrival_rate[pick(i, s.arrival_rate.len())],
                 map_failure_prob: s.map_failure_prob[pick(i, s.map_failure_prob.len())],
                 slow_node_factor: s.slow_node_factor[pick(i, s.slow_node_factor.len())],
                 estimator: s.estimators[pick(i, s.estimators.len())],

@@ -51,6 +51,7 @@
 pub mod cache;
 pub mod expand;
 pub mod json;
+pub mod plan;
 pub mod report;
 pub mod runner;
 pub mod spec;
@@ -58,6 +59,9 @@ pub mod trace;
 
 pub use cache::{schema_version, CacheStats, KeyHasher, ResultCache};
 pub use expand::expand;
+pub use plan::{
+    plan, PlanProbe, PlanRequest, PlanResult, SearchSpace, SloMetric, SloSpec, MAX_SEARCH_NODES,
+};
 pub use report::{class_error_bands, error_bands, render_report, to_csv, ClassBand, SeriesBand};
 pub use runner::{
     evaluate_point, run_scenario, select, select_class, PointResult, RunnerConfig, SimResult,

@@ -1,0 +1,522 @@
+//! Inverse capacity planning: "what is the *cheapest* cluster that
+//! meets an SLO under open arrivals?"
+//!
+//! The forward question — "given a cluster, what response do jobs
+//! see?" — is what [`crate::runner::evaluate_point`] answers. Capacity
+//! planning inverts it: given a workload mix arriving at rate λ and a
+//! service-level objective such as "mean response ≤ 300 s", find the
+//! smallest node count in a search range whose *predicted* metric
+//! satisfies the objective.
+//!
+//! Every SLO metric offered here is monotone non-increasing in the
+//! node count (more nodes → lower utilization → less queueing → lower
+//! response and makespan), so the cheapest satisfying configuration is
+//! found by **bisection**: probe the endpoints to bracket feasibility,
+//! then halve the bracket — `O(log(max − min))` model solves instead of
+//! a linear scan. Every probe goes through the shared [`ResultCache`],
+//! so re-planning (same mix, same rate, different threshold) is served
+//! almost entirely from cache, and planning warms the cache for later
+//! sweeps over the same configurations.
+
+use mr2_model::ModelPoint;
+
+use crate::cache::ResultCache;
+use crate::runner::{evaluate_point, select};
+use crate::spec::{ArrivalSchedule, Backends, EstimatorKind, EvalPoint, WorkloadMix};
+use mapreduce_sim::SchedulerPolicy;
+
+/// Widest node range a plan may search. Bisection only takes
+/// `log₂(range)` solves, but each closed solo solve is linear in the
+/// node count, so an unbounded range would let one request buy an
+/// arbitrarily large evaluation.
+pub const MAX_SEARCH_NODES: usize = 4096;
+
+/// Which predicted quantity the SLO constrains. All three are monotone
+/// non-increasing in the node count, which is what lets [`plan`]
+/// bisect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SloMetric {
+    /// Mean steady-state response time of the chosen estimator series,
+    /// seconds.
+    Response,
+    /// Expected makespan of the mix (span of its arrivals plus the last
+    /// sojourn), seconds.
+    Makespan,
+    /// Bottleneck utilization, 0..1 — "keep the hottest resource below
+    /// x%".
+    Utilization,
+}
+
+impl SloMetric {
+    /// Wire/report name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SloMetric::Response => "response",
+            SloMetric::Makespan => "makespan",
+            SloMetric::Utilization => "utilization",
+        }
+    }
+
+    /// Inverse of [`SloMetric::name`].
+    pub fn parse(s: &str) -> Option<SloMetric> {
+        match s {
+            "response" => Some(SloMetric::Response),
+            "makespan" => Some(SloMetric::Makespan),
+            "utilization" => Some(SloMetric::Utilization),
+            _ => None,
+        }
+    }
+
+    /// Extract this metric from a model point (open tail present:
+    /// [`plan`] only evaluates open-arrival points).
+    fn extract(&self, m: &ModelPoint, estimator: EstimatorKind) -> f64 {
+        match self {
+            SloMetric::Response => select(m, estimator),
+            SloMetric::Makespan => m.makespan,
+            SloMetric::Utilization => m
+                .open
+                .map(|o| o.bottleneck_utilization)
+                .unwrap_or(f64::INFINITY),
+        }
+    }
+}
+
+/// The objective: `metric ≤ threshold`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloSpec {
+    /// Constrained quantity.
+    pub metric: SloMetric,
+    /// Upper bound the prediction must not exceed (seconds, or a
+    /// utilization fraction).
+    pub threshold: f64,
+}
+
+/// The configuration range to search (inclusive on both ends).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SearchSpace {
+    /// Smallest node count considered.
+    pub min_nodes: usize,
+    /// Largest node count considered.
+    pub max_nodes: usize,
+}
+
+impl Default for SearchSpace {
+    /// 1–64 nodes: covers the paper's testbed scales with room above.
+    fn default() -> SearchSpace {
+        SearchSpace {
+            min_nodes: 1,
+            max_nodes: 64,
+        }
+    }
+}
+
+/// One capacity-planning question.
+#[derive(Debug, Clone)]
+pub struct PlanRequest {
+    /// The workload mix each arrival draws from.
+    pub mix: WorkloadMix,
+    /// Total Poisson arrival rate λ, jobs/second.
+    pub arrival_rate: f64,
+    /// The objective.
+    pub slo: SloSpec,
+    /// Node range to search.
+    pub search: SearchSpace,
+    /// HDFS block size, MiB.
+    pub block_mb: u64,
+    /// Task container memory, MiB.
+    pub container_mb: u32,
+    /// RM scheduler.
+    pub scheduler: SchedulerPolicy,
+    /// Estimator series the response SLO is judged on.
+    pub estimator: EstimatorKind,
+    /// Base seed (enters the cache key; the analytic solve itself is
+    /// deterministic).
+    pub seed: u64,
+}
+
+impl PlanRequest {
+    /// A request with the default cluster template (128 MiB blocks,
+    /// 1 GiB containers, capacity/FIFO, fork/join series, default
+    /// search range).
+    pub fn new(mix: WorkloadMix, arrival_rate: f64, slo: SloSpec) -> PlanRequest {
+        PlanRequest {
+            mix,
+            arrival_rate,
+            slo,
+            search: SearchSpace::default(),
+            block_mb: 128,
+            container_mb: 1024,
+            scheduler: SchedulerPolicy::CapacityFifo,
+            estimator: EstimatorKind::ForkJoin,
+            seed: 1,
+        }
+    }
+
+    /// Check every field, mirroring [`crate::spec::Scenario`]'s
+    /// validation style: `Err` carries a human-readable message naming
+    /// the offending value.
+    pub fn check(&self) -> Result<(), String> {
+        self.mix
+            .check(&[self.search.min_nodes, self.search.max_nodes])?;
+        if !(self.arrival_rate.is_finite() && self.arrival_rate > 0.0) {
+            return Err(format!(
+                "arrival_rate {} must be a positive finite rate (jobs/second)",
+                self.arrival_rate
+            ));
+        }
+        if !(self.slo.threshold.is_finite() && self.slo.threshold > 0.0) {
+            return Err(format!(
+                "slo threshold {} must be positive and finite",
+                self.slo.threshold
+            ));
+        }
+        if self.slo.metric == SloMetric::Utilization && self.slo.threshold >= 1.0 {
+            return Err(format!(
+                "utilization threshold {} must be below 1 (ρ ≥ 1 has no steady state)",
+                self.slo.threshold
+            ));
+        }
+        if self.search.min_nodes == 0 {
+            return Err("search min_nodes must be at least 1".into());
+        }
+        if self.search.max_nodes < self.search.min_nodes {
+            return Err(format!(
+                "search range is empty: max_nodes {} < min_nodes {}",
+                self.search.max_nodes, self.search.min_nodes
+            ));
+        }
+        if self.search.max_nodes > MAX_SEARCH_NODES {
+            return Err(format!(
+                "search max_nodes {} exceeds the supported maximum {}",
+                self.search.max_nodes, MAX_SEARCH_NODES
+            ));
+        }
+        if self.block_mb == 0 {
+            return Err("block_mb must be at least 1".into());
+        }
+        if self.container_mb == 0 {
+            return Err("container_mb must be at least 1".into());
+        }
+        Ok(())
+    }
+
+    /// The open-arrival evaluation point probing `nodes`.
+    fn probe_point(&self, nodes: usize) -> EvalPoint {
+        EvalPoint {
+            index: 0,
+            nodes,
+            block_mb: self.block_mb,
+            container_mb: self.container_mb,
+            scheduler: self.scheduler,
+            mix: self.mix.resolve(nodes),
+            arrivals: ArrivalSchedule::Batch,
+            arrival_rate: Some(self.arrival_rate),
+            map_failure_prob: 0.0,
+            slow_node_factor: 1.0,
+            estimator: self.estimator,
+            seed: self.seed,
+        }
+    }
+}
+
+/// One probed configuration, in probe order.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlanProbe {
+    /// Node count probed.
+    pub nodes: usize,
+    /// The SLO metric's predicted value there (`∞` past saturation).
+    pub predicted: f64,
+    /// Whether it meets the objective.
+    pub satisfies: bool,
+}
+
+/// The answer to a [`PlanRequest`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanResult {
+    /// Whether any configuration in the range meets the SLO.
+    pub feasible: bool,
+    /// The cheapest satisfying node count — or, when infeasible, the
+    /// largest probed (best-effort) configuration.
+    pub nodes: usize,
+    /// The SLO metric's predicted value at [`PlanResult::nodes`].
+    pub predicted: f64,
+    /// The full model point there (responses, makespan, and the open
+    /// tail: bottleneck utilization, knee and saturation rates).
+    pub point: ModelPoint,
+    /// Every configuration probed, in probe order (endpoints first,
+    /// then the bisection midpoints).
+    pub probes: Vec<PlanProbe>,
+}
+
+/// Find the cheapest node count in `req.search` whose predicted SLO
+/// metric is within threshold, by endpoint bracketing plus bisection —
+/// at most `2 + ⌈log₂(max − min)⌉` model solves, each cached in
+/// `cache`. Returns `Err` (with a field-naming message) on invalid
+/// requests; an *infeasible* SLO is not an error — the result reports
+/// `feasible: false` with the best-effort prediction at `max_nodes`.
+pub fn plan(req: &PlanRequest, cache: &ResultCache) -> Result<PlanResult, String> {
+    req.check()?;
+    let backends = Backends {
+        analytic: true,
+        profile_calibration: false,
+        simulator: None,
+    };
+    let mut probes = Vec::new();
+    let mut solve = |nodes: usize| -> (f64, ModelPoint) {
+        let r = evaluate_point(&req.probe_point(nodes), &backends, cache);
+        let m = r.model.expect("analytic backend enabled");
+        let v = req.slo.metric.extract(&m, req.estimator);
+        probes.push(PlanProbe {
+            nodes,
+            predicted: v,
+            satisfies: v <= req.slo.threshold,
+        });
+        (v, m)
+    };
+
+    // Bracket: the largest configuration first — if even it misses the
+    // objective, monotonicity says nothing smaller can meet it.
+    let (SearchSpace {
+        min_nodes: lo,
+        max_nodes: hi,
+    },) = (req.search,);
+    let (v_hi, m_hi) = solve(hi);
+    if v_hi > req.slo.threshold {
+        return Ok(PlanResult {
+            feasible: false,
+            nodes: hi,
+            predicted: v_hi,
+            point: m_hi,
+            probes,
+        });
+    }
+    if lo == hi {
+        return Ok(PlanResult {
+            feasible: true,
+            nodes: hi,
+            predicted: v_hi,
+            point: m_hi,
+            probes,
+        });
+    }
+    let (v_lo, m_lo) = solve(lo);
+    if v_lo <= req.slo.threshold {
+        return Ok(PlanResult {
+            feasible: true,
+            nodes: lo,
+            predicted: v_lo,
+            point: m_lo,
+            probes,
+        });
+    }
+
+    // Invariant: `fail` misses the SLO, `pass` meets it; halve until
+    // adjacent.
+    let (mut fail, mut pass) = (lo, hi);
+    let (mut best_v, mut best_m) = (v_hi, m_hi);
+    while pass - fail > 1 {
+        let mid = fail + (pass - fail) / 2;
+        let (v, m) = solve(mid);
+        if v <= req.slo.threshold {
+            pass = mid;
+            best_v = v;
+            best_m = m;
+        } else {
+            fail = mid;
+        }
+    }
+    Ok(PlanResult {
+        feasible: true,
+        nodes: pass,
+        predicted: best_v,
+        point: best_m,
+        probes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::JobKind;
+    use mapreduce_sim::GB;
+
+    fn base_request() -> PlanRequest {
+        let mix = WorkloadMix::single(JobKind::WordCount, GB, 1);
+        PlanRequest::new(
+            mix,
+            2e-3,
+            SloSpec {
+                metric: SloMetric::Response,
+                threshold: 0.0, // set per test
+            },
+        )
+    }
+
+    /// Linear-scan ground truth: the smallest node count in the range
+    /// whose metric meets the threshold.
+    fn cheapest_by_scan(req: &PlanRequest, cache: &ResultCache) -> Option<usize> {
+        let backends = Backends {
+            analytic: true,
+            profile_calibration: false,
+            simulator: None,
+        };
+        (req.search.min_nodes..=req.search.max_nodes).find(|&n| {
+            let r = evaluate_point(&req.probe_point(n), &backends, cache);
+            let v = req.slo.metric.extract(&r.model.unwrap(), req.estimator);
+            v <= req.slo.threshold
+        })
+    }
+
+    #[test]
+    fn bisection_finds_the_cheapest_configuration() {
+        let cache = ResultCache::new();
+        let mut req = base_request();
+        req.search = SearchSpace {
+            min_nodes: 1,
+            max_nodes: 12,
+        };
+        // A threshold between the 12-node and 1-node responses
+        // exercises a non-trivial bisection.
+        let backends = Backends {
+            analytic: true,
+            profile_calibration: false,
+            simulator: None,
+        };
+        let at = |n: usize| {
+            let r = evaluate_point(&req.probe_point(n), &backends, &cache);
+            select(&r.model.unwrap(), req.estimator)
+        };
+        let (fast, slow) = (at(12), at(1));
+        assert!(fast < slow, "monotone premise");
+        for threshold in [
+            fast * 1.02,
+            (fast + slow) / 2.0,
+            slow * 0.98,
+            (3.0 * fast + slow) / 4.0,
+        ] {
+            req.slo.threshold = threshold;
+            let out = plan(&req, &cache).unwrap();
+            assert!(out.feasible);
+            assert_eq!(
+                Some(out.nodes),
+                cheapest_by_scan(&req, &cache),
+                "bisection must agree with the linear scan at threshold {threshold}"
+            );
+            assert!(out.predicted <= threshold);
+            assert!(out.point.open.is_some(), "plan points are open solves");
+            // 2 endpoints + ⌈log₂(11)⌉ = 4 midpoints at most.
+            assert!(out.probes.len() <= 6, "{} probes", out.probes.len());
+            let last = out.probes.last().unwrap();
+            assert!(out.probes.iter().any(|p| p.nodes == out.nodes));
+            assert!(last.predicted.is_finite() || !last.satisfies);
+        }
+    }
+
+    #[test]
+    fn infeasible_slo_reports_the_best_effort_point() {
+        let cache = ResultCache::new();
+        let mut req = base_request();
+        req.search = SearchSpace {
+            min_nodes: 1,
+            max_nodes: 8,
+        };
+        req.slo.threshold = 1e-6; // nothing is that fast
+        let out = plan(&req, &cache).unwrap();
+        assert!(!out.feasible);
+        assert_eq!(out.nodes, 8, "best effort is the top of the range");
+        assert!(out.predicted > req.slo.threshold);
+        assert_eq!(out.probes.len(), 1, "the max-nodes probe settles it");
+    }
+
+    #[test]
+    fn utilization_slo_and_single_point_range() {
+        let cache = ResultCache::new();
+        let mut req = base_request();
+        req.slo = SloSpec {
+            metric: SloMetric::Utilization,
+            threshold: 0.95,
+        };
+        req.search = SearchSpace {
+            min_nodes: 4,
+            max_nodes: 4,
+        };
+        let out = plan(&req, &cache).unwrap();
+        assert_eq!(out.nodes, 4);
+        assert_eq!(out.probes.len(), 1);
+        assert!(out.feasible);
+        assert!(
+            (out.predicted - out.point.open.unwrap().bottleneck_utilization).abs() < 1e-15,
+            "utilization SLO reads the open tail"
+        );
+    }
+
+    #[test]
+    fn repeat_plans_are_served_from_cache() {
+        let cache = ResultCache::new();
+        let mut req = base_request();
+        req.search = SearchSpace {
+            min_nodes: 1,
+            max_nodes: 16,
+        };
+        req.slo.threshold = {
+            let backends = Backends {
+                analytic: true,
+                profile_calibration: false,
+                simulator: None,
+            };
+            let r = evaluate_point(&req.probe_point(8), &backends, &cache);
+            select(&r.model.unwrap(), req.estimator) * 1.001
+        };
+        let first = plan(&req, &cache).unwrap();
+        let before = cache.stats();
+        let second = plan(&req, &cache).unwrap();
+        let after = cache.stats();
+        assert_eq!(first, second, "planning is deterministic");
+        assert_eq!(after.misses, before.misses, "no new evaluations");
+        assert!(
+            after.hits >= before.hits + second.probes.len() as u64,
+            "every repeat probe is a cache hit"
+        );
+    }
+
+    #[test]
+    fn invalid_requests_name_the_offending_field() {
+        let cache = ResultCache::new();
+        let mut req = base_request();
+        req.slo.threshold = 100.0;
+        req.arrival_rate = -1.0;
+        assert!(plan(&req, &cache).unwrap_err().contains("arrival_rate"));
+
+        let mut req = base_request();
+        req.slo.threshold = f64::NAN;
+        assert!(plan(&req, &cache).unwrap_err().contains("threshold"));
+
+        let mut req = base_request();
+        req.slo = SloSpec {
+            metric: SloMetric::Utilization,
+            threshold: 1.5,
+        };
+        assert!(plan(&req, &cache).unwrap_err().contains("utilization"));
+
+        let mut req = base_request();
+        req.slo.threshold = 100.0;
+        req.search = SearchSpace {
+            min_nodes: 8,
+            max_nodes: 2,
+        };
+        assert!(plan(&req, &cache).unwrap_err().contains("max_nodes"));
+
+        let mut req = base_request();
+        req.slo.threshold = 100.0;
+        req.search.max_nodes = MAX_SEARCH_NODES + 1;
+        assert!(plan(&req, &cache).unwrap_err().contains("maximum"));
+
+        assert_eq!(SloMetric::parse("response"), Some(SloMetric::Response));
+        assert_eq!(SloMetric::parse("makespan"), Some(SloMetric::Makespan));
+        assert_eq!(
+            SloMetric::parse("utilization"),
+            Some(SloMetric::Utilization)
+        );
+        assert_eq!(SloMetric::parse("p99"), None);
+    }
+}

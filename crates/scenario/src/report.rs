@@ -146,7 +146,7 @@ pub fn render_report(sweep: &SweepResult) -> String {
             p.point.scheduler,
             p.point.mix.name(),
             p.point.total_jobs(),
-            p.point.arrivals.name(),
+            p.point.arrivals_name(),
             p.point.map_failure_prob,
             p.point.slow_node_factor,
             p.point.estimator.name(),
@@ -195,17 +195,22 @@ pub fn render_report(sweep: &SweepResult) -> String {
 /// CSV of a sweep: one row per point, columns stable for downstream
 /// tooling. The `mix` column carries the resolved mix descriptor
 /// (`2xwordcount@1024MB+1xgrep@1024MB`); `arrivals` the schedule name
-/// (`batch`, `stagger@500ms`, `trace[12]`). Response time and makespan
-/// are separate columns — they diverge under non-batch arrivals.
+/// (`batch`, `stagger@500ms`, `trace[12]`, `poisson@0.1/s`). Response
+/// time and makespan are separate columns — they diverge under
+/// non-batch arrivals. Open-arrival points additionally fill
+/// `arrival_rate` (jobs/s) and the open-model tail
+/// (`bottleneck_utilization`, `knee_rate`, `saturation_rate`); closed
+/// points leave those cells empty.
 pub fn to_csv(sweep: &SweepResult) -> String {
     let mut out = String::from(
-        "index,nodes,block_mb,container_mb,scheduler,mix,total_jobs,arrivals,map_failure_prob,slow_node_factor,estimator,estimate,measured,estimate_makespan,measured_makespan\n",
+        "index,nodes,block_mb,container_mb,scheduler,mix,total_jobs,arrivals,arrival_rate,map_failure_prob,slow_node_factor,estimator,estimate,measured,estimate_makespan,measured_makespan,bottleneck_utilization,knee_rate,saturation_rate\n",
     );
     for p in &sweep.points {
         let num = |v: Option<f64>| v.map_or(String::new(), |v| format!("{v:.6}"));
+        let open = p.model.as_ref().and_then(|m| m.open);
         let _ = writeln!(
             out,
-            "{},{},{},{},{:?},{},{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{:?},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
             p.point.index,
             p.point.nodes,
             p.point.block_mb,
@@ -213,7 +218,8 @@ pub fn to_csv(sweep: &SweepResult) -> String {
             p.point.scheduler,
             p.point.mix.name(),
             p.point.total_jobs(),
-            p.point.arrivals.name(),
+            p.point.arrivals_name(),
+            num(p.point.arrival_rate),
             p.point.map_failure_prob,
             p.point.slow_node_factor,
             p.point.estimator.name(),
@@ -221,6 +227,9 @@ pub fn to_csv(sweep: &SweepResult) -> String {
             num(p.measured()),
             num(p.estimate_makespan()),
             num(p.measured_makespan()),
+            num(open.map(|o| o.bottleneck_utilization)),
+            num(open.map(|o| o.knee_rate)),
+            num(open.map(|o| o.saturation_rate)),
         );
     }
     out
@@ -248,6 +257,7 @@ mod tests {
                 ])
                 .resolve(4),
                 arrivals: ArrivalSchedule::Batch,
+                arrival_rate: None,
                 map_failure_prob: 0.0,
                 slow_node_factor: 1.0,
                 estimator,
@@ -273,6 +283,7 @@ mod tests {
                         herodotou: 80.0,
                     },
                 ],
+                open: None,
             }),
             sim: Some(SimResult {
                 median_response: 100.0,

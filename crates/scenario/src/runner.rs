@@ -266,13 +266,24 @@ pub fn evaluate_point(
             .finish();
         let rec = cache.get_or_compute(key, || {
             let _run = mr2_obs::span("model.eval");
-            mr2_model::eval_mix(
-                &cfg,
-                &classes,
-                &submits,
-                &ModelOptions::default(),
-                &Calibration::default(),
-            )
+            match point.arrival_rate {
+                // Open arrivals: the steady-state Poisson solve replaces
+                // the closed batch/schedule evaluation.
+                Some(rate) => mr2_model::eval_open_mix(
+                    &cfg,
+                    &classes,
+                    rate,
+                    &ModelOptions::default(),
+                    &Calibration::default(),
+                ),
+                None => mr2_model::eval_mix(
+                    &cfg,
+                    &classes,
+                    &submits,
+                    &ModelOptions::default(),
+                    &Calibration::default(),
+                ),
+            }
             .to_record()
         });
         ModelPoint::from_record(&rec).expect("cached model record shape")
@@ -320,13 +331,18 @@ fn cluster_key(p: &EvalPoint) -> KeyHasher {
 }
 
 /// Content key of a point's full evaluation signature: the cluster, the
-/// canonical form of the resolved workload mix, and the arrival
-/// schedule. Each backend appends its tag and the remaining inputs it
-/// actually consumes. The arrival schedule deliberately does *not*
-/// enter [`profile_key`]: profiling runs execute one job alone at
-/// t = 0 whatever the point's arrivals.
+/// canonical form of the resolved workload mix, the arrival schedule,
+/// and — for open points — the Poisson arrival rate. Each backend
+/// appends its tag and the remaining inputs it actually consumes. The
+/// arrival schedule and rate deliberately do *not* enter
+/// [`profile_key`]: profiling runs execute one job alone at t = 0
+/// whatever the point's arrivals.
 fn point_key(p: &EvalPoint) -> KeyHasher {
-    p.arrivals.hash_into(p.mix.hash_into(cluster_key(p)))
+    let h = p.arrivals.hash_into(p.mix.hash_into(cluster_key(p)));
+    match p.arrival_rate {
+        Some(rate) => h.str("open").f64(rate),
+        None => h,
+    }
 }
 
 /// Content key of one class's profiling run: cluster plus the class's
@@ -457,6 +473,52 @@ mod tests {
         // +1 grep profile, +1 mix model record; the wordcount profile
         // is a cache hit.
         assert_eq!(cache.stats().entries, 5);
+    }
+
+    #[test]
+    fn arrival_rate_enters_the_point_key() {
+        let s = tiny_scenario("t")
+            .axis_n_jobs([1usize])
+            .axis_arrival_rate_opt(vec![None, Some(1e-3), Some(2e-3)]);
+        let pts = crate::expand(&s);
+        assert_eq!(pts.len(), 3);
+        let keys: Vec<u64> = pts.iter().map(|p| point_key(p).finish()).collect();
+        assert_ne!(keys[0], keys[1], "open vs closed must not share a record");
+        assert_ne!(keys[1], keys[2], "distinct rates must not share a record");
+    }
+
+    #[test]
+    fn arrival_rate_axis_routes_to_the_open_model() {
+        let cache = ResultCache::new();
+        let s = Scenario::new("open")
+            .axis_nodes([2usize])
+            .axis_input_bytes([256 * MB])
+            .axis_arrival_rate([1e-3, 2e-3])
+            .with_backends(Backends {
+                analytic: true,
+                profile_calibration: false,
+                simulator: None,
+            });
+        let r = run_scenario(&s, &cache, &RunnerConfig::serial());
+        assert_eq!(r.points.len(), 2);
+        let m0 = r.points[0].model.as_ref().unwrap();
+        let m1 = r.points[1].model.as_ref().unwrap();
+        let o0 = m0.open.expect("open points carry the open tail");
+        assert!(o0.saturation_rate > o0.knee_rate && o0.knee_rate > 0.0);
+        assert!(m1.fork_join > m0.fork_join, "response grows with λ");
+        assert_eq!(cache.stats().misses, 2, "each rate is its own record");
+
+        // A closed point of the same shape has no open tail.
+        let closed = Scenario::new("closed")
+            .axis_nodes([2usize])
+            .axis_input_bytes([256 * MB])
+            .with_backends(Backends {
+                analytic: true,
+                profile_calibration: false,
+                simulator: None,
+            });
+        let r = run_scenario(&closed, &cache, &RunnerConfig::serial());
+        assert!(r.points[0].model.as_ref().unwrap().open.is_none());
     }
 
     #[test]

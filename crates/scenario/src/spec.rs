@@ -612,6 +612,15 @@ pub struct Scenario {
     /// simulator submits at the scheduled times, the analytic model
     /// applies the windowed staggered-arrival approximation.
     pub arrivals: Vec<ArrivalSchedule>,
+    /// Open-arrival axis: total Poisson rate λ (jobs/second) of the
+    /// point's job stream; `None` is the closed (batch/scheduled) case.
+    /// With a rate set, the analytic model switches to the open
+    /// steady-state solve (`mr2_model::eval_open_mix` — responses,
+    /// bottleneck utilization, and the saturation knee over λ) and the
+    /// simulator samples arrival times from the Poisson process
+    /// deterministically by seed. Only combinable with
+    /// [`ArrivalSchedule::Batch`] — a rate *is* the schedule.
+    pub arrival_rate: Vec<Option<f64>>,
     /// Failure axis: probability that a map attempt fails mid-read and
     /// is re-executed (`SimConfig::map_failure_prob`; the analytic
     /// model has no failure notion, so only the simulator and the
@@ -651,6 +660,7 @@ impl Scenario {
                 n_jobs: vec![1],
             },
             arrivals: vec![ArrivalSchedule::Batch],
+            arrival_rate: vec![None],
             map_failure_prob: vec![0.0],
             slow_node_factor: vec![1.0],
             estimators: vec![EstimatorKind::ForkJoin],
@@ -732,6 +742,21 @@ impl Scenario {
         self
     }
 
+    /// Set the open-arrival (Poisson λ, jobs/second) axis. Every value
+    /// opens the point's job stream at that total rate; use
+    /// [`Scenario::axis_arrival_rate_opt`] to mix open and closed
+    /// points in one sweep.
+    pub fn axis_arrival_rate(mut self, v: impl Into<Vec<f64>>) -> Self {
+        self.arrival_rate = v.into().into_iter().map(Some).collect();
+        self
+    }
+
+    /// Set the open-arrival axis with explicit closed (`None`) slots.
+    pub fn axis_arrival_rate_opt(mut self, v: impl Into<Vec<Option<f64>>>) -> Self {
+        self.arrival_rate = v.into();
+        self
+    }
+
     /// Set the map-failure-probability axis.
     pub fn axis_map_failure_prob(mut self, v: impl Into<Vec<f64>>) -> Self {
         self.map_failure_prob = v.into();
@@ -807,6 +832,27 @@ impl Scenario {
                     "slow_node_factor {f} must be a finite slowdown >= 1"
                 ));
             }
+        }
+        for r in self.arrival_rate.iter().flatten() {
+            if !(r.is_finite() && *r > 0.0) {
+                return Err(format!(
+                    "arrival_rate {r} must be a positive finite rate (jobs/second)"
+                ));
+            }
+        }
+        // An open rate *is* the arrival process; layering a staggered or
+        // trace schedule under it would double-schedule the same jobs.
+        // The conservative any-pairing check applies to both sweep
+        // modes.
+        if self.arrival_rate.iter().any(Option::is_some)
+            && self
+                .arrivals
+                .iter()
+                .any(|a| !matches!(a, ArrivalSchedule::Batch))
+        {
+            return Err("arrival_rate combines only with batch arrivals \
+                 (an open rate replaces the schedule)"
+                .into());
         }
         match &self.workload {
             WorkloadAxis::Grid { n_jobs, .. } => {
@@ -900,6 +946,7 @@ impl Scenario {
         ];
         lens.extend(self.workload.lens());
         lens.push(("arrivals", self.arrivals.len()));
+        lens.push(("arrival_rate", self.arrival_rate.len()));
         lens.push(("map_failure_prob", self.map_failure_prob.len()));
         lens.push(("slow_node_factor", self.slow_node_factor.len()));
         lens.push(("estimators", self.estimators.len()));
@@ -946,6 +993,9 @@ pub struct EvalPoint {
     pub mix: ResolvedMix,
     /// How the mix's jobs arrive over time.
     pub arrivals: ArrivalSchedule,
+    /// Total Poisson arrival rate λ (jobs/second); `None` is the closed
+    /// (batch/scheduled) case.
+    pub arrival_rate: Option<f64>,
     /// Map-attempt failure probability (simulator backends only).
     pub map_failure_prob: f64,
     /// Node-0 slowdown factor — straggler injection (simulator backends
@@ -984,8 +1034,33 @@ impl EvalPoint {
     /// Every job's submission time in seconds, in submission order:
     /// the entry's own offset plus the arrival schedule's per-job
     /// offset. All zeros under default (batch, offset-free) workloads.
+    ///
+    /// With an open [`EvalPoint::arrival_rate`], the offsets are
+    /// instead one sampled Poisson-process realization — exponential
+    /// interarrivals at rate λ, cumulated over the flattened submission
+    /// order — drawn deterministically from the point's seed, so the
+    /// simulator sees the arrival process the open model solves for
+    /// and identical points stay content-addressable.
     pub fn submit_offsets(&self) -> Vec<f64> {
-        let mut out = Vec::with_capacity(self.total_jobs());
+        let total = self.total_jobs();
+        if let Some(rate) = self.arrival_rate {
+            let mut rng = self.seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 0x243f_6a88_85a3_08d3;
+            let mut t = 0.0;
+            return (0..total)
+                .map(|_| {
+                    // splitmix64 → uniform in (0, 1] → exponential.
+                    rng = rng.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                    let mut z = rng;
+                    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                    z ^= z >> 31;
+                    let u = ((z >> 11) as f64 + 1.0) / (1u64 << 53) as f64;
+                    t += -u.ln() / rate;
+                    t
+                })
+                .collect();
+        }
+        let mut out = Vec::with_capacity(total);
         let mut j = 0;
         for e in &self.mix.entries {
             for _ in 0..e.count {
@@ -994,6 +1069,15 @@ impl EvalPoint {
             }
         }
         out
+    }
+
+    /// Display name of the point's arrival process: the schedule's own
+    /// name, or `poisson@λ/s` for an open stream.
+    pub fn arrivals_name(&self) -> String {
+        match self.arrival_rate {
+            Some(rate) => format!("poisson@{rate}/s"),
+            None => self.arrivals.name(),
+        }
     }
 }
 
@@ -1213,6 +1297,7 @@ mod tests {
             ])
             .resolve(6),
             arrivals: ArrivalSchedule::Batch,
+            arrival_rate: None,
             map_failure_prob: 0.1,
             slow_node_factor: 2.5,
             estimator: EstimatorKind::Tripathi,
@@ -1250,6 +1335,7 @@ mod tests {
             scheduler: SchedulerPolicy::CapacityFifo,
             mix: mix.resolve(4),
             arrivals,
+            arrival_rate: None,
             map_failure_prob: 0.0,
             slow_node_factor: 1.0,
             estimator: EstimatorKind::ForkJoin,
@@ -1349,6 +1435,67 @@ mod tests {
                 },
             ])
             .validate();
+    }
+
+    #[test]
+    fn arrival_rate_axis_is_validated_and_counted() {
+        let s = Scenario::new("t").axis_arrival_rate([0.01, 0.05, 0.1]);
+        assert_eq!(s.num_points(), 3);
+        s.validate();
+        // Open and closed points can share a sweep.
+        let s = Scenario::new("t").axis_arrival_rate_opt([None, Some(0.1)]);
+        assert_eq!(s.num_points(), 2);
+        s.validate();
+
+        for bad in [0.0, -0.5, f64::NAN, f64::INFINITY] {
+            let e = Scenario::new("t")
+                .axis_arrival_rate([bad])
+                .check()
+                .unwrap_err();
+            assert!(e.contains("arrival_rate"), "{bad} → {e}");
+        }
+        // A rate replaces the schedule; pairing it with a staggered or
+        // trace schedule is rejected.
+        let e = Scenario::new("t")
+            .axis_arrival_rate([0.1])
+            .axis_arrivals([ArrivalSchedule::Staggered { interval_ms: 500 }])
+            .check()
+            .unwrap_err();
+        assert!(e.contains("batch arrivals"), "{e}");
+    }
+
+    #[test]
+    fn poisson_offsets_are_deterministic_increasing_and_seeded() {
+        let mk = |seed: u64, rate: Option<f64>| EvalPoint {
+            index: 0,
+            nodes: 4,
+            block_mb: 128,
+            container_mb: 1024,
+            scheduler: SchedulerPolicy::CapacityFifo,
+            mix: WorkloadMix::single(JobKind::WordCount, GB, 8).resolve(4),
+            arrivals: ArrivalSchedule::Batch,
+            arrival_rate: rate,
+            map_failure_prob: 0.0,
+            slow_node_factor: 1.0,
+            estimator: EstimatorKind::ForkJoin,
+            seed,
+        };
+        let a = mk(1, Some(0.1)).submit_offsets();
+        assert_eq!(a.len(), 8);
+        assert!(a.windows(2).all(|w| w[0] < w[1]), "strictly increasing");
+        assert!(a[0] > 0.0 && a.iter().all(|t| t.is_finite()));
+        assert_eq!(a, mk(1, Some(0.1)).submit_offsets(), "seed-deterministic");
+        assert_ne!(a, mk(2, Some(0.1)).submit_offsets(), "seed-sensitive");
+        // Mean interarrival ≈ 1/λ within a loose sampling band.
+        let mean = a.last().unwrap() / 8.0;
+        assert!(mean > 2.0 && mean < 50.0, "mean interarrival {mean}");
+        // A faster stream compresses the same realization.
+        let fast = mk(1, Some(1.0)).submit_offsets();
+        assert!(fast.last().unwrap() < a.last().unwrap());
+        // Closed points keep the schedule-driven (all-zero) offsets.
+        assert_eq!(mk(1, None).submit_offsets(), vec![0.0; 8]);
+        assert_eq!(mk(1, None).arrivals_name(), "batch");
+        assert_eq!(mk(1, Some(0.1)).arrivals_name(), "poisson@0.1/s");
     }
 
     #[test]

@@ -1,21 +1,205 @@
-//! The service's wire types: JSON decoding of estimate/scenario
+//! The service's wire types: JSON decoding of estimate/scenario/plan
 //! requests into `mr2-scenario` specs, and JSON encoding of evaluated
-//! results, error bands, and cache statistics.
+//! results, error bands, plans, and cache statistics.
 //!
 //! Decoding is strict — unknown fields are rejected — because a typo'd
 //! axis name that silently falls back to a default would hand a
 //! capacity planner confidently wrong numbers.
+//!
+//! Every JSON reply — success or failure — carries
+//! `"api_version": "v1"` ([`API_VERSION`]), and every failure uses one
+//! envelope ([`ApiError`]):
+//!
+//! ```json
+//! {"api_version":"v1","error":{"code":"validation","field":"nodes","message":"…"}}
+//! ```
+//!
+//! Codes are stable strings keyed to the HTTP status: `400 malformed`
+//! (the body isn't a JSON object at all), `422 validation` (well-formed
+//! but unacceptable — `field` names the offender when the message pins
+//! one down), `404 not_found`, `405 method_not_allowed`,
+//! `503 backpressure`, `500 internal`.
 
 use std::collections::BTreeMap;
 
 use mapreduce_sim::{SchedulerPolicy, GB};
+use mr2_model::ModelPoint;
 use mr2_scenario::{
     class_error_bands, error_bands, ArrivalSchedule, Backends, CacheStats, EstimatorKind,
-    EvalPoint, JobKind, MixEntry, PointResult, ReducePolicy, Scenario, SweepMode, SweepResult,
-    WorkloadMix,
+    EvalPoint, JobKind, MixEntry, PlanRequest, PlanResult, PointResult, ReducePolicy,
+    ResolvedEntry, Scenario, SearchSpace, SloMetric, SloSpec, SweepMode, SweepResult, WorkloadMix,
 };
 
 use crate::json::Json;
+
+/// The wire API version stamped on every JSON reply.
+pub const API_VERSION: &str = "v1";
+
+/// A typed API failure: the HTTP status, a stable machine-readable
+/// code, a human-readable message, and — when the message pins one
+/// down — the offending request field.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ApiError {
+    /// HTTP status to send.
+    pub status: u16,
+    /// Stable error code (`malformed`, `validation`, `not_found`,
+    /// `method_not_allowed`, `backpressure`, `internal`, …).
+    pub code: &'static str,
+    /// Human-readable reason.
+    pub message: String,
+    /// The request field at fault, when the message names one (the
+    /// decoder convention puts field names in backticks after the word
+    /// "field").
+    pub field: Option<String>,
+}
+
+/// The first backtick-quoted token following the word "field" in a
+/// decoder message — the strict decoders' convention for naming the
+/// offending key ("field `nodes` must be positive", "unknown estimate
+/// request field `node`").
+fn backtick_field(message: &str) -> Option<String> {
+    let at = message.find("field `")? + "field `".len();
+    let end = message[at..].find('`')? + at;
+    (at < end).then(|| message[at..end].to_string())
+}
+
+impl ApiError {
+    /// Classify a decoder/engine `Err(String)`: bodies that never
+    /// parsed as JSON (or weren't UTF-8) are `400 malformed`;
+    /// everything else was well-formed but unacceptable —
+    /// `422 validation`, with the offending field extracted from the
+    /// message when named.
+    pub fn from_parse(message: String) -> ApiError {
+        if message.starts_with("invalid JSON") || message.starts_with("body is not UTF-8") {
+            ApiError {
+                status: 400,
+                code: "malformed",
+                message,
+                field: None,
+            }
+        } else {
+            ApiError {
+                status: 422,
+                code: "validation",
+                field: backtick_field(&message),
+                message,
+            }
+        }
+    }
+
+    /// A validation failure (`422`) with an explicit field.
+    pub fn validation(message: impl Into<String>) -> ApiError {
+        let message = message.into();
+        ApiError {
+            status: 422,
+            code: "validation",
+            field: backtick_field(&message),
+            message,
+        }
+    }
+
+    /// Unknown path.
+    pub fn not_found() -> ApiError {
+        ApiError {
+            status: 404,
+            code: "not_found",
+            message: "no such endpoint".into(),
+            field: None,
+        }
+    }
+
+    /// Known path, wrong method.
+    pub fn method_not_allowed() -> ApiError {
+        ApiError {
+            status: 405,
+            code: "method_not_allowed",
+            message: "method not allowed".into(),
+            field: None,
+        }
+    }
+
+    /// The worker pool's backlog is full; the response advises a retry
+    /// (`Retry-After`).
+    pub fn backpressure() -> ApiError {
+        ApiError {
+            status: 503,
+            code: "backpressure",
+            message: "worker queue is full; retry shortly".into(),
+            field: None,
+        }
+    }
+
+    /// An evaluation panicked or another invariant broke.
+    pub fn internal(message: impl Into<String>) -> ApiError {
+        ApiError {
+            status: 500,
+            code: "internal",
+            message: message.into(),
+            field: None,
+        }
+    }
+
+    /// Wrap an HTTP framing error (bad request line, oversized body,
+    /// …) in the envelope, keyed by its status.
+    pub fn from_status(status: u16, message: String) -> ApiError {
+        let code = match status {
+            400 => "malformed",
+            404 => "not_found",
+            405 => "method_not_allowed",
+            413 | 431 => "too_large",
+            422 => "validation",
+            501 => "not_implemented",
+            503 => "backpressure",
+            505 => "unsupported_version",
+            _ => "internal",
+        };
+        ApiError {
+            status,
+            code,
+            message,
+            field: None,
+        }
+    }
+
+    /// The rendered envelope body.
+    pub fn body(&self) -> String {
+        let mut error = BTreeMap::new();
+        error.insert("code".to_string(), Json::str(self.code));
+        error.insert("message".to_string(), Json::str(self.message.clone()));
+        if let Some(f) = &self.field {
+            error.insert("field".to_string(), Json::str(f.clone()));
+        }
+        Json::obj([
+            ("api_version", Json::str(API_VERSION)),
+            ("error", Json::Obj(error)),
+        ])
+        .render()
+    }
+}
+
+/// Stamp a success reply: `api_version` always, plus a `deprecations`
+/// array when the request used legacy fields (each entry names the
+/// field and its replacement).
+pub fn stamp_reply(body: &mut Json, deprecations: &[&'static str]) {
+    if let Json::Obj(map) = body {
+        map.insert("api_version".into(), Json::str(API_VERSION));
+        if !deprecations.is_empty() {
+            map.insert(
+                "deprecations".into(),
+                Json::Arr(
+                    deprecations
+                        .iter()
+                        .map(|f| {
+                            Json::str(format!(
+                                "field `{f}` is deprecated; describe the workload with `mix`"
+                            ))
+                        })
+                        .collect(),
+                ),
+            );
+        }
+    }
+}
 
 /// A decoded `POST /v1/estimate` body: one fully concrete point plus
 /// the backends to evaluate it with.
@@ -28,6 +212,9 @@ pub struct EstimateRequest {
     pub backends: Backends,
     /// Attach a per-span timing breakdown to the reply (`"debug": true`).
     pub debug: bool,
+    /// Legacy single-job fields the request used (surfaced in the
+    /// reply's `deprecations` array; the fields keep decoding).
+    pub deprecations: Vec<&'static str>,
 }
 
 /// A decoded `POST /v1/scenario` body.
@@ -315,12 +502,72 @@ fn parse_mix(v: &Json) -> Result<WorkloadMix, String> {
 /// The single-job fields that conflict with an explicit mix.
 const SINGLE_JOB_FIELDS: [&str; 4] = ["job", "input_bytes", "n_jobs", "reduces"];
 
+/// A string-typed field, when present.
+fn field_str<'a>(map: &'a BTreeMap<String, Json>, key: &str) -> Result<Option<&'a str>, String> {
+    match map.get(key) {
+        None => Ok(None),
+        Some(v) => v
+            .as_str()
+            .map(Some)
+            .ok_or_else(|| format!("field `{key}` must be a string")),
+    }
+}
+
+/// An optional positive finite rate (jobs/second).
+fn field_rate(map: &BTreeMap<String, Json>, key: &str) -> Result<Option<f64>, String> {
+    match map.get(key) {
+        None => Ok(None),
+        Some(v) => v
+            .as_f64()
+            .filter(|r| r.is_finite() && *r > 0.0)
+            .map(Some)
+            .ok_or_else(|| format!("field `{key}` must be a positive finite rate (jobs/second)")),
+    }
+}
+
+/// The one shared workload decoder behind `/v1/estimate` and
+/// `/v1/plan`: an explicit `mix` array of entry objects, or the legacy
+/// single-job fields (`job`, `input_bytes`, `n_jobs`, `reduces`) as a
+/// 1-entry mix — never both. Returns the mix plus the legacy fields
+/// the request actually used, so callers can surface them as
+/// `deprecations`.
+fn parse_workload(
+    map: &BTreeMap<String, Json>,
+) -> Result<(WorkloadMix, Vec<&'static str>), String> {
+    match map.get("mix") {
+        Some(v) => {
+            if let Some(conflict) = SINGLE_JOB_FIELDS.iter().find(|f| map.contains_key(**f)) {
+                return Err(format!(
+                    "field `{conflict}` conflicts with `mix`; describe the workload one way"
+                ));
+            }
+            Ok((parse_mix(v)?, Vec::new()))
+        }
+        None => {
+            let mix = WorkloadMix::new([MixEntry {
+                job: field_str(map, "job")?.map_or(Ok(JobKind::WordCount), parse_job)?,
+                input_bytes: field_positive(map, "input_bytes", GB)?,
+                count: field_positive(map, "n_jobs", 1)? as usize,
+                reduces: parse_reduces(map)?,
+                submit_offset_ms: 0,
+            }]);
+            let used = SINGLE_JOB_FIELDS
+                .into_iter()
+                .filter(|f| map.contains_key(*f))
+                .collect();
+            Ok((mix, used))
+        }
+    }
+}
+
 /// Decode a `POST /v1/estimate` body.
 ///
 /// The workload is either a `mix` array of entry objects or the
 /// original single-job fields (`job`, `input_bytes`, `n_jobs`,
-/// `reduces`), which decode as a 1-entry mix for back-compatibility;
-/// mixing the two styles is rejected.
+/// `reduces`), which decode as a 1-entry mix for back-compatibility
+/// (surfaced in the reply's `deprecations`); mixing the two styles is
+/// rejected. An `arrival_rate` makes the point an open-arrival solve —
+/// it combines only with batch arrivals.
 pub fn parse_estimate_request(body: &str) -> Result<EstimateRequest, String> {
     let v = Json::parse(body).map_err(|e| format!("invalid JSON: {e}"))?;
     let map = known_object(
@@ -336,6 +583,7 @@ pub fn parse_estimate_request(body: &str) -> Result<EstimateRequest, String> {
             "n_jobs",
             "mix",
             "arrivals",
+            "arrival_rate",
             "map_failure_prob",
             "slow_node_factor",
             "estimator",
@@ -345,51 +593,35 @@ pub fn parse_estimate_request(body: &str) -> Result<EstimateRequest, String> {
             "debug",
         ],
     )?;
-    let str_field = |key: &str| -> Result<Option<&str>, String> {
-        match map.get(key) {
-            None => Ok(None),
-            Some(v) => v
-                .as_str()
-                .map(Some)
-                .ok_or_else(|| format!("field `{key}` must be a string")),
-        }
-    };
     let nodes = field_positive(map, "nodes", 4)? as usize;
-    let mix = match map.get("mix") {
-        Some(v) => {
-            if let Some(conflict) = SINGLE_JOB_FIELDS.iter().find(|f| map.contains_key(**f)) {
-                return Err(format!(
-                    "field `{conflict}` conflicts with `mix`; describe the workload one way"
-                ));
-            }
-            parse_mix(v)?
-        }
-        None => WorkloadMix::new([MixEntry {
-            job: str_field("job")?.map_or(Ok(JobKind::WordCount), parse_job)?,
-            input_bytes: field_positive(map, "input_bytes", GB)?,
-            count: field_positive(map, "n_jobs", 1)? as usize,
-            reduces: parse_reduces(map)?,
-            submit_offset_ms: 0,
-        }]),
-    };
+    let (mix, deprecations) = parse_workload(map)?;
     mix.check(&[nodes])?;
     let arrivals = match map.get("arrivals") {
         None => ArrivalSchedule::Batch,
         Some(v) => parse_arrivals(v)?,
     };
     arrivals.check(&mix)?;
+    let arrival_rate = field_rate(map, "arrival_rate")?;
+    if arrival_rate.is_some() && arrivals != ArrivalSchedule::Batch {
+        return Err(
+            "field `arrival_rate` combines only with batch arrivals (an open rate replaces the schedule)"
+                .into(),
+        );
+    }
     let point = EvalPoint {
         index: 0,
         nodes,
         block_mb: field_positive(map, "block_mb", 128)?,
         container_mb: field_positive_u32(map, "container_mb", 1024)?,
-        scheduler: str_field("scheduler")?
+        scheduler: field_str(map, "scheduler")?
             .map_or(Ok(SchedulerPolicy::CapacityFifo), parse_scheduler)?,
         mix: mix.resolve(nodes),
         arrivals,
+        arrival_rate,
         map_failure_prob: field_prob(map, "map_failure_prob", 0.0)?,
         slow_node_factor: field_slowdown(map, "slow_node_factor", 1.0)?,
-        estimator: str_field("estimator")?.map_or(Ok(EstimatorKind::ForkJoin), parse_estimator)?,
+        estimator: field_str(map, "estimator")?
+            .map_or(Ok(EstimatorKind::ForkJoin), parse_estimator)?,
         seed: field_u64(map, "seed", 1)?,
     };
     let backends = match map.get("backends") {
@@ -403,6 +635,99 @@ pub fn parse_estimate_request(body: &str) -> Result<EstimateRequest, String> {
         point,
         backends,
         debug: field_debug(map)?,
+        deprecations,
+    })
+}
+
+/// A decoded `POST /v1/plan` body.
+#[derive(Debug, Clone)]
+pub struct PlanApiRequest {
+    /// The capacity-planning question.
+    pub plan: PlanRequest,
+    /// Attach a per-span timing breakdown to the reply (`"debug": true`).
+    pub debug: bool,
+    /// Legacy single-job fields the request used.
+    pub deprecations: Vec<&'static str>,
+}
+
+/// Decode a `POST /v1/plan` body:
+///
+/// ```json
+/// {"mix":[{"job":"wordcount"}],
+///  "arrival_rate":0.1,
+///  "slo":{"metric":"response","threshold":300},
+///  "search":{"min_nodes":1,"max_nodes":64}}
+/// ```
+///
+/// The workload shares `/v1/estimate`'s decoder (an explicit `mix` or
+/// the legacy single-job fields); `arrival_rate` and `slo` are
+/// required; `search` defaults to 1–64 nodes. Semantic validation
+/// (positive rate, satisfiable threshold, non-empty range) is
+/// [`PlanRequest::check`]'s, applied by the planner itself.
+pub fn parse_plan_request(body: &str) -> Result<PlanApiRequest, String> {
+    let v = Json::parse(body).map_err(|e| format!("invalid JSON: {e}"))?;
+    let map = known_object(
+        &v,
+        "plan request",
+        &[
+            "mix",
+            "job",
+            "input_bytes",
+            "n_jobs",
+            "reduces",
+            "arrival_rate",
+            "slo",
+            "search",
+            "block_mb",
+            "container_mb",
+            "scheduler",
+            "estimator",
+            "seed",
+            "debug",
+        ],
+    )?;
+    let (mix, deprecations) = parse_workload(map)?;
+    let arrival_rate =
+        field_rate(map, "arrival_rate")?.ok_or("plan request needs an `arrival_rate` field")?;
+    let slo = {
+        let v = map.get("slo").ok_or("plan request needs a `slo` object")?;
+        let slo = known_object(v, "slo", &["metric", "threshold"])?;
+        let metric = field_str(slo, "metric")?
+            .ok_or("field `metric` is required in `slo`")
+            .and_then(|s| {
+                SloMetric::parse(s)
+                    .ok_or("field `metric` must be `response`, `makespan`, or `utilization`")
+            })?;
+        let threshold = slo
+            .get("threshold")
+            .and_then(Json::as_f64)
+            .ok_or("field `threshold` must be a number")?;
+        SloSpec { metric, threshold }
+    };
+    let search = match map.get("search") {
+        None => SearchSpace::default(),
+        Some(v) => {
+            let s = known_object(v, "search", &["min_nodes", "max_nodes"])?;
+            let default = SearchSpace::default();
+            SearchSpace {
+                min_nodes: field_positive(s, "min_nodes", default.min_nodes as u64)? as usize,
+                max_nodes: field_positive(s, "max_nodes", default.max_nodes as u64)? as usize,
+            }
+        }
+    };
+    let mut plan = PlanRequest::new(mix, arrival_rate, slo);
+    plan.search = search;
+    plan.block_mb = field_positive(map, "block_mb", 128)?;
+    plan.container_mb = field_positive_u32(map, "container_mb", 1024)?;
+    plan.scheduler =
+        field_str(map, "scheduler")?.map_or(Ok(SchedulerPolicy::CapacityFifo), parse_scheduler)?;
+    plan.estimator =
+        field_str(map, "estimator")?.map_or(Ok(EstimatorKind::ForkJoin), parse_estimator)?;
+    plan.seed = field_u64(map, "seed", 1)?;
+    Ok(PlanApiRequest {
+        plan,
+        debug: field_debug(map)?,
+        deprecations,
     })
 }
 
@@ -431,6 +756,7 @@ pub fn parse_scenario_request(body: &str) -> Result<ScenarioRequest, String> {
             "n_jobs",
             "mixes",
             "arrivals",
+            "arrival_rate",
             "map_failure_prob",
             "slow_node_factor",
             "estimators",
@@ -513,6 +839,32 @@ pub fn parse_scenario_request(body: &str) -> Result<ScenarioRequest, String> {
         }
         Some(_) => return Err("field `arrivals` must be an array of arrival schedules".into()),
     }
+    match map.get("arrival_rate") {
+        None => {}
+        Some(Json::Arr(items)) => {
+            s.arrival_rate = items
+                .iter()
+                .map(|v| match v {
+                    Json::Null => Ok(None),
+                    _ => v
+                        .as_f64()
+                        .filter(|r| r.is_finite() && *r > 0.0)
+                        .map(Some)
+                        .ok_or(
+                            "field `arrival_rate` must be an array of positive finite \
+                             rates (null for a closed point)",
+                        ),
+                })
+                .collect::<Result<_, _>>()?;
+        }
+        Some(_) => {
+            return Err(
+                "field `arrival_rate` must be an array of positive finite rates \
+                 (null for a closed point)"
+                    .into(),
+            )
+        }
+    }
     match map.get("map_failure_prob") {
         None => {}
         Some(Json::Arr(items)) => {
@@ -587,51 +939,75 @@ pub fn debug_json(trace: &mr2_obs::Trace) -> Json {
     ])
 }
 
+/// Encode a resolved mix as the reply's `mix` array (one object per
+/// class, resolved reduce counts and submit offsets included).
+fn mix_json(entries: &[ResolvedEntry]) -> Json {
+    Json::Arr(
+        entries
+            .iter()
+            .map(|e| {
+                Json::obj([
+                    ("job", Json::str(e.job.name())),
+                    ("input_bytes", e.input_bytes.into()),
+                    ("count", e.count.into()),
+                    ("reduces", u64::from(e.reduces).into()),
+                    ("submit_offset_ms", e.submit_offset_ms.into()),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// Encode an analytic [`ModelPoint`]: the four estimator series, the
+/// makespan, per-class estimates in class order, and — for
+/// open-arrival solves — an additive `open` object with the bottleneck
+/// utilization and the knee/saturation rates (jobs/second).
+pub fn model_json(m: &ModelPoint, entries: &[ResolvedEntry]) -> Json {
+    let per_class: Vec<Json> = m
+        .per_class
+        .iter()
+        .zip(entries)
+        .map(|(c, e)| {
+            Json::obj([
+                ("class", Json::str(e.label())),
+                ("fork_join", Json::num(c.fork_join)),
+                ("tripathi", Json::num(c.tripathi)),
+                ("aria", Json::num(c.aria)),
+                ("herodotou", Json::num(c.herodotou)),
+            ])
+        })
+        .collect();
+    let open = m.open.map_or(Json::Null, |o| {
+        Json::obj([
+            (
+                "bottleneck_utilization",
+                Json::num(o.bottleneck_utilization),
+            ),
+            ("knee_rate", Json::num(o.knee_rate)),
+            ("saturation_rate", Json::num(o.saturation_rate)),
+        ])
+    });
+    Json::obj([
+        ("fork_join", Json::num(m.fork_join)),
+        ("tripathi", Json::num(m.tripathi)),
+        ("aria", Json::num(m.aria)),
+        ("herodotou", Json::num(m.herodotou)),
+        ("makespan", Json::num(m.makespan)),
+        ("per_class", Json::Arr(per_class)),
+        ("open", open),
+    ])
+}
+
 /// Encode one evaluated point. The workload is a `mix` array (one
 /// object per class, resolved reduce counts and submit offsets
 /// included); per-class model estimates and simulator medians ride
 /// along in class order, and both backends report response time and
 /// makespan separately (they diverge under non-batch arrivals).
 pub fn point_json(p: &PointResult) -> Json {
-    let mix: Vec<Json> = p
-        .point
-        .mix
-        .entries
-        .iter()
-        .map(|e| {
-            Json::obj([
-                ("job", Json::str(e.job.name())),
-                ("input_bytes", e.input_bytes.into()),
-                ("count", e.count.into()),
-                ("reduces", u64::from(e.reduces).into()),
-                ("submit_offset_ms", e.submit_offset_ms.into()),
-            ])
-        })
-        .collect();
-    let model = p.model.as_ref().map_or(Json::Null, |m| {
-        let per_class: Vec<Json> = m
-            .per_class
-            .iter()
-            .zip(&p.point.mix.entries)
-            .map(|(c, e)| {
-                Json::obj([
-                    ("class", Json::str(e.label())),
-                    ("fork_join", Json::num(c.fork_join)),
-                    ("tripathi", Json::num(c.tripathi)),
-                    ("aria", Json::num(c.aria)),
-                    ("herodotou", Json::num(c.herodotou)),
-                ])
-            })
-            .collect();
-        Json::obj([
-            ("fork_join", Json::num(m.fork_join)),
-            ("tripathi", Json::num(m.tripathi)),
-            ("aria", Json::num(m.aria)),
-            ("herodotou", Json::num(m.herodotou)),
-            ("makespan", Json::num(m.makespan)),
-            ("per_class", Json::Arr(per_class)),
-        ])
-    });
+    let model = p
+        .model
+        .as_ref()
+        .map_or(Json::Null, |m| model_json(m, &p.point.mix.entries));
     let sim = p.sim.as_ref().map_or(Json::Null, |s| {
         Json::obj([
             ("median_response", Json::num(s.median_response)),
@@ -656,9 +1032,13 @@ pub fn point_json(p: &PointResult) -> Json {
                 SchedulerPolicy::Fair => "fair",
             }),
         ),
-        ("mix", Json::Arr(mix)),
+        ("mix", mix_json(&p.point.mix.entries)),
         ("total_jobs", p.point.total_jobs().into()),
         ("arrivals", arrivals_json(&p.point.arrivals)),
+        (
+            "arrival_rate",
+            p.point.arrival_rate.map_or(Json::Null, Json::num),
+        ),
         ("map_failure_prob", Json::num(p.point.map_failure_prob)),
         ("slow_node_factor", Json::num(p.point.slow_node_factor)),
         ("estimator", Json::str(p.point.estimator.name())),
@@ -707,6 +1087,49 @@ pub fn sweep_json(sweep: &SweepResult) -> Json {
         ),
         ("error_bands", Json::Arr(bands)),
         ("class_error_bands", Json::Arr(per_class)),
+    ])
+}
+
+/// Encode a capacity plan: whether the SLO is satisfiable inside the
+/// search range, the chosen (cheapest satisfying) node count, the
+/// predicted metric there, the full analytic model point at that
+/// configuration — its `open` object carries the knee and saturation
+/// rates — and the bisection probe trail in solve order.
+pub fn plan_json(req: &PlanRequest, result: &PlanResult) -> Json {
+    let probes: Vec<Json> = result
+        .probes
+        .iter()
+        .map(|p| {
+            Json::obj([
+                ("nodes", p.nodes.into()),
+                ("predicted", Json::num(p.predicted)),
+                ("satisfies", p.satisfies.into()),
+            ])
+        })
+        .collect();
+    let resolved = req.mix.resolve(result.nodes);
+    Json::obj([
+        ("feasible", result.feasible.into()),
+        ("nodes", result.nodes.into()),
+        ("predicted", Json::num(result.predicted)),
+        (
+            "slo",
+            Json::obj([
+                ("metric", Json::str(req.slo.metric.name())),
+                ("threshold", Json::num(req.slo.threshold)),
+            ]),
+        ),
+        ("arrival_rate", Json::num(req.arrival_rate)),
+        (
+            "search",
+            Json::obj([
+                ("min_nodes", req.search.min_nodes.into()),
+                ("max_nodes", req.search.max_nodes.into()),
+            ]),
+        ),
+        ("mix", mix_json(&resolved.entries)),
+        ("model", model_json(&result.point, &resolved.entries)),
+        ("probes", Json::Arr(probes)),
     ])
 }
 
@@ -983,6 +1406,36 @@ mod tests {
     }
 
     #[test]
+    fn scenario_request_builds_an_arrival_rate_axis() {
+        let s = parse_scenario_request(
+            r#"{"name":"open","nodes":[4],"n_jobs":[1],
+                "arrival_rate":[null,0.001,0.002]}"#,
+        )
+        .unwrap()
+        .scenario;
+        assert_eq!(s.arrival_rate, vec![None, Some(0.001), Some(0.002)]);
+        assert_eq!(s.num_points(), 3);
+        for bad in [
+            r#"{"arrival_rate":0.1}"#,
+            r#"{"arrival_rate":[0.0]}"#,
+            r#"{"arrival_rate":["fast"]}"#,
+        ] {
+            assert!(
+                parse_scenario_request(bad)
+                    .unwrap_err()
+                    .contains("positive finite"),
+                "{bad}"
+            );
+        }
+        // The open rate replaces an arrival schedule, never overlays one.
+        assert!(parse_scenario_request(
+            r#"{"n_jobs":[2],"arrival_rate":[0.1],"arrivals":[{"staggered_ms":1000}]}"#
+        )
+        .unwrap_err()
+        .contains("batch arrivals"));
+    }
+
+    #[test]
     fn scenario_request_rejects_invalid_specs() {
         assert!(parse_scenario_request(r#"{"nodes":[]}"#)
             .unwrap_err()
@@ -1108,6 +1561,152 @@ mod tests {
                 .len(),
             2 * 4,
             "2 classes × 4 series"
+        );
+    }
+
+    #[test]
+    fn api_errors_classify_damage_and_name_fields() {
+        // Transport/JSON damage is 400 "malformed"…
+        let e = ApiError::from_parse("invalid JSON: unexpected end".into());
+        assert_eq!((e.status, e.code), (400, "malformed"));
+        let e = ApiError::from_parse("body is not UTF-8".into());
+        assert_eq!((e.status, e.code), (400, "malformed"));
+        // …while a well-formed body failing validation is 422, with the
+        // offending field lifted out of the backtick convention.
+        let e = ApiError::from_parse("field `nodes` must be positive".into());
+        assert_eq!((e.status, e.code), (422, "validation"));
+        assert_eq!(e.field.as_deref(), Some("nodes"));
+        let e = ApiError::from_parse("scenario expands to 99 points".into());
+        assert_eq!(e.status, 422);
+        assert_eq!(e.field, None);
+
+        // The rendered envelope round-trips as JSON.
+        let v = Json::parse(&ApiError::backpressure().body()).unwrap();
+        assert_eq!(v.get("api_version").unwrap().as_str(), Some("v1"));
+        let err = v.get("error").unwrap();
+        assert_eq!(err.get("code").unwrap().as_str(), Some("backpressure"));
+        assert!(err.get("field").is_none());
+
+        // HTTP-layer statuses map onto stable codes.
+        for (status, code) in [
+            (413, "too_large"),
+            (431, "too_large"),
+            (501, "not_implemented"),
+            (505, "unsupported_version"),
+            (500, "internal"),
+        ] {
+            assert_eq!(ApiError::from_status(status, "x".into()).code, code);
+        }
+    }
+
+    #[test]
+    fn stamped_replies_version_and_warn() {
+        let mut body = Json::obj([("estimate", Json::num(1.0))]);
+        stamp_reply(&mut body, &[]);
+        assert_eq!(body.get("api_version").unwrap().as_str(), Some("v1"));
+        assert!(body.get("deprecations").is_none(), "no warnings unasked");
+
+        let mut body = Json::obj([("estimate", Json::num(1.0))]);
+        stamp_reply(&mut body, &["job", "n_jobs"]);
+        let warnings = body.get("deprecations").unwrap().as_arr().unwrap();
+        assert_eq!(warnings.len(), 2);
+        assert!(warnings[0].as_str().unwrap().contains("`job`"));
+        assert!(warnings[0].as_str().unwrap().contains("`mix`"));
+    }
+
+    #[test]
+    fn plan_request_decodes_with_defaults_and_shares_the_workload_decoder() {
+        let r = parse_plan_request(
+            r#"{"mix":[{"job":"terasort","input_bytes":2147483648}],
+                "arrival_rate":0.05,
+                "slo":{"metric":"makespan","threshold":900},
+                "search":{"min_nodes":2,"max_nodes":32},
+                "scheduler":"fair","seed":9}"#,
+        )
+        .unwrap();
+        assert_eq!(r.plan.arrival_rate, 0.05);
+        assert_eq!(r.plan.slo.metric, SloMetric::Makespan);
+        assert_eq!(r.plan.slo.threshold, 900.0);
+        assert_eq!((r.plan.search.min_nodes, r.plan.search.max_nodes), (2, 32));
+        assert_eq!(r.plan.scheduler, SchedulerPolicy::Fair);
+        assert_eq!(r.plan.seed, 9);
+        assert!(r.deprecations.is_empty());
+        assert!(!r.debug);
+
+        // The legacy single-job shape decodes through the same path as
+        // /v1/estimate, deprecations noted; search defaults to 1–64.
+        let r = parse_plan_request(
+            r#"{"job":"grep","input_bytes":1073741824,"n_jobs":2,
+                "arrival_rate":0.01,
+                "slo":{"metric":"response","threshold":300}}"#,
+        )
+        .unwrap();
+        assert_eq!(r.plan.mix.entries[0].job, JobKind::Grep);
+        assert_eq!(r.plan.mix.total_jobs(), 2);
+        assert_eq!(r.deprecations, vec!["job", "input_bytes", "n_jobs"]);
+        let default = SearchSpace::default();
+        assert_eq!(r.plan.search.min_nodes, default.min_nodes);
+        assert_eq!(r.plan.search.max_nodes, default.max_nodes);
+    }
+
+    #[test]
+    fn plan_request_rejects_bad_input() {
+        for (body, needle) in [
+            ("{", "invalid JSON"),
+            (
+                r#"{"slo":{"metric":"response","threshold":1}}"#,
+                "arrival_rate",
+            ),
+            (r#"{"arrival_rate":0.1}"#, "`slo` object"),
+            (
+                r#"{"arrival_rate":"fast","slo":{"metric":"response","threshold":1}}"#,
+                "positive finite rate",
+            ),
+            (
+                r#"{"arrival_rate":0.1,"slo":{"metric":"p99","threshold":1}}"#,
+                "`response`, `makespan`, or `utilization`",
+            ),
+            (
+                r#"{"arrival_rate":0.1,"slo":{"metric":"response"}}"#,
+                "`threshold` must be a number",
+            ),
+            (
+                r#"{"arrival_rate":0.1,"slo":{"metric":"response","threshold":1},"nodes":4}"#,
+                "unknown plan request field `nodes`",
+            ),
+            (
+                r#"{"arrival_rate":0.1,"slo":{"metric":"response","threshold":1},
+                    "search":{"max":8}}"#,
+                "unknown search field `max`",
+            ),
+            (
+                r#"{"arrival_rate":0.1,"slo":{"metric":"response","threshold":1},
+                    "mix":[{"job":"grep"}],"n_jobs":2}"#,
+                "conflicts with `mix`",
+            ),
+        ] {
+            let err = parse_plan_request(body).unwrap_err();
+            assert!(err.contains(needle), "{body} → {err}");
+        }
+    }
+
+    #[test]
+    fn estimate_request_decodes_an_arrival_rate() {
+        let r = parse_estimate_request(r#"{"nodes":4,"arrival_rate":0.002}"#).unwrap();
+        assert_eq!(r.point.arrival_rate, Some(0.002));
+        assert!(
+            parse_estimate_request(r#"{"arrival_rate":0}"#)
+                .unwrap_err()
+                .contains("positive finite rate"),
+            "zero rate refused"
+        );
+        assert!(
+            parse_estimate_request(
+                r#"{"n_jobs":2,"arrival_rate":0.1,"arrivals":{"staggered_ms":1000}}"#
+            )
+            .unwrap_err()
+            .contains("batch arrivals"),
+            "an open rate replaces, not overlays, a schedule"
         );
     }
 }

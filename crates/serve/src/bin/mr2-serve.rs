@@ -3,7 +3,8 @@
 //! ```text
 //! mr2-serve [--addr 127.0.0.1:8080] [--threads 4] [--cache-capacity 65536]
 //!           [--max-points 4096] [--cache-file results/serve-cache.txt]
-//!           [--persist-secs 30] [--keep-alive-requests 32] [--no-access-log]
+//!           [--persist-secs 30] [--keep-alive-requests 32] [--max-queue 1024]
+//!           [--no-access-log]
 //! ```
 //!
 //! Smoke it with curl:
@@ -11,6 +12,9 @@
 //! ```text
 //! curl http://127.0.0.1:8080/healthz
 //! curl -X POST http://127.0.0.1:8080/v1/estimate -d '{"nodes":8,"n_jobs":2}'
+//! curl -X POST http://127.0.0.1:8080/v1/plan \
+//!      -d '{"mix":[{"job":"wordcount"}],"arrival_rate":0.01,
+//!           "slo":{"metric":"response","threshold":300}}'
 //! curl http://127.0.0.1:8080/metrics
 //! ```
 
@@ -21,7 +25,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: mr2-serve [--addr HOST:PORT] [--threads N] [--cache-capacity N]\n\
          \x20                [--max-points N] [--cache-file PATH] [--persist-secs N]\n\
-         \x20                [--keep-alive-requests N] [--no-access-log]"
+         \x20                [--keep-alive-requests N] [--max-queue N] [--no-access-log]"
     );
     std::process::exit(2);
 }
@@ -57,6 +61,10 @@ fn main() {
             },
             "--keep-alive-requests" => match value("--keep-alive-requests").parse() {
                 Ok(n) if n > 0 => cfg.keep_alive_requests = n,
+                _ => usage(),
+            },
+            "--max-queue" => match value("--max-queue").parse() {
+                Ok(n) => cfg.max_queue = n,
                 _ => usage(),
             },
             "--no-access-log" => cfg.access_log = false,

@@ -249,9 +249,11 @@ pub fn reason(status: u16) -> &'static str {
         404 => "Not Found",
         405 => "Method Not Allowed",
         413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
         431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
         501 => "Not Implemented",
+        503 => "Service Unavailable",
         505 => "HTTP Version Not Supported",
         _ => "",
     }
@@ -273,13 +275,30 @@ pub fn write_response<S: Write>(
     content_type: &str,
     close: bool,
 ) -> std::io::Result<()> {
+    write_response_with(stream, status, body, content_type, close, &[])
+}
+
+/// [`write_response`] with extra headers (name, value) — e.g. the
+/// `Retry-After` a 503 backpressure rejection carries.
+pub fn write_response_with<S: Write>(
+    stream: &mut S,
+    status: u16,
+    body: &str,
+    content_type: &str,
+    close: bool,
+    extra_headers: &[(&str, &str)],
+) -> std::io::Result<()> {
     write!(
         stream,
-        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {}\r\n",
         reason(status),
         body.len(),
         if close { "close" } else { "keep-alive" },
     )?;
+    for (name, value) in extra_headers {
+        write!(stream, "{name}: {value}\r\n")?;
+    }
+    stream.write_all("\r\n".as_bytes())?;
     stream.write_all(body.as_bytes())?;
     stream.flush()
 }

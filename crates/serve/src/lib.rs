@@ -9,14 +9,21 @@
 //! [`mr2_scenario::ResultCache`] as shared state.
 //!
 //! * [`serve`] / [`ServeConfig`] (module [`server`]): the service —
-//!   `POST /v1/estimate` (one point), `POST /v1/scenario` (a full
-//!   declarative sweep, answered by the parallel batch runner),
+//!   `POST /v1/estimate` (one point, open-arrival λ supported),
+//!   `POST /v1/scenario` (a full declarative sweep, answered by the
+//!   parallel batch runner), `POST /v1/plan` (the *inverse* question:
+//!   the cheapest node count meeting an SLO at a given arrival rate,
+//!   solved by bisection over cached point evaluations),
 //!   `GET /v1/cache/stats`, `GET /healthz`;
 //! * [`json`]: minimal RFC 8259 encode/decode;
 //! * [`http`]: just-enough HTTP/1.1 over blocking streams;
 //! * [`api`]: the wire types — strict request decoding into
-//!   [`mr2_scenario::Scenario`] / [`mr2_scenario::EvalPoint`], response
-//!   encoding of sweeps, error bands, and cache counters.
+//!   [`mr2_scenario::Scenario`] / [`mr2_scenario::EvalPoint`] /
+//!   [`mr2_scenario::PlanRequest`], response encoding of sweeps, error
+//!   bands, plans, and cache counters, and the unified versioned
+//!   envelope: every reply carries `"api_version"`, every failure is
+//!   `{"error": {"code", "message", "field"?}}` ([`api::ApiError`]),
+//!   and legacy request shapes draw a `"deprecations"` list.
 //!
 //! The shared cache is schema-versioned, LRU-bounded, and coalesces
 //! in-flight evaluations, so concurrent identical queries cost exactly

@@ -12,11 +12,21 @@
 //! | `GET`  | `/v1/cache/stats` | — | shared-cache counters |
 //! | `POST` | `/v1/estimate` | point spec | one evaluated point |
 //! | `POST` | `/v1/scenario` | scenario spec | full sweep + error bands |
+//! | `POST` | `/v1/plan` | SLO + search range | cheapest satisfying node count |
+//!
+//! Every JSON reply — success or failure — carries `"api_version"`,
+//! and every failure is the one envelope
+//! `{"error": {"code", "message", "field"?}}` (see [`api::ApiError`]):
+//! 400 for malformed transport/JSON, 422 for well-formed requests that
+//! fail validation, 405/404 for routing, 503 (with `Retry-After`) when
+//! the accept queue is over [`ServeConfig::max_queue`].
 //!
 //! Concurrent identical queries cost one evaluation: the cache
 //! coalesces in-flight computations, so a thundering herd of the same
 //! what-if question does the model solve (or simulator run) once and
-//! fans the record out.
+//! fans the record out. `/v1/plan` rides the same cache: every probe
+//! of its bisection is a cached point evaluation, so re-planning after
+//! a warm-up answers from memory.
 //!
 //! Every request is observable three ways: per-route counters and
 //! latency histograms in the `mr2-obs` registry (scraped via
@@ -34,9 +44,10 @@ use std::time::{Duration, Instant};
 use mr2_obs as obs;
 use mr2_scenario::{evaluate_point, run_scenario, PointResult, ResultCache, RunnerConfig};
 
-use crate::api;
+use crate::api::{self, ApiError};
 use crate::http::{
-    write_response, Conn, HttpError, Request, CONTENT_TYPE_JSON, CONTENT_TYPE_METRICS,
+    write_response, write_response_with, Conn, HttpError, Request, CONTENT_TYPE_JSON,
+    CONTENT_TYPE_METRICS,
 };
 use crate::json::Json;
 
@@ -72,6 +83,12 @@ pub struct ServeConfig {
     /// How long an idle kept-alive connection may sit between requests
     /// before the service closes it.
     pub keep_alive_idle: Duration,
+    /// Accepted connections allowed to wait for a worker before the
+    /// acceptor sheds load: at this backlog depth new connections are
+    /// answered 503 (`Retry-After: 1`) and closed instead of queued,
+    /// so an overloaded service degrades with an explicit signal
+    /// rather than unbounded queueing delay.
+    pub max_queue: usize,
     /// Runner knobs for scenario sweeps (worker-thread count of the
     /// *evaluation* pool, not the HTTP pool).
     pub runner: RunnerConfig,
@@ -92,6 +109,7 @@ impl Default for ServeConfig {
             persist_every: Duration::from_secs(30),
             keep_alive_requests: 32,
             keep_alive_idle: Duration::from_secs(5),
+            max_queue: 1_024,
             runner: RunnerConfig::default(),
             access_log: true,
         }
@@ -141,6 +159,16 @@ mod metrics {
             obs::gauge(
                 "mr2_serve_queue_depth",
                 "Accepted connections waiting for a worker thread.",
+            )
+        })
+    }
+
+    pub fn shed() -> &'static obs::Counter {
+        static C: std::sync::OnceLock<obs::Counter> = std::sync::OnceLock::new();
+        C.get_or_init(|| {
+            obs::counter(
+                "mr2_serve_shed_total",
+                "Connections answered 503 at accept because the worker queue was full.",
             )
         })
     }
@@ -275,9 +303,11 @@ pub fn serve(cfg: ServeConfig) -> std::io::Result<ServerHandle> {
         );
     }
 
-    // Acceptor: hands sockets to the pool until shutdown.
+    // Acceptor: hands sockets to the pool until shutdown, shedding
+    // load with a 503 once the backlog hits `max_queue`.
     {
         let stop = Arc::clone(&stop);
+        let max_queue = cfg.max_queue;
         threads.push(
             std::thread::Builder::new()
                 .name("mr2-serve-acceptor".into())
@@ -286,11 +316,26 @@ pub fn serve(cfg: ServeConfig) -> std::io::Result<ServerHandle> {
                         if stop.load(Ordering::SeqCst) {
                             break;
                         }
-                        if let Ok(stream) = stream {
+                        if let Ok(mut stream) = stream {
                             // Slow or stalled clients time out instead of
                             // pinning a worker forever.
                             let _ = stream.set_read_timeout(Some(REQUEST_TIMEOUT));
                             let _ = stream.set_write_timeout(Some(REQUEST_TIMEOUT));
+                            if metrics::queue_depth().value() >= max_queue as f64 {
+                                // Reject before queueing: an explicit
+                                // retry signal beats unbounded wait.
+                                metrics::shed().inc();
+                                let err = ApiError::backpressure();
+                                let _ = write_response_with(
+                                    &mut stream,
+                                    err.status,
+                                    &err.body(),
+                                    CONTENT_TYPE_JSON,
+                                    true,
+                                    &[("Retry-After", "1")],
+                                );
+                                continue;
+                            }
                             metrics::queue_depth().inc();
                             if tx.send((stream, Instant::now())).is_err() {
                                 metrics::queue_depth().dec();
@@ -388,7 +433,9 @@ fn handle_connection(stream: TcpStream, state: &State) {
                             // thread-local trace; clear it so later
                             // requests on this worker start clean.
                             let _ = obs::end_trace();
-                            Response::json(500, error_json("internal error: evaluation panicked"))
+                            Response::error(ApiError::internal(
+                                "internal error: evaluation panicked",
+                            ))
                         });
                 let latency = started.elapsed();
                 let path = canonical_path(&req.path);
@@ -410,9 +457,10 @@ fn handle_connection(stream: TcpStream, state: &State) {
             // Client closed (or idled out) between requests.
             Ok(None) => return,
             // Protocol errors poison the framing; always close.
-            Err(HttpError { status, message }) => {
-                (Response::json(status, error_json(&message)), true)
-            }
+            Err(HttpError { status, message }) => (
+                Response::error(ApiError::from_status(status, message)),
+                true,
+            ),
         };
         let ok = write_response(
             conn.stream_mut(),
@@ -443,17 +491,26 @@ impl Response {
             content_type: CONTENT_TYPE_JSON,
         }
     }
+
+    /// Render an [`ApiError`] as the unified error envelope.
+    fn error(err: ApiError) -> Response {
+        Response::json(err.status, err.body())
+    }
+
+    /// Render a success reply, stamping the versioned envelope fields
+    /// (`api_version`, plus `deprecations` when the request leaned on
+    /// deprecated fields) onto the body first.
+    fn ok(mut body: Json, deprecations: &[&'static str]) -> Response {
+        api::stamp_reply(&mut body, deprecations);
+        Response::json(200, body.render())
+    }
 }
 
-fn error_json(message: &str) -> String {
-    Json::obj([("error", Json::str(message))]).render()
-}
-
-fn jobs_bound_message(jobs: usize, state: &State) -> String {
-    format!(
+fn jobs_bound_error(jobs: usize, state: &State) -> ApiError {
+    ApiError::validation(format!(
         "workload mix carries {jobs} concurrent jobs, above the service bound of {}",
         state.cfg.max_jobs_per_point
-    )
+    ))
 }
 
 /// The service's endpoints.
@@ -464,6 +521,7 @@ enum Endpoint {
     CacheStats,
     Estimate,
     Scenario,
+    Plan,
 }
 
 /// The route table: dispatch, the 405 fallback, and the metric path
@@ -476,6 +534,7 @@ const ROUTES: &[(&str, &str, Endpoint)] = &[
     ("GET", "/v1/cache/stats", Endpoint::CacheStats),
     ("POST", "/v1/estimate", Endpoint::Estimate),
     ("POST", "/v1/scenario", Endpoint::Scenario),
+    ("POST", "/v1/plan", Endpoint::Plan),
 ];
 
 /// The canonical route path used as the metric label — known paths
@@ -496,14 +555,13 @@ fn route(req: &Request, state: &State, request_id: u64) -> Response {
     let Some(&(_, _, endpoint)) = hit else {
         // Same path under another method is a 405, unknown path a 404.
         return if ROUTES.iter().any(|(_, p, _)| *p == req.path) {
-            Response::json(405, error_json("method not allowed"))
+            Response::error(ApiError::method_not_allowed())
         } else {
-            Response::json(404, error_json("no such endpoint"))
+            Response::error(ApiError::not_found())
         };
     };
     match endpoint {
-        Endpoint::Healthz => Response::json(
-            200,
+        Endpoint::Healthz => Response::ok(
             Json::obj([
                 ("status", Json::str("ok")),
                 (
@@ -511,15 +569,14 @@ fn route(req: &Request, state: &State, request_id: u64) -> Response {
                     Json::num(state.started.elapsed().as_secs_f64()),
                 ),
                 ("requests_total", metrics::requests_served().value().into()),
-            ])
-            .render(),
+            ]),
+            &[],
         ),
         Endpoint::Metrics => metrics_response(state),
-        Endpoint::CacheStats => {
-            Response::json(200, api::cache_stats_json(&state.cache.stats()).render())
-        }
+        Endpoint::CacheStats => Response::ok(api::cache_stats_json(&state.cache.stats()), &[]),
         Endpoint::Estimate => estimate_response(req, state, request_id),
         Endpoint::Scenario => scenario_response(req, state, request_id),
+        Endpoint::Plan => plan_response(req, state, request_id),
     }
 }
 
@@ -553,7 +610,7 @@ fn estimate_response(req: &Request, state: &State, request_id: u64) -> Response 
         Ok(r) => {
             let jobs = r.point.total_jobs();
             if jobs > state.cfg.max_jobs_per_point {
-                return Response::json(400, error_json(&jobs_bound_message(jobs, state)));
+                return Response::error(jobs_bound_error(jobs, state));
             }
             // With `"debug": true` the evaluation runs under a trace
             // context: the runner's top-level spans (point.model,
@@ -569,9 +626,9 @@ fn estimate_response(req: &Request, state: &State, request_id: u64) -> Response 
                     attach_debug(&mut body, &trace);
                 }
             }
-            Response::json(200, body.render())
+            Response::ok(body, &r.deprecations)
         }
-        Err(e) => Response::json(400, error_json(&e)),
+        Err(e) => Response::error(ApiError::from_parse(e)),
     }
 }
 
@@ -584,13 +641,10 @@ fn scenario_response(req: &Request, state: &State, request_id: u64) -> Response 
             let scenario = &r.scenario;
             let n = scenario.num_points();
             if n > state.cfg.max_points {
-                return Response::json(
-                    400,
-                    error_json(&format!(
-                        "scenario expands to {n} points, above the service bound of {}",
-                        state.cfg.max_points
-                    )),
-                );
+                return Response::error(ApiError::validation(format!(
+                    "scenario expands to {n} points, above the service bound of {}",
+                    state.cfg.max_points
+                )));
             }
             // `max_points` bounds the axis product; each mix value
             // must also keep its job total within the per-point
@@ -601,7 +655,7 @@ fn scenario_response(req: &Request, state: &State, request_id: u64) -> Response 
                 .map(|m| m.total_jobs())
                 .find(|&jobs| jobs > state.cfg.max_jobs_per_point)
             {
-                return Response::json(400, error_json(&jobs_bound_message(jobs, state)));
+                return Response::error(jobs_bound_error(jobs, state));
             }
             // The sweep's own point spans run on the runner's pool
             // threads, which deliberately don't inherit the trace; the
@@ -620,8 +674,51 @@ fn scenario_response(req: &Request, state: &State, request_id: u64) -> Response 
                     attach_debug(&mut body, &trace);
                 }
             }
-            Response::json(200, body.render())
+            Response::ok(body, &[])
         }
-        Err(e) => Response::json(400, error_json(&e)),
+        Err(e) => Response::error(ApiError::from_parse(e)),
+    }
+}
+
+fn plan_response(req: &Request, state: &State, request_id: u64) -> Response {
+    match std::str::from_utf8(&req.body)
+        .map_err(|_| "body is not UTF-8".to_string())
+        .and_then(api::parse_plan_request)
+    {
+        Ok(r) => {
+            let jobs = r.plan.mix.total_jobs();
+            if jobs > state.cfg.max_jobs_per_point {
+                return Response::error(jobs_bound_error(jobs, state));
+            }
+            // Each bisection probe is a cached analytic point
+            // evaluation; under a trace the probes show up as the
+            // plan.solve span.
+            let traced = r.debug && obs::begin_trace(request_id);
+            let result = {
+                let _solve = obs::span("plan.solve");
+                mr2_scenario::plan(&r.plan, &state.cache)
+            };
+            match result {
+                Ok(result) => {
+                    let mut body = {
+                        let _enc = obs::span("response.encode");
+                        api::plan_json(&r.plan, &result)
+                    };
+                    if traced {
+                        if let Some(trace) = obs::end_trace() {
+                            attach_debug(&mut body, &trace);
+                        }
+                    }
+                    Response::ok(body, &r.deprecations)
+                }
+                Err(e) => {
+                    if traced {
+                        let _ = obs::end_trace();
+                    }
+                    Response::error(ApiError::validation(e))
+                }
+            }
+        }
+        Err(e) => Response::error(ApiError::from_parse(e)),
     }
 }

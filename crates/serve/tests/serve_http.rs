@@ -442,7 +442,7 @@ fn debug_flag_attaches_span_breakdown_bounded_by_wall_time() {
         "/v1/estimate",
         r#"{"nodes":2,"debug":"yes"}"#,
     );
-    assert_eq!(status, 400, "{body}");
+    assert_eq!(status, 422, "{body}");
     handle.shutdown();
 }
 
@@ -508,24 +508,28 @@ fn mix_round_trip_reports_per_class_estimates() {
 }
 
 #[test]
-fn error_statuses_are_mapped() {
+fn error_statuses_are_mapped_through_the_unified_envelope() {
     let handle = serve(ServeConfig {
         max_points: 8,
         ..test_config()
     })
     .unwrap();
+    // (method, path, body, status, envelope code): transport/JSON
+    // damage is 400 "malformed", a well-formed body that fails
+    // validation is 422 "validation", routing misses keep 404/405.
     let cases = [
-        ("GET", "/nope", "", 404),
-        ("DELETE", "/healthz", "", 405),
-        ("POST", "/v1/estimate", "{not json", 400),
-        ("POST", "/v1/estimate", r#"{"nodes":0}"#, 400),
-        ("POST", "/v1/scenario", r#"{"nodes":[]}"#, 400),
+        ("GET", "/nope", "", 404, "not_found"),
+        ("DELETE", "/healthz", "", 405, "method_not_allowed"),
+        ("POST", "/v1/estimate", "{not json", 400, "malformed"),
+        ("POST", "/v1/estimate", r#"{"nodes":0}"#, 422, "validation"),
+        ("POST", "/v1/scenario", r#"{"nodes":[]}"#, 422, "validation"),
         // Expanding past the service bound must be refused, not run.
         (
             "POST",
             "/v1/scenario",
             r#"{"nodes":[2,3,4],"n_jobs":[1,2,3]}"#,
-            400,
+            422,
+            "validation",
         ),
         // A single point carrying an absurd job total must be refused
         // before any per-job state is allocated — `max_points` can't
@@ -534,23 +538,66 @@ fn error_statuses_are_mapped() {
             "POST",
             "/v1/estimate",
             r#"{"mix":[{"job":"grep","count":1000000000000}]}"#,
-            400,
+            422,
+            "validation",
         ),
         (
             "POST",
             "/v1/scenario",
             r#"{"nodes":[2],"n_jobs":[1000000]}"#,
-            400,
+            422,
+            "validation",
+        ),
+        // /v1/plan speaks the same envelope.
+        ("POST", "/v1/plan", "{not json", 400, "malformed"),
+        ("POST", "/v1/plan", r#"{"slo":{}}"#, 422, "validation"),
+        (
+            "POST",
+            "/v1/plan",
+            r#"{"arrival_rate":0.1,"slo":{"metric":"response","threshold":-5}}"#,
+            422,
+            "validation",
         ),
     ];
-    for (method, path, body, expected) in cases {
+    for (method, path, body, expected, code) in cases {
         let (status, reply) = request(handle.addr, method, path, body);
         assert_eq!(status, expected, "{method} {path}: {reply}");
+        let v = Json::parse(&reply).unwrap();
+        assert_eq!(
+            v.get("api_version").unwrap().as_str(),
+            Some("v1"),
+            "errors are versioned too: {reply}"
+        );
+        let error = v.get("error").unwrap_or_else(|| {
+            panic!("errors carry the envelope: {reply}");
+        });
+        assert_eq!(
+            error.get("code").unwrap().as_str(),
+            Some(code),
+            "{method} {path}: {reply}"
+        );
         assert!(
-            Json::parse(&reply).unwrap().get("error").is_some(),
-            "errors carry a message: {reply}"
+            !error
+                .get("message")
+                .unwrap()
+                .as_str()
+                .unwrap()
+                .trim()
+                .is_empty(),
+            "messages are human-readable: {reply}"
         );
     }
+
+    // Validation failures that concern one field name it in the
+    // envelope, so clients can highlight the offending input.
+    let (status, reply) = request(handle.addr, "POST", "/v1/estimate", r#"{"nodes":0}"#);
+    assert_eq!(status, 422);
+    let v = Json::parse(&reply).unwrap();
+    assert_eq!(
+        v.get("error").unwrap().get("field").unwrap().as_str(),
+        Some("nodes"),
+        "{reply}"
+    );
     handle.shutdown();
 }
 
@@ -607,6 +654,233 @@ fn concurrent_identical_scenarios_cost_one_evaluation() {
     let v = Json::parse(&body).unwrap();
     assert_eq!(v.get("misses").unwrap().as_u64(), Some(1));
     assert_eq!(v.get("entries").unwrap().as_u64(), Some(1));
+    handle.shutdown();
+}
+
+#[test]
+fn open_arrival_estimate_reports_the_saturation_knee() {
+    let handle = serve(test_config()).unwrap();
+    let (status, body) = request(
+        handle.addr,
+        "POST",
+        "/v1/estimate",
+        r#"{"nodes":4,"input_bytes":268435456,"arrival_rate":0.002}"#,
+    );
+    assert_eq!(status, 200, "{body}");
+    let v = Json::parse(&body).unwrap();
+    assert_eq!(v.get("arrival_rate").unwrap().as_f64(), Some(0.002));
+    let open = v.get("model").unwrap().get("open").unwrap();
+    let util = open
+        .get("bottleneck_utilization")
+        .unwrap()
+        .as_f64()
+        .unwrap();
+    let knee = open.get("knee_rate").unwrap().as_f64().unwrap();
+    let sat = open.get("saturation_rate").unwrap().as_f64().unwrap();
+    assert!(util > 0.0 && util < 1.0, "{body}");
+    assert!(sat > knee && knee > 0.002, "{body}");
+
+    // A closed (batch) request keeps the old shape: open stays null.
+    let (status, body) = request(
+        handle.addr,
+        "POST",
+        "/v1/estimate",
+        r#"{"nodes":4,"input_bytes":268435456}"#,
+    );
+    assert_eq!(status, 200, "{body}");
+    let v = Json::parse(&body).unwrap();
+    assert_eq!(v.get("model").unwrap().get("open"), Some(&Json::Null));
+    handle.shutdown();
+}
+
+#[test]
+fn plan_round_trip_returns_the_cheapest_satisfying_configuration() {
+    let handle = serve(test_config()).unwrap();
+    // Reference: the open response at 6 nodes. A threshold just above
+    // it makes some node count ≤ 6 the cheapest satisfying choice.
+    let (status, body) = request(
+        handle.addr,
+        "POST",
+        "/v1/estimate",
+        r#"{"nodes":6,"input_bytes":1073741824,"arrival_rate":0.002}"#,
+    );
+    assert_eq!(status, 200, "{body}");
+    let reference = Json::parse(&body)
+        .unwrap()
+        .get("estimate")
+        .unwrap()
+        .as_f64()
+        .unwrap();
+
+    let plan_body = format!(
+        r#"{{"mix":[{{"job":"wordcount","input_bytes":1073741824}}],
+            "arrival_rate":0.002,
+            "slo":{{"metric":"response","threshold":{}}},
+            "search":{{"min_nodes":1,"max_nodes":16}}}}"#,
+        reference * 1.001
+    );
+    let (status, body) = request(handle.addr, "POST", "/v1/plan", &plan_body);
+    assert_eq!(status, 200, "{body}");
+    let v = Json::parse(&body).unwrap();
+    assert_eq!(v.get("api_version").unwrap().as_str(), Some("v1"));
+    assert_eq!(v.get("feasible").unwrap().as_bool(), Some(true), "{body}");
+    let nodes = v.get("nodes").unwrap().as_u64().unwrap();
+    assert!((1..=6).contains(&nodes), "threshold is met by 6: {body}");
+    let predicted = v.get("predicted").unwrap().as_f64().unwrap();
+    assert!(predicted <= reference * 1.001, "{body}");
+
+    // The chosen point carries the full model, open tail included.
+    let open = v.get("model").unwrap().get("open").unwrap();
+    assert!(open.get("saturation_rate").unwrap().as_f64().unwrap() > 0.002);
+
+    // The probe trail shows the bisection: every probe in range, the
+    // chosen count present, and — the cheapest-config evidence — one
+    // node fewer either fails the SLO or sits outside the range.
+    let probes = v.get("probes").unwrap().as_arr().unwrap();
+    assert!(!probes.is_empty() && probes.len() <= 6, "{body}");
+    assert!(probes
+        .iter()
+        .any(|p| p.get("nodes").unwrap().as_u64() == Some(nodes)));
+    if let Some(below) = probes
+        .iter()
+        .find(|p| p.get("nodes").unwrap().as_u64() == Some(nodes - 1))
+    {
+        assert_eq!(below.get("satisfies").unwrap().as_bool(), Some(false));
+    }
+
+    // An unsatisfiable SLO is an answer, not an error: feasible=false
+    // with the best-effort top-of-range point.
+    let (status, body) = request(
+        handle.addr,
+        "POST",
+        "/v1/plan",
+        r#"{"mix":[{"job":"wordcount","input_bytes":1073741824}],
+            "arrival_rate":0.002,
+            "slo":{"metric":"response","threshold":1e-6},
+            "search":{"min_nodes":1,"max_nodes":8}}"#,
+    );
+    assert_eq!(status, 200, "{body}");
+    let v = Json::parse(&body).unwrap();
+    assert_eq!(v.get("feasible").unwrap().as_bool(), Some(false));
+    assert_eq!(v.get("nodes").unwrap().as_u64(), Some(8));
+    handle.shutdown();
+}
+
+#[test]
+fn replanning_is_cache_served() {
+    let handle = serve(test_config()).unwrap();
+    let body = r#"{"mix":[{"job":"grep","input_bytes":268435456}],
+        "arrival_rate":0.005,
+        "slo":{"metric":"utilization","threshold":0.5},
+        "search":{"min_nodes":1,"max_nodes":32}}"#;
+    let (status, first) = request(handle.addr, "POST", "/v1/plan", body);
+    assert_eq!(status, 200, "{first}");
+    let (_, stats) = request(handle.addr, "GET", "/v1/cache/stats", "");
+    let before = Json::parse(&stats).unwrap();
+    let misses_before = before.get("misses").unwrap().as_u64().unwrap();
+    assert!(misses_before >= 1, "the first plan evaluated something");
+
+    let (status, second) = request(handle.addr, "POST", "/v1/plan", body);
+    assert_eq!(status, 200);
+    assert_eq!(first, second, "re-planning is deterministic");
+    let (_, stats) = request(handle.addr, "GET", "/v1/cache/stats", "");
+    let after = Json::parse(&stats).unwrap();
+    assert_eq!(
+        after.get("misses").unwrap().as_u64(),
+        Some(misses_before),
+        "the repeat plan is 100% cache-served (≥90% required): {stats}"
+    );
+    assert!(after.get("hits").unwrap().as_u64().unwrap() >= misses_before);
+    handle.shutdown();
+}
+
+#[test]
+fn replies_are_versioned_and_legacy_fields_draw_deprecations() {
+    let handle = serve(test_config()).unwrap();
+    // Every success reply carries the version stamp…
+    for (method, path, body) in [
+        ("GET", "/healthz", ""),
+        ("GET", "/v1/cache/stats", ""),
+        (
+            "POST",
+            "/v1/estimate",
+            r#"{"nodes":2,"mix":[{"job":"grep","input_bytes":268435456}]}"#,
+        ),
+        (
+            "POST",
+            "/v1/scenario",
+            r#"{"name":"v","nodes":[2],"input_bytes":[268435456]}"#,
+        ),
+    ] {
+        let (status, reply) = request(handle.addr, method, path, body);
+        assert_eq!(status, 200, "{method} {path}: {reply}");
+        let v = Json::parse(&reply).unwrap();
+        assert_eq!(
+            v.get("api_version").unwrap().as_str(),
+            Some("v1"),
+            "{method} {path}: {reply}"
+        );
+        assert!(
+            v.get("deprecations").is_none(),
+            "mix-shaped requests are not warned: {reply}"
+        );
+    }
+
+    // …and the legacy single-job shape still decodes byte-for-byte the
+    // same answer, with the reply naming the deprecated fields.
+    let (status, reply) = request(
+        handle.addr,
+        "POST",
+        "/v1/estimate",
+        r#"{"nodes":2,"job":"grep","input_bytes":268435456,"n_jobs":1}"#,
+    );
+    assert_eq!(status, 200, "{reply}");
+    let legacy = Json::parse(&reply).unwrap();
+    let warnings = legacy.get("deprecations").unwrap().as_arr().unwrap();
+    let text: Vec<&str> = warnings.iter().filter_map(Json::as_str).collect();
+    assert!(
+        text.iter().any(|w| w.contains("`job`")) && text.iter().any(|w| w.contains("`mix`")),
+        "deprecations name the field and its replacement: {reply}"
+    );
+
+    let (_, mix_reply) = request(
+        handle.addr,
+        "POST",
+        "/v1/estimate",
+        r#"{"nodes":2,"mix":[{"job":"grep","input_bytes":268435456}]}"#,
+    );
+    let modern = Json::parse(&mix_reply).unwrap();
+    assert_eq!(
+        legacy.get("estimate"),
+        modern.get("estimate"),
+        "legacy and mix shapes answer identically"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn full_accept_queue_sheds_load_with_503_and_retry_after() {
+    // max_queue 0: the acceptor rejects every connection before it
+    // reaches a worker, with the envelope and an explicit retry hint.
+    let handle = serve(ServeConfig {
+        max_queue: 0,
+        ..test_config()
+    })
+    .unwrap();
+    // The rejection happens at accept, before any bytes are read —
+    // sending nothing avoids the RST a close-with-unread-data causes.
+    let conn = TcpStream::connect(handle.addr).expect("connect");
+    let mut raw = String::new();
+    BufReader::new(conn).read_to_string(&mut raw).expect("read");
+    assert!(raw.starts_with("HTTP/1.1 503 "), "{raw}");
+    assert!(raw.contains("Retry-After: 1"), "{raw}");
+    let body = raw.split("\r\n\r\n").nth(1).expect("body");
+    let v = Json::parse(body).expect("envelope body");
+    assert_eq!(
+        v.get("error").unwrap().get("code").unwrap().as_str(),
+        Some("backpressure"),
+        "{raw}"
+    );
     handle.shutdown();
 }
 

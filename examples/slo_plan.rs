@@ -1,0 +1,89 @@
+//! Inverse capacity planning: instead of asking "how fast is this
+//! cluster?", ask "what is the cheapest cluster that is fast *enough*?"
+//!
+//! Jobs arrive as an open Poisson stream (λ jobs/second) and the SLO
+//! bounds the steady-state mean response time. The planner bisects over
+//! the node count — response time is monotone in cluster size — so a
+//! 64-wide search range costs at most ~8 model solves, every one of
+//! them cached and shared with later plans.
+//!
+//! ```text
+//! cargo run --release --example slo_plan
+//! ```
+
+use hadoop2_perf::scenario::{
+    plan, JobKind, MixEntry, PlanRequest, ResultCache, SearchSpace, SloMetric, SloSpec, WorkloadMix,
+};
+use hadoop2_perf::sim::GB;
+
+fn main() {
+    // The workload: a mixed analytics stream, arriving at one job
+    // every 20 seconds.
+    let mix = WorkloadMix::new([
+        MixEntry::new(JobKind::WordCount, 2 * GB, 1),
+        MixEntry::new(JobKind::Grep, GB, 1),
+    ]);
+    let arrival_rate = 0.05; // jobs per second
+    let cache = ResultCache::new();
+
+    println!("mix `{}` arriving at λ = {arrival_rate}/s", mix.name());
+    println!("SLO: mean response ≤ threshold; search range 1–64 nodes\n");
+    println!("| threshold (s) | feasible | nodes | predicted (s) | probes |");
+    println!("|---|---|---|---|---|");
+    for threshold in [2000.0, 165.0, 110.0, 80.0, 55.0] {
+        let mut req = PlanRequest::new(
+            mix.clone(),
+            arrival_rate,
+            SloSpec {
+                metric: SloMetric::Response,
+                threshold,
+            },
+        );
+        req.search = SearchSpace {
+            min_nodes: 1,
+            max_nodes: 64,
+        };
+        let out = plan(&req, &cache).expect("valid request");
+        println!(
+            "| {threshold:.0} | {} | {} | {:.1} | {} |",
+            if out.feasible { "yes" } else { "no" },
+            out.nodes,
+            out.predicted,
+            out.probes.len(),
+        );
+    }
+
+    // The knee: how hard can the chosen cluster be driven before
+    // queueing delay takes over?
+    let mut req = PlanRequest::new(
+        mix,
+        arrival_rate,
+        SloSpec {
+            metric: SloMetric::Response,
+            threshold: 110.0,
+        },
+    );
+    req.search = SearchSpace {
+        min_nodes: 1,
+        max_nodes: 64,
+    };
+    let out = plan(&req, &cache).expect("valid request");
+    if let Some(open) = out.point.open {
+        println!(
+            "\nchosen {}-node cluster: bottleneck utilization {:.1}% at λ = {arrival_rate}/s,",
+            out.nodes,
+            100.0 * open.bottleneck_utilization
+        );
+        println!(
+            "safe up to the knee at λ ≈ {:.4}/s; saturation at λ ≈ {:.4}/s",
+            open.knee_rate, open.saturation_rate
+        );
+    }
+    let stats = cache.stats();
+    println!(
+        "\ncache: {} solves total, {} answered from cache across the {} plans",
+        stats.misses,
+        stats.hits,
+        6 // five thresholds above + the repeat at 110
+    );
+}
