@@ -4,7 +4,8 @@
 use crate::aria::{aria_bounds, AriaProfile, StageStats};
 use crate::calibrate::{herodotou_estimate, mix_model_input, Calibration, MixClass};
 use crate::input::{Estimator, ModelOptions};
-use crate::solver::{solve, SolveResult};
+use crate::memo::cached_solve;
+use crate::solver::SolveResult;
 use mapreduce_sim::profile::MeasuredProfile;
 use mapreduce_sim::{JobSpec, SimConfig};
 
@@ -143,8 +144,8 @@ pub fn estimate_mix(
 
     let fj_input = mix_model_input(cfg, classes, fj_opts.clone(), cal);
     let tr_input = mix_model_input(cfg, classes, tr_opts.clone(), cal);
-    let fj = solve(&fj_input);
-    let tr = solve(&tr_input);
+    let fj = cached_solve(&fj_input);
+    let tr = cached_solve(&tr_input);
 
     let total: usize = classes.iter().map(|c| c.count).sum();
     assert!(
@@ -190,8 +191,10 @@ pub fn estimate_mix(
                 count: 1,
                 profile: c.profile.clone(),
             }];
-            let s_fj = solve(&mix_model_input(cfg, &alone, fj_opts.clone(), cal)).avg_response;
-            let s_tr = solve(&mix_model_input(cfg, &alone, tr_opts.clone(), cal)).avg_response;
+            let s_fj =
+                cached_solve(&mix_model_input(cfg, &alone, fj_opts.clone(), cal)).avg_response;
+            let s_tr =
+                cached_solve(&mix_model_input(cfg, &alone, tr_opts.clone(), cal)).avg_response;
             solo_fj.extend(std::iter::repeat_n(s_fj, c.count));
             solo_tr.extend(std::iter::repeat_n(s_tr, c.count));
         }
@@ -735,6 +738,35 @@ mod tests {
         }
         // A single job never contends: it gets its solo response.
         assert_eq!(windowed_responses(&[7.0], &[10.0], &[30.0]), vec![10.0]);
+    }
+
+    #[test]
+    fn memoized_repeat_evaluations_are_byte_identical() {
+        // The solve memo must be invisible in the results: evaluating a
+        // point again — now served from memo hits — must produce a
+        // byte-identical record under every arrival shape (batch,
+        // staggered schedule, trace-style irregular offsets).
+        let cfg = SimConfig::paper_testbed(4);
+        let classes = [MixClass {
+            spec: wordcount_1gb(4),
+            count: 3,
+            profile: None,
+        }];
+        let opts = ModelOptions::default();
+        let cal = Calibration::default();
+        let schedules: [&[f64]; 3] = [&[], &[0.0, 60.0, 120.0], &[3.5, 40.25, 97.0]];
+        for submits in schedules {
+            let first = eval_mix(&cfg, &classes, submits, &opts, &cal);
+            let second = eval_mix(&cfg, &classes, submits, &opts, &cal);
+            let bits = |p: &ModelPoint| -> Vec<u64> {
+                p.to_record().iter().map(|v| v.to_bits()).collect()
+            };
+            assert_eq!(
+                bits(&first),
+                bits(&second),
+                "memo hits diverged under {submits:?}"
+            );
+        }
     }
 
     #[test]

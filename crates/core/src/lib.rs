@@ -28,6 +28,7 @@ pub mod error;
 pub mod estimate;
 pub mod herodotou;
 pub mod input;
+pub mod memo;
 pub mod open;
 pub mod overlap;
 pub mod resources;
@@ -46,6 +47,7 @@ pub use estimate::{
 pub use input::{
     Center, ClusterInputs, Estimator, JobClassInputs, ModelInput, ModelOptions, TaskClass,
 };
+pub use memo::cached_solve;
 pub use open::{eval_open_mix, DEFAULT_KNEE_UTILIZATION};
 pub use resources::{
     job_resources, mean_cluster_share, task_resources, JobResources, TaskResources,

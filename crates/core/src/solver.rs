@@ -274,57 +274,58 @@ pub fn solve(input: &ModelInput) -> SolveResult {
     let mut durations: Vec<[f64; 3]> = input.jobs.iter().map(|j| j.initial_response).collect();
     let cvs: Vec<[f64; 3]> = input.jobs.iter().map(|j| j.cv).collect();
 
-    let mut prev_avg = f64::INFINITY;
-    let mut result = SolveResult {
-        avg_response: 0.0,
-        per_job_response: vec![0.0; n_jobs],
-        iterations: 0,
-        converged: false,
-        durations: durations.clone(),
-        tree_depths: vec![0; n_jobs],
-        makespan: 0.0,
+    // Iteration-invariant state and scratch buffers, hoisted so the
+    // A2–A6 loop re-fills storage instead of re-allocating it. The
+    // overlap matrices start as all-ones — exactly the values the
+    // factor-free configuration uses — and are only overwritten when
+    // overlap factors are on.
+    let cfg = TimelineConfig {
+        capacities: caps,
+        slow_start: input.options.slow_start,
     };
+    let c_total = 3 * n_jobs;
+    let mut tl_jobs: Vec<TimelineJob> = Vec::with_capacity(n_jobs);
+    let mut pops = vec![0.0f64; c_total];
+    let mut intra = vec![vec![1.0f64; c_total]; c_total];
+    let mut inter = vec![vec![1.0f64; c_total]; c_total];
+    let mut job_segments: Vec<Vec<usize>> = vec![Vec::new(); n_jobs];
+    let mut per_job = vec![0.0f64; n_jobs];
 
-    for iter in 0..input.options.max_iterations {
-        // A2: timeline + precedence trees from current durations.
-        let tl_jobs: Vec<TimelineJob> = input
-            .jobs
-            .iter()
-            .enumerate()
-            .map(|(j, job)| TimelineJob {
-                num_maps: job.num_maps,
-                num_reduces: job.num_reduces,
-                map_duration: durations[j][0].max(1e-9),
-                merge_duration: durations[j][2].max(0.0),
-                shuffle: ShuffleSpec::Fixed(durations[j][1].max(0.0)),
-            })
-            .collect();
-        let cfg = TimelineConfig {
-            capacities: caps.clone(),
-            slow_start: input.options.slow_start,
-        };
+    let mut prev_avg = f64::INFINITY;
+    let mut avg = 0.0f64;
+    let mut iterations = 0usize;
+    let mut converged = false;
+    let mut final_tl = None;
+
+    for _iter in 0..input.options.max_iterations {
+        iterations += 1;
+        // A2: timeline from current durations (precedence trees are
+        // pure reporting — they are built once, after convergence).
+        tl_jobs.clear();
+        tl_jobs.extend(input.jobs.iter().enumerate().map(|(j, job)| TimelineJob {
+            num_maps: job.num_maps,
+            num_reduces: job.num_reduces,
+            map_duration: durations[j][0].max(1e-9),
+            merge_duration: durations[j][2].max(0.0),
+            shuffle: ShuffleSpec::Fixed(durations[j][1].max(0.0)),
+        }));
         let tl = build_timeline(&cfg, &tl_jobs);
 
         // A3: overlap factors and populations.
         let f = overlap_factors(&tl, n_jobs as u32);
-        let c_total = 3 * n_jobs;
-        let mut pops = Vec::with_capacity(c_total);
+        let mut p = 0;
         for j in 0..n_jobs {
             for class in TaskClass::ALL {
-                pops.push(population(&tl, j as u32, class));
+                pops[p] = population(&tl, j as u32, class);
+                p += 1;
             }
         }
-        let mut intra = vec![vec![0.0; c_total]; c_total];
-        let mut inter = vec![vec![0.0; c_total]; c_total];
-        for a in 0..c_total {
-            for b in 0..c_total {
-                if input.options.use_overlap_factors {
+        if input.options.use_overlap_factors {
+            for a in 0..c_total {
+                for b in 0..c_total {
                     let (ci, cj) = (a % 3, b % 3);
                     intra[a][b] = f.alpha[ci][cj];
                     inter[a][b] = f.beta[ci][cj];
-                } else {
-                    intra[a][b] = 1.0;
-                    inter[a][b] = 1.0;
                 }
             }
         }
@@ -342,21 +343,17 @@ pub fn solve(input: &ModelInput) -> SolveResult {
             }
         }
 
-        // A5: per-job response estimates over the job's subtree.
-        let mut per_job = vec![0.0; n_jobs];
-        let mut depths = vec![0usize; n_jobs];
+        // A5: per-job response estimates over the job's subtree. One
+        // pass groups segment indices by job (ascending, matching the
+        // former per-job filter).
+        for js in job_segments.iter_mut() {
+            js.clear();
+        }
+        for (i, s) in tl.segments.iter().enumerate() {
+            job_segments[s.job as usize].push(i);
+        }
         for j in 0..n_jobs {
-            let tree = build_tree(&tl, Some(j as u32), input.options.balance_tree)
-                .expect("every job has tasks");
-            depths[j] = tree.depth();
-            let idx: Vec<usize> = tl
-                .segments
-                .iter()
-                .enumerate()
-                .filter(|(_, s)| s.job == j as u32)
-                .map(|(i, _)| i)
-                .collect();
-            let ws = crate::tree::waves(&tl, idx);
+            let ws = crate::tree::waves(&tl, std::mem::take(&mut job_segments[j]));
             let est = match input.options.estimator {
                 Estimator::ForkJoin => eval_fork_join(&ws, &tl, &durations),
                 Estimator::Tripathi => {
@@ -365,29 +362,42 @@ pub fn solve(input: &ModelInput) -> SolveResult {
             };
             per_job[j] = tl.job_start(j as u32) + est;
         }
-        let avg = per_job.iter().sum::<f64>() / n_jobs as f64;
-
-        result = SolveResult {
-            avg_response: avg,
-            per_job_response: per_job,
-            iterations: iter + 1,
-            converged: (avg - prev_avg).abs() <= input.options.epsilon,
-            durations: durations.clone(),
-            tree_depths: depths,
-            makespan: tl.makespan(),
-        };
+        avg = per_job.iter().sum::<f64>() / n_jobs as f64;
+        converged = (avg - prev_avg).abs() <= input.options.epsilon;
+        final_tl = Some(tl);
 
         // A6: convergence test.
-        if result.converged {
+        if converged {
             break;
         }
         prev_avg = avg;
     }
-    solver_iterations().add(result.iterations as u64);
-    if !result.converged {
+    solver_iterations().add(iterations as u64);
+    if !converged {
         solver_failures().inc();
     }
-    result
+    let (tree_depths, makespan) = match &final_tl {
+        Some(tl) => (
+            (0..n_jobs)
+                .map(|j| {
+                    build_tree(tl, Some(j as u32), input.options.balance_tree)
+                        .expect("every job has tasks")
+                        .depth()
+                })
+                .collect(),
+            tl.makespan(),
+        ),
+        None => (vec![0; n_jobs], 0.0),
+    };
+    SolveResult {
+        avg_response: avg,
+        per_job_response: per_job,
+        iterations,
+        converged,
+        durations,
+        tree_depths,
+        makespan,
+    }
 }
 
 #[cfg(test)]

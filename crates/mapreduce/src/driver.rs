@@ -108,6 +108,31 @@ impl NodeRes {
     }
 }
 
+/// An opaque, reusable event calendar for [`ClusterSim`] runs.
+///
+/// The event type of the simulator's calendar is private, so callers
+/// that run many simulations (profiling reps, sweeps) hold one of
+/// these and thread it through [`ClusterSim::with_calendar`] /
+/// [`ClusterSim::take_calendar`] — each run then reuses the previous
+/// run's heap and slab allocations instead of growing from empty.
+#[derive(Default)]
+pub struct Calendar(simcore::EventQueue<Ev>);
+
+impl Calendar {
+    /// An empty calendar.
+    pub fn new() -> Calendar {
+        Calendar::default()
+    }
+
+    /// An empty calendar pre-sized for `cfg` running `jobs` concurrent
+    /// jobs (see [`SimConfig::event_capacity_hint`]).
+    pub fn for_config(cfg: &SimConfig, jobs: usize) -> Calendar {
+        Calendar(simcore::EventQueue::with_capacity(
+            cfg.event_capacity_hint(jobs),
+        ))
+    }
+}
+
 /// Per-reduce shuffle bookkeeping.
 #[derive(Debug, Clone, Default)]
 struct ReduceShuffle {
@@ -141,6 +166,14 @@ pub struct ClusterSim {
 impl ClusterSim {
     /// Build an empty cluster from `cfg`.
     pub fn new(cfg: SimConfig) -> Self {
+        Self::with_calendar(cfg, Calendar::new())
+    }
+
+    /// Build an empty cluster from `cfg` reusing a finished run's event
+    /// calendar (see [`Calendar`]). The calendar starts cleared, so the
+    /// simulation is bit-identical to one built with
+    /// [`ClusterSim::new`]; only the allocations are recycled.
+    pub fn with_calendar(cfg: SimConfig, calendar: Calendar) -> Self {
         cfg.validate();
         let topo = Topology::single_rack(cfg.nodes);
         let cluster = ClusterState::homogeneous(topo.clone(), cfg.node_capacity);
@@ -177,7 +210,7 @@ impl ClusterSim {
             cfg,
             topo,
             ns: Namespace::new(3),
-            engine: Engine::new(),
+            engine: Engine::with_queue(calendar.0),
             rm,
             nodes,
             ams: Vec::new(),
@@ -259,6 +292,11 @@ impl ClusterSim {
     /// Number of simulation events processed (benchmark metric).
     pub fn events_processed(&self) -> u64 {
         self.engine.processed()
+    }
+
+    /// Extract the event calendar for reuse by a later simulation.
+    pub fn take_calendar(&mut self) -> Calendar {
+        Calendar(self.engine.take_queue())
     }
 
     /// Failed task attempts of one job (populated after `run`).

@@ -8,7 +8,7 @@
 //! reduce function + write).
 
 use crate::config::SimConfig;
-use crate::driver::ClusterSim;
+use crate::driver::{Calendar, ClusterSim};
 use crate::job::JobSpec;
 use crate::metrics::JobResult;
 use simcore::{Samples, Welford};
@@ -182,14 +182,16 @@ pub fn measure_workload(
     let mut medians = Samples::new();
     let mut per_rep_mean = Vec::with_capacity(reps);
     let mut all = Vec::new();
+    let mut calendar = Calendar::for_config(cfg, n_jobs);
     for rep in 0..reps {
         let mut c = cfg.clone();
         c.seed = cfg.seed + rep as u64;
-        let mut sim = ClusterSim::new(c);
+        let mut sim = ClusterSim::with_calendar(c, calendar);
         for _ in 0..n_jobs {
             sim.add_job(spec.clone(), 0.0);
         }
         let results = sim.run();
+        calendar = sim.take_calendar();
         let mean = results.iter().map(|r| r.response_time()).sum::<f64>() / results.len() as f64;
         per_rep_mean.push(mean);
         medians.push(mean);
@@ -305,10 +307,14 @@ pub fn eval_mix(
     let mut makespans = Samples::new();
     let mut class_medians: Vec<Samples> = classes.iter().map(|_| Samples::new()).collect();
     let mut per_rep_mean = Vec::with_capacity(reps);
+    // One calendar threaded through all repetitions: each rep reuses
+    // the previous rep's heap and slab allocations. Clearing between
+    // runs keeps the event sequence bit-identical to fresh calendars.
+    let mut calendar = Calendar::for_config(cfg, total);
     for rep in 0..reps {
         let mut c = cfg.clone();
         c.seed = cfg.seed + rep as u64;
-        let mut sim = ClusterSim::new(c);
+        let mut sim = ClusterSim::with_calendar(c, calendar);
         let mut j = 0;
         for (spec, n) in classes {
             for _ in 0..*n {
@@ -317,6 +323,7 @@ pub fn eval_mix(
             }
         }
         let results = sim.run();
+        calendar = sim.take_calendar();
         let mean = results.iter().map(|r| r.response_time()).sum::<f64>() / total as f64;
         per_rep_mean.push(mean);
         medians.push(mean);
@@ -389,6 +396,76 @@ mod tests {
         let mut sorted = m.per_rep_mean.clone();
         sorted.sort_by(|a, b| a.total_cmp(b));
         assert!((m.median_response - sorted[1]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reused_calendars_match_fresh_sims_bit_for_bit() {
+        // `eval_mix` threads one calendar through all repetitions. Under
+        // every arrival shape — batch, staggered schedule, irregular
+        // trace offsets — each rep must be bit-identical to a fresh
+        // simulator: clearing the calendar resets the event sequence.
+        let base = cfg();
+        let classes = [
+            (wordcount(128 * MB, 1), 2usize),
+            (wordcount(256 * MB, 2), 1),
+        ];
+        let schedules: [&[f64]; 3] = [
+            &[],                  // batch (t = 0)
+            &[0.0, 30.0, 60.0],   // staggered schedule
+            &[5.0, 17.0, 111.25], // trace-style irregular offsets
+        ];
+        for submits in schedules {
+            let p = eval_mix(&base, &classes, submits, 3);
+            for rep in 0..3usize {
+                let mut c = base.clone();
+                c.seed = base.seed + rep as u64;
+                let mut sim = ClusterSim::new(c);
+                let mut j = 0;
+                for (spec, n) in &classes {
+                    for _ in 0..*n {
+                        sim.add_job(spec.clone(), submits.get(j).copied().unwrap_or(0.0));
+                        j += 1;
+                    }
+                }
+                let results = sim.run();
+                let mean = results.iter().map(|r| r.response_time()).sum::<f64>() / 3.0;
+                assert_eq!(
+                    p.per_rep_mean[rep].to_bits(),
+                    mean.to_bits(),
+                    "rep {rep} under {submits:?} diverged from a fresh simulator"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dirty_calendar_reuse_matches_a_fresh_run() {
+        // A calendar taken from a *different* completed workload must
+        // behave exactly like a fresh one: `with_calendar` clears it.
+        let spec = wordcount(256 * MB, 1);
+        let mut fresh = ClusterSim::new(cfg());
+        fresh.add_job(spec.clone(), 0.0);
+        fresh.add_job(spec.clone(), 45.0);
+        let expect = fresh.run();
+
+        let mut other = ClusterSim::new(SimConfig {
+            nodes: 3,
+            seed: 99,
+            ..SimConfig::default()
+        });
+        other.add_job(wordcount(GB, 2), 0.0);
+        other.run();
+        let dirty = other.take_calendar();
+
+        let mut reused = ClusterSim::with_calendar(cfg(), dirty);
+        reused.add_job(spec.clone(), 0.0);
+        reused.add_job(spec, 45.0);
+        let got = reused.run();
+        assert_eq!(expect.len(), got.len());
+        for (e, g) in expect.iter().zip(&got) {
+            assert_eq!(e.submitted_at.to_bits(), g.submitted_at.to_bits());
+            assert_eq!(e.finished_at.to_bits(), g.finished_at.to_bits());
+        }
     }
 
     #[test]

@@ -189,23 +189,38 @@ pub fn overlap_mva(
     // without '#' all belong to one implicit job. Pairs within the same
     // job are weighted by `intra[i][j]` (the paper's α), pairs across jobs
     // by `inter[i][j]` (the paper's β).
-    let weight = |i: usize, j: usize, same_job: bool| -> f64 {
-        if same_job {
-            intra[i][j]
-        } else {
-            inter[i][j]
-        }
-    };
+    //
+    // The factors are iteration-invariant, so the combined weight matrix
+    // is materialized once (flat, row-major) before the fixed point —
+    // the former per-(i,k,j) job-name string comparison dominated the
+    // solve at realistic class counts.
     let job_of: Vec<&str> = net
         .classes
         .iter()
         .map(|n| n.split('#').next().unwrap_or(n))
         .collect();
+    let mut w = vec![0.0f64; c_n * c_n];
+    for i in 0..c_n {
+        for j in 0..c_n {
+            w[i * c_n + j] = if job_of[i] == job_of[j] {
+                intra[i][j]
+            } else {
+                inter[i][j]
+            };
+        }
+    }
+    let is_queueing: Vec<bool> = net
+        .stations
+        .iter()
+        .map(|s| s.kind == StationKind::Queueing)
+        .collect();
 
-    let mut queue = vec![vec![0.0f64; k_n]; c_n];
-    for (c, row) in queue.iter_mut().enumerate() {
-        for q in row.iter_mut() {
-            *q = populations[c] / k_n as f64;
+    // Queue lengths in station-major layout, so the per-class inner sum
+    // walks one contiguous row instead of striding across class rows.
+    let mut queue_t = vec![0.0f64; k_n * c_n];
+    for k in 0..k_n {
+        for c in 0..c_n {
+            queue_t[k * c_n + c] = populations[c] / k_n as f64;
         }
     }
     let mut residence = vec![vec![0.0f64; k_n]; c_n];
@@ -218,32 +233,35 @@ pub fn overlap_mva(
         iterations += 1;
         let mut max_delta = 0.0f64;
         for i in 0..c_n {
+            let w_row = &w[i * c_n..(i + 1) * c_n];
+            let demands_i = &net.demands[i];
+            let n = populations[i];
+            // Schweitzer self-correction factor (N_i−1), applied to the
+            // diagonal term only; `* (n - 1.0) / n` keeps the original
+            // expression's operation order bit-for-bit.
+            let nm1 = n - 1.0;
+            let residence_i = &mut residence[i];
             let mut r_total = 0.0;
             for k in 0..k_n {
-                let d = net.demands[i][k];
-                let r = match net.stations[k].kind {
-                    StationKind::Delay => d,
-                    StationKind::Queueing => {
-                        let mut seen = 0.0;
-                        for j in 0..c_n {
-                            let same = job_of[i] == job_of[j];
-                            let w = weight(i, j, same);
-                            let qjk = if i == j {
-                                let n = populations[i];
-                                if n > 1.0 {
-                                    queue[j][k] * (n - 1.0) / n
-                                } else {
-                                    0.0
-                                }
-                            } else {
-                                queue[j][k]
-                            };
-                            seen += w * qjk;
-                        }
-                        d * (1.0 + seen)
+                let d = demands_i[k];
+                let r = if is_queueing[k] {
+                    let q_row = &queue_t[k * c_n..(k + 1) * c_n];
+                    let q_self = if n > 1.0 { q_row[i] * nm1 / n } else { 0.0 };
+                    // Diagonal split keeps the summation order of the
+                    // former `for j in 0..c_n` loop exactly.
+                    let mut seen = 0.0;
+                    for j in 0..i {
+                        seen += w_row[j] * q_row[j];
                     }
+                    seen += w_row[i] * q_self;
+                    for j in i + 1..c_n {
+                        seen += w_row[j] * q_row[j];
+                    }
+                    d * (1.0 + seen)
+                } else {
+                    d
                 };
-                residence[i][k] = r;
+                residence_i[k] = r;
                 r_total += r;
             }
             let x = if r_total > 0.0 {
@@ -256,13 +274,21 @@ pub fn overlap_mva(
             throughput[i] = x;
         }
         for i in 0..c_n {
+            let x = throughput[i];
+            let residence_i = &residence[i];
             for k in 0..k_n {
-                queue[i][k] = throughput[i] * residence[i][k];
+                queue_t[k * c_n + i] = x * residence_i[k];
             }
         }
         if max_delta < EPSILON {
             converged = true;
             break;
+        }
+    }
+    let mut queue = vec![vec![0.0f64; k_n]; c_n];
+    for i in 0..c_n {
+        for k in 0..k_n {
+            queue[i][k] = queue_t[k * c_n + i];
         }
     }
     mva_iterations().add(iterations);

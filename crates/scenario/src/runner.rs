@@ -10,7 +10,7 @@
 //! results in the same order.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::OnceLock;
 
 use mapreduce_sim::profile::{profile_job, MeasuredProfile};
 use mapreduce_sim::{JobSpec, SimPoint};
@@ -33,12 +33,17 @@ impl RunnerConfig {
         RunnerConfig { threads: 1 }
     }
 
-    fn effective_threads(&self) -> usize {
-        if self.threads > 0 {
+    /// Worker threads for `points` schedulable units: the configured
+    /// count (one per available core when 0), clamped to the number of
+    /// points — extra workers could never claim work and would only pay
+    /// spawn/join overhead — and never below one.
+    pub fn effective_threads(&self, points: usize) -> usize {
+        let configured = if self.threads > 0 {
             self.threads
         } else {
             std::thread::available_parallelism().map_or(1, |n| n.get())
-        }
+        };
+        configured.min(points).max(1)
     }
 }
 
@@ -162,9 +167,12 @@ pub fn run_scenario(scenario: &Scenario, cache: &ResultCache, cfg: &RunnerConfig
         rep_of.push(rep);
     }
 
-    let threads = cfg.effective_threads().min(unique.len()).max(1);
+    let threads = cfg.effective_threads(unique.len());
     let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<PointResult>>> = points.iter().map(|_| Mutex::new(None)).collect();
+    // One write-once slot per point: each representative index is
+    // claimed by exactly one worker, so a lock-free `OnceLock` replaces
+    // the old per-slot mutex — publication is a single atomic store.
+    let slots: Vec<OnceLock<PointResult>> = points.iter().map(|_| OnceLock::new()).collect();
 
     std::thread::scope(|s| {
         for _ in 0..threads {
@@ -172,13 +180,14 @@ pub fn run_scenario(scenario: &Scenario, cache: &ResultCache, cfg: &RunnerConfig
                 let u = next.fetch_add(1, Ordering::Relaxed);
                 let Some(&i) = unique.get(u) else { break };
                 let result = evaluate_point(&points[i], &scenario.backends, cache);
-                *slots[i].lock().unwrap() = Some(result);
+                slots[i]
+                    .set(result)
+                    .expect("each representative claimed by one worker");
             });
         }
     });
 
-    let evaluated: Vec<Option<PointResult>> =
-        slots.into_iter().map(|s| s.into_inner().unwrap()).collect();
+    let evaluated: Vec<Option<PointResult>> = slots.into_iter().map(|s| s.into_inner()).collect();
     SweepResult {
         name: scenario.name.clone(),
         points: points
@@ -206,12 +215,18 @@ pub fn evaluate_point(
 ) -> PointResult {
     let cfg = point.sim_config();
     let submits = point.submit_offsets();
+    // Hash the cluster once and the full point signature once; the
+    // backend branches and the per-entry profile keys below continue
+    // from these prefixes (a `KeyHasher` clone is a register copy)
+    // instead of re-hashing the cluster/mix/arrivals per key.
+    let cluster = cluster_key(point);
+    let base = point_key_from(cluster.clone(), point);
 
     let sim = backends.simulator.map(|reps| {
         // Outer span: cache lookup + (on a miss) the simulation run;
         // the inner span times the run alone.
         let _phase = mr2_obs::span("point.sim");
-        let key = point_key(point).str("sim").u64(reps as u64).finish();
+        let key = base.clone().str("sim").u64(reps as u64).finish();
         let rec = cache.get_or_compute(key, || {
             let _run = mr2_obs::span("sim.run");
             let classes: Vec<(JobSpec, usize)> = point
@@ -246,7 +261,7 @@ pub fn evaluate_point(
                     // every count of a class on a configuration — and
                     // every other mix containing it — shares one
                     // profile.
-                    let key = profile_key(point, e);
+                    let key = profile_key(&cluster, e);
                     let rec = cache.get_or_compute(key, || {
                         let _run = mr2_obs::span("profile.run");
                         profile_job(&spec, &cfg).0.to_record()
@@ -260,7 +275,8 @@ pub fn evaluate_point(
                 }
             })
             .collect();
-        let key = point_key(point)
+        let key = base
+            .clone()
             .str("model")
             .bool(backends.profile_calibration)
             .finish();
@@ -338,19 +354,27 @@ fn cluster_key(p: &EvalPoint) -> KeyHasher {
 /// [`profile_key`]: profiling runs execute one job alone at t = 0
 /// whatever the point's arrivals.
 fn point_key(p: &EvalPoint) -> KeyHasher {
-    let h = p.arrivals.hash_into(p.mix.hash_into(cluster_key(p)));
+    point_key_from(cluster_key(p), p)
+}
+
+/// The point signature continued from an already-hashed cluster prefix
+/// — lets [`evaluate_point`] hash the cluster once and fork it into the
+/// point signature and the per-entry profile keys.
+fn point_key_from(cluster: KeyHasher, p: &EvalPoint) -> KeyHasher {
+    let h = p.arrivals.hash_into(p.mix.hash_into(cluster));
     match p.arrival_rate {
         Some(rate) => h.str("open").f64(rate),
         None => h,
     }
 }
 
-/// Content key of one class's profiling run: cluster plus the class's
-/// own job/input/reduces — no copy count, no sibling entries, so the
-/// profile is shared across every mix and multiprogramming level that
-/// contains the class.
-fn profile_key(p: &EvalPoint, e: &ResolvedEntry) -> u64 {
-    cluster_key(p)
+/// Content key of one class's profiling run: the cluster prefix (from
+/// [`cluster_key`]) plus the class's own job/input/reduces — no copy
+/// count, no sibling entries, so the profile is shared across every mix
+/// and multiprogramming level that contains the class.
+fn profile_key(cluster: &KeyHasher, e: &ResolvedEntry) -> u64 {
+    cluster
+        .clone()
         .str("profile")
         .str(e.job.name())
         .u64(e.input_bytes)
@@ -441,8 +465,8 @@ mod tests {
     fn profile_key_is_shared_across_counts_and_mixes() {
         let pts = crate::expand(&tiny_scenario("t")); // n_jobs axis: [1, 2]
         assert_eq!(
-            profile_key(&pts[0], &pts[0].mix.entries[0]),
-            profile_key(&pts[1], &pts[1].mix.entries[0]),
+            profile_key(&cluster_key(&pts[0]), &pts[0].mix.entries[0]),
+            profile_key(&cluster_key(&pts[1]), &pts[1].mix.entries[0]),
             "a profiling run executes one job alone; N must not split it"
         );
         let cache = ResultCache::new();

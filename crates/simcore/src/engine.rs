@@ -53,12 +53,28 @@ impl<E> Default for Engine<E> {
 impl<E> Engine<E> {
     /// A fresh engine at time zero.
     pub fn new() -> Self {
+        Self::with_queue(EventQueue::new())
+    }
+
+    /// A fresh engine at time zero reusing `queue`'s allocations.
+    ///
+    /// The queue is cleared first, so a calendar handed from a finished
+    /// run starts the next one empty but warm — no re-growing the heap
+    /// and slab every repetition. Pair with [`Engine::take_queue`].
+    pub fn with_queue(mut queue: EventQueue<E>) -> Self {
+        queue.clear();
         Engine {
             now: SimTime::ZERO,
-            queue: EventQueue::new(),
+            queue,
             processed: 0,
             peak_pending: 0,
         }
+    }
+
+    /// Extract the calendar for reuse by a later engine, leaving this
+    /// one empty. Drop still publishes the engine's lifetime totals.
+    pub fn take_queue(&mut self) -> EventQueue<E> {
+        std::mem::take(&mut self.queue)
     }
 
     /// Current simulated time.
@@ -156,6 +172,26 @@ mod tests {
         eng.schedule_in(5.0, Ev::Tick(1));
         eng.next();
         eng.schedule_at(SimTime::from_secs(1.0), Ev::Tick(2));
+    }
+
+    #[test]
+    fn queue_reuse_across_engines_preserves_behaviour() {
+        let mut first = Engine::new();
+        first.schedule_in(1.0, Ev::Tick(1));
+        first.schedule_in(1.0, Ev::Tick(2));
+        first.next();
+        let queue = first.take_queue();
+        assert_eq!(first.pending(), 0, "calendar moved out");
+
+        // The reused calendar starts the next run empty at time zero,
+        // with FIFO tie order re-established from scratch.
+        let mut second = Engine::with_queue(queue);
+        assert_eq!(second.now(), SimTime::ZERO);
+        assert_eq!(second.pending(), 0);
+        second.schedule_in(3.0, Ev::Tick(10));
+        second.schedule_in(3.0, Ev::Tick(20));
+        assert_eq!(second.next(), Some((SimTime::from_secs(3.0), Ev::Tick(10))));
+        assert_eq!(second.next(), Some((SimTime::from_secs(3.0), Ev::Tick(20))));
     }
 
     #[test]
