@@ -64,8 +64,8 @@ pub use plan::{
 };
 pub use report::{class_error_bands, error_bands, render_report, to_csv, ClassBand, SeriesBand};
 pub use runner::{
-    evaluate_point, run_scenario, select, select_class, PointResult, RunnerConfig, SimResult,
-    SweepResult,
+    evaluate_point, run_scenario, run_scenario_streaming, select, select_class, PointResult,
+    RunnerConfig, SimResult, SweepResult,
 };
 pub use spec::{
     ArrivalSchedule, Backends, EstimatorKind, EvalPoint, JobKind, MixEntry, ReducePolicy,

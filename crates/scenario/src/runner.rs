@@ -151,6 +151,35 @@ pub struct SweepResult {
 /// workers never race to compute the same record and each distinct
 /// configuration is evaluated exactly once per process.
 pub fn run_scenario(scenario: &Scenario, cache: &ResultCache, cfg: &RunnerConfig) -> SweepResult {
+    run_scenario_observed(scenario, cache, cfg, None)
+}
+
+/// [`run_scenario`] with a per-point completion observer: `on_point` is
+/// called once per expanded point — including every deduplicated
+/// dependent of a representative — as soon as its result exists, from
+/// whichever worker thread produced it. Completion order across
+/// configurations follows scheduling; points sharing one signature are
+/// emitted back-to-back in index order. The full [`SweepResult`] is
+/// still returned at the end, identical to the non-streaming run.
+///
+/// This is what lets a server stream a large sweep as NDJSON: the first
+/// line leaves the process while later points are still computing,
+/// instead of the whole grid gating the first byte.
+pub fn run_scenario_streaming(
+    scenario: &Scenario,
+    cache: &ResultCache,
+    cfg: &RunnerConfig,
+    on_point: &(dyn Fn(PointResult) + Sync),
+) -> SweepResult {
+    run_scenario_observed(scenario, cache, cfg, Some(on_point))
+}
+
+fn run_scenario_observed(
+    scenario: &Scenario,
+    cache: &ResultCache,
+    cfg: &RunnerConfig,
+    on_point: Option<&(dyn Fn(PointResult) + Sync)>,
+) -> SweepResult {
     let points = crate::expand(scenario);
 
     // Map every point to the representative slot of its signature.
@@ -166,6 +195,18 @@ pub fn run_scenario(scenario: &Scenario, cache: &ResultCache, cfg: &RunnerConfig
         });
         rep_of.push(rep);
     }
+
+    // Inverse of `rep_of`, only materialised when someone is listening:
+    // which indices each representative stands for, in index order.
+    let dependents: Vec<Vec<usize>> = if on_point.is_some() {
+        let mut deps = vec![Vec::new(); points.len()];
+        for (i, &rep) in rep_of.iter().enumerate() {
+            deps[rep].push(i);
+        }
+        deps
+    } else {
+        Vec::new()
+    };
 
     let threads = cfg.effective_threads(unique.len());
     let next = AtomicUsize::new(0);
@@ -183,6 +224,16 @@ pub fn run_scenario(scenario: &Scenario, cache: &ResultCache, cfg: &RunnerConfig
                 slots[i]
                     .set(result)
                     .expect("each representative claimed by one worker");
+                if let Some(observer) = on_point {
+                    let rep = slots[i].get().expect("just set");
+                    for &j in &dependents[i] {
+                        observer(PointResult {
+                            point: points[j].clone(),
+                            model: rep.model.clone(),
+                            sim: rep.sim.clone(),
+                        });
+                    }
+                }
             });
         }
     });
@@ -409,6 +460,31 @@ mod tests {
             assert_eq!(p.point.index, i);
             assert!(p.estimate().unwrap() > 0.0);
             assert!(p.measured().unwrap() > 0.0);
+        }
+    }
+
+    #[test]
+    fn streaming_observer_sees_every_point_and_matches_the_sweep() {
+        let cache = ResultCache::new();
+        // The estimator axis dedups to one underlying solve — the
+        // observer must still fire once per *expanded* point.
+        let s = tiny_scenario("t").axis_estimators(EstimatorKind::ALL);
+        let streamed = std::sync::Mutex::new(Vec::new());
+        let r = run_scenario_streaming(&s, &cache, &RunnerConfig::default(), &|p| {
+            streamed.lock().unwrap().push(p);
+        });
+        let mut streamed = streamed.into_inner().unwrap();
+        assert_eq!(streamed.len(), r.points.len());
+        streamed.sort_by_key(|p| p.point.index);
+        for (got, want) in streamed.iter().zip(&r.points) {
+            assert_eq!(got.point.index, want.point.index);
+            assert_eq!(got.estimate(), want.estimate());
+            assert_eq!(got.measured(), want.measured());
+        }
+        // And the observed run returns the same sweep a plain run does.
+        let plain = run_scenario(&s, &cache, &RunnerConfig::serial());
+        for (a, b) in r.points.iter().zip(&plain.points) {
+            assert_eq!(a.estimate(), b.estimate());
         }
     }
 

@@ -118,6 +118,17 @@ impl ApiError {
         }
     }
 
+    /// The route requires a bearer token and the request carried none,
+    /// or the wrong one.
+    pub fn unauthorized() -> ApiError {
+        ApiError {
+            status: 401,
+            code: "unauthorized",
+            message: "missing or invalid bearer token".into(),
+            field: None,
+        }
+    }
+
     /// The worker pool's backlog is full; the response advises a retry
     /// (`Retry-After`).
     pub fn backpressure() -> ApiError {
@@ -224,6 +235,10 @@ pub struct ScenarioRequest {
     pub scenario: Scenario,
     /// Attach a per-span timing breakdown to the reply (`"debug": true`).
     pub debug: bool,
+    /// Stream results incrementally as chunked NDJSON — one line per
+    /// completed point, then a summary tail — instead of one JSON
+    /// document after the whole sweep (`"stream": true`).
+    pub stream: bool,
 }
 
 /// Decode a `debug` field: absent means off.
@@ -764,6 +779,7 @@ pub fn parse_scenario_request(body: &str) -> Result<ScenarioRequest, String> {
             "backends",
             "seed",
             "debug",
+            "stream",
         ],
     )?;
     let name = match map.get("name") {
@@ -910,9 +926,16 @@ pub fn parse_scenario_request(body: &str) -> Result<ScenarioRequest, String> {
     }
     s.seed = field_u64(map, "seed", 1)?;
     s.check()?;
+    let stream = match map.get("stream") {
+        None => false,
+        Some(v) => v
+            .as_bool()
+            .ok_or_else(|| "field `stream` must be a boolean".to_string())?,
+    };
     Ok(ScenarioRequest {
         scenario: s,
         debug: field_debug(map)?,
+        stream,
     })
 }
 
@@ -1050,9 +1073,9 @@ pub fn point_json(p: &PointResult) -> Json {
     ])
 }
 
-/// Encode a whole sweep: points in expansion order plus the aggregate
-/// and per-class error bands (present only when both backends ran).
-pub fn sweep_json(sweep: &SweepResult) -> Json {
+/// Encode a sweep's aggregate and per-class error bands (empty unless
+/// both backends ran).
+fn bands_json(sweep: &SweepResult) -> (Json, Json) {
     let bands: Vec<Json> = error_bands(sweep)
         .into_iter()
         .map(|b| {
@@ -1078,6 +1101,13 @@ pub fn sweep_json(sweep: &SweepResult) -> Json {
             ])
         })
         .collect();
+    (Json::Arr(bands), Json::Arr(per_class))
+}
+
+/// Encode a whole sweep: points in expansion order plus the aggregate
+/// and per-class error bands (present only when both backends ran).
+pub fn sweep_json(sweep: &SweepResult) -> Json {
+    let (bands, per_class) = bands_json(sweep);
     Json::obj([
         ("name", Json::str(sweep.name.clone())),
         ("num_points", sweep.points.len().into()),
@@ -1085,9 +1115,27 @@ pub fn sweep_json(sweep: &SweepResult) -> Json {
             "points",
             Json::Arr(sweep.points.iter().map(point_json).collect()),
         ),
-        ("error_bands", Json::Arr(bands)),
-        ("class_error_bands", Json::Arr(per_class)),
+        ("error_bands", bands),
+        ("class_error_bands", per_class),
     ])
+}
+
+/// The summary tail line of a streaming (`"stream": true`) scenario
+/// reply: everything [`sweep_json`] carries except the per-point array
+/// — those already went out as their own NDJSON lines — plus
+/// `"done": true` so a client can tell a complete stream from one cut
+/// short.
+pub fn sweep_tail_json(sweep: &SweepResult) -> Json {
+    let (bands, per_class) = bands_json(sweep);
+    let mut tail = Json::obj([
+        ("done", true.into()),
+        ("name", Json::str(sweep.name.clone())),
+        ("num_points", sweep.points.len().into()),
+        ("error_bands", bands),
+        ("class_error_bands", per_class),
+    ]);
+    stamp_reply(&mut tail, &[]);
+    tail
 }
 
 /// Encode a capacity plan: whether the SLO is satisfiable inside the

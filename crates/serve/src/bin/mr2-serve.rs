@@ -4,8 +4,12 @@
 //! mr2-serve [--addr 127.0.0.1:8080] [--threads 4] [--cache-capacity 65536]
 //!           [--max-points 4096] [--cache-file results/serve-cache.txt]
 //!           [--persist-secs 30] [--keep-alive-requests 32] [--max-queue 1024]
-//!           [--no-access-log]
+//!           [--request-timeout-secs 10] [--token SECRET] [--no-access-log]
 //! ```
+//!
+//! `--token` (or the `MR2_TOKEN` environment variable — the flag wins)
+//! requires `Authorization: Bearer <token>` on every `/v1/*` route;
+//! `/healthz` and `/metrics` stay open.
 //!
 //! Smoke it with curl:
 //!
@@ -25,13 +29,19 @@ fn usage() -> ! {
     eprintln!(
         "usage: mr2-serve [--addr HOST:PORT] [--threads N] [--cache-capacity N]\n\
          \x20                [--max-points N] [--cache-file PATH] [--persist-secs N]\n\
-         \x20                [--keep-alive-requests N] [--max-queue N] [--no-access-log]"
+         \x20                [--keep-alive-requests N] [--max-queue N]\n\
+         \x20                [--request-timeout-secs N] [--token SECRET] [--no-access-log]"
     );
     std::process::exit(2);
 }
 
 fn main() {
-    let mut cfg = ServeConfig::default();
+    // The environment seeds the token so process lists don't leak it;
+    // an explicit --token overrides.
+    let mut cfg = ServeConfig {
+        token: std::env::var("MR2_TOKEN").ok().filter(|t| !t.is_empty()),
+        ..ServeConfig::default()
+    };
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let mut value = |name: &str| -> String {
@@ -67,6 +77,11 @@ fn main() {
                 Ok(n) => cfg.max_queue = n,
                 _ => usage(),
             },
+            "--request-timeout-secs" => match value("--request-timeout-secs").parse::<u64>() {
+                Ok(n) if n > 0 => cfg.request_timeout = Duration::from_secs(n),
+                _ => usage(),
+            },
+            "--token" => cfg.token = Some(value("--token")),
             "--no-access-log" => cfg.access_log = false,
             "--help" | "-h" => usage(),
             _ => {

@@ -1,15 +1,23 @@
-//! A deliberately small HTTP/1.1 implementation over blocking streams —
-//! just enough protocol for a JSON API behind `std::net::TcpListener`:
-//! request-line + headers + `Content-Length` bodies in, status +
-//! headers + body out, with connection reuse ([`Conn`]) — HTTP/1.1
-//! requests keep the connection alive by default, `Connection: close`
-//! (and HTTP/1.0) closes it, and bytes over-read past one request's
-//! body are carried over as the start of the next.
+//! A deliberately small HTTP/1.1 implementation — just enough protocol
+//! for a JSON API: request-line + headers + `Content-Length` bodies in,
+//! status + headers + body out (plus chunked transfer encoding for
+//! streaming responses).
 //!
-//! Limits are enforced while reading (header block ≤ 16 KiB, body ≤
-//! 4 MiB) so a misbehaving client can't balloon a worker's memory, and
+//! The core is the *push-based* [`RequestParser`]: a state machine fed
+//! raw bytes ([`RequestParser::feed`]) that yields complete requests
+//! ([`RequestParser::try_next`]) without ever touching a socket — the
+//! shape a readiness-based event loop needs, where bytes arrive
+//! whenever the kernel says so, in whatever fragments the network
+//! produced. The blocking [`Conn`] used by tests and one-shot paths is
+//! a thin pull adapter over the same parser, so both transports parse
+//! identically by construction.
+//!
+//! Limits are enforced while parsing (header block ≤ 16 KiB, body ≤
+//! 4 MiB) so a misbehaving client can't balloon the buffer, and
 //! `Expect: 100-continue` is honoured because stock `curl` sends it for
-//! larger bodies.
+//! larger bodies. HTTP/1.1 requests keep the connection alive by
+//! default, `Connection: close` (and HTTP/1.0) closes it, and bytes
+//! over-read past one request's body are kept as the start of the next.
 
 use std::io::{Read, Write};
 
@@ -31,6 +39,9 @@ pub struct Request {
     /// explicit `Connection` header wins, otherwise the HTTP/1.1
     /// default is keep-alive and the HTTP/1.0 default is close.
     pub keep_alive: bool,
+    /// The `Authorization` header value, verbatim, when present
+    /// (bearer-token auth checks it before routing).
+    pub authorization: Option<String>,
 }
 
 /// A malformed or over-limit request, mapped to a status + message.
@@ -66,14 +77,203 @@ fn head_end(buf: &[u8]) -> Option<usize> {
         .or_else(|| buf.windows(2).position(|w| w == b"\n\n").map(|i| i + 2))
 }
 
-/// A connection serving a sequence of requests: the stream plus
-/// whatever was over-read past the previous request's body (with
-/// keep-alive, those bytes are the start of the next request and must
-/// not be dropped).
+/// A parsed header block: everything known before the body arrives.
+#[derive(Debug, Clone)]
+struct Head {
+    method: String,
+    path: String,
+    keep_alive: bool,
+    content_length: usize,
+    expects_continue: bool,
+    authorization: Option<String>,
+}
+
+/// Parse a complete header block (request line + headers, the bytes up
+/// to and including the blank line).
+fn parse_head(bytes: Vec<u8>) -> Result<Head, HttpError> {
+    let head = String::from_utf8(bytes).map_err(|_| HttpError::new(400, "non-UTF-8 header"))?;
+    let mut lines = head.lines();
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| HttpError::new(400, "missing method"))?
+        .to_ascii_uppercase();
+    let target = parts
+        .next()
+        .ok_or_else(|| HttpError::new(400, "missing request target"))?;
+    let version = parts
+        .next()
+        .ok_or_else(|| HttpError::new(400, "missing HTTP version"))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::new(505, format!("unsupported {version}")));
+    }
+    let path = target.split('?').next().unwrap_or(target).to_string();
+
+    let mut content_length = 0usize;
+    let mut expects_continue = false;
+    let mut authorization = None;
+    // HTTP/1.1 defaults to keep-alive, HTTP/1.0 to close.
+    let mut keep_alive = version != "HTTP/1.0";
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            continue;
+        };
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .parse()
+                .map_err(|_| HttpError::new(400, "bad Content-Length"))?;
+        } else if name.eq_ignore_ascii_case("transfer-encoding") {
+            return Err(HttpError::new(501, "chunked bodies not supported"));
+        } else if name.eq_ignore_ascii_case("expect") && value.eq_ignore_ascii_case("100-continue")
+        {
+            expects_continue = true;
+        } else if name.eq_ignore_ascii_case("authorization") {
+            authorization = Some(value.to_string());
+        } else if name.eq_ignore_ascii_case("connection") {
+            if value.eq_ignore_ascii_case("close") {
+                keep_alive = false;
+            } else if value.eq_ignore_ascii_case("keep-alive") {
+                keep_alive = true;
+            }
+        }
+    }
+    if content_length > MAX_BODY {
+        return Err(HttpError::new(413, "body too large"));
+    }
+    Ok(Head {
+        method,
+        path,
+        keep_alive,
+        content_length,
+        expects_continue,
+        authorization,
+    })
+}
+
+/// Which part of a request the parser is inside.
+#[derive(Debug)]
+enum Phase {
+    /// Accumulating the header block (or idle between requests when
+    /// the buffer is empty).
+    Head,
+    /// Header block parsed; waiting for `content_length` body bytes.
+    Body(Head),
+}
+
+/// Incremental HTTP/1.1 request parser: feed it bytes as they arrive,
+/// pull complete requests out. Never blocks, never touches I/O — the
+/// event loop owns the socket, the parser owns the protocol.
+#[derive(Debug)]
+pub struct RequestParser {
+    buf: Vec<u8>,
+    phase: Phase,
+    /// Set when a parsed head carried `Expect: 100-continue` and its
+    /// body had not fully arrived — the driver should write the interim
+    /// response; cleared by [`RequestParser::take_continue`].
+    needs_continue: bool,
+}
+
+impl Default for RequestParser {
+    fn default() -> Self {
+        RequestParser::new()
+    }
+}
+
+impl RequestParser {
+    /// A fresh parser (start of a connection).
+    pub fn new() -> RequestParser {
+        RequestParser {
+            buf: Vec::new(),
+            phase: Phase::Head,
+            needs_continue: false,
+        }
+    }
+
+    /// Append bytes read from the connection.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Whether any unconsumed bytes are buffered (a pipelined next
+    /// request, or a partial one).
+    pub fn has_buffered(&self) -> bool {
+        !self.buf.is_empty() || matches!(self.phase, Phase::Body(_))
+    }
+
+    /// Whether the parser is *inside* a request — a partial header
+    /// block or an incomplete body. Distinguishes "client idle between
+    /// requests" (a clean close) from "client stopped mid-request" (an
+    /// error / hostile client) on EOF or timeout.
+    pub fn mid_request(&self) -> bool {
+        match self.phase {
+            Phase::Head => !self.buf.is_empty(),
+            Phase::Body(_) => true,
+        }
+    }
+
+    /// Whether the parser is waiting for body bytes (the header block
+    /// is already parsed) — the event loop's reading-body state.
+    pub fn in_body(&self) -> bool {
+        matches!(self.phase, Phase::Body(_))
+    }
+
+    /// True exactly once after a head with `Expect: 100-continue`
+    /// parsed while its body was still outstanding; the caller writes
+    /// the `100 Continue` interim response.
+    pub fn take_continue(&mut self) -> bool {
+        std::mem::take(&mut self.needs_continue)
+    }
+
+    /// Try to produce the next complete request from the buffered
+    /// bytes. `Ok(None)` means more bytes are needed; errors poison the
+    /// connection's framing (the caller answers and closes).
+    pub fn try_next(&mut self) -> Result<Option<Request>, HttpError> {
+        if matches!(self.phase, Phase::Head) {
+            let Some(end) = head_end(&self.buf) else {
+                if self.buf.len() >= MAX_HEAD {
+                    return Err(HttpError::new(431, "header block too large"));
+                }
+                return Ok(None);
+            };
+            let rest = self.buf.split_off(end);
+            let head_bytes = std::mem::replace(&mut self.buf, rest);
+            let head = parse_head(head_bytes)?;
+            if head.expects_continue && self.buf.len() < head.content_length {
+                self.needs_continue = true;
+            }
+            self.phase = Phase::Body(head);
+        }
+        let Phase::Body(head) = &self.phase else {
+            unreachable!("phase advanced above");
+        };
+        if self.buf.len() < head.content_length {
+            return Ok(None);
+        }
+        let Phase::Body(head) = std::mem::replace(&mut self.phase, Phase::Head) else {
+            unreachable!("checked above");
+        };
+        let rest = self.buf.split_off(head.content_length);
+        let body = std::mem::replace(&mut self.buf, rest);
+        Ok(Some(Request {
+            method: head.method,
+            path: head.path,
+            body,
+            keep_alive: head.keep_alive,
+            authorization: head.authorization,
+        }))
+    }
+}
+
+/// A blocking connection serving a sequence of requests: pulls bytes
+/// from the stream and runs them through a [`RequestParser`]. Used by
+/// tests, doc examples, and one-shot paths; the server's event loop
+/// drives the parser directly.
 #[derive(Debug)]
 pub struct Conn<S> {
     stream: S,
-    carry: Vec<u8>,
+    parser: RequestParser,
 }
 
 impl<S> Conn<S> {
@@ -81,7 +281,7 @@ impl<S> Conn<S> {
     pub fn new(stream: S) -> Conn<S> {
         Conn {
             stream,
-            carry: Vec::new(),
+            parser: RequestParser::new(),
         }
     }
 
@@ -99,20 +299,20 @@ impl<S> Conn<S> {
 
 impl<S: Read + Write> Conn<S> {
     /// Block until the next request's first bytes are available (or
-    /// already carried over), up to the stream's *current* read
-    /// timeout; `false` means EOF, idle timeout, or a read error — the
+    /// already buffered), up to the stream's *current* read timeout;
+    /// `false` means EOF, idle timeout, or a read error — the
     /// connection is done. This separates the *idle* wait from the
     /// reads *within* a request: a server sets a short idle timeout,
     /// awaits, then restores its longer per-request timeout before
     /// calling [`Conn::read_request`].
     pub fn await_request(&mut self) -> bool {
-        if !self.carry.is_empty() {
+        if self.parser.has_buffered() {
             return true;
         }
         let mut byte = [0u8; 1];
         match self.stream.read(&mut byte) {
             Ok(n) if n > 0 => {
-                self.carry.extend_from_slice(&byte[..n]);
+                self.parser.feed(&byte[..n]);
                 true
             }
             _ => false,
@@ -126,26 +326,25 @@ impl<S: Read + Write> Conn<S> {
     /// Needs `Write` access too so it can acknowledge
     /// `Expect: 100-continue` before the client sends the body.
     pub fn read_request(&mut self) -> Result<Option<Request>, HttpError> {
-        // Read in chunks until the blank line ending the header block;
-        // whatever arrives past it belongs to the body (and past that,
-        // to the next request on the connection).
-        let mut buf = std::mem::take(&mut self.carry);
         let mut chunk = [0u8; 1024];
-        let split = loop {
-            if let Some(end) = head_end(&buf) {
-                break end;
+        loop {
+            if let Some(req) = self.parser.try_next()? {
+                return Ok(Some(req));
             }
-            if buf.len() >= MAX_HEAD {
-                return Err(HttpError::new(431, "header block too large"));
+            if self.parser.take_continue() {
+                self.stream
+                    .write_all(b"HTTP/1.1 100 Continue\r\n\r\n")
+                    .map_err(|e| HttpError::new(400, format!("write failed: {e}")))?;
+                self.stream.flush().ok();
             }
             match self.stream.read(&mut chunk) {
-                Ok(0) if buf.is_empty() => return Ok(None),
+                Ok(0) if !self.parser.mid_request() => return Ok(None),
                 Ok(0) => return Err(HttpError::new(400, "connection closed mid-request")),
-                Ok(n) => buf.extend_from_slice(&chunk[..n]),
+                Ok(n) => self.parser.feed(&chunk[..n]),
                 // Idle timeout while waiting for the next request is a
                 // clean close; mid-request it is an error.
                 Err(e)
-                    if buf.is_empty()
+                    if !self.parser.mid_request()
                         && matches!(
                             e.kind(),
                             std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
@@ -155,81 +354,7 @@ impl<S: Read + Write> Conn<S> {
                 }
                 Err(e) => return Err(e.into()),
             }
-        };
-        let mut early_body = buf.split_off(split);
-        let head = String::from_utf8(buf).map_err(|_| HttpError::new(400, "non-UTF-8 header"))?;
-        let mut lines = head.lines();
-        let request_line = lines.next().unwrap_or_default();
-        let mut parts = request_line.split_whitespace();
-        let method = parts
-            .next()
-            .ok_or_else(|| HttpError::new(400, "missing method"))?
-            .to_ascii_uppercase();
-        let target = parts
-            .next()
-            .ok_or_else(|| HttpError::new(400, "missing request target"))?;
-        let version = parts
-            .next()
-            .ok_or_else(|| HttpError::new(400, "missing HTTP version"))?;
-        if !version.starts_with("HTTP/1.") {
-            return Err(HttpError::new(505, format!("unsupported {version}")));
         }
-        let path = target.split('?').next().unwrap_or(target).to_string();
-
-        let mut content_length = 0usize;
-        let mut expects_continue = false;
-        // HTTP/1.1 defaults to keep-alive, HTTP/1.0 to close.
-        let mut keep_alive = version != "HTTP/1.0";
-        for line in lines {
-            let Some((name, value)) = line.split_once(':') else {
-                continue;
-            };
-            let value = value.trim();
-            if name.eq_ignore_ascii_case("content-length") {
-                content_length = value
-                    .parse()
-                    .map_err(|_| HttpError::new(400, "bad Content-Length"))?;
-            } else if name.eq_ignore_ascii_case("transfer-encoding") {
-                return Err(HttpError::new(501, "chunked bodies not supported"));
-            } else if name.eq_ignore_ascii_case("expect")
-                && value.eq_ignore_ascii_case("100-continue")
-            {
-                expects_continue = true;
-            } else if name.eq_ignore_ascii_case("connection") {
-                if value.eq_ignore_ascii_case("close") {
-                    keep_alive = false;
-                } else if value.eq_ignore_ascii_case("keep-alive") {
-                    keep_alive = true;
-                }
-            }
-        }
-        if content_length > MAX_BODY {
-            return Err(HttpError::new(413, "body too large"));
-        }
-        if expects_continue && content_length > early_body.len() {
-            self.stream
-                .write_all(b"HTTP/1.1 100 Continue\r\n\r\n")
-                .map_err(|e| HttpError::new(400, format!("write failed: {e}")))?;
-            self.stream.flush().ok();
-        }
-        // The body starts with whatever was over-read past the headers;
-        // anything past Content-Length is the next request's bytes.
-        if early_body.len() > content_length {
-            self.carry = early_body.split_off(content_length);
-        }
-        let mut body = early_body;
-        let remaining = content_length - body.len();
-        if remaining > 0 {
-            let start = body.len();
-            body.resize(content_length, 0);
-            self.stream.read_exact(&mut body[start..])?;
-        }
-        Ok(Some(Request {
-            method,
-            path,
-            body,
-            keep_alive,
-        }))
     }
 }
 
@@ -246,6 +371,7 @@ pub fn reason(status: u16) -> &'static str {
     match status {
         200 => "OK",
         400 => "Bad Request",
+        401 => "Unauthorized",
         404 => "Not Found",
         405 => "Method Not Allowed",
         413 => "Payload Too Large",
@@ -259,11 +385,15 @@ pub fn reason(status: u16) -> &'static str {
     }
 }
 
-/// `Content-Type` of JSON responses (every endpoint except `/metrics`).
+/// `Content-Type` of JSON responses (every endpoint except `/metrics`
+/// and streaming sweeps).
 pub const CONTENT_TYPE_JSON: &str = "application/json";
 
 /// `Content-Type` of the Prometheus text exposition format.
 pub const CONTENT_TYPE_METRICS: &str = "text/plain; version=0.0.4";
+
+/// `Content-Type` of streaming NDJSON sweep responses.
+pub const CONTENT_TYPE_NDJSON: &str = "application/x-ndjson";
 
 /// Write a complete response and flush. `close` selects the
 /// `Connection` header: `close` ends the connection after this
@@ -288,20 +418,66 @@ pub fn write_response_with<S: Write>(
     close: bool,
     extra_headers: &[(&str, &str)],
 ) -> std::io::Result<()> {
-    write!(
-        stream,
+    stream.write_all(&render_response(
+        status,
+        body,
+        content_type,
+        close,
+        extra_headers,
+    ))?;
+    stream.flush()
+}
+
+/// Render a complete response into one contiguous buffer — the event
+/// loop writes responses as single buffers (one `write` syscall when
+/// the socket has room, and no Nagle/delayed-ACK stalls from
+/// fragmented segments).
+pub fn render_response(
+    status: u16,
+    body: &str,
+    content_type: &str,
+    close: bool,
+    extra_headers: &[(&str, &str)],
+) -> Vec<u8> {
+    let mut out = format!(
         "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {}\r\n",
         reason(status),
         body.len(),
         if close { "close" } else { "keep-alive" },
-    )?;
+    );
     for (name, value) in extra_headers {
-        write!(stream, "{name}: {value}\r\n")?;
+        out.push_str(name);
+        out.push_str(": ");
+        out.push_str(value);
+        out.push_str("\r\n");
     }
-    stream.write_all("\r\n".as_bytes())?;
-    stream.write_all(body.as_bytes())?;
-    stream.flush()
+    out.push_str("\r\n");
+    let mut bytes = out.into_bytes();
+    bytes.extend_from_slice(body.as_bytes());
+    bytes
 }
+
+/// Render the head of a chunked streaming response (no
+/// `Content-Length`; the body arrives as chunks, see [`chunk`]).
+pub fn render_stream_head(status: u16, content_type: &str, close: bool) -> Vec<u8> {
+    format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nTransfer-Encoding: chunked\r\nConnection: {}\r\n\r\n",
+        reason(status),
+        if close { "close" } else { "keep-alive" },
+    )
+    .into_bytes()
+}
+
+/// Encode one chunk of a chunked transfer-encoded body.
+pub fn chunk(data: &[u8]) -> Vec<u8> {
+    let mut out = format!("{:x}\r\n", data.len()).into_bytes();
+    out.extend_from_slice(data);
+    out.extend_from_slice(b"\r\n");
+    out
+}
+
+/// The terminating chunk of a chunked body.
+pub const CHUNKED_END: &[u8] = b"0\r\n\r\n";
 
 #[cfg(test)]
 mod tests {
@@ -364,6 +540,7 @@ mod tests {
         assert_eq!(r.path, "/healthz", "query string stripped");
         assert!(r.body.is_empty());
         assert!(r.keep_alive, "HTTP/1.1 defaults to keep-alive");
+        assert!(r.authorization.is_none());
     }
 
     #[test]
@@ -377,6 +554,14 @@ mod tests {
     }
 
     #[test]
+    fn captures_the_authorization_header() {
+        let mut s =
+            Pipe::new("GET /v1/cache/stats HTTP/1.1\r\nAuthorization: Bearer s3cr3t\r\n\r\n");
+        let r = read_request(&mut s).unwrap();
+        assert_eq!(r.authorization.as_deref(), Some("Bearer s3cr3t"));
+    }
+
+    #[test]
     fn connection_header_and_version_control_keep_alive() {
         let mut s = Pipe::new("GET / HTTP/1.1\r\nConnection: close\r\n\r\n");
         assert!(!read_request(&mut s).unwrap().keep_alive);
@@ -384,6 +569,40 @@ mod tests {
         assert!(!read_request(&mut s).unwrap().keep_alive, "1.0 default");
         let mut s = Pipe::new("GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n");
         assert!(read_request(&mut s).unwrap().keep_alive, "explicit wins");
+    }
+
+    #[test]
+    fn incremental_parser_handles_byte_meal_delivery() {
+        // The event-loop shape: bytes arrive one at a time, the parser
+        // only yields once the request is complete.
+        let wire = b"POST /x HTTP/1.1\r\nContent-Length: 3\r\n\r\nabc";
+        let mut p = RequestParser::new();
+        for (i, b) in wire.iter().enumerate() {
+            p.feed(std::slice::from_ref(b));
+            let parsed = p.try_next().unwrap();
+            if i + 1 < wire.len() {
+                assert!(parsed.is_none(), "yielded early at byte {i}");
+            } else {
+                let r = parsed.expect("complete at the last byte");
+                assert_eq!(r.body, b"abc");
+            }
+        }
+        assert!(!p.has_buffered(), "nothing left over");
+    }
+
+    #[test]
+    fn incremental_parser_reports_request_phases() {
+        let mut p = RequestParser::new();
+        assert!(!p.mid_request(), "fresh parser is idle");
+        p.feed(b"POST /x HTTP/1.1\r\nCont");
+        assert!(p.try_next().unwrap().is_none());
+        assert!(p.mid_request() && !p.in_body(), "partial header");
+        p.feed(b"ent-Length: 3\r\n\r\na");
+        assert!(p.try_next().unwrap().is_none());
+        assert!(p.in_body(), "header parsed, body outstanding");
+        p.feed(b"bc");
+        assert!(p.try_next().unwrap().is_some());
+        assert!(!p.mid_request(), "idle again between requests");
     }
 
     #[test]
@@ -416,13 +635,13 @@ mod tests {
 
     #[test]
     fn await_request_consumes_nothing_a_read_would_miss() {
-        // Carried-over bytes count as a pending request without touching
-        // the stream; a fresh byte from the stream lands in the carry so
-        // the subsequent read_request sees the whole request.
+        // Buffered bytes count as a pending request without touching
+        // the stream; a fresh byte from the stream lands in the parser
+        // so the subsequent read_request sees the whole request.
         let mut conn = Conn::new(Pipe::new("GET /next HTTP/1.1\r\n\r\n"));
         assert!(conn.await_request(), "first byte arrived");
-        assert_eq!(conn.carry, b"G", "byte is carried, not dropped");
-        assert!(conn.await_request(), "carry alone is enough");
+        assert!(conn.parser.has_buffered(), "byte is buffered, not dropped");
+        assert!(conn.await_request(), "buffered byte alone is enough");
         let r = conn.read_request().unwrap().unwrap();
         assert_eq!(r.path, "/next");
         // EOF while idle is a clean end of the connection.
@@ -452,14 +671,14 @@ mod tests {
         ]);
         assert_eq!(read_request(&mut s).unwrap().body, b"{\"a\":1}");
         // Body over-read together with the headers (no Expect); the
-        // trailing bytes past Content-Length stay in the carry buffer.
+        // trailing bytes past Content-Length stay buffered.
         let mut conn = Conn::new(Pipe::new(
             "POST /x HTTP/1.1\r\nContent-Length: 7\r\n\r\n{\"a\":1}junk",
         ));
         let r = conn.read_request().unwrap().unwrap();
         assert_eq!(r.body, b"{\"a\":1}");
         assert!(conn.get_ref().output.is_empty(), "no spurious 100 Continue");
-        assert_eq!(conn.carry, b"junk");
+        assert!(conn.parser.has_buffered(), "trailing bytes kept");
     }
 
     #[test]
@@ -474,6 +693,17 @@ mod tests {
         assert_eq!(read_request(&mut s).unwrap_err().status, 505);
         let mut s = Pipe::new("POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n");
         assert_eq!(read_request(&mut s).unwrap_err().status, 501);
+    }
+
+    #[test]
+    fn oversized_header_block_fails_without_the_terminator() {
+        // A slow-loris that drips an endless header block hits the
+        // size limit even though the blank line never arrives.
+        let mut p = RequestParser::new();
+        p.feed(b"GET / HTTP/1.1\r\n");
+        let filler = vec![b'x'; MAX_HEAD];
+        p.feed(&filler);
+        assert_eq!(p.try_next().unwrap_err().status, 431);
     }
 
     #[test]
@@ -492,5 +722,23 @@ mod tests {
         let text = String::from_utf8(out).unwrap();
         assert!(text.contains("Connection: keep-alive\r\n"));
         assert!(text.contains("Content-Type: text/plain; version=0.0.4\r\n"));
+    }
+
+    #[test]
+    fn chunked_encoding_round_trips() {
+        let head = String::from_utf8(render_stream_head(200, CONTENT_TYPE_NDJSON, false)).unwrap();
+        assert!(head.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(head.contains("Transfer-Encoding: chunked\r\n"));
+        assert!(head.contains("Content-Type: application/x-ndjson\r\n"));
+        assert!(!head.contains("Content-Length"), "chunked replaces length");
+
+        assert_eq!(chunk(b"{\"i\":0}\n"), b"8\r\n{\"i\":0}\n\r\n");
+        assert_eq!(chunk(&[b'x'; 26]), {
+            let mut v = b"1a\r\n".to_vec();
+            v.extend_from_slice(&[b'x'; 26]);
+            v.extend_from_slice(b"\r\n");
+            v
+        });
+        assert_eq!(CHUNKED_END, b"0\r\n\r\n");
     }
 }

@@ -50,6 +50,7 @@
 pub mod api;
 pub mod http;
 pub mod json;
+pub mod net;
 pub mod server;
 
 pub use json::{Json, JsonError};

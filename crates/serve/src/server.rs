@@ -1,7 +1,29 @@
-//! The long-running service: a `TcpListener` accept loop feeding a
-//! fixed pool of worker threads, routing to the scenario engine with
-//! the shared [`ResultCache`] as state, plus a persistence thread that
-//! periodically snapshots the cache to disk.
+//! The long-running service: a readiness-based event loop (raw `epoll`
+//! over non-blocking sockets, module [`crate::net`]) owning every
+//! connection, with a fixed pool of worker threads strictly for
+//! CPU-bound evaluation behind a bounded job queue. A kept-alive idle
+//! connection costs one file descriptor and a few KB of parser buffer
+//! — not a thread — so concurrent connections scale past the worker
+//! count by orders of magnitude.
+//!
+//! ```text
+//!                        ┌────────────────────────────┐   job queue    ┌──────────┐
+//!  clients ──accept──▶   │  event loop (1 thread)     │ ──(bounded)──▶ │ worker 0 │
+//!     ▲                  │  epoll: listener, eventfds,│                │ worker 1 │
+//!     │                  │  N connection fds          │ ◀─completions─ │  …       │
+//!     └──────responses── │  per-conn state machine    │    (eventfd)   └──────────┘
+//!                        └────────────────────────────┘        evaluate via cache
+//! ```
+//!
+//! Each connection is an explicit state machine — `read_head` →
+//! `read_body` → `waiting` (for a worker) → `writing` → `idle`
+//! (keep-alive), plus `streaming` for chunked sweeps — driven only by
+//! readiness events, worker completions, and deadlines. Cheap `GET`
+//! routes are answered inline on the loop; `POST` evaluations are
+//! dispatched to the pool, and the loop keeps serving other sockets
+//! while they run. Responses render into one contiguous buffer and are
+//! written opportunistically (usually a single `write`), so small
+//! answers never stall on Nagle/delayed-ACK interaction.
 //!
 //! Endpoints (one row of [`ROUTES`] each):
 //!
@@ -11,57 +33,66 @@
 //! | `GET`  | `/metrics` | — | Prometheus text exposition of the process registry |
 //! | `GET`  | `/v1/cache/stats` | — | shared-cache counters |
 //! | `POST` | `/v1/estimate` | point spec | one evaluated point |
-//! | `POST` | `/v1/scenario` | scenario spec | full sweep + error bands |
+//! | `POST` | `/v1/scenario` | scenario spec | full sweep + error bands, or NDJSON stream |
 //! | `POST` | `/v1/plan` | SLO + search range | cheapest satisfying node count |
+//!
+//! `POST /v1/scenario` with `"stream": true` answers with chunked
+//! NDJSON: one line per completed point as the runner's workers finish
+//! them (completion order), then a summary tail line with the error
+//! bands — first results leave the process while the rest of the grid
+//! is still computing. Non-streaming replies are unchanged.
 //!
 //! Every JSON reply — success or failure — carries `"api_version"`,
 //! and every failure is the one envelope
 //! `{"error": {"code", "message", "field"?}}` (see [`api::ApiError`]):
-//! 400 for malformed transport/JSON, 422 for well-formed requests that
-//! fail validation, 405/404 for routing, 503 (with `Retry-After`) when
-//! the accept queue is over [`ServeConfig::max_queue`].
+//! 400 for malformed transport/JSON, 401 when a configured bearer
+//! token ([`ServeConfig::token`]) is missing or wrong on a `/v1/*`
+//! route, 422 for well-formed requests that fail validation, 405/404
+//! for routing, 503 (with `Retry-After`) when the job queue is over
+//! [`ServeConfig::max_queue`] — checked both at accept and at dispatch.
 //!
 //! Concurrent identical queries cost one evaluation: the cache
 //! coalesces in-flight computations, so a thundering herd of the same
 //! what-if question does the model solve (or simulator run) once and
-//! fans the record out. `/v1/plan` rides the same cache: every probe
-//! of its bisection is a cached point evaluation, so re-planning after
-//! a warm-up answers from memory.
+//! fans the record out. `/v1/plan` rides the same cache.
 //!
-//! Every request is observable three ways: per-route counters and
-//! latency histograms in the `mr2-obs` registry (scraped via
-//! `GET /metrics`), one structured access-log line on stderr
-//! ([`ServeConfig::access_log`]), and — when a request body carries
-//! `"debug": true` — a per-span timing breakdown attached to the reply.
+//! Observability: per-route counters/latency histograms, the
+//! connection-level `mr2_serve_open_connections` gauge and per-state
+//! `mr2_serve_connection_states{state=…}` gauges (with
+//! `mr2_serve_connection_state_seconds` duration histograms), one
+//! structured access-log line per request on stderr
+//! ([`ServeConfig::access_log`]), and per-span timing breakdowns on
+//! `"debug": true` requests.
 
+use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
 use std::panic::AssertUnwindSafe;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use mr2_obs as obs;
-use mr2_scenario::{evaluate_point, run_scenario, PointResult, ResultCache, RunnerConfig};
+use mr2_scenario::{
+    evaluate_point, run_scenario, run_scenario_streaming, PointResult, ResultCache, RunnerConfig,
+};
 
 use crate::api::{self, ApiError};
 use crate::http::{
-    write_response, write_response_with, Conn, HttpError, Request, CONTENT_TYPE_JSON,
-    CONTENT_TYPE_METRICS,
+    chunk, render_response, render_stream_head, HttpError, Request, RequestParser, CHUNKED_END,
+    CONTENT_TYPE_JSON, CONTENT_TYPE_METRICS, CONTENT_TYPE_NDJSON,
 };
 use crate::json::Json;
-
-/// Socket read/write budget while a request or response is in flight
-/// (the keep-alive *idle* wait between requests is configured
-/// separately, [`ServeConfig::keep_alive_idle`]).
-const REQUEST_TIMEOUT: Duration = Duration::from_secs(10);
+use crate::net::{Epoll, Event, EventFd, EV_READ, EV_WRITE};
 
 /// Server configuration.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
     /// Bind address, e.g. `127.0.0.1:8080` (port 0 picks one).
     pub addr: String,
-    /// Worker threads handling requests.
+    /// Worker threads evaluating requests (the event loop is its own
+    /// additional thread).
     pub threads: usize,
     /// Shared-cache entry bound (0 = unbounded).
     pub cache_capacity: usize,
@@ -77,17 +108,17 @@ pub struct ServeConfig {
     /// How often the persistence thread snapshots a dirty cache.
     pub persist_every: Duration,
     /// Requests served per kept-alive connection before the service
-    /// closes it (bounds how long one client can pin a worker; 0 is
-    /// treated as 1).
+    /// closes it (0 is treated as 1).
     pub keep_alive_requests: usize,
     /// How long an idle kept-alive connection may sit between requests
     /// before the service closes it.
     pub keep_alive_idle: Duration,
-    /// Accepted connections allowed to wait for a worker before the
-    /// acceptor sheds load: at this backlog depth new connections are
-    /// answered 503 (`Retry-After: 1`) and closed instead of queued,
-    /// so an overloaded service degrades with an explicit signal
-    /// rather than unbounded queueing delay.
+    /// Jobs allowed to wait for a worker before the service sheds
+    /// load: over this backlog depth, new connections (at accept) and
+    /// new evaluation requests (at dispatch) are answered 503
+    /// (`Retry-After: 1`) instead of queued, so an overloaded service
+    /// degrades with an explicit signal rather than unbounded queueing
+    /// delay.
     pub max_queue: usize,
     /// Runner knobs for scenario sweeps (worker-thread count of the
     /// *evaluation* pool, not the HTTP pool).
@@ -95,6 +126,16 @@ pub struct ServeConfig {
     /// Write one structured line per request to stderr (request id,
     /// method, path, status, response bytes, latency).
     pub access_log: bool,
+    /// Bearer token required on every `/v1/*` route when set
+    /// (`Authorization: Bearer <token>`); `/healthz` and `/metrics`
+    /// stay open for probes and scrapes.
+    pub token: Option<String>,
+    /// Inactivity budget while a request or response is in flight: a
+    /// connection that makes no progress (no bytes read or written)
+    /// for this long mid-request is closed. The keep-alive *idle* wait
+    /// between requests is configured separately
+    /// ([`ServeConfig::keep_alive_idle`]).
+    pub request_timeout: Duration,
 }
 
 impl Default for ServeConfig {
@@ -112,13 +153,16 @@ impl Default for ServeConfig {
             max_queue: 1_024,
             runner: RunnerConfig::default(),
             access_log: true,
+            token: None,
+            request_timeout: Duration::from_secs(10),
         }
     }
 }
 
-/// Request-layer metric handles. Per-route series go through the
-/// registry's read-lock lookup on each request (negligible next to an
-/// evaluation); unlabelled series are cached in `OnceLock` statics.
+/// Request-layer metric handles. Per-route and per-state series go
+/// through the registry's read-lock lookup on each touch (negligible
+/// next to an evaluation); unlabelled series are cached in `OnceLock`
+/// statics.
 mod metrics {
     use super::obs;
 
@@ -158,7 +202,7 @@ mod metrics {
         G.get_or_init(|| {
             obs::gauge(
                 "mr2_serve_queue_depth",
-                "Accepted connections waiting for a worker thread.",
+                "Evaluation jobs waiting for a worker thread.",
             )
         })
     }
@@ -168,7 +212,7 @@ mod metrics {
         C.get_or_init(|| {
             obs::counter(
                 "mr2_serve_shed_total",
-                "Connections answered 503 at accept because the worker queue was full.",
+                "Requests answered 503 because the worker queue was full.",
             )
         })
     }
@@ -178,10 +222,37 @@ mod metrics {
         H.get_or_init(|| {
             obs::histogram(
                 "mr2_serve_queue_wait_seconds",
-                "Time an accepted connection waited for a worker thread.",
+                "Time an evaluation job waited for a worker thread.",
                 obs::Buckets::TIME,
             )
         })
+    }
+
+    pub fn open_connections() -> &'static obs::Gauge {
+        static G: std::sync::OnceLock<obs::Gauge> = std::sync::OnceLock::new();
+        G.get_or_init(|| {
+            obs::gauge(
+                "mr2_serve_open_connections",
+                "Connections currently registered with the event loop.",
+            )
+        })
+    }
+
+    pub fn conn_state(state: &str) -> obs::Gauge {
+        obs::gauge_with(
+            "mr2_serve_connection_states",
+            "Open connections by state machine state.",
+            &[("state", state)],
+        )
+    }
+
+    pub fn conn_state_seconds(state: &str) -> obs::Histogram {
+        obs::histogram_with(
+            "mr2_serve_connection_state_seconds",
+            "Time connections spent in each state before transitioning.",
+            &[("state", state)],
+            obs::Buckets::TIME,
+        )
     }
 
     pub fn uptime() -> &'static obs::Gauge {
@@ -215,11 +286,16 @@ mod metrics {
     }
 }
 
-/// Shared state of all workers.
+/// Shared state of the event loop and all workers.
 struct State {
     cache: ResultCache,
     cfg: ServeConfig,
     started: Instant,
+    /// Evaluation jobs dispatched but not yet picked up by a worker —
+    /// the backlog the shed decision reads. Per-instance (unlike the
+    /// process-global gauge), so embedded servers don't shed on each
+    /// other's load.
+    queued: AtomicUsize,
     /// Cache mutation stamp at the last successful snapshot, so clean
     /// caches aren't rewritten. The *count* would go stale once the LRU
     /// bound makes insert+evict churn under a constant entry count.
@@ -233,16 +309,17 @@ pub struct ServerHandle {
     pub addr: SocketAddr,
     state: Arc<State>,
     stop: Arc<AtomicBool>,
+    shutdown_fd: Arc<EventFd>,
     threads: Vec<std::thread::JoinHandle<()>>,
 }
 
 impl ServerHandle {
-    /// Stop accepting, drain the workers, snapshot the cache one last
-    /// time, and join every thread.
+    /// Stop the event loop (via its shutdown eventfd — no timeouts or
+    /// dummy connections involved), drain the workers, snapshot the
+    /// cache one last time, and join every thread.
     pub fn shutdown(mut self) {
         self.stop.store(true, Ordering::SeqCst);
-        // Wake the blocking accept with a no-op connection.
-        let _ = TcpStream::connect(self.addr);
+        self.shutdown_fd.notify();
         for t in self.threads.drain(..) {
             let _ = t.join();
         }
@@ -255,10 +332,80 @@ impl ServerHandle {
     }
 }
 
+/// One evaluation request handed to the worker pool.
+struct Job {
+    slot: usize,
+    generation: u64,
+    endpoint: Endpoint,
+    req: Request,
+    /// Close the connection after this response (request or cap said so).
+    close: bool,
+    queued_at: Instant,
+}
+
+/// What a worker hands back to the event loop. Bytes are complete wire
+/// fragments; the loop only appends them to the connection's output
+/// buffer (stale generations are dropped — the slot was reused).
+enum Completion {
+    /// A whole rendered response; the request is done.
+    Done {
+        slot: usize,
+        generation: u64,
+        bytes: Vec<u8>,
+        close: bool,
+    },
+    /// A fragment of a streaming response (head or chunk); more follow.
+    Chunk {
+        slot: usize,
+        generation: u64,
+        bytes: Vec<u8>,
+    },
+    /// The final fragment of a streaming response.
+    End {
+        slot: usize,
+        generation: u64,
+        bytes: Vec<u8>,
+        close: bool,
+    },
+}
+
+impl Completion {
+    fn ids(&self) -> (usize, u64) {
+        match self {
+            Completion::Done {
+                slot, generation, ..
+            }
+            | Completion::Chunk {
+                slot, generation, ..
+            }
+            | Completion::End {
+                slot, generation, ..
+            } => (*slot, *generation),
+        }
+    }
+}
+
+/// The workers' side of the completion path: send a fragment, wake the
+/// event loop. Send errors mean the loop is gone (shutdown) — dropped.
+#[derive(Clone)]
+struct CompletionTx {
+    tx: mpsc::Sender<Completion>,
+    wakeup: Arc<EventFd>,
+}
+
+impl CompletionTx {
+    fn send(&self, c: Completion) {
+        if self.tx.send(c).is_ok() {
+            self.wakeup.notify();
+        }
+    }
+}
+
 /// Bind and start the service; returns once the listener is live.
 pub fn serve(cfg: ServeConfig) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(&cfg.addr)?;
     let addr = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
 
     let cache = ResultCache::with_capacity(cfg.cache_capacity);
     if let Some(path) = &cfg.cache_file {
@@ -274,78 +421,66 @@ pub fn serve(cfg: ServeConfig) -> std::io::Result<ServerHandle> {
         cache,
         cfg: cfg.clone(),
         started: Instant::now(),
+        queued: AtomicUsize::new(0),
     });
     let stop = Arc::new(AtomicBool::new(false));
     let mut threads = Vec::new();
 
-    // Fixed worker pool over one shared receiver. Each queued socket
-    // carries its enqueue time so the pool's backlog is measurable.
-    let (tx, rx) = mpsc::channel::<(TcpStream, Instant)>();
-    let rx = Arc::new(Mutex::new(rx));
+    // Fail fast if the readiness primitives are unavailable: create
+    // them here, move them into the event-loop thread.
+    let epoll = Epoll::new()?;
+    let shutdown_fd = Arc::new(EventFd::new()?);
+    let completion_fd = Arc::new(EventFd::new()?);
+
+    let (job_tx, job_rx) = mpsc::channel::<Job>();
+    let (completion_tx, completion_rx) = mpsc::channel::<Completion>();
+    let done = CompletionTx {
+        tx: completion_tx,
+        wakeup: Arc::clone(&completion_fd),
+    };
+
+    // Worker pool: strictly CPU-bound evaluation, never socket I/O.
+    let job_rx = Arc::new(Mutex::new(job_rx));
     for i in 0..cfg.threads.max(1) {
-        let rx = Arc::clone(&rx);
+        let job_rx = Arc::clone(&job_rx);
         let state = Arc::clone(&state);
+        let done = done.clone();
         threads.push(
             std::thread::Builder::new()
                 .name(format!("mr2-serve-worker-{i}"))
                 .spawn(move || loop {
-                    let next = rx.lock().unwrap().recv();
-                    match next {
-                        Ok((stream, queued_at)) => {
-                            metrics::queue_depth().dec();
-                            metrics::queue_wait().observe(queued_at.elapsed().as_secs_f64());
-                            handle_connection(stream, &state)
-                        }
-                        Err(_) => break, // acceptor gone: drain complete
-                    }
+                    let next = job_rx.lock().unwrap().recv();
+                    let Ok(job) = next else {
+                        break; // event loop gone: drain complete
+                    };
+                    state.queued.fetch_sub(1, Ordering::SeqCst);
+                    metrics::queue_depth().dec();
+                    metrics::queue_wait().observe(job.queued_at.elapsed().as_secs_f64());
+                    serve_job(job, &state, &done);
                 })
                 .expect("spawn worker"),
         );
     }
 
-    // Acceptor: hands sockets to the pool until shutdown, shedding
-    // load with a 503 once the backlog hits `max_queue`.
+    // The event loop: owns the listener and every connection.
     {
-        let stop = Arc::clone(&stop);
-        let max_queue = cfg.max_queue;
+        let mut el = EventLoop {
+            epoll,
+            listener,
+            state: Arc::clone(&state),
+            job_tx,
+            completions: completion_rx,
+            completion_fd,
+            shutdown_fd: Arc::clone(&shutdown_fd),
+            conns: Vec::new(),
+            free: Vec::new(),
+            next_generation: 0,
+        };
         threads.push(
             std::thread::Builder::new()
-                .name("mr2-serve-acceptor".into())
-                .spawn(move || {
-                    for stream in listener.incoming() {
-                        if stop.load(Ordering::SeqCst) {
-                            break;
-                        }
-                        if let Ok(mut stream) = stream {
-                            // Slow or stalled clients time out instead of
-                            // pinning a worker forever.
-                            let _ = stream.set_read_timeout(Some(REQUEST_TIMEOUT));
-                            let _ = stream.set_write_timeout(Some(REQUEST_TIMEOUT));
-                            if metrics::queue_depth().value() >= max_queue as f64 {
-                                // Reject before queueing: an explicit
-                                // retry signal beats unbounded wait.
-                                metrics::shed().inc();
-                                let err = ApiError::backpressure();
-                                let _ = write_response_with(
-                                    &mut stream,
-                                    err.status,
-                                    &err.body(),
-                                    CONTENT_TYPE_JSON,
-                                    true,
-                                    &[("Retry-After", "1")],
-                                );
-                                continue;
-                            }
-                            metrics::queue_depth().inc();
-                            if tx.send((stream, Instant::now())).is_err() {
-                                metrics::queue_depth().dec();
-                                break;
-                            }
-                        }
-                    }
-                    // Dropping `tx` here lets the workers drain and exit.
-                })
-                .expect("spawn acceptor"),
+                .name("mr2-serve-eventloop".into())
+                .spawn(move || el.run())
+                .expect("spawn event loop"),
         );
     }
 
@@ -376,6 +511,7 @@ pub fn serve(cfg: ServeConfig) -> std::io::Result<ServerHandle> {
         addr,
         state,
         stop,
+        shutdown_fd,
         threads,
     })
 }
@@ -398,81 +534,700 @@ fn persist(state: &State) {
     }
 }
 
-/// Serve one connection: up to `keep_alive_requests` requests when the
-/// client asks for keep-alive, closing on protocol errors, an explicit
-/// `Connection: close`, the request cap, or `keep_alive_idle` of
-/// silence between requests.
-fn handle_connection(stream: TcpStream, state: &State) {
-    let max_requests = state.cfg.keep_alive_requests.max(1);
-    let mut conn = Conn::new(stream);
-    for served in 0..max_requests {
-        if served > 0 {
-            // Between requests the socket waits at most the idle
-            // timeout; once the next request's first bytes arrive, the
-            // longer per-request timeout is restored so a slow body
-            // upload on a reused connection gets the same budget as on
-            // a fresh one.
-            let _ = conn
-                .get_ref()
-                .set_read_timeout(Some(state.cfg.keep_alive_idle));
-            let pending = conn.await_request();
-            let _ = conn.get_ref().set_read_timeout(Some(REQUEST_TIMEOUT));
-            if !pending {
-                return;
-            }
-        }
-        let (resp, close) = match conn.read_request() {
-            Ok(Some(req)) => {
-                let request_id = obs::next_request_id();
-                let started = Instant::now();
-                // A panicking evaluation must cost a 500, not a worker.
-                let resp =
-                    std::panic::catch_unwind(AssertUnwindSafe(|| route(&req, state, request_id)))
-                        .unwrap_or_else(|_| {
-                            // A panicked debug request may strand its
-                            // thread-local trace; clear it so later
-                            // requests on this worker start clean.
-                            let _ = obs::end_trace();
-                            Response::error(ApiError::internal(
-                                "internal error: evaluation panicked",
-                            ))
-                        });
-                let latency = started.elapsed();
-                let path = canonical_path(&req.path);
-                metrics::requests(&req.method, path, resp.status).inc();
-                metrics::latency(path).observe(latency.as_secs_f64());
-                metrics::requests_served().inc();
-                if state.cfg.access_log {
-                    eprintln!(
-                        "mr2-serve: request id={request_id} method={} path={} status={} bytes={} micros={}",
-                        req.method,
-                        req.path,
-                        resp.status,
-                        resp.body.len(),
-                        latency.as_micros(),
-                    );
-                }
-                (resp, !req.keep_alive || served + 1 == max_requests)
-            }
-            // Client closed (or idled out) between requests.
-            Ok(None) => return,
-            // Protocol errors poison the framing; always close.
-            Err(HttpError { status, message }) => (
-                Response::error(ApiError::from_status(status, message)),
-                true,
-            ),
-        };
-        let ok = write_response(
-            conn.stream_mut(),
-            resp.status,
-            &resp.body,
-            resp.content_type,
-            close,
-        );
-        if ok.is_err() || close {
+/// Epoll token of the listener fd.
+const TOKEN_LISTENER: u64 = u64::MAX;
+/// Epoll token of the shutdown eventfd.
+const TOKEN_SHUTDOWN: u64 = u64::MAX - 1;
+/// Epoll token of the worker-completion eventfd.
+const TOKEN_COMPLETION: u64 = u64::MAX - 2;
+/// How long one `epoll_wait` may block; bounds deadline-sweep latency.
+const TICK_MS: i32 = 50;
+/// Read buffer size per readiness event.
+const READ_CHUNK: usize = 16 * 1024;
+
+/// Connection state machine states (the `state` label on
+/// `mr2_serve_connection_states`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ConnState {
+    /// Waiting for / reading the next request's header block.
+    ReadHead,
+    /// Header parsed, body bytes outstanding.
+    ReadBody,
+    /// Request dispatched; a worker is evaluating it.
+    Waiting,
+    /// Response bytes buffered, draining to the socket.
+    Writing,
+    /// A chunked NDJSON sweep is in flight: fragments arrive from the
+    /// worker as points complete and drain to the socket as they come.
+    Streaming,
+    /// Kept alive between requests, nothing buffered either way.
+    Idle,
+}
+
+fn state_name(s: ConnState) -> &'static str {
+    match s {
+        ConnState::ReadHead => "read_head",
+        ConnState::ReadBody => "read_body",
+        ConnState::Waiting => "waiting",
+        ConnState::Writing => "writing",
+        ConnState::Streaming => "streaming",
+        ConnState::Idle => "idle",
+    }
+}
+
+const ALL_STATES: [ConnState; 6] = [
+    ConnState::ReadHead,
+    ConnState::ReadBody,
+    ConnState::Waiting,
+    ConnState::Writing,
+    ConnState::Streaming,
+    ConnState::Idle,
+];
+
+/// One client connection owned by the event loop.
+struct Connection {
+    stream: TcpStream,
+    parser: RequestParser,
+    state: ConnState,
+    state_since: Instant,
+    /// Guards worker completions against slot reuse: a completion whose
+    /// generation doesn't match the slot's current occupant is stale.
+    generation: u64,
+    /// Pending output (rendered responses / stream fragments).
+    out: Vec<u8>,
+    out_pos: usize,
+    /// Requests served on this connection (keep-alive cap).
+    served: usize,
+    /// Close once `out` drains (protocol error, `Connection: close`,
+    /// keep-alive cap, or peer EOF).
+    close_after_write: bool,
+    /// Read side saw EOF; stop reading, finish writing, then close.
+    peer_closed: bool,
+    /// Inactivity deadline; `None` while a worker owns the request.
+    deadline: Option<Instant>,
+    /// Currently registered epoll interest (EV_* bits).
+    interest: u32,
+}
+
+struct EventLoop {
+    epoll: Epoll,
+    listener: TcpListener,
+    state: Arc<State>,
+    job_tx: mpsc::Sender<Job>,
+    completions: mpsc::Receiver<Completion>,
+    completion_fd: Arc<EventFd>,
+    shutdown_fd: Arc<EventFd>,
+    conns: Vec<Option<Connection>>,
+    free: Vec<usize>,
+    next_generation: u64,
+}
+
+impl EventLoop {
+    fn run(&mut self) {
+        if self
+            .epoll
+            .add(self.listener.as_raw_fd(), TOKEN_LISTENER, EV_READ)
+            .and_then(|()| {
+                self.epoll
+                    .add(self.shutdown_fd.raw(), TOKEN_SHUTDOWN, EV_READ)
+            })
+            .and_then(|()| {
+                self.epoll
+                    .add(self.completion_fd.raw(), TOKEN_COMPLETION, EV_READ)
+            })
+            .is_err()
+        {
+            eprintln!("mr2-serve: event loop registration failed; not serving");
             return;
         }
+        // Touch every state series so a scrape sees the full family
+        // from the first request on.
+        for s in ALL_STATES {
+            metrics::conn_state(state_name(s)).add(0.0);
+        }
+        'events: while let Ok(events) = self.epoll.wait(TICK_MS) {
+            for ev in events {
+                match ev.token {
+                    TOKEN_SHUTDOWN => break 'events,
+                    TOKEN_LISTENER => self.accept_ready(),
+                    TOKEN_COMPLETION => self.drain_completions(),
+                    slot => self.conn_event(slot as usize, ev),
+                }
+            }
+            self.sweep_deadlines();
+        }
+        for slot in 0..self.conns.len() {
+            self.close_slot(slot);
+        }
+        // Dropping `job_tx` (with self at thread exit) lets the workers
+        // drain and exit; `shutdown` joins them after this thread.
     }
+
+    /// Accept everything the backlog holds; shed with an immediate 503
+    /// when the job queue is over the bound.
+    fn accept_ready(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    let _ = stream.set_nonblocking(true);
+                    let _ = stream.set_nodelay(true);
+                    if self.state.queued.load(Ordering::SeqCst) >= self.state.cfg.max_queue {
+                        metrics::shed().inc();
+                        let err = ApiError::backpressure();
+                        let bytes = render_response(
+                            err.status,
+                            &err.body(),
+                            CONTENT_TYPE_JSON,
+                            true,
+                            &[("Retry-After", "1")],
+                        );
+                        // Best-effort: a fresh socket's send buffer is
+                        // empty, so this lands in one write.
+                        let _ = (&stream).write_all(&bytes);
+                        continue; // drop = close
+                    }
+                    self.register(stream);
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => return,
+            }
+        }
+    }
+
+    fn register(&mut self, stream: TcpStream) {
+        let slot = self.free.pop().unwrap_or_else(|| {
+            self.conns.push(None);
+            self.conns.len() - 1
+        });
+        let fd = stream.as_raw_fd();
+        if self.epoll.add(fd, slot as u64, EV_READ).is_err() {
+            self.free.push(slot);
+            return;
+        }
+        self.next_generation += 1;
+        let now = Instant::now();
+        self.conns[slot] = Some(Connection {
+            stream,
+            parser: RequestParser::new(),
+            state: ConnState::ReadHead,
+            state_since: now,
+            generation: self.next_generation,
+            out: Vec::new(),
+            out_pos: 0,
+            served: 0,
+            close_after_write: false,
+            peer_closed: false,
+            deadline: Some(now + self.state.cfg.request_timeout),
+            interest: EV_READ,
+        });
+        metrics::open_connections().inc();
+        metrics::conn_state(state_name(ConnState::ReadHead)).inc();
+    }
+
+    fn close_slot(&mut self, slot: usize) {
+        let Some(conn) = self.conns.get_mut(slot).and_then(Option::take) else {
+            return;
+        };
+        let _ = self.epoll.delete(conn.stream.as_raw_fd());
+        metrics::conn_state(state_name(conn.state)).dec();
+        metrics::conn_state_seconds(state_name(conn.state))
+            .observe(conn.state_since.elapsed().as_secs_f64());
+        metrics::open_connections().dec();
+        self.free.push(slot);
+        // `conn.stream` drops here, closing the fd.
+    }
+
+    /// Record a state transition on the per-state gauges/histograms.
+    fn enter(&mut self, slot: usize, new: ConnState) {
+        let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else {
+            return;
+        };
+        if conn.state == new {
+            return;
+        }
+        metrics::conn_state(state_name(conn.state)).dec();
+        metrics::conn_state_seconds(state_name(conn.state))
+            .observe(conn.state_since.elapsed().as_secs_f64());
+        metrics::conn_state(state_name(new)).inc();
+        conn.state = new;
+        conn.state_since = Instant::now();
+    }
+
+    /// Readiness on a connection: pull bytes, then make progress.
+    fn conn_event(&mut self, slot: usize, ev: Event) {
+        let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else {
+            return;
+        };
+        if ev.readable() && !conn.peer_closed {
+            let mut scratch = [0u8; READ_CHUNK];
+            loop {
+                match conn.stream.read(&mut scratch) {
+                    Ok(0) => {
+                        conn.peer_closed = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        conn.parser.feed(&scratch[..n]);
+                        if n < scratch.len() {
+                            break; // drained; level-triggered epoll re-reports otherwise
+                        }
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        self.close_slot(slot);
+                        return;
+                    }
+                }
+            }
+        }
+        self.progress(slot);
+    }
+
+    /// Drive one connection as far as it can go right now: parse and
+    /// answer/dispatch buffered requests, drain output, then settle
+    /// into the resting state (deadline + epoll interest).
+    fn progress(&mut self, slot: usize) {
+        self.advance_parser(slot);
+        if !self.flush(slot) {
+            return; // closed on write error
+        }
+        self.settle(slot);
+    }
+
+    /// Parse every complete buffered request, answering inline or
+    /// dispatching to the pool, until input runs dry, a worker takes
+    /// over, or the connection is marked for close. Pipelined requests
+    /// are answered strictly in order: responses append to `out` as
+    /// requests complete, and parsing halts while a worker owns one.
+    fn advance_parser(&mut self, slot: usize) {
+        loop {
+            let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else {
+                return;
+            };
+            if matches!(conn.state, ConnState::Waiting | ConnState::Streaming)
+                || conn.close_after_write
+            {
+                return;
+            }
+            match conn.parser.try_next() {
+                Err(HttpError { status, message }) => {
+                    // Protocol errors poison the framing; always close.
+                    let err = ApiError::from_status(status, message);
+                    let bytes =
+                        render_response(err.status, &err.body(), CONTENT_TYPE_JSON, true, &[]);
+                    conn.out.extend_from_slice(&bytes);
+                    conn.close_after_write = true;
+                    return;
+                }
+                Ok(None) => {
+                    if conn.parser.take_continue() {
+                        conn.out.extend_from_slice(b"HTTP/1.1 100 Continue\r\n\r\n");
+                    }
+                    return;
+                }
+                Ok(Some(req)) => self.handle_request(slot, req),
+            }
+        }
+    }
+
+    /// Answer or dispatch one parsed request.
+    fn handle_request(&mut self, slot: usize, req: Request) {
+        let max_requests = self.state.cfg.keep_alive_requests.max(1);
+        let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else {
+            return;
+        };
+        conn.served += 1;
+        let close = !req.keep_alive || conn.served >= max_requests;
+        if close {
+            // Stop parsing past this request; the response carries
+            // `Connection: close` and the drain closes the socket.
+            conn.close_after_write = true;
+        }
+        let generation = conn.generation;
+
+        if !authorized(&req, &self.state.cfg) {
+            let resp = Response::error(ApiError::unauthorized());
+            self.respond_inline(slot, &req, resp, close, &[]);
+            return;
+        }
+
+        let endpoint = ROUTES
+            .iter()
+            .find(|(m, p, _)| *m == req.method && *p == req.path)
+            .map(|&(_, _, e)| e);
+        match endpoint {
+            Some(endpoint @ (Endpoint::Estimate | Endpoint::Scenario | Endpoint::Plan)) => {
+                if self.state.queued.load(Ordering::SeqCst) >= self.state.cfg.max_queue {
+                    metrics::shed().inc();
+                    let resp = Response::error(ApiError::backpressure());
+                    self.respond_inline(slot, &req, resp, close, &[("Retry-After", "1")]);
+                    return;
+                }
+                self.state.queued.fetch_add(1, Ordering::SeqCst);
+                metrics::queue_depth().inc();
+                let job = Job {
+                    slot,
+                    generation,
+                    endpoint,
+                    req,
+                    close,
+                    queued_at: Instant::now(),
+                };
+                if self.job_tx.send(job).is_err() {
+                    // Workers gone (shutdown underway).
+                    self.state.queued.fetch_sub(1, Ordering::SeqCst);
+                    metrics::queue_depth().dec();
+                    if let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) {
+                        conn.close_after_write = true;
+                    }
+                    return;
+                }
+                self.enter(slot, ConnState::Waiting);
+            }
+            // Cheap GET routes, 404s, and 405s are answered inline on
+            // the loop — no queue round-trip.
+            _ => {
+                let request_id = obs::next_request_id();
+                let started = Instant::now();
+                let resp = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                    route(&req, &self.state, request_id)
+                }))
+                .unwrap_or_else(|_| {
+                    let _ = obs::end_trace();
+                    Response::error(ApiError::internal("internal error: evaluation panicked"))
+                });
+                finish_request(&req, &resp, request_id, started, &self.state);
+                self.append_response(slot, resp, close, &[]);
+            }
+        }
+    }
+
+    /// Instrument and buffer an inline (non-worker) response.
+    fn respond_inline(
+        &mut self,
+        slot: usize,
+        req: &Request,
+        resp: Response,
+        close: bool,
+        extra_headers: &[(&str, &str)],
+    ) {
+        finish_request(
+            req,
+            &resp,
+            obs::next_request_id(),
+            Instant::now(),
+            &self.state,
+        );
+        self.append_response(slot, resp, close, extra_headers);
+    }
+
+    fn append_response(
+        &mut self,
+        slot: usize,
+        resp: Response,
+        close: bool,
+        extra_headers: &[(&str, &str)],
+    ) {
+        if let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) {
+            let bytes = render_response(
+                resp.status,
+                &resp.body,
+                resp.content_type,
+                close,
+                extra_headers,
+            );
+            conn.out.extend_from_slice(&bytes);
+        }
+    }
+
+    /// Drain the connection's output buffer as far as the socket
+    /// accepts. Returns `false` when the connection was closed (write
+    /// error / peer reset).
+    fn flush(&mut self, slot: usize) -> bool {
+        let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else {
+            return false;
+        };
+        while conn.out_pos < conn.out.len() {
+            match conn.stream.write(&conn.out[conn.out_pos..]) {
+                Ok(0) => {
+                    self.close_slot(slot);
+                    return false;
+                }
+                Ok(n) => conn.out_pos += n,
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.close_slot(slot);
+                    return false;
+                }
+            }
+        }
+        if conn.out_pos >= conn.out.len() {
+            conn.out.clear();
+            conn.out_pos = 0;
+        }
+        true
+    }
+
+    /// Put a connection to rest after activity: close it if it's done,
+    /// otherwise pick its state, inactivity deadline, and epoll
+    /// interest. Deadlines measure inactivity — any read/write progress
+    /// re-arms them.
+    fn settle(&mut self, slot: usize) {
+        let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else {
+            return;
+        };
+        let drained = conn.out.is_empty();
+        let busy = matches!(conn.state, ConnState::Waiting | ConnState::Streaming);
+        if drained && !busy && (conn.close_after_write || conn.peer_closed) {
+            self.close_slot(slot);
+            return;
+        }
+        let new_state = if busy {
+            conn.state
+        } else if !drained {
+            ConnState::Writing
+        } else if conn.parser.in_body() {
+            ConnState::ReadBody
+        } else if conn.parser.mid_request() || conn.served == 0 {
+            ConnState::ReadHead
+        } else {
+            ConnState::Idle
+        };
+        self.enter(slot, new_state);
+        let cfg = &self.state.cfg;
+        let (keep_alive_idle, request_timeout) = (cfg.keep_alive_idle, cfg.request_timeout);
+        let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else {
+            return;
+        };
+        conn.deadline = match new_state {
+            // The evaluation's duration is the worker's business, and a
+            // streaming sweep produces chunks at its own pace.
+            ConnState::Waiting | ConnState::Streaming if drained => None,
+            ConnState::Idle => Some(Instant::now() + keep_alive_idle),
+            _ => Some(Instant::now() + request_timeout),
+        };
+        let mut interest = 0;
+        if !conn.peer_closed {
+            interest |= EV_READ;
+        }
+        if !drained {
+            interest |= EV_WRITE;
+        }
+        if interest != conn.interest {
+            let fd = conn.stream.as_raw_fd();
+            let _ = self.epoll.modify(fd, slot as u64, interest);
+            conn.interest = interest;
+        }
+    }
+
+    /// Apply worker completions: append rendered bytes to the right
+    /// connection (dropping stale generations) and make progress.
+    fn drain_completions(&mut self) {
+        self.completion_fd.drain();
+        while let Ok(c) = self.completions.try_recv() {
+            let (slot, generation) = c.ids();
+            let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else {
+                continue; // connection closed while the worker ran
+            };
+            if conn.generation != generation {
+                continue; // slot reused; response belongs to a dead conn
+            }
+            match c {
+                Completion::Done { bytes, close, .. } | Completion::End { bytes, close, .. } => {
+                    conn.out.extend_from_slice(&bytes);
+                    if close {
+                        conn.close_after_write = true;
+                    }
+                    self.enter(slot, ConnState::Writing);
+                }
+                Completion::Chunk { bytes, .. } => {
+                    conn.out.extend_from_slice(&bytes);
+                    self.enter(slot, ConnState::Streaming);
+                }
+            }
+            // `Writing` re-opens the parser: pipelined requests queued
+            // behind the finished one are answered now, in order.
+            self.progress(slot);
+        }
+    }
+
+    /// Close connections whose inactivity deadline expired (slow-loris
+    /// headers, stalled bodies, idle keep-alives, wedged writes).
+    fn sweep_deadlines(&mut self) {
+        let now = Instant::now();
+        for slot in 0..self.conns.len() {
+            let expired = self.conns[slot]
+                .as_ref()
+                .and_then(|c| c.deadline)
+                .is_some_and(|d| now >= d);
+            if expired {
+                self.close_slot(slot);
+            }
+        }
+    }
+}
+
+/// Bearer-token check: `/v1/*` routes require the configured token;
+/// `/healthz` and `/metrics` stay open (liveness probes and scrapes
+/// shouldn't need secrets). The scheme is case-insensitive, the token
+/// itself is not.
+fn authorized(req: &Request, cfg: &ServeConfig) -> bool {
+    let Some(token) = &cfg.token else {
+        return true;
+    };
+    if !req.path.starts_with("/v1/") {
+        return true;
+    }
+    let Some(auth) = &req.authorization else {
+        return false;
+    };
+    match auth.split_once(' ') {
+        Some((scheme, value)) => scheme.eq_ignore_ascii_case("bearer") && value.trim() == token,
+        None => false,
+    }
+}
+
+/// Per-request bookkeeping shared by the inline and worker paths:
+/// route metrics, the request-served aggregate, and the access log.
+fn finish_request(
+    req: &Request,
+    resp: &Response,
+    request_id: u64,
+    started: Instant,
+    state: &State,
+) {
+    let latency = started.elapsed();
+    let path = canonical_path(&req.path);
+    metrics::requests(&req.method, path, resp.status).inc();
+    metrics::latency(path).observe(latency.as_secs_f64());
+    metrics::requests_served().inc();
+    if state.cfg.access_log {
+        eprintln!(
+            "mr2-serve: request id={request_id} method={} path={} status={} bytes={} micros={}",
+            req.method,
+            req.path,
+            resp.status,
+            resp.body.len(),
+            latency.as_micros(),
+        );
+    }
+}
+
+/// Evaluate one dispatched request on a worker thread and hand the
+/// rendered response (or stream fragments) back to the event loop.
+fn serve_job(job: Job, state: &State, done: &CompletionTx) {
+    let request_id = obs::next_request_id();
+    let started = Instant::now();
+
+    // `"stream": true` scenarios take the chunked NDJSON path; every
+    // other request — including scenario parse errors, which re-parse
+    // below — is a single rendered response, byte-identical to the
+    // blocking server's.
+    if job.endpoint == Endpoint::Scenario {
+        if let Ok(r) = std::str::from_utf8(&job.req.body)
+            .map_err(|_| "body is not UTF-8".to_string())
+            .and_then(api::parse_scenario_request)
+        {
+            if r.stream {
+                return stream_scenario(job, r, state, done, request_id, started);
+            }
+        }
+    }
+
+    let resp = std::panic::catch_unwind(AssertUnwindSafe(|| route(&job.req, state, request_id)))
+        .unwrap_or_else(|_| {
+            // A panicked debug request may strand its thread-local
+            // trace; clear it so later requests start clean.
+            let _ = obs::end_trace();
+            Response::error(ApiError::internal("internal error: evaluation panicked"))
+        });
+    finish_request(&job.req, &resp, request_id, started, state);
+    let bytes = render_response(resp.status, &resp.body, resp.content_type, job.close, &[]);
+    done.send(Completion::Done {
+        slot: job.slot,
+        generation: job.generation,
+        bytes,
+        close: job.close,
+    });
+}
+
+/// Run a `"stream": true` scenario: validation errors are ordinary
+/// one-shot responses; past validation, the response head goes out
+/// immediately and every completed point follows as its own NDJSON
+/// chunk, with the error-band summary as the tail line. The `debug`
+/// trace breakdown only applies to non-streaming replies (there is no
+/// single reply object to attach it to).
+fn stream_scenario(
+    job: Job,
+    r: api::ScenarioRequest,
+    state: &State,
+    done: &CompletionTx,
+    request_id: u64,
+    started: Instant,
+) {
+    let scenario = &r.scenario;
+    if let Some(resp) = scenario_bounds_error(scenario, state) {
+        finish_request(&job.req, &resp, request_id, started, state);
+        let bytes = render_response(resp.status, &resp.body, resp.content_type, job.close, &[]);
+        done.send(Completion::Done {
+            slot: job.slot,
+            generation: job.generation,
+            bytes,
+            close: job.close,
+        });
+        return;
+    }
+
+    done.send(Completion::Chunk {
+        slot: job.slot,
+        generation: job.generation,
+        bytes: render_stream_head(200, CONTENT_TYPE_NDJSON, job.close),
+    });
+    let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        let _run = obs::span("scenario.run");
+        run_scenario_streaming(
+            scenario,
+            &state.cache,
+            &state.cfg.runner,
+            &|pr: PointResult| {
+                let mut line = api::point_json(&pr).render();
+                line.push('\n');
+                done.send(Completion::Chunk {
+                    slot: job.slot,
+                    generation: job.generation,
+                    bytes: chunk(line.as_bytes()),
+                });
+            },
+        )
+    }));
+    let (mut tail_line, status, close) = match &result {
+        Ok(sweep) => (api::sweep_tail_json(sweep).render(), 200, job.close),
+        // The head (a 200) is on the wire; all that's left is to make
+        // the failure explicit in-band and close.
+        Err(_) => (
+            ApiError::internal("internal error: evaluation panicked").body(),
+            200,
+            true,
+        ),
+    };
+    tail_line.push('\n');
+    let mut bytes = chunk(tail_line.as_bytes());
+    bytes.extend_from_slice(CHUNKED_END);
+    let resp = Response {
+        status,
+        body: tail_line,
+        content_type: CONTENT_TYPE_NDJSON,
+    };
+    finish_request(&job.req, &resp, request_id, started, state);
+    done.send(Completion::End {
+        slot: job.slot,
+        generation: job.generation,
+        bytes,
+        close,
+    });
 }
 
 /// A routed response: status, body, and the body's content type
@@ -511,6 +1266,26 @@ fn jobs_bound_error(jobs: usize, state: &State) -> ApiError {
         "workload mix carries {jobs} concurrent jobs, above the service bound of {}",
         state.cfg.max_jobs_per_point
     ))
+}
+
+/// The scenario-level resource bounds shared by the streaming and
+/// non-streaming paths.
+fn scenario_bounds_error(scenario: &mr2_scenario::Scenario, state: &State) -> Option<Response> {
+    let n = scenario.num_points();
+    if n > state.cfg.max_points {
+        return Some(Response::error(ApiError::validation(format!(
+            "scenario expands to {n} points, above the service bound of {}",
+            state.cfg.max_points
+        ))));
+    }
+    // `max_points` bounds the axis product; each mix value must also
+    // keep its job total within the per-point bound.
+    scenario
+        .workload_values()
+        .iter()
+        .map(|m| m.total_jobs())
+        .find(|&jobs| jobs > state.cfg.max_jobs_per_point)
+        .map(|jobs| Response::error(jobs_bound_error(jobs, state)))
 }
 
 /// The service's endpoints.
@@ -639,23 +1414,8 @@ fn scenario_response(req: &Request, state: &State, request_id: u64) -> Response 
     {
         Ok(r) => {
             let scenario = &r.scenario;
-            let n = scenario.num_points();
-            if n > state.cfg.max_points {
-                return Response::error(ApiError::validation(format!(
-                    "scenario expands to {n} points, above the service bound of {}",
-                    state.cfg.max_points
-                )));
-            }
-            // `max_points` bounds the axis product; each mix value
-            // must also keep its job total within the per-point
-            // bound.
-            if let Some(jobs) = scenario
-                .workload_values()
-                .iter()
-                .map(|m| m.total_jobs())
-                .find(|&jobs| jobs > state.cfg.max_jobs_per_point)
-            {
-                return Response::error(jobs_bound_error(jobs, state));
+            if let Some(resp) = scenario_bounds_error(scenario, state) {
+                return resp;
             }
             // The sweep's own point spans run on the runner's pool
             // threads, which deliberately don't inherit the trace; the

@@ -9,7 +9,9 @@
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
 use std::sync::Barrier;
+use std::time::{Duration, Instant};
 
+use mr2_scenario::RunnerConfig;
 use mr2_serve::{serve, Json, ServeConfig};
 
 /// Send one request on an open connection without closing it.
@@ -916,4 +918,405 @@ fn cache_snapshot_survives_restart() {
     assert_eq!(stats.hits, 1);
     handle.shutdown();
     std::fs::remove_dir_all(&dir).ok();
+}
+
+// ---------------------------------------------------------------------------
+// Event-loop transport: streaming sweeps, hostile clients, auth, shutdown.
+// ---------------------------------------------------------------------------
+
+/// Read one chunk of a `Transfer-Encoding: chunked` body; empty vec on
+/// the terminating zero-size chunk.
+fn read_chunk(reader: &mut BufReader<TcpStream>) -> Vec<u8> {
+    let mut size_line = String::new();
+    reader.read_line(&mut size_line).expect("chunk size line");
+    let size = usize::from_str_radix(size_line.trim(), 16)
+        .unwrap_or_else(|_| panic!("malformed chunk size: {size_line:?}"));
+    let mut data = vec![0u8; size + 2]; // payload + trailing CRLF
+    reader.read_exact(&mut data).expect("chunk payload");
+    assert_eq!(&data[size..], b"\r\n", "chunk payload ends with CRLF");
+    data.truncate(size);
+    data
+}
+
+/// Read a chunked-response head; returns (status, header lines).
+fn read_stream_head(reader: &mut BufReader<TcpStream>) -> (u16, Vec<String>) {
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line).expect("status line");
+    let status: u16 = status_line
+        .strip_prefix("HTTP/1.1 ")
+        .and_then(|r| r.get(..3))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("malformed reply: {status_line:?}"));
+    let mut headers = Vec::new();
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("header line");
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        headers.push(line.to_string());
+    }
+    (status, headers)
+}
+
+fn header_value<'a>(headers: &'a [String], name: &str) -> Option<&'a str> {
+    headers.iter().find_map(|l| {
+        let (n, v) = l.split_once(':')?;
+        n.eq_ignore_ascii_case(name).then(|| v.trim())
+    })
+}
+
+#[test]
+fn streaming_scenario_delivers_points_before_the_sweep_completes() {
+    // One evaluation thread: points complete strictly in sequence, so
+    // when the first NDJSON line is on the wire the second (deliberately
+    // heavy: 10 GiB input, 8 concurrent jobs, 5 simulator reps) has not
+    // finished — the cache still lacks its records.
+    let cfg = ServeConfig {
+        runner: RunnerConfig { threads: 1 },
+        ..test_config()
+    };
+    let handle = serve(cfg).unwrap();
+    let scenario = r#"{"name":"stream-test","sweep":"zip","input_bytes":[268435456,10737418240],"n_jobs":[1,8],"backends":{"analytic":true,"simulator":5},"stream":true}"#;
+
+    let mut conn = TcpStream::connect(handle.addr).expect("connect");
+    conn.set_nodelay(true).ok();
+    write!(
+        conn,
+        "POST /v1/scenario HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\
+         Content-Length: {}\r\n\r\n{scenario}",
+        scenario.len()
+    )
+    .expect("send");
+
+    let mut reader = BufReader::new(conn);
+    let (status, headers) = read_stream_head(&mut reader);
+    assert_eq!(status, 200);
+    assert_eq!(
+        header_value(&headers, "transfer-encoding"),
+        Some("chunked"),
+        "streaming replies are chunked: {headers:?}"
+    );
+    assert_eq!(
+        header_value(&headers, "content-type"),
+        Some("application/x-ndjson")
+    );
+    assert!(
+        header_value(&headers, "content-length").is_none(),
+        "no Content-Length on a stream"
+    );
+
+    let first = String::from_utf8(read_chunk(&mut reader)).expect("utf-8 line");
+    let first_point = Json::parse(first.trim()).expect("first line is JSON");
+    assert!(
+        first_point.get("index").is_some() && first_point.get("estimate").is_some(),
+        "point lines carry index + estimate: {first}"
+    );
+    // The acceptance check: a point line arrived while the sweep was
+    // still running. Each completed point deposits two cache records
+    // (simulator + analytic); the full two-point sweep deposits four.
+    let entries_mid = handle.cache_stats().entries;
+    assert!(
+        entries_mid < 4,
+        "first line arrived before the sweep completed (cache entries: {entries_mid})"
+    );
+
+    let mut lines = vec![first];
+    loop {
+        let chunk = read_chunk(&mut reader);
+        if chunk.is_empty() {
+            break;
+        }
+        lines.push(String::from_utf8(chunk).expect("utf-8 line"));
+    }
+    let mut rest = Vec::new();
+    reader.read_to_end(&mut rest).expect("drain");
+    assert!(rest.is_empty(), "connection closes after the terminator");
+
+    // 2 point lines + 1 summary tail.
+    assert_eq!(lines.len(), 3, "lines: {lines:?}");
+    let tail = Json::parse(lines[2].trim()).expect("tail is JSON");
+    assert_eq!(tail.get("done").unwrap().as_bool(), Some(true));
+    assert_eq!(tail.get("num_points").unwrap().as_u64(), Some(2));
+    assert!(tail.get("error_bands").is_some(), "tail carries the bands");
+    assert!(tail.get("api_version").is_some());
+
+    let mut points: Vec<Json> = lines[..2]
+        .iter()
+        .map(|l| Json::parse(l.trim()).expect("point line"))
+        .collect();
+    points.sort_by_key(|p| p.get("index").unwrap().as_u64().unwrap());
+    assert_eq!(points[0].get("index").unwrap().as_u64(), Some(0));
+    assert_eq!(points[1].get("index").unwrap().as_u64(), Some(1));
+
+    // Parity: the non-streaming reply (now fully cached) reports the
+    // same per-point estimates and the same bands.
+    let plain = scenario.replace(",\"stream\":true", "");
+    let (status, body) = request(handle.addr, "POST", "/v1/scenario", &plain);
+    assert_eq!(status, 200);
+    let sweep = Json::parse(&body).unwrap();
+    let sweep_points = sweep.get("points").unwrap().as_arr().unwrap();
+    assert_eq!(sweep_points.len(), 2);
+    for (streamed, batch) in points.iter().zip(sweep_points) {
+        assert_eq!(
+            streamed.get("estimate").unwrap().get("total_ms"),
+            batch.get("estimate").unwrap().get("total_ms"),
+            "streamed and batch estimates agree"
+        );
+    }
+    assert_eq!(
+        tail.get("error_bands"),
+        sweep.get("error_bands"),
+        "streamed tail bands match the batch reply"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn slow_loris_partial_header_times_out_without_pinning_a_worker() {
+    // One worker thread: if the loris pinned it, the probe request
+    // could never be answered.
+    let cfg = ServeConfig {
+        threads: 1,
+        request_timeout: Duration::from_millis(300),
+        ..test_config()
+    };
+    let handle = serve(cfg).unwrap();
+
+    let mut loris = TcpStream::connect(handle.addr).expect("connect");
+    loris
+        .write_all(b"POST /v1/estimate HTTP/1.1\r\nHost: te")
+        .expect("partial header");
+
+    // The single worker still answers other connections.
+    let (status, _) = request(
+        handle.addr,
+        "POST",
+        "/v1/estimate",
+        r#"{"nodes":2,"input_bytes":268435456}"#,
+    );
+    assert_eq!(status, 200, "loris did not pin the worker");
+
+    // The loris connection is reaped by the inactivity deadline: EOF,
+    // no response bytes, well before the keep-alive idle window.
+    loris
+        .set_read_timeout(Some(Duration::from_secs(3)))
+        .unwrap();
+    let started = Instant::now();
+    let mut buf = Vec::new();
+    loris.read_to_end(&mut buf).expect("read until close");
+    assert!(buf.is_empty(), "no reply to an unfinished request");
+    assert!(
+        started.elapsed() < Duration::from_secs(2),
+        "closed by the request deadline, not the idle timer"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn mid_body_disconnect_frees_the_connection_slot() {
+    let handle = serve(test_config()).unwrap();
+    let scrape = |label: &str| {
+        let (status, body) = request(handle.addr, "GET", "/metrics", "");
+        assert_eq!(status, 200, "{label}");
+        metric_value(&body, "mr2_serve_open_connections")
+    };
+    let baseline = scrape("baseline");
+    assert!(baseline >= 1.0, "the scrape's own connection is counted");
+
+    let mut doomed = TcpStream::connect(handle.addr).expect("connect");
+    doomed
+        .write_all(
+            b"POST /v1/estimate HTTP/1.1\r\nHost: test\r\nContent-Length: 100\r\n\r\n{\"nodes\"",
+        )
+        .expect("partial body");
+    // Observe it registered, then vanish mid-body.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while scrape("while open") < baseline + 1.0 {
+        assert!(Instant::now() < deadline, "connection never registered");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    drop(doomed);
+
+    // The loop notices the hangup and releases the slot without waiting
+    // for any timeout.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        if scrape("after disconnect") <= baseline {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "mid-body disconnect leaked a connection slot"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn pipelined_requests_are_answered_in_order() {
+    let handle = serve(test_config()).unwrap();
+    let mut conn = TcpStream::connect(handle.addr).expect("connect");
+    let estimate = r#"{"nodes":2,"input_bytes":268435456}"#;
+    // Three requests in one write: inline route, worker-pool route,
+    // inline route. The middle one parks the connection until its
+    // worker finishes; the third must not be answered early.
+    write!(
+        conn,
+        "GET /healthz HTTP/1.1\r\nHost: t\r\nContent-Length: 0\r\n\r\n\
+         POST /v1/estimate HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{estimate}\
+         GET /v1/cache/stats HTTP/1.1\r\nHost: t\r\nConnection: close\r\nContent-Length: 0\r\n\r\n",
+        estimate.len()
+    )
+    .expect("pipelined write");
+
+    let mut reader = BufReader::new(conn);
+    let (status, body, _) = read_response(&mut reader);
+    assert_eq!(status, 200);
+    assert_eq!(
+        Json::parse(&body).unwrap().get("status").unwrap().as_str(),
+        Some("ok"),
+        "first reply is the health check"
+    );
+    let (status, body, _) = read_response(&mut reader);
+    assert_eq!(status, 200);
+    assert!(
+        Json::parse(&body).unwrap().get("estimate").is_some(),
+        "second reply is the estimate"
+    );
+    let (status, body, connection) = read_response(&mut reader);
+    assert_eq!(status, 200);
+    assert!(
+        Json::parse(&body).unwrap().get("entries").is_some(),
+        "third reply is the cache stats"
+    );
+    assert_eq!(connection, "close");
+    let mut rest = Vec::new();
+    reader.read_to_end(&mut rest).expect("drain");
+    assert!(rest.is_empty());
+    handle.shutdown();
+}
+
+#[test]
+fn bearer_token_guards_v1_routes_but_not_probes() {
+    let cfg = ServeConfig {
+        token: Some("s3cret".into()),
+        ..test_config()
+    };
+    let handle = serve(cfg).unwrap();
+
+    // Probe and scrape endpoints stay open.
+    let (status, _) = request(handle.addr, "GET", "/healthz", "");
+    assert_eq!(status, 200);
+    let (status, _) = request(handle.addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+
+    // /v1/* without (or with a wrong) token: the standard error
+    // envelope, and the connection survives to try again.
+    let mut conn = TcpStream::connect(handle.addr).expect("connect");
+    let authed = |conn: &mut TcpStream, auth: Option<&str>, close: bool| {
+        let connection = if close { "close" } else { "keep-alive" };
+        let auth_line = auth
+            .map(|a| format!("Authorization: {a}\r\n"))
+            .unwrap_or_default();
+        write!(
+            conn,
+            "GET /v1/cache/stats HTTP/1.1\r\nHost: t\r\nConnection: {connection}\r\n\
+             {auth_line}Content-Length: 0\r\n\r\n"
+        )
+        .expect("send");
+    };
+    authed(&mut conn, None, false);
+    let mut reader = BufReader::new(conn);
+    let (status, body, _) = read_response(&mut reader);
+    assert_eq!(status, 401);
+    let v = Json::parse(&body).unwrap();
+    assert_eq!(
+        v.get("error").unwrap().get("code").unwrap().as_str(),
+        Some("unauthorized")
+    );
+    assert!(v.get("api_version").is_some(), "errors keep the envelope");
+
+    authed(reader.get_mut(), Some("Bearer wrong"), false);
+    let (status, _, _) = read_response(&mut reader);
+    assert_eq!(status, 401, "a wrong token is rejected");
+
+    authed(reader.get_mut(), Some("bearer s3cret"), true);
+    let (status, body, _) = read_response(&mut reader);
+    assert_eq!(status, 200, "scheme is case-insensitive, token matches");
+    assert!(Json::parse(&body).unwrap().get("entries").is_some());
+
+    // POST routes are guarded too.
+    let estimate = r#"{"nodes":2,"input_bytes":268435456}"#;
+    let (status, _) = request(handle.addr, "POST", "/v1/estimate", estimate);
+    assert_eq!(status, 401, "worker-pool routes reject before dispatch");
+    handle.shutdown();
+}
+
+#[test]
+fn shutdown_is_prompt_with_an_idle_connection_open() {
+    let handle = serve(test_config()).unwrap();
+    // Park a kept-alive connection in the idle state.
+    let mut conn = TcpStream::connect(handle.addr).expect("connect");
+    send_request(&mut conn, "GET", "/healthz", "", false);
+    let mut reader = BufReader::new(conn);
+    let (status, _, connection) = read_response(&mut reader);
+    assert_eq!(status, 200);
+    assert_eq!(connection, "keep-alive");
+
+    let started = Instant::now();
+    handle.shutdown();
+    assert!(
+        started.elapsed() < Duration::from_secs(2),
+        "shutdown wakes the event loop instead of waiting out a poll"
+    );
+    // The parked connection was closed by teardown.
+    reader
+        .get_mut()
+        .set_read_timeout(Some(Duration::from_secs(2)))
+        .unwrap();
+    let mut rest = Vec::new();
+    reader.read_to_end(&mut rest).expect("read to EOF");
+    assert!(rest.is_empty(), "no stray bytes at teardown");
+}
+
+#[test]
+fn connection_state_metrics_are_exposed() {
+    let handle = serve(test_config()).unwrap();
+    // Generate a little traffic first so the histogram has samples.
+    let (status, _) = request(handle.addr, "GET", "/healthz", "");
+    assert_eq!(status, 200);
+
+    let (status, body) = request(handle.addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    assert!(
+        metric_value(&body, "mr2_serve_open_connections") >= 1.0,
+        "the scraping connection itself is visible"
+    );
+    // Every state series is pre-registered so scrapes always see the
+    // full family; the scraping connection is mid-request right now.
+    for state in [
+        "read_head",
+        "read_body",
+        "waiting",
+        "writing",
+        "streaming",
+        "idle",
+    ] {
+        assert!(
+            body.contains(&format!("mr2_serve_connection_states{{state=\"{state}\"}}")),
+            "missing state series {state}"
+        );
+    }
+    assert!(
+        metric_value(&body, "mr2_serve_connection_states{state=\"read_head\"}") >= 1.0,
+        "the scrape is counted in read_head while routing runs"
+    );
+    assert!(
+        body.contains("mr2_serve_connection_state_seconds"),
+        "state-duration histogram is exported"
+    );
+    handle.shutdown();
 }

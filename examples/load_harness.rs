@@ -1,0 +1,322 @@
+//! Load harness for `mr2-serve`: N concurrent keep-alive connections
+//! hammering `POST /v1/estimate` (cache-warmed, so the transport — not
+//! the solver — is what's measured), plus one streaming `/v1/scenario`
+//! sweep, reporting p50/p99 request latency, aggregate QPS, and the
+//! peak `mr2_serve_open_connections` gauge.
+//!
+//! The point of the numbers: connections must be ≫ server threads. A
+//! transport that spends one thread per connection serializes the
+//! run 256/4-wide and the tail latency shows it; the readiness-based
+//! event loop serves the same 256 sockets off four workers with a flat
+//! tail. CI runs this with committed floors (see the env knobs below)
+//! so the throughput claim stays a gated number, not prose.
+//!
+//! Environment knobs:
+//!
+//! | variable | default | meaning |
+//! |---|---|---|
+//! | `MR2_LOAD_CONNS` | 256 | concurrent keep-alive client connections |
+//! | `MR2_LOAD_REQS` | 20 | requests sent per connection |
+//! | `MR2_LOAD_THREADS` | 4 | server worker threads |
+//! | `MR2_LOAD_MIN_QPS` | — | fail below this aggregate QPS |
+//! | `MR2_LOAD_MAX_P99_MS` | — | fail above this p99 (milliseconds) |
+//! | `MR2_LOAD_MIN_CONNS` | — | fail if the peak open-connections gauge stays below |
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Barrier;
+use std::time::{Duration, Instant};
+
+use mr2_serve::{serve, ServeConfig};
+
+const ESTIMATE_BODY: &str = r#"{"nodes":4,"input_bytes":268435456,"n_jobs":2}"#;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn env_f64(name: &str) -> Option<f64> {
+    std::env::var(name).ok().and_then(|v| v.parse().ok())
+}
+
+/// Send one request on an open connection as a single write (one TCP
+/// segment: the harness measures the server, not client-side Nagle
+/// stalls from fragmented writes).
+fn send_request(conn: &mut TcpStream, method: &str, path: &str, body: &str) {
+    let request = format!(
+        "{method} {path} HTTP/1.1\r\nHost: load\r\nConnection: keep-alive\r\n\
+         Content-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    conn.write_all(request.as_bytes()).expect("send request");
+}
+
+/// Read one `Content-Length`-framed response; returns (status, body).
+fn read_response(reader: &mut BufReader<TcpStream>) -> (u16, String) {
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line).expect("status line");
+    let status: u16 = status_line
+        .strip_prefix("HTTP/1.1 ")
+        .and_then(|r| r.get(..3))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("malformed reply: {status_line:?}"));
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("header line");
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().expect("content length");
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).expect("body");
+    (status, String::from_utf8(body).expect("utf-8 body"))
+}
+
+/// One request over a fresh connection (scrapes and warm-up).
+fn one_shot(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut conn = TcpStream::connect(addr).expect("connect");
+    conn.set_nodelay(true).ok();
+    send_request(&mut conn, method, path, body);
+    let mut reader = BufReader::new(conn);
+    read_response(&mut reader)
+}
+
+/// Value of the first `/metrics` sample line starting with `series`.
+fn metric_value(metrics: &str, series: &str) -> f64 {
+    metrics
+        .lines()
+        .filter(|l| !l.starts_with('#'))
+        .find_map(|l| {
+            l.strip_prefix(series)
+                .and_then(|rest| rest.trim().parse::<f64>().ok())
+        })
+        .unwrap_or(0.0)
+}
+
+/// Run the streaming sweep: a 3-point simulator scenario with
+/// `"stream": true`, chunked NDJSON back. Returns
+/// `(first_line_ms, total_ms, lines)`, or `None` when the server
+/// answers non-200 (the pre-event-loop transport has no streaming).
+fn streaming_probe(addr: SocketAddr) -> Option<(f64, f64, usize)> {
+    let body = r#"{"name":"stream-probe","nodes":[2,3,4],"input_bytes":[268435456],
+        "stream":true,"backends":{"analytic":true,"simulator":2}}"#;
+    let mut conn = TcpStream::connect(addr).expect("connect");
+    conn.set_nodelay(true).ok();
+    let started = Instant::now();
+    send_request(&mut conn, "POST", "/v1/scenario", body);
+    let mut reader = BufReader::new(conn);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line).expect("status line");
+    if !status_line.starts_with("HTTP/1.1 200") {
+        return None;
+    }
+    let mut chunked = false;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("header line");
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if line.eq_ignore_ascii_case("transfer-encoding: chunked") {
+            chunked = true;
+        }
+    }
+    if !chunked {
+        return None;
+    }
+    // Decode chunked NDJSON: each complete line is one point (or the
+    // trailing summary).
+    let mut text = String::new();
+    let mut first_line_ms = None;
+    loop {
+        let mut size_line = String::new();
+        reader.read_line(&mut size_line).expect("chunk size");
+        let size = usize::from_str_radix(size_line.trim(), 16).expect("hex chunk size");
+        if size == 0 {
+            let mut crlf = String::new();
+            reader.read_line(&mut crlf).ok();
+            break;
+        }
+        let mut chunk = vec![0u8; size + 2]; // data + CRLF
+        reader.read_exact(&mut chunk).expect("chunk data");
+        chunk.truncate(size);
+        text.push_str(std::str::from_utf8(&chunk).expect("utf-8 chunk"));
+        if first_line_ms.is_none() && text.contains('\n') {
+            first_line_ms = Some(started.elapsed().as_secs_f64() * 1e3);
+        }
+    }
+    let total_ms = started.elapsed().as_secs_f64() * 1e3;
+    let lines = text.lines().filter(|l| !l.is_empty()).count();
+    Some((first_line_ms.unwrap_or(total_ms), total_ms, lines))
+}
+
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn main() {
+    let conns = env_usize("MR2_LOAD_CONNS", 256);
+    let reqs = env_usize("MR2_LOAD_REQS", 20);
+    let threads = env_usize("MR2_LOAD_THREADS", 4);
+
+    let handle = serve(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        threads,
+        access_log: false,
+        keep_alive_requests: reqs + 8,
+        keep_alive_idle: Duration::from_secs(30),
+        ..ServeConfig::default()
+    })
+    .expect("bind");
+    let addr = handle.addr;
+
+    // Warm the cache so the measured path is transport + cache hit +
+    // encode, not the first model solve.
+    let (status, body) = one_shot(addr, "POST", "/v1/estimate", ESTIMATE_BODY);
+    assert_eq!(status, 200, "warm-up failed: {body}");
+    assert!(body.contains("\"estimate\""), "warm-up reply shape: {body}");
+
+    println!(
+        "mr2-load: conns={conns} server_threads={threads} reqs_per_conn={reqs} total_reqs={}",
+        conns * reqs
+    );
+
+    // The load phase: every client thread connects and immediately
+    // drives its keep-alive connection closed-loop; a sampler thread
+    // scrapes the open-connections gauge while the run is hot.
+    let barrier = Barrier::new(conns + 1);
+    let failures = AtomicU64::new(0);
+    let peak_open = AtomicU64::new(0);
+    let sampling = AtomicBool::new(true);
+    let started = Instant::now();
+
+    let (latencies, wall_s) = std::thread::scope(|s| {
+        let mut clients = Vec::with_capacity(conns);
+        for _ in 0..conns {
+            clients.push(s.spawn(|| {
+                let mut lat = Vec::with_capacity(reqs);
+                // Connect *before* the barrier: all connections are
+                // simultaneously open when the first request is sent,
+                // so the gauge peak genuinely witnesses `conns`-way
+                // concurrency rather than a staggered ramp.
+                let conn = TcpStream::connect(addr).expect("connect");
+                conn.set_nodelay(true).ok();
+                let mut writer = conn.try_clone().expect("clone socket");
+                let mut reader = BufReader::new(conn);
+                barrier.wait();
+                for _ in 0..reqs {
+                    let t0 = Instant::now();
+                    send_request(&mut writer, "POST", "/v1/estimate", ESTIMATE_BODY);
+                    let (status, body) = read_response(&mut reader);
+                    lat.push(t0.elapsed().as_micros() as u64);
+                    if status != 200 || !body.contains("\"estimate\"") {
+                        failures.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                lat
+            }));
+        }
+        // Gauge sampler: the peak it sees is the concurrency evidence.
+        let sampler = s.spawn(|| {
+            while sampling.load(Ordering::Relaxed) {
+                let (status, metrics) = one_shot(addr, "GET", "/metrics", "");
+                if status == 200 {
+                    let open = metric_value(&metrics, "mr2_serve_open_connections") as u64;
+                    peak_open.fetch_max(open, Ordering::Relaxed);
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        });
+        barrier.wait();
+        let run_start = Instant::now();
+        let mut latencies: Vec<u64> = Vec::with_capacity(conns * reqs);
+        for c in clients {
+            latencies.extend(c.join().expect("client thread"));
+        }
+        let wall_s = run_start.elapsed().as_secs_f64();
+        sampling.store(false, Ordering::Relaxed);
+        sampler.join().expect("sampler thread");
+        (latencies, wall_s)
+    });
+
+    let total = latencies.len();
+    let mut sorted = latencies;
+    sorted.sort_unstable();
+    let p50 = percentile(&sorted, 0.50);
+    let p90 = percentile(&sorted, 0.90);
+    let p99 = percentile(&sorted, 0.99);
+    let max = sorted.last().copied().unwrap_or(0);
+    let qps = total as f64 / wall_s;
+    let failed = failures.load(Ordering::Relaxed);
+
+    println!(
+        "mr2-load: peak_open_connections={}",
+        peak_open.load(Ordering::Relaxed)
+    );
+    println!("mr2-load: p50_us={p50} p90_us={p90} p99_us={p99} max_us={max}");
+    println!(
+        "mr2-load: qps={qps:.1} wall_ms={:.1} failed={failed}",
+        wall_s * 1e3
+    );
+
+    // The streaming probe: chunked NDJSON, first point line before the
+    // sweep completes.
+    match streaming_probe(addr) {
+        Some((first_ms, total_ms, lines)) => println!(
+            "mr2-load: streaming first_line_ms={first_ms:.1} total_ms={total_ms:.1} lines={lines}"
+        ),
+        None => println!("mr2-load: streaming unsupported by this server"),
+    }
+
+    let _ = started; // run bookkeeping (kept for symmetry with wall_s)
+    handle.shutdown();
+
+    // Committed floors (CI sets these; local runs report only).
+    let mut failed_gates = Vec::new();
+    if failed > 0 {
+        failed_gates.push(format!("{failed} requests failed"));
+    }
+    if let Some(min_qps) = env_f64("MR2_LOAD_MIN_QPS") {
+        if qps < min_qps {
+            failed_gates.push(format!("qps {qps:.1} below floor {min_qps}"));
+        }
+    }
+    if let Some(max_p99_ms) = env_f64("MR2_LOAD_MAX_P99_MS") {
+        let p99_ms = p99 as f64 / 1e3;
+        if p99_ms > max_p99_ms {
+            failed_gates.push(format!("p99 {p99_ms:.1}ms above ceiling {max_p99_ms}ms"));
+        }
+    }
+    if let Some(min_conns) = env_f64("MR2_LOAD_MIN_CONNS") {
+        if (peak_open.load(Ordering::Relaxed) as f64) < min_conns {
+            failed_gates.push(format!(
+                "peak open connections {} below floor {min_conns}",
+                peak_open.load(Ordering::Relaxed)
+            ));
+        }
+    }
+    if failed_gates.is_empty() {
+        println!("mr2-load: OK");
+    } else {
+        for g in &failed_gates {
+            println!("mr2-load: FAIL {g}");
+        }
+        std::process::exit(1);
+    }
+}
