@@ -116,7 +116,13 @@ pub fn cached_solve(input: &ModelInput) -> SolveResult {
         return hit.clone();
     }
     memo_misses().inc();
-    let result = solve(input);
+    // Only misses get a span: hits are a hash lookup and would bury
+    // the profile in no-op frames, while each miss is a full MVA
+    // endpoint solve worth attributing under model.eval.
+    let result = {
+        let _solve = mr2_obs::span("model.endpoint_solve");
+        solve(input)
+    };
     let mut m = memo().lock().unwrap();
     if !m.map.contains_key(&key) {
         if m.map.len() >= CAPACITY {

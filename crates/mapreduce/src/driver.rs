@@ -725,6 +725,23 @@ mod tests {
     }
 
     #[test]
+    fn one_byte_tail_split_terminates() {
+        // 256 MB + 1 byte: two full splits plus a degenerate 1-byte third
+        // split. The 1-byte read used to strand a sub-ulp residual on the
+        // disk fair-share late in the run, freezing the event calendar at
+        // one timestamp (seeds 0 and 1 hung; seed 2 happened to pass).
+        for seed in 0..3 {
+            let mut sim = ClusterSim::new(SimConfig {
+                seed,
+                ..SimConfig::default()
+            });
+            sim.add_job(wordcount(256 * MB + 1, 2), 0.0);
+            let results = sim.run();
+            assert!(results[0].response_time() > 0.0, "seed {seed}");
+        }
+    }
+
+    #[test]
     fn map_only_job_completes() {
         let mut sim = ClusterSim::new(quiet_cfg(2));
         let mut spec = grep(256 * MB);

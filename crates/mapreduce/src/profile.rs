@@ -184,6 +184,10 @@ pub fn measure_workload(
     let mut all = Vec::new();
     let mut calendar = Calendar::for_config(cfg, n_jobs);
     for rep in 0..reps {
+        // One span per repetition: a rep is a full cluster simulation,
+        // so the span makes rep count and per-rep cost visible in
+        // traces and the profiler without measurable overhead.
+        let _rep = mr2_obs::span("sim.rep");
         let mut c = cfg.clone();
         c.seed = cfg.seed + rep as u64;
         let mut sim = ClusterSim::with_calendar(c, calendar);
@@ -312,6 +316,7 @@ pub fn eval_mix(
     // runs keeps the event sequence bit-identical to fresh calendars.
     let mut calendar = Calendar::for_config(cfg, total);
     for rep in 0..reps {
+        let _rep = mr2_obs::span("sim.rep");
         let mut c = cfg.clone();
         c.seed = cfg.seed + rep as u64;
         let mut sim = ClusterSim::with_calendar(c, calendar);

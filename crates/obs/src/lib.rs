@@ -39,23 +39,43 @@
 //! ## Traces
 //!
 //! A trace is a thread-local request context: [`begin_trace`] installs
-//! it, every *top-level* [`span`] that closes on that thread while it
-//! is active appends one `(name, start, duration)` entry, and
-//! [`end_trace`] returns the ordered breakdown. Nested spans (depth
-//! ≥ 1) still record into their histograms but stay out of the trace,
-//! so a trace's spans are sequential and their durations can never sum
-//! past the request's wall time. Worker threads spawned during a
+//! it, every [`span`] that closes on that thread while it is active
+//! appends one `(id, parent, name, start, duration)` entry — the ids
+//! come from a per-thread span stack, so the entries form a real tree —
+//! and [`end_trace`] returns it. Root spans are sequential, so their
+//! durations can never sum past the request's wall time — the
+//! invariant a `"debug"` reply's breakdown relies on.
+//! [`finish_trace`] additionally hands the trace to the retention
+//! layer: a bounded lock-free ring with 1-in-N head sampling plus
+//! tail-keep for traces over a slow threshold ([`configure_tracing`]),
+//! and an all-time slowest list. Worker threads spawned during a
 //! request do not inherit the context — a trace reports what *this*
-//! thread did, which is exactly the sequential breakdown a `"debug"`
-//! reply needs.
+//! thread did.
+//!
+//! ## Profile
+//!
+//! Independently of traces, every closed span folds its self time into
+//! an always-on call-tree profiler keyed by span path; see
+//! [`profile`], [`profile::render_collapsed`] for flamegraph-ready
+//! collapsed stacks, and `GET /debug/profile` in `mr2-serve`.
 
 mod metrics;
 mod registry;
 mod span;
 
+pub mod lint;
+pub mod profile;
+pub mod trace;
+
+pub use lint::lint_exposition;
 pub use metrics::{Buckets, Counter, Gauge, Histogram, HistogramSnapshot};
 pub use registry::{MetricKind, Registry};
-pub use span::{begin_trace, end_trace, observe_span, trace_active, Span, Trace, TraceSpan};
+pub use span::{
+    begin_trace, end_trace, finish_trace, observe_span, trace_active, Span, Trace, TraceSpan,
+};
+pub use trace::{
+    configure_tracing, find_trace, recent_traces, slowest_traces, tracing_config, TraceRing,
+};
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::OnceLock;
@@ -118,9 +138,10 @@ pub fn histogram_with(
 }
 
 /// Start an RAII span timer named `name`. On drop it records its
-/// elapsed seconds into `mr2_span_seconds{span=name}` and, when a
-/// trace is active on this thread and the span is top-level, appends
-/// itself to the trace breakdown.
+/// elapsed seconds into `mr2_span_seconds{span=name}`, folds its self
+/// time into the call-tree profiler, and, when a trace is active on
+/// this thread, appends itself (with span and parent ids from the
+/// per-thread stack) to the trace's span tree.
 pub fn span(name: &'static str) -> Span {
     Span::start(name)
 }
@@ -161,6 +182,47 @@ mod tests {
         let a = next_request_id();
         let b = next_request_id();
         assert!(b > a);
+    }
+
+    /// N writer threads hammer counters and histograms while M reader
+    /// threads render the exposition: every render must be a
+    /// well-formed snapshot (no torn families — verified by the
+    /// exposition linter), and the final counts must be exact.
+    #[test]
+    fn concurrent_scrape_and_record_stay_consistent() {
+        let _guard = tests_support::flag_lock();
+        const WRITERS: usize = 4;
+        const READERS: usize = 2;
+        const OPS: u64 = 5_000;
+        let c = counter("lib_test_concurrent_total", "doc");
+        let h = histogram("lib_test_concurrent_hist", "doc", Buckets::TIME);
+        let (c0, h0) = (c.value(), h.count());
+        std::thread::scope(|scope| {
+            for w in 0..WRITERS {
+                let (c, h) = (c.clone(), h.clone());
+                scope.spawn(move || {
+                    for i in 0..OPS {
+                        c.inc();
+                        h.observe((w as f64 + 1.0) * 1e-6 * (i % 7 + 1) as f64);
+                    }
+                });
+            }
+            for _ in 0..READERS {
+                scope.spawn(|| {
+                    for _ in 0..50 {
+                        let text = render();
+                        let errors = lint_exposition(&text);
+                        assert!(
+                            errors.is_empty(),
+                            "mid-write render must lint clean: {errors:?}"
+                        );
+                        assert!(text.contains("lib_test_concurrent_total"));
+                    }
+                });
+            }
+        });
+        assert_eq!(c.value(), c0 + WRITERS as u64 * OPS, "no lost increments");
+        assert_eq!(h.count(), h0 + WRITERS as u64 * OPS, "no lost observations");
     }
 
     #[test]

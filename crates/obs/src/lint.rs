@@ -1,0 +1,483 @@
+//! A promtool-style linter for the Prometheus text exposition format
+//! (version 0.0.4), used by CI against a live `/metrics` scrape and by
+//! the registry's own tests.
+//!
+//! Checks, per family: `# HELP` at most once and before `# TYPE`,
+//! `# TYPE` at most once and before any sample, a known metric kind,
+//! and contiguity (once another family's samples start, the name may
+//! not reappear). Per sample: valid metric and label names, properly
+//! escaped label values (`\\`, `\"`, `\n` only), a parseable value,
+//! no duplicate series, non-negative counters. Per histogram: an
+//! `+Inf` bucket whose value equals `_count`, and cumulative bucket
+//! counts that never decrease as `le` increases.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+#[derive(Default)]
+struct Family {
+    kind: Option<String>,
+    help_seen: bool,
+    samples_seen: bool,
+    closed: bool,
+}
+
+struct HistogramSeries {
+    /// `(le, cumulative count)` in exposition order.
+    buckets: Vec<(f64, f64)>,
+    count: Option<f64>,
+}
+
+/// Lint `text` as Prometheus exposition; returns one message per
+/// problem (empty = clean).
+pub fn lint_exposition(text: &str) -> Vec<String> {
+    let mut errors = Vec::new();
+    let mut families: HashMap<String, Family> = HashMap::new();
+    let mut current_family: Option<String> = None;
+    let mut seen_series: HashSet<String> = HashSet::new();
+    // (family, labels-without-le) → bucket/count bookkeeping.
+    let mut histograms: BTreeMap<(String, String), HistogramSeries> = BTreeMap::new();
+
+    if !text.is_empty() && !text.ends_with('\n') {
+        errors.push("exposition must end with a newline".to_string());
+    }
+
+    for (idx, line) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let mut err = |msg: String| errors.push(format!("line {lineno}: {msg}"));
+        if line.trim().is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let comment = comment.trim_start();
+            let (keyword, rest) = match comment.split_once(' ') {
+                Some((k, r)) if k == "HELP" || k == "TYPE" => (k, r),
+                // Arbitrary comments are legal.
+                _ => continue,
+            };
+            let (name, payload) = match rest.split_once(' ') {
+                Some((n, p)) => (n, p),
+                None => (rest, ""),
+            };
+            if !valid_metric_name(name) {
+                err(format!("invalid metric name `{name}` in # {keyword}"));
+                continue;
+            }
+            let fam = families.entry(name.to_string()).or_default();
+            match keyword {
+                "HELP" => {
+                    if fam.help_seen {
+                        err(format!("duplicate # HELP for `{name}`"));
+                    }
+                    if fam.kind.is_some() {
+                        err(format!("# HELP for `{name}` must precede its # TYPE"));
+                    }
+                    if fam.samples_seen {
+                        err(format!("# HELP for `{name}` after its samples"));
+                    }
+                    fam.help_seen = true;
+                }
+                "TYPE" => {
+                    if fam.kind.is_some() {
+                        err(format!("duplicate # TYPE for `{name}`"));
+                    }
+                    if fam.samples_seen {
+                        err(format!("# TYPE for `{name}` after its samples"));
+                    }
+                    let kind = payload.trim();
+                    match kind {
+                        "counter" | "gauge" | "histogram" | "summary" | "untyped" => {
+                            fam.kind = Some(kind.to_string());
+                        }
+                        _ => err(format!("unknown metric type `{kind}` for `{name}`")),
+                    }
+                }
+                _ => unreachable!(),
+            }
+            continue;
+        }
+
+        // Sample line: name[{labels}] value [timestamp]
+        let sample = match parse_sample(line) {
+            Ok(s) => s,
+            Err(msg) => {
+                err(msg);
+                continue;
+            }
+        };
+        let family_name = family_of(&sample.name, &families);
+        let fam = families.entry(family_name.clone()).or_default();
+        if fam.kind.is_none() {
+            err(format!(
+                "sample `{}` before any # TYPE for `{family_name}`",
+                sample.name
+            ));
+            fam.kind = Some("untyped".to_string());
+        }
+        if fam.closed {
+            err(format!(
+                "family `{family_name}` is interleaved: its samples resumed after another family's"
+            ));
+        }
+        fam.samples_seen = true;
+        if current_family.as_deref() != Some(family_name.as_str()) {
+            if let Some(prev) = current_family.take() {
+                if let Some(prev_fam) = families.get_mut(&prev) {
+                    prev_fam.closed = true;
+                }
+            }
+            current_family = Some(family_name.clone());
+        }
+        let series_key = format!("{}{{{}}}", sample.name, sample.sorted_labels());
+        if !seen_series.insert(series_key.clone()) {
+            err(format!("duplicate series `{series_key}`"));
+        }
+        let kind = families
+            .get(&family_name)
+            .and_then(|f| f.kind.clone())
+            .unwrap_or_default();
+        if kind == "counter" && sample.value < 0.0 {
+            err(format!("counter `{}` has negative value", sample.name));
+        }
+        if kind == "histogram" {
+            let labels_no_le = sample.labels_without("le");
+            let series = histograms
+                .entry((family_name.clone(), labels_no_le))
+                .or_insert(HistogramSeries {
+                    buckets: Vec::new(),
+                    count: None,
+                });
+            if sample.name.ends_with("_bucket") {
+                match sample.label("le") {
+                    Some(le_text) => match parse_value(le_text) {
+                        Ok(le) => series.buckets.push((le, sample.value)),
+                        Err(_) => err(format!("unparseable le=\"{le_text}\"")),
+                    },
+                    None => err(format!("`{}` sample without an le label", sample.name)),
+                }
+            } else if sample.name.ends_with("_count") {
+                series.count = Some(sample.value);
+            }
+        }
+    }
+
+    for ((family, labels), series) in &histograms {
+        let at = if labels.is_empty() {
+            family.clone()
+        } else {
+            format!("{family}{{{labels}}}")
+        };
+        let mut prev: Option<(f64, f64)> = None;
+        for &(le, count) in &series.buckets {
+            if let Some((prev_le, prev_count)) = prev {
+                if le <= prev_le {
+                    errors.push(format!("histogram `{at}`: le values not increasing"));
+                }
+                if count < prev_count {
+                    errors.push(format!(
+                        "histogram `{at}`: cumulative bucket counts decrease at le={le}"
+                    ));
+                }
+            }
+            prev = Some((le, count));
+        }
+        match series.buckets.last() {
+            Some(&(le, top)) if le.is_infinite() && le > 0.0 => {
+                if let Some(count) = series.count {
+                    if (count - top).abs() > f64::EPSILON * count.abs().max(1.0) {
+                        errors.push(format!(
+                            "histogram `{at}`: +Inf bucket ({top}) disagrees with _count ({count})"
+                        ));
+                    }
+                }
+            }
+            Some(_) => errors.push(format!("histogram `{at}`: missing +Inf bucket")),
+            None => {
+                if series.count.is_some() {
+                    errors.push(format!("histogram `{at}`: has _count but no buckets"));
+                }
+            }
+        }
+    }
+
+    errors
+}
+
+struct Sample {
+    name: String,
+    /// `(name, unescaped value)` in exposition order.
+    labels: Vec<(String, String)>,
+    value: f64,
+}
+
+impl Sample {
+    fn label(&self, name: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn sorted_labels(&self) -> String {
+        let mut pairs: Vec<String> = self
+            .labels
+            .iter()
+            .map(|(n, v)| format!("{n}={v:?}"))
+            .collect();
+        pairs.sort();
+        pairs.join(",")
+    }
+
+    fn labels_without(&self, skip: &str) -> String {
+        let mut pairs: Vec<String> = self
+            .labels
+            .iter()
+            .filter(|(n, _)| n != skip)
+            .map(|(n, v)| format!("{n}={v:?}"))
+            .collect();
+        pairs.sort();
+        pairs.join(",")
+    }
+}
+
+/// The family a sample belongs to: histogram component suffixes map
+/// back to the base name when the base is a registered histogram.
+fn family_of(sample_name: &str, families: &HashMap<String, Family>) -> String {
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(base) = sample_name.strip_suffix(suffix) {
+            let is_histo = families
+                .get(base)
+                .and_then(|f| f.kind.as_deref())
+                .map(|k| k == "histogram" || k == "summary")
+                .unwrap_or(false);
+            if is_histo {
+                return base.to_string();
+            }
+        }
+    }
+    sample_name.to_string()
+}
+
+fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn valid_label_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+fn parse_value(text: &str) -> Result<f64, String> {
+    match text {
+        "+Inf" => Ok(f64::INFINITY),
+        "-Inf" => Ok(f64::NEG_INFINITY),
+        "NaN" => Ok(f64::NAN),
+        other => other
+            .parse::<f64>()
+            .map_err(|_| format!("unparseable value `{other}`")),
+    }
+}
+
+fn parse_sample(line: &str) -> Result<Sample, String> {
+    let (name_part, rest) = match line.find(['{', ' ']) {
+        Some(pos) => (&line[..pos], &line[pos..]),
+        None => return Err(format!("sample `{line}` has no value")),
+    };
+    if !valid_metric_name(name_part) {
+        return Err(format!("invalid metric name `{name_part}`"));
+    }
+    let mut labels = Vec::new();
+    let rest = if let Some(label_text) = rest.strip_prefix('{') {
+        // `}` needs no escape inside quoted values, so locate the
+        // closing brace quote-aware rather than with a naive find.
+        let (body, after) = split_label_body(label_text)?;
+        parse_labels(body, &mut labels)?;
+        after
+            .strip_prefix(' ')
+            .ok_or_else(|| format!("missing space after labels in `{line}`"))?
+    } else {
+        rest.strip_prefix(' ')
+            .ok_or_else(|| format!("missing space before value in `{line}`"))?
+    };
+    let mut fields = rest.split_whitespace();
+    let value_text = fields
+        .next()
+        .ok_or_else(|| format!("sample `{name_part}` has no value"))?;
+    let value = parse_value(value_text)?;
+    if let Some(ts) = fields.next() {
+        ts.parse::<i64>()
+            .map_err(|_| format!("unparseable timestamp `{ts}`"))?;
+    }
+    if fields.next().is_some() {
+        return Err(format!("trailing garbage after sample `{name_part}`"));
+    }
+    Ok(Sample {
+        name: name_part.to_string(),
+        labels,
+        value,
+    })
+}
+
+/// Split `k="v",…}` at the quote-aware closing brace; returns
+/// `(label body, text after the brace)`.
+fn split_label_body(text: &str) -> Result<(&str, &str), String> {
+    let mut in_quotes = false;
+    let mut escaped = false;
+    for (i, c) in text.char_indices() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' if in_quotes => escaped = true,
+            '"' => in_quotes = !in_quotes,
+            '}' if !in_quotes => return Ok((&text[..i], &text[i + 1..])),
+            _ => {}
+        }
+    }
+    Err("unclosed label braces".to_string())
+}
+
+fn parse_labels(body: &str, out: &mut Vec<(String, String)>) -> Result<(), String> {
+    let mut rest = body;
+    while !rest.is_empty() {
+        let eq = rest
+            .find('=')
+            .ok_or_else(|| format!("label without `=` in `{body}`"))?;
+        let name = &rest[..eq];
+        if !valid_label_name(name) {
+            return Err(format!("invalid label name `{name}`"));
+        }
+        let after_eq = &rest[eq + 1..];
+        let quoted = after_eq
+            .strip_prefix('"')
+            .ok_or_else(|| format!("label `{name}` value not quoted"))?;
+        let (value, after) = take_quoted(quoted, name)?;
+        out.push((name.to_string(), value));
+        rest = match after.strip_prefix(',') {
+            Some(r) => r,
+            None if after.is_empty() => break,
+            None => return Err(format!("expected `,` between labels in `{body}`")),
+        };
+    }
+    Ok(())
+}
+
+/// Consume an escaped label value up to its closing quote; validates
+/// that only `\\`, `\"`, and `\n` escapes appear.
+fn take_quoted<'a>(text: &'a str, label: &str) -> Result<(String, &'a str), String> {
+    let mut value = String::new();
+    let mut chars = text.char_indices();
+    while let Some((i, c)) = chars.next() {
+        match c {
+            '"' => return Ok((value, &text[i + 1..])),
+            '\\' => match chars.next() {
+                Some((_, '\\')) => value.push('\\'),
+                Some((_, '"')) => value.push('"'),
+                Some((_, 'n')) => value.push('\n'),
+                Some((_, other)) => {
+                    return Err(format!("invalid escape `\\{other}` in label `{label}`"))
+                }
+                None => return Err(format!("dangling escape in label `{label}`")),
+            },
+            _ => value.push(c),
+        }
+    }
+    Err(format!("unterminated value for label `{label}`"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint(text: &str) -> Vec<String> {
+        lint_exposition(text)
+    }
+
+    #[test]
+    fn the_registrys_own_exposition_is_clean() {
+        let _guard = crate::tests_support::flag_lock();
+        crate::counter("lint_test_total", "doc").inc();
+        crate::gauge("lint_test_gauge", "doc").set(1.5);
+        crate::histogram("lint_test_hist", "doc", crate::Buckets::TIME).observe(0.004);
+        crate::counter_with("lint_test_labeled_total", "doc", &[("path", "a\\b\"c\nd")]).inc();
+        let text = crate::render();
+        let errors = lint(&text);
+        assert!(
+            errors.is_empty(),
+            "live exposition should lint clean: {errors:?}"
+        );
+    }
+
+    #[test]
+    fn orderings_are_enforced() {
+        let errs = lint("a_total 1\n# TYPE a_total counter\n");
+        assert!(errs.iter().any(|e| e.contains("before any # TYPE")));
+        assert!(errs.iter().any(|e| e.contains("after its samples")));
+        let errs = lint("# TYPE b_total counter\n# HELP b_total doc\nb_total 1\n");
+        assert!(errs.iter().any(|e| e.contains("must precede its # TYPE")));
+        let errs = lint(
+            "# TYPE c_total counter\nc_total 1\n# TYPE d_total counter\nd_total 1\nc_total{x=\"y\"} 2\n",
+        );
+        assert!(errs.iter().any(|e| e.contains("interleaved")));
+    }
+
+    #[test]
+    fn duplicate_series_and_bad_values_are_caught() {
+        let errs = lint(
+            "# TYPE e_total counter\ne_total{a=\"1\",b=\"2\"} 1\ne_total{b=\"2\",a=\"1\"} 2\n",
+        );
+        assert!(errs.iter().any(|e| e.contains("duplicate series")));
+        let errs = lint("# TYPE f_total counter\nf_total nope\n");
+        assert!(errs.iter().any(|e| e.contains("unparseable value")));
+        let errs = lint("# TYPE g_total counter\ng_total -3\n");
+        assert!(errs.iter().any(|e| e.contains("negative")));
+        let errs = lint("# TYPE h_total counter\nh_total{bad-name=\"x\"} 1\n");
+        assert!(errs.iter().any(|e| e.contains("invalid label name")));
+        let errs = lint("# TYPE i_total counter\ni_total{a=\"x\\q\"} 1\n");
+        assert!(errs.iter().any(|e| e.contains("invalid escape")));
+    }
+
+    #[test]
+    fn histogram_invariants_are_checked() {
+        let good = "# TYPE h histogram\n\
+                    h_bucket{le=\"0.1\"} 1\n\
+                    h_bucket{le=\"1\"} 3\n\
+                    h_bucket{le=\"+Inf\"} 4\n\
+                    h_sum 2.5\n\
+                    h_count 4\n";
+        assert!(lint(good).is_empty(), "{:?}", lint(good));
+        let non_cumulative = "# TYPE h histogram\n\
+                              h_bucket{le=\"0.1\"} 5\n\
+                              h_bucket{le=\"1\"} 3\n\
+                              h_bucket{le=\"+Inf\"} 5\n\
+                              h_count 5\n";
+        assert!(lint(non_cumulative)
+            .iter()
+            .any(|e| e.contains("counts decrease")));
+        let no_inf = "# TYPE h histogram\n\
+                      h_bucket{le=\"0.1\"} 1\n\
+                      h_count 1\n";
+        assert!(lint(no_inf).iter().any(|e| e.contains("missing +Inf")));
+        let mismatched = "# TYPE h histogram\n\
+                          h_bucket{le=\"+Inf\"} 4\n\
+                          h_count 9\n";
+        assert!(lint(mismatched)
+            .iter()
+            .any(|e| e.contains("disagrees with _count")));
+    }
+
+    #[test]
+    fn missing_trailing_newline_is_flagged() {
+        let errs = lint("# TYPE j_total counter\nj_total 1");
+        assert!(errs.iter().any(|e| e.contains("end with a newline")));
+    }
+}

@@ -1,0 +1,286 @@
+//! Span-based continuous profiler.
+//!
+//! Every [`Span`](crate::span) that closes folds its **self time**
+//! (elapsed minus time spent in child spans) into a process-wide call
+//! tree keyed by *span path* — the chain of open span names on the
+//! thread, e.g. `serve.request → point.model → model.solve`. Because
+//! the spans are already there for metrics and traces, this is an
+//! always-on profiler with no sampling thread and no signal handlers:
+//! attribution is exact for instrumented code, and un-instrumented
+//! time shows up as the parent's self time.
+//!
+//! Hot-path cost is one chained FNV hash at span start and, at span
+//! close, a thread-local `HashMap` probe plus three relaxed
+//! `fetch_add`s. The global registry's `RwLock` is touched only the
+//! first time a thread sees a path (or after [`reset`]).
+//!
+//! Readers get either a sorted flat snapshot ([`entries`]), a merged
+//! tree ([`tree`]), or collapsed-stack flamegraph lines
+//! ([`render_collapsed`]) in the `a;b;c <self_microseconds>` format
+//! that `flamegraph.pl` and speedscope consume directly.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+use std::time::Duration;
+
+/// FNV-1a offset basis — the path hash of the empty stack.
+pub(crate) const ROOT_HASH: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Extend a path hash with one more span name: FNV-1a over the name's
+/// bytes plus a separator, seeded with the parent's hash.
+pub(crate) fn chain(parent: u64, name: &str) -> u64 {
+    let mut h = parent;
+    for &b in name.as_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h ^= 0xff;
+    h.wrapping_mul(FNV_PRIME)
+}
+
+struct Node {
+    path: Vec<&'static str>,
+    self_ns: AtomicU64,
+    total_ns: AtomicU64,
+    count: AtomicU64,
+}
+
+fn nodes() -> &'static RwLock<HashMap<u64, Arc<Node>>> {
+    static NODES: OnceLock<RwLock<HashMap<u64, Arc<Node>>>> = OnceLock::new();
+    NODES.get_or_init(|| RwLock::new(HashMap::new()))
+}
+
+/// Bumped by [`reset`]; per-thread caches flush when stale.
+static EPOCH: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static CACHE: RefCell<(u64, HashMap<u64, Arc<Node>>)> =
+        RefCell::new((0, HashMap::new()));
+}
+
+/// Fold one closed span into the call tree. `path` is only invoked on
+/// the first sighting of `path_hash` (per process, or per thread after
+/// a reset), to name the node.
+pub(crate) fn record(
+    path_hash: u64,
+    self_ns: u64,
+    total_ns: u64,
+    path: impl FnOnce() -> Vec<&'static str>,
+) {
+    let epoch = EPOCH.load(Ordering::Relaxed);
+    CACHE.with(|cache| {
+        let mut cache = cache.borrow_mut();
+        if cache.0 != epoch {
+            cache.1.clear();
+            cache.0 = epoch;
+        }
+        let node = cache.1.entry(path_hash).or_insert_with(|| {
+            if let Some(n) = nodes().read().unwrap().get(&path_hash) {
+                return n.clone();
+            }
+            nodes()
+                .write()
+                .unwrap()
+                .entry(path_hash)
+                .or_insert_with(|| {
+                    Arc::new(Node {
+                        path: path(),
+                        self_ns: AtomicU64::new(0),
+                        total_ns: AtomicU64::new(0),
+                        count: AtomicU64::new(0),
+                    })
+                })
+                .clone()
+        });
+        node.self_ns.fetch_add(self_ns, Ordering::Relaxed);
+        node.total_ns.fetch_add(total_ns, Ordering::Relaxed);
+        node.count.fetch_add(1, Ordering::Relaxed);
+    });
+}
+
+/// Clear the call tree and invalidate every thread's cached handles.
+/// Spans racing the reset may land a final sample on an orphaned node;
+/// a profiler tolerates losing a sample at the reset boundary.
+pub fn reset() {
+    nodes().write().unwrap().clear();
+    EPOCH.fetch_add(1, Ordering::Relaxed);
+}
+
+/// One call-tree node in a flat snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileEntry {
+    /// Span names from root to leaf.
+    pub path: Vec<&'static str>,
+    /// Time attributed to this node itself (children excluded).
+    pub self_time: Duration,
+    /// Total elapsed time of spans closing at this path.
+    pub total_time: Duration,
+    /// Number of spans that closed at this path.
+    pub count: u64,
+}
+
+/// Snapshot the call tree as a flat list, sorted by path.
+pub fn entries() -> Vec<ProfileEntry> {
+    let mut out: Vec<ProfileEntry> = nodes()
+        .read()
+        .unwrap()
+        .values()
+        .map(|n| ProfileEntry {
+            path: n.path.clone(),
+            self_time: Duration::from_nanos(n.self_ns.load(Ordering::Relaxed)),
+            total_time: Duration::from_nanos(n.total_ns.load(Ordering::Relaxed)),
+            count: n.count.load(Ordering::Relaxed),
+        })
+        .collect();
+    out.sort_by(|a, b| a.path.cmp(&b.path));
+    out
+}
+
+/// Collapsed-stack flamegraph lines: one `a;b;c <self_microseconds>`
+/// line per call-tree node, sorted by path. Pipe to `flamegraph.pl`.
+pub fn render_collapsed() -> String {
+    let mut out = String::new();
+    for e in entries() {
+        out.push_str(&e.path.join(";"));
+        out.push(' ');
+        out.push_str(&e.self_time.as_micros().to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// A merged call-tree node; see [`tree`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileNode {
+    pub name: String,
+    pub self_time: Duration,
+    pub total_time: Duration,
+    pub count: u64,
+    pub children: Vec<ProfileNode>,
+}
+
+/// Snapshot the call tree as a forest of merged nodes (children sorted
+/// by name). An interior node a thread entered via different parents
+/// appears once under each parent, exactly as recorded.
+pub fn tree() -> Vec<ProfileNode> {
+    fn insert(forest: &mut Vec<ProfileNode>, e: &ProfileEntry, depth: usize) {
+        let name = e.path[depth];
+        let pos = match forest.iter().position(|n| n.name == name) {
+            Some(p) => p,
+            None => {
+                forest.push(ProfileNode {
+                    name: name.to_string(),
+                    self_time: Duration::ZERO,
+                    total_time: Duration::ZERO,
+                    count: 0,
+                    children: Vec::new(),
+                });
+                forest.len() - 1
+            }
+        };
+        let node = &mut forest[pos];
+        if depth + 1 == e.path.len() {
+            node.self_time += e.self_time;
+            node.total_time += e.total_time;
+            node.count += e.count;
+        } else {
+            insert(&mut node.children, e, depth + 1);
+        }
+    }
+    let mut forest = Vec::new();
+    for e in entries() {
+        if !e.path.is_empty() {
+            insert(&mut forest, &e, 0);
+        }
+    }
+    forest
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spin(us: u64) {
+        let until = std::time::Instant::now() + Duration::from_micros(us);
+        while std::time::Instant::now() < until {
+            std::hint::spin_loop();
+        }
+    }
+
+    fn entry(path: &[&str]) -> Option<ProfileEntry> {
+        entries().into_iter().find(|e| e.path == path)
+    }
+
+    #[test]
+    fn chained_hashes_distinguish_paths() {
+        let a = chain(ROOT_HASH, "a");
+        let b = chain(ROOT_HASH, "b");
+        assert_ne!(a, b);
+        assert_ne!(chain(a, "x"), chain(b, "x"), "same leaf, different parent");
+        assert_ne!(chain(a, "bc"), chain(chain(a, "b"), "c"), "no gluing");
+    }
+
+    #[test]
+    fn self_time_excludes_children_and_paths_nest() {
+        let _guard = crate::tests_support::flag_lock();
+        {
+            let _outer = crate::span("profile_test.outer");
+            spin(100);
+            {
+                let _inner = crate::span("profile_test.inner");
+                spin(400);
+            }
+        }
+        let outer = entry(&["profile_test.outer"]).expect("outer path recorded");
+        let inner =
+            entry(&["profile_test.outer", "profile_test.inner"]).expect("nested path recorded");
+        assert!(outer.count >= 1);
+        assert!(inner.count >= 1);
+        assert!(
+            outer.total_time >= outer.self_time + inner.total_time,
+            "outer total covers its self time plus the child ({:?} vs {:?} + {:?})",
+            outer.total_time,
+            outer.self_time,
+            inner.total_time
+        );
+        assert!(
+            inner.total_time >= Duration::from_micros(300),
+            "inner accumulated its spin"
+        );
+        let collapsed = render_collapsed();
+        assert!(collapsed.contains("profile_test.outer;profile_test.inner "));
+        let forest = tree();
+        let outer_node = forest
+            .iter()
+            .find(|n| n.name == "profile_test.outer")
+            .expect("outer in tree");
+        assert!(outer_node
+            .children
+            .iter()
+            .any(|c| c.name == "profile_test.inner"));
+    }
+
+    #[test]
+    fn reset_clears_and_recording_resumes() {
+        let _guard = crate::tests_support::flag_lock();
+        {
+            let _s = crate::span("profile_test.reset_me");
+        }
+        assert!(entry(&["profile_test.reset_me"]).is_some());
+        reset();
+        assert!(
+            entry(&["profile_test.reset_me"]).is_none(),
+            "reset cleared the tree"
+        );
+        // The thread-local cached handle is stale now; a new span must
+        // re-register rather than record into the orphaned node.
+        {
+            let _s = crate::span("profile_test.reset_me");
+        }
+        let e = entry(&["profile_test.reset_me"]).expect("re-registered after reset");
+        assert_eq!(e.count, 1);
+    }
+}

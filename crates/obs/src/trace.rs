@@ -1,0 +1,288 @@
+//! Bounded retention for finished traces.
+//!
+//! Every [`finish_trace`](crate::finish_trace) hands its [`Trace`] to
+//! [`record_trace`], which applies the retention policy:
+//!
+//! * **Head sampling** — every `1-in-N`th finished trace enters the
+//!   ring (N = `sample_one_in`, default 16), so steady traffic always
+//!   leaves a representative residue.
+//! * **Tail-keep** — any trace whose wall time meets the slow
+//!   threshold (default 250 ms) is *always* retained, regardless of
+//!   sampling. Slow outliers are the traces an operator actually
+//!   wants.
+//! * **Slowest list** — independently of the ring, the top
+//!   [`SLOWEST_KEEP`] slowest traces ever finished (since start) are
+//!   kept for `GET /v1/trace/recent`'s `slowest` section.
+//!
+//! The ring is lock-free on the writer's claim: a single `fetch_add`
+//! picks the slot, and only that slot's mutex is touched to publish
+//! the `Arc`. Readers lock one slot at a time; they never block
+//! writers of other slots and never allocate while holding a lock.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+use std::time::Duration;
+
+use crate::span::Trace;
+
+/// Slots in the process-wide ring.
+const RING_CAPACITY: usize = 256;
+/// Traces kept on the all-time slowest list.
+pub const SLOWEST_KEEP: usize = 8;
+
+/// A bounded ring of recently retained traces. Writers claim a slot
+/// with one atomic `fetch_add` and overwrite whatever is there —
+/// wraparound evicts the oldest entry by construction.
+pub struct TraceRing {
+    slots: Vec<Mutex<Option<Arc<Trace>>>>,
+    head: AtomicU64,
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+impl TraceRing {
+    pub fn with_capacity(capacity: usize) -> TraceRing {
+        assert!(capacity > 0, "ring needs at least one slot");
+        TraceRing {
+            slots: (0..capacity).map(|_| Mutex::new(None)).collect(),
+            head: AtomicU64::new(0),
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of traces ever pushed (wraparound does not decrement).
+    pub fn pushed(&self) -> u64 {
+        self.head.load(Ordering::Relaxed)
+    }
+
+    pub fn push(&self, trace: Arc<Trace>) {
+        let seq = self.head.fetch_add(1, Ordering::AcqRel);
+        let slot = &self.slots[(seq % self.slots.len() as u64) as usize];
+        *lock(slot) = Some(trace);
+    }
+
+    /// The most recently pushed traces, newest first, up to `limit`.
+    /// Concurrent pushes may overwrite a slot between the head read
+    /// and the slot read; the result is always *some* consistent
+    /// recent window, never a torn trace.
+    pub fn recent(&self, limit: usize) -> Vec<Arc<Trace>> {
+        let head = self.head.load(Ordering::Acquire);
+        let cap = self.slots.len() as u64;
+        let lo = head.saturating_sub(cap);
+        let mut out = Vec::with_capacity(limit.min(cap as usize));
+        let mut seq = head;
+        while seq > lo && out.len() < limit {
+            seq -= 1;
+            if let Some(t) = lock(&self.slots[(seq % cap) as usize]).as_ref() {
+                out.push(t.clone());
+            }
+        }
+        out
+    }
+
+    /// Find a retained trace by request id (newest match wins).
+    pub fn find(&self, request_id: u64) -> Option<Arc<Trace>> {
+        self.recent(self.slots.len())
+            .into_iter()
+            .find(|t| t.request_id == request_id)
+    }
+}
+
+/// `1-in-N` head-sampling rate (N ≥ 1; 1 retains everything).
+static SAMPLE_ONE_IN: AtomicU64 = AtomicU64::new(16);
+/// Tail-keep threshold in nanoseconds.
+static SLOW_NS: AtomicU64 = AtomicU64::new(250_000_000);
+/// Finished-trace counter driving the head sampler.
+static FINISHED: AtomicU64 = AtomicU64::new(0);
+
+/// Set the retention knobs: keep every `sample_one_in`th trace, and
+/// always keep traces at least `slow_threshold` long.
+pub fn configure_tracing(sample_one_in: u64, slow_threshold: Duration) {
+    SAMPLE_ONE_IN.store(sample_one_in.max(1), Ordering::Relaxed);
+    SLOW_NS.store(
+        slow_threshold.as_nanos().min(u64::MAX as u128) as u64,
+        Ordering::Relaxed,
+    );
+}
+
+/// Current `(sample_one_in, slow_threshold)` retention knobs.
+pub fn tracing_config() -> (u64, Duration) {
+    (
+        SAMPLE_ONE_IN.load(Ordering::Relaxed),
+        Duration::from_nanos(SLOW_NS.load(Ordering::Relaxed)),
+    )
+}
+
+fn ring() -> &'static TraceRing {
+    static RING: OnceLock<TraceRing> = OnceLock::new();
+    RING.get_or_init(|| TraceRing::with_capacity(RING_CAPACITY))
+}
+
+fn slowest_list() -> &'static Mutex<Vec<Arc<Trace>>> {
+    static SLOWEST: OnceLock<Mutex<Vec<Arc<Trace>>>> = OnceLock::new();
+    SLOWEST.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+fn retention_counters() -> &'static (crate::Counter, crate::Counter) {
+    static COUNTERS: OnceLock<(crate::Counter, crate::Counter)> = OnceLock::new();
+    COUNTERS.get_or_init(|| {
+        (
+            crate::counter("mr2_traces_finished_total", "Request traces finished."),
+            crate::counter(
+                "mr2_traces_retained_total",
+                "Request traces retained in the recent-trace ring (sampled or slow).",
+            ),
+        )
+    })
+}
+
+/// Apply the retention policy to a finished trace. Returns the `Arc`
+/// whether or not the ring kept it (the caller may still attach it to
+/// a debug reply).
+pub(crate) fn record_trace(trace: Trace) -> Arc<Trace> {
+    let trace = Arc::new(trace);
+    let (finished, retained) = retention_counters();
+    finished.inc();
+    let n = FINISHED.fetch_add(1, Ordering::Relaxed);
+    let sampled = n.is_multiple_of(SAMPLE_ONE_IN.load(Ordering::Relaxed).max(1));
+    let slow = trace.wall >= Duration::from_nanos(SLOW_NS.load(Ordering::Relaxed));
+    if sampled || slow {
+        ring().push(trace.clone());
+        retained.inc();
+    }
+    let mut slowest = lock(slowest_list());
+    let belongs =
+        slowest.len() < SLOWEST_KEEP || slowest.last().map(|t| trace.wall > t.wall).unwrap_or(true);
+    if belongs {
+        slowest.push(trace.clone());
+        slowest.sort_by_key(|t| std::cmp::Reverse(t.wall));
+        slowest.truncate(SLOWEST_KEEP);
+    }
+    trace
+}
+
+/// The most recently retained traces, newest first.
+pub fn recent_traces(limit: usize) -> Vec<Arc<Trace>> {
+    ring().recent(limit)
+}
+
+/// The slowest traces finished since process start, slowest first.
+pub fn slowest_traces() -> Vec<Arc<Trace>> {
+    lock(slowest_list()).clone()
+}
+
+/// Look a retained trace up by request id — the recent ring first,
+/// then the slowest list.
+pub fn find_trace(request_id: u64) -> Option<Arc<Trace>> {
+    ring().find(request_id).or_else(|| {
+        lock(slowest_list())
+            .iter()
+            .find(|t| t.request_id == request_id)
+            .cloned()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace(request_id: u64, wall: Duration) -> Arc<Trace> {
+        Arc::new(Trace {
+            request_id,
+            label: "test",
+            wall,
+            spans: Vec::new(),
+            dropped: 0,
+        })
+    }
+
+    #[test]
+    fn ring_wraparound_keeps_the_newest_capacity_traces() {
+        let ring = TraceRing::with_capacity(4);
+        assert_eq!(ring.capacity(), 4);
+        for id in 0..10 {
+            ring.push(trace(id, Duration::from_millis(id)));
+        }
+        assert_eq!(ring.pushed(), 10);
+        let recent = ring.recent(100);
+        let ids: Vec<u64> = recent.iter().map(|t| t.request_id).collect();
+        assert_eq!(ids, vec![9, 8, 7, 6], "newest first, oldest evicted");
+        let top2: Vec<u64> = ring.recent(2).iter().map(|t| t.request_id).collect();
+        assert_eq!(top2, vec![9, 8], "limit honoured");
+        assert!(ring.find(9).is_some());
+        assert!(ring.find(3).is_none(), "overwritten by wraparound");
+    }
+
+    #[test]
+    fn ring_survives_concurrent_pushers_and_readers() {
+        let ring = std::sync::Arc::new(TraceRing::with_capacity(8));
+        let writers: Vec<_> = (0..4)
+            .map(|w| {
+                let ring = ring.clone();
+                std::thread::spawn(move || {
+                    for i in 0..250u64 {
+                        ring.push(trace(w * 1000 + i, Duration::from_micros(i)));
+                    }
+                })
+            })
+            .collect();
+        let readers: Vec<_> = (0..2)
+            .map(|_| {
+                let ring = ring.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..200 {
+                        let recent = ring.recent(8);
+                        assert!(recent.len() <= 8);
+                    }
+                })
+            })
+            .collect();
+        for t in writers.into_iter().chain(readers) {
+            t.join().unwrap();
+        }
+        assert_eq!(ring.pushed(), 1000);
+        assert_eq!(ring.recent(100).len(), 8, "every slot occupied");
+    }
+
+    #[test]
+    fn retention_samples_heads_and_always_keeps_slow_traces() {
+        let _guard = crate::tests_support::flag_lock();
+        let (before_sample, before_slow) = tracing_config();
+        configure_tracing(1_000_000, Duration::from_millis(50));
+        // Align the sampler so none of our fast traces hits the 1-in-N
+        // head sample during this test.
+        FINISHED.store(1, Ordering::Relaxed);
+        let fast = record_trace(Trace {
+            request_id: 900_001,
+            label: "fast",
+            wall: Duration::from_millis(1),
+            spans: Vec::new(),
+            dropped: 0,
+        });
+        assert!(
+            ring().find(fast.request_id).is_none(),
+            "fast unsampled trace not retained in the ring"
+        );
+        let slow = record_trace(Trace {
+            request_id: 900_002,
+            label: "slow",
+            wall: Duration::from_millis(80),
+            spans: Vec::new(),
+            dropped: 0,
+        });
+        assert!(
+            find_trace(slow.request_id).is_some(),
+            "slow trace tail-kept despite sampling"
+        );
+        assert!(
+            slowest_traces().iter().any(|t| t.request_id == 900_002),
+            "slow trace on the slowest list"
+        );
+        configure_tracing(before_sample, before_slow);
+    }
+}

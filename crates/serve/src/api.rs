@@ -939,27 +939,127 @@ pub fn parse_scenario_request(body: &str) -> Result<ScenarioRequest, String> {
     })
 }
 
-/// Encode a finished [`mr2_obs::Trace`] as the reply's `debug` object:
-/// the request id, the measured wall time, and the ordered top-level
-/// span breakdown. Spans are sequential by construction, so their
-/// durations sum to at most `wall_ms`.
-pub fn debug_json(trace: &mr2_obs::Trace) -> Json {
-    let spans: Vec<Json> = trace
-        .spans
-        .iter()
-        .map(|s| {
-            Json::obj([
-                ("name", Json::str(s.name)),
-                ("start_ms", Json::num(s.start.as_secs_f64() * 1e3)),
-                ("duration_ms", Json::num(s.duration.as_secs_f64() * 1e3)),
-            ])
-        })
+/// Encode one span of a trace with its children nested under
+/// `"children"` (omitted when empty).
+fn span_node(trace: &mr2_obs::Trace, span: &mr2_obs::TraceSpan) -> Json {
+    let children: Vec<Json> = trace
+        .children(span.id)
+        .into_iter()
+        .map(|c| span_node(trace, c))
         .collect();
+    let mut node = Json::obj([
+        ("id", u64::from(span.id).into()),
+        ("name", Json::str(span.name)),
+        ("start_ms", Json::num(span.start.as_secs_f64() * 1e3)),
+        ("duration_ms", Json::num(span.duration.as_secs_f64() * 1e3)),
+    ]);
+    if !children.is_empty() {
+        if let Json::Obj(map) = &mut node {
+            map.insert("children".into(), Json::Arr(children));
+        }
+    }
+    node
+}
+
+/// Encode a trace's spans as a forest of root spans (sequential, so
+/// root durations sum to at most the trace's wall time), children
+/// nested.
+fn span_forest(trace: &mr2_obs::Trace) -> Json {
+    Json::Arr(
+        trace
+            .roots()
+            .into_iter()
+            .map(|r| span_node(trace, r))
+            .collect(),
+    )
+}
+
+/// The `/v1/trace/recent?id=…` URL for a request id — the correlation
+/// hint `debug` replies and access-log readers share.
+pub fn trace_url(request_id: u64) -> String {
+    format!("/v1/trace/recent?id={request_id}")
+}
+
+/// Encode a finished [`mr2_obs::Trace`] as the reply's `debug` object:
+/// the request id, the measured wall time, a `trace_url` for fetching
+/// the retained trace later, and the span tree. Root spans are
+/// sequential by construction, so *their* durations sum to at most
+/// `wall_ms`.
+pub fn debug_json(trace: &mr2_obs::Trace) -> Json {
     Json::obj([
         ("request_id", trace.request_id.into()),
         ("wall_ms", Json::num(trace.wall.as_secs_f64() * 1e3)),
-        ("spans", Json::Arr(spans)),
+        ("trace_url", Json::str(trace_url(trace.request_id))),
+        ("spans", span_forest(trace)),
     ])
+}
+
+/// Encode one retained trace for `GET /v1/trace/recent`.
+pub fn trace_json(trace: &mr2_obs::Trace) -> Json {
+    Json::obj([
+        ("request_id", trace.request_id.into()),
+        ("label", Json::str(trace.label)),
+        ("wall_ms", Json::num(trace.wall.as_secs_f64() * 1e3)),
+        ("dropped_spans", u64::from(trace.dropped).into()),
+        ("spans", span_forest(trace)),
+    ])
+}
+
+/// Encode the in-flight (and recently finished) sweeps for
+/// `GET /v1/jobs`.
+pub fn jobs_json(jobs: &[crate::jobs::JobView]) -> Json {
+    let entries: Vec<Json> = jobs
+        .iter()
+        .map(|j| {
+            let per_estimator =
+                Json::obj(j.per_estimator.map(|(name, done)| (name, Json::from(done))));
+            Json::obj([
+                ("request_id", j.request_id.into()),
+                ("name", Json::str(j.name.clone())),
+                (
+                    "state",
+                    Json::str(if j.running { "running" } else { "done" }),
+                ),
+                ("streaming", j.streaming.into()),
+                ("points_done", j.done.into()),
+                ("points_total", j.total.into()),
+                ("elapsed_ms", Json::num(j.elapsed.as_secs_f64() * 1e3)),
+                (
+                    "eta_ms",
+                    match j.eta {
+                        Some(eta) => Json::num(eta.as_secs_f64() * 1e3),
+                        None => Json::Null,
+                    },
+                ),
+                ("per_estimator", per_estimator),
+            ])
+        })
+        .collect();
+    Json::obj([("jobs", Json::Arr(entries))])
+}
+
+/// Encode the profiler's merged call tree for
+/// `GET /debug/profile?format=json`.
+pub fn profile_json(forest: &[mr2_obs::profile::ProfileNode]) -> Json {
+    Json::Arr(
+        forest
+            .iter()
+            .map(|n| {
+                let mut node = Json::obj([
+                    ("name", Json::str(n.name.clone())),
+                    ("self_us", Json::num(n.self_time.as_micros() as f64)),
+                    ("total_us", Json::num(n.total_time.as_micros() as f64)),
+                    ("count", n.count.into()),
+                ]);
+                if !n.children.is_empty() {
+                    if let Json::Obj(map) = &mut node {
+                        map.insert("children".into(), profile_json(&n.children));
+                    }
+                }
+                node
+            })
+            .collect(),
+    )
 }
 
 /// Encode a resolved mix as the reply's `mix` array (one object per

@@ -5,11 +5,17 @@
 //!           [--max-points 4096] [--cache-file results/serve-cache.txt]
 //!           [--persist-secs 30] [--keep-alive-requests 32] [--max-queue 1024]
 //!           [--request-timeout-secs 10] [--token SECRET] [--no-access-log]
+//!           [--trace-sample N] [--trace-slow-ms N] [--loop-stall-budget-ms N]
 //! ```
 //!
 //! `--token` (or the `MR2_TOKEN` environment variable — the flag wins)
 //! requires `Authorization: Bearer <token>` on every `/v1/*` route;
-//! `/healthz` and `/metrics` stay open.
+//! `/healthz`, `/metrics`, and `/debug/profile` stay open.
+//!
+//! Tracing knobs: `--trace-sample N` retains every Nth finished
+//! request trace (1 keeps all), `--trace-slow-ms N` always retains
+//! traces at least that slow, and `--loop-stall-budget-ms N` sets the
+//! event-loop stall watchdog's budget (0 disables it).
 //!
 //! Smoke it with curl:
 //!
@@ -20,6 +26,9 @@
 //!      -d '{"mix":[{"job":"wordcount"}],"arrival_rate":0.01,
 //!           "slo":{"metric":"response","threshold":300}}'
 //! curl http://127.0.0.1:8080/metrics
+//! curl http://127.0.0.1:8080/v1/trace/recent     # retained span trees
+//! curl http://127.0.0.1:8080/v1/jobs             # in-flight sweeps
+//! curl http://127.0.0.1:8080/debug/profile       # collapsed stacks
 //! ```
 
 use mr2_serve::{serve, ServeConfig};
@@ -30,7 +39,8 @@ fn usage() -> ! {
         "usage: mr2-serve [--addr HOST:PORT] [--threads N] [--cache-capacity N]\n\
          \x20                [--max-points N] [--cache-file PATH] [--persist-secs N]\n\
          \x20                [--keep-alive-requests N] [--max-queue N]\n\
-         \x20                [--request-timeout-secs N] [--token SECRET] [--no-access-log]"
+         \x20                [--request-timeout-secs N] [--token SECRET] [--no-access-log]\n\
+         \x20                [--trace-sample N] [--trace-slow-ms N] [--loop-stall-budget-ms N]"
     );
     std::process::exit(2);
 }
@@ -83,6 +93,18 @@ fn main() {
             },
             "--token" => cfg.token = Some(value("--token")),
             "--no-access-log" => cfg.access_log = false,
+            "--trace-sample" => match value("--trace-sample").parse() {
+                Ok(n) if n > 0 => cfg.trace_sample_one_in = n,
+                _ => usage(),
+            },
+            "--trace-slow-ms" => match value("--trace-slow-ms").parse::<u64>() {
+                Ok(n) => cfg.trace_slow = Duration::from_millis(n),
+                _ => usage(),
+            },
+            "--loop-stall-budget-ms" => match value("--loop-stall-budget-ms").parse::<u64>() {
+                Ok(n) => cfg.loop_stall_budget = Duration::from_millis(n),
+                _ => usage(),
+            },
             "--help" | "-h" => usage(),
             _ => {
                 eprintln!("unknown flag: {flag}");

@@ -33,6 +33,8 @@ pub struct Request {
     pub method: String,
     /// Path with the query string stripped.
     pub path: String,
+    /// The raw query string (no leading `?`; empty when absent).
+    pub query: String,
     /// Raw body bytes (empty when no `Content-Length`).
     pub body: Vec<u8>,
     /// Whether the client asked to keep the connection open: an
@@ -42,6 +44,19 @@ pub struct Request {
     /// The `Authorization` header value, verbatim, when present
     /// (bearer-token auth checks it before routing).
     pub authorization: Option<String>,
+}
+
+impl Request {
+    /// The first value of query parameter `name` (`?id=7&x` →
+    /// `query_param("id") == Some("7")`, `query_param("x") ==
+    /// Some("")`). No percent-decoding — the API's parameters are
+    /// plain numbers and keywords.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query.split('&').find_map(|pair| {
+            let (key, value) = pair.split_once('=').unwrap_or((pair, ""));
+            (key == name).then_some(value)
+        })
+    }
 }
 
 /// A malformed or over-limit request, mapped to a status + message.
@@ -82,6 +97,7 @@ fn head_end(buf: &[u8]) -> Option<usize> {
 struct Head {
     method: String,
     path: String,
+    query: String,
     keep_alive: bool,
     content_length: usize,
     expects_continue: bool,
@@ -108,7 +124,10 @@ fn parse_head(bytes: Vec<u8>) -> Result<Head, HttpError> {
     if !version.starts_with("HTTP/1.") {
         return Err(HttpError::new(505, format!("unsupported {version}")));
     }
-    let path = target.split('?').next().unwrap_or(target).to_string();
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target.to_string(), String::new()),
+    };
 
     let mut content_length = 0usize;
     let mut expects_continue = false;
@@ -145,6 +164,7 @@ fn parse_head(bytes: Vec<u8>) -> Result<Head, HttpError> {
     Ok(Head {
         method,
         path,
+        query,
         keep_alive,
         content_length,
         expects_continue,
@@ -259,6 +279,7 @@ impl RequestParser {
         Ok(Some(Request {
             method: head.method,
             path: head.path,
+            query: head.query,
             body,
             keep_alive: head.keep_alive,
             authorization: head.authorization,
@@ -391,6 +412,10 @@ pub const CONTENT_TYPE_JSON: &str = "application/json";
 
 /// `Content-Type` of the Prometheus text exposition format.
 pub const CONTENT_TYPE_METRICS: &str = "text/plain; version=0.0.4";
+
+/// Content type of plain-text answers (`/debug/profile`'s collapsed
+/// stacks).
+pub const CONTENT_TYPE_TEXT: &str = "text/plain; charset=utf-8";
 
 /// `Content-Type` of streaming NDJSON sweep responses.
 pub const CONTENT_TYPE_NDJSON: &str = "application/x-ndjson";
@@ -538,6 +563,9 @@ mod tests {
         let r = read_request(&mut s).unwrap();
         assert_eq!(r.method, "GET");
         assert_eq!(r.path, "/healthz", "query string stripped");
+        assert_eq!(r.query, "probe=1", "query string kept separately");
+        assert_eq!(r.query_param("probe"), Some("1"));
+        assert_eq!(r.query_param("absent"), None);
         assert!(r.body.is_empty());
         assert!(r.keep_alive, "HTTP/1.1 defaults to keep-alive");
         assert!(r.authorization.is_none());

@@ -1,0 +1,195 @@
+//! Live introspection of in-flight `/v1/scenario` sweeps.
+//!
+//! Every scenario evaluation — streaming or not — registers itself
+//! here before the runner starts and reports each completed point
+//! through the runner's per-point observer, so `GET /v1/jobs` can show
+//! points done/total, elapsed time, an ETA extrapolated from the pace
+//! so far, and a per-estimator breakdown while the sweep is still
+//! running. Registration hands back an RAII [`JobGuard`]; dropping it
+//! (normal return *or* unwinding) moves the entry onto a short
+//! recently-finished list, so a sweep that outruns its observer is
+//! still visible to the next `/v1/jobs` poll.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+use mr2_scenario::{EstimatorKind, PointResult};
+
+/// Finished jobs kept for inspection after their guard drops.
+const FINISHED_KEEP: usize = 8;
+
+/// One registered sweep.
+pub struct JobEntry {
+    /// The request id driving the sweep (joins with access-log lines
+    /// and `/v1/trace/recent?id=`).
+    pub request_id: u64,
+    /// The scenario's human-readable name.
+    pub name: String,
+    /// Points the scenario expands to.
+    pub total: usize,
+    /// Whether the sweep answers as a chunked NDJSON stream.
+    pub streaming: bool,
+    started: Instant,
+    done: AtomicUsize,
+    /// Completed points by the point's selected estimator series, in
+    /// [`EstimatorKind::ALL`] order.
+    per_estimator: [AtomicUsize; 4],
+}
+
+impl JobEntry {
+    fn view(&self, running: bool) -> JobView {
+        let done = self.done.load(Ordering::Relaxed);
+        let elapsed = self.started.elapsed();
+        let eta = if running && done > 0 && done < self.total {
+            Some(elapsed.mul_f64((self.total - done) as f64 / done as f64))
+        } else {
+            None
+        };
+        JobView {
+            request_id: self.request_id,
+            name: self.name.clone(),
+            total: self.total,
+            streaming: self.streaming,
+            running,
+            done,
+            elapsed,
+            eta,
+            per_estimator: EstimatorKind::ALL.map(|k| {
+                (
+                    k.name(),
+                    self.per_estimator[estimator_index(k)].load(Ordering::Relaxed),
+                )
+            }),
+        }
+    }
+}
+
+fn estimator_index(kind: EstimatorKind) -> usize {
+    EstimatorKind::ALL
+        .iter()
+        .position(|k| *k == kind)
+        .expect("ALL covers every kind")
+}
+
+/// A point-in-time copy of one job for rendering.
+#[derive(Debug, Clone)]
+pub struct JobView {
+    pub request_id: u64,
+    pub name: String,
+    pub total: usize,
+    pub streaming: bool,
+    /// `true` while the sweep runs; recently finished jobs report
+    /// `false`.
+    pub running: bool,
+    pub done: usize,
+    pub elapsed: Duration,
+    /// Remaining time extrapolated from the pace so far; `None` before
+    /// the first point completes or once the sweep is done.
+    pub eta: Option<Duration>,
+    /// `(estimator name, points done)` in paper order.
+    pub per_estimator: [(&'static str, usize); 4],
+}
+
+/// The per-server registry of in-flight (plus recently finished)
+/// sweeps.
+#[derive(Default)]
+pub struct Jobs {
+    running: Mutex<Vec<Arc<JobEntry>>>,
+    finished: Mutex<Vec<JobView>>,
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+impl Jobs {
+    /// Register a sweep; the returned guard reports progress and
+    /// unregisters on drop.
+    pub fn register(
+        self: &Arc<Self>,
+        request_id: u64,
+        name: String,
+        total: usize,
+        streaming: bool,
+    ) -> JobGuard {
+        let entry = Arc::new(JobEntry {
+            request_id,
+            name,
+            total,
+            streaming,
+            started: Instant::now(),
+            done: AtomicUsize::new(0),
+            per_estimator: [const { AtomicUsize::new(0) }; 4],
+        });
+        lock(&self.running).push(Arc::clone(&entry));
+        JobGuard {
+            jobs: Arc::clone(self),
+            entry,
+        }
+    }
+
+    /// Every running sweep (registration order), then the most
+    /// recently finished ones (newest first).
+    pub fn snapshot(&self) -> Vec<JobView> {
+        let mut out: Vec<JobView> = lock(&self.running).iter().map(|e| e.view(true)).collect();
+        let finished = lock(&self.finished);
+        out.extend(finished.iter().rev().cloned());
+        out
+    }
+}
+
+/// RAII registration of one running sweep.
+pub struct JobGuard {
+    jobs: Arc<Jobs>,
+    entry: Arc<JobEntry>,
+}
+
+impl JobGuard {
+    /// Record one completed point (the runner's per-point observer).
+    pub fn point_done(&self, point: &PointResult) {
+        self.entry.done.fetch_add(1, Ordering::Relaxed);
+        self.entry.per_estimator[estimator_index(point.point.estimator)]
+            .fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+impl Drop for JobGuard {
+    fn drop(&mut self) {
+        let mut running = lock(&self.jobs.running);
+        running.retain(|e| !Arc::ptr_eq(e, &self.entry));
+        drop(running);
+        let mut finished = lock(&self.jobs.finished);
+        finished.push(self.entry.view(false));
+        let overflow = finished.len().saturating_sub(FINISHED_KEEP);
+        if overflow > 0 {
+            finished.drain(..overflow);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_progress_and_drop_lifecycle() {
+        let jobs = Arc::new(Jobs::default());
+        let guard = jobs.register(7, "sweep".into(), 4, true);
+        let view = &jobs.snapshot()[0];
+        assert_eq!(
+            (view.request_id, view.done, view.total, view.running),
+            (7, 0, 4, true)
+        );
+        assert_eq!(view.eta, None, "no pace before the first point");
+        drop(guard);
+        let view = &jobs.snapshot()[0];
+        assert!(!view.running, "finished jobs linger for inspection");
+        for _ in 0..(FINISHED_KEEP + 3) {
+            drop(jobs.register(8, "later".into(), 1, false));
+        }
+        let snap = jobs.snapshot();
+        assert_eq!(snap.len(), FINISHED_KEEP, "finished list is bounded");
+        assert!(snap.iter().all(|v| v.request_id == 8));
+    }
+}

@@ -49,6 +49,7 @@
 
 pub mod api;
 pub mod http;
+pub mod jobs;
 pub mod json;
 pub mod net;
 pub mod server;

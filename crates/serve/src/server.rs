@@ -75,13 +75,13 @@ use std::time::{Duration, Instant};
 
 use mr2_obs as obs;
 use mr2_scenario::{
-    evaluate_point, run_scenario, run_scenario_streaming, PointResult, ResultCache, RunnerConfig,
+    evaluate_point, run_scenario_streaming, PointResult, ResultCache, RunnerConfig,
 };
 
 use crate::api::{self, ApiError};
 use crate::http::{
     chunk, render_response, render_stream_head, HttpError, Request, RequestParser, CHUNKED_END,
-    CONTENT_TYPE_JSON, CONTENT_TYPE_METRICS, CONTENT_TYPE_NDJSON,
+    CONTENT_TYPE_JSON, CONTENT_TYPE_METRICS, CONTENT_TYPE_NDJSON, CONTENT_TYPE_TEXT,
 };
 use crate::json::Json;
 use crate::net::{Epoll, Event, EventFd, EV_READ, EV_WRITE};
@@ -136,6 +136,18 @@ pub struct ServeConfig {
     /// between requests is configured separately
     /// ([`ServeConfig::keep_alive_idle`]).
     pub request_timeout: Duration,
+    /// Trace head-sampling rate: every `1-in-N`th finished request
+    /// trace is retained in the recent-trace ring (1 keeps all).
+    pub trace_sample_one_in: u64,
+    /// Tail-keep threshold: traces at least this slow are always
+    /// retained, regardless of sampling.
+    pub trace_slow: Duration,
+    /// Event-loop stall watchdog: an iteration whose *work* phase
+    /// (event dispatch + deadline sweep, excluding the epoll wait)
+    /// exceeds this budget increments `mr2_serve_loop_stalls_total`
+    /// and logs the offending connection states. Zero disables the
+    /// watchdog.
+    pub loop_stall_budget: Duration,
 }
 
 impl Default for ServeConfig {
@@ -155,6 +167,9 @@ impl Default for ServeConfig {
             access_log: true,
             token: None,
             request_timeout: Duration::from_secs(10),
+            trace_sample_one_in: 16,
+            trace_slow: Duration::from_millis(250),
+            loop_stall_budget: Duration::from_millis(100),
         }
     }
 }
@@ -255,6 +270,68 @@ mod metrics {
         )
     }
 
+    pub fn workers_total() -> &'static obs::Gauge {
+        static G: std::sync::OnceLock<obs::Gauge> = std::sync::OnceLock::new();
+        G.get_or_init(|| {
+            obs::gauge(
+                "mr2_serve_workers_total",
+                "Worker threads in the evaluation pool.",
+            )
+        })
+    }
+
+    pub fn workers_busy() -> &'static obs::Gauge {
+        static G: std::sync::OnceLock<obs::Gauge> = std::sync::OnceLock::new();
+        G.get_or_init(|| {
+            obs::gauge(
+                "mr2_serve_workers_busy",
+                "Worker threads currently executing an evaluation job.",
+            )
+        })
+    }
+
+    pub fn loop_iterations() -> &'static obs::Counter {
+        static C: std::sync::OnceLock<obs::Counter> = std::sync::OnceLock::new();
+        C.get_or_init(|| {
+            obs::counter(
+                "mr2_serve_loop_iterations_total",
+                "Event-loop iterations (one epoll wait plus dispatch).",
+            )
+        })
+    }
+
+    pub fn loop_stalls() -> &'static obs::Counter {
+        static C: std::sync::OnceLock<obs::Counter> = std::sync::OnceLock::new();
+        C.get_or_init(|| {
+            obs::counter(
+                "mr2_serve_loop_stalls_total",
+                "Event-loop iterations whose work phase exceeded the stall budget.",
+            )
+        })
+    }
+
+    pub fn loop_wait() -> &'static obs::Histogram {
+        static H: std::sync::OnceLock<obs::Histogram> = std::sync::OnceLock::new();
+        H.get_or_init(|| {
+            obs::histogram(
+                "mr2_serve_loop_wait_seconds",
+                "Time each event-loop iteration spent blocked in epoll_wait.",
+                obs::Buckets::TIME,
+            )
+        })
+    }
+
+    pub fn loop_work() -> &'static obs::Histogram {
+        static H: std::sync::OnceLock<obs::Histogram> = std::sync::OnceLock::new();
+        H.get_or_init(|| {
+            obs::histogram(
+                "mr2_serve_loop_work_seconds",
+                "Time each event-loop iteration spent dispatching events and sweeping deadlines.",
+                obs::Buckets::TIME,
+            )
+        })
+    }
+
     pub fn uptime() -> &'static obs::Gauge {
         static G: std::sync::OnceLock<obs::Gauge> = std::sync::OnceLock::new();
         G.get_or_init(|| {
@@ -300,6 +377,9 @@ struct State {
     /// caches aren't rewritten. The *count* would go stale once the LRU
     /// bound makes insert+evict churn under a constant entry count.
     persisted_stamp: AtomicU64,
+    /// In-flight (and recently finished) scenario sweeps, for
+    /// `GET /v1/jobs`.
+    jobs: Arc<crate::jobs::Jobs>,
 }
 
 /// A running server; dropping the handle does **not** stop it — call
@@ -422,7 +502,10 @@ pub fn serve(cfg: ServeConfig) -> std::io::Result<ServerHandle> {
         cfg: cfg.clone(),
         started: Instant::now(),
         queued: AtomicUsize::new(0),
+        jobs: Arc::new(crate::jobs::Jobs::default()),
     });
+    obs::configure_tracing(cfg.trace_sample_one_in, cfg.trace_slow);
+    metrics::workers_total().set(cfg.threads.max(1) as f64);
     let stop = Arc::new(AtomicBool::new(false));
     let mut threads = Vec::new();
 
@@ -456,7 +539,9 @@ pub fn serve(cfg: ServeConfig) -> std::io::Result<ServerHandle> {
                     state.queued.fetch_sub(1, Ordering::SeqCst);
                     metrics::queue_depth().dec();
                     metrics::queue_wait().observe(job.queued_at.elapsed().as_secs_f64());
+                    metrics::workers_busy().inc();
                     serve_job(job, &state, &done);
+                    metrics::workers_busy().dec();
                 })
                 .expect("spawn worker"),
         );
@@ -645,7 +730,15 @@ impl EventLoop {
         for s in ALL_STATES {
             metrics::conn_state(state_name(s)).add(0.0);
         }
-        'events: while let Ok(events) = self.epoll.wait(TICK_MS) {
+        let stall_budget = self.state.cfg.loop_stall_budget;
+        'events: loop {
+            let wait_started = Instant::now();
+            let Ok(events) = self.epoll.wait(TICK_MS) else {
+                break;
+            };
+            metrics::loop_wait().observe(wait_started.elapsed().as_secs_f64());
+            let work_started = Instant::now();
+            let dispatched = events.len();
             for ev in events {
                 match ev.token {
                     TOKEN_SHUTDOWN => break 'events,
@@ -655,12 +748,47 @@ impl EventLoop {
                 }
             }
             self.sweep_deadlines();
+            let worked = work_started.elapsed();
+            metrics::loop_work().observe(worked.as_secs_f64());
+            metrics::loop_iterations().inc();
+            if !stall_budget.is_zero() && worked > stall_budget {
+                metrics::loop_stalls().inc();
+                eprintln!(
+                    "mr2-serve: event-loop stall: {:.1}ms work (budget {:.0}ms), \
+                     {dispatched} events, conns {}",
+                    worked.as_secs_f64() * 1e3,
+                    stall_budget.as_secs_f64() * 1e3,
+                    self.conn_state_summary(),
+                );
+            }
         }
         for slot in 0..self.conns.len() {
             self.close_slot(slot);
         }
         // Dropping `job_tx` (with self at thread exit) lets the workers
         // drain and exit; `shutdown` joins them after this thread.
+    }
+
+    /// `state=count` pairs for every open connection, for the stall
+    /// watchdog's log line (e.g. `waiting=3 streaming=1`).
+    fn conn_state_summary(&self) -> String {
+        let mut counts = [0usize; ALL_STATES.len()];
+        for conn in self.conns.iter().flatten() {
+            if let Some(i) = ALL_STATES.iter().position(|s| *s == conn.state) {
+                counts[i] += 1;
+            }
+        }
+        let parts: Vec<String> = ALL_STATES
+            .iter()
+            .zip(counts)
+            .filter(|(_, n)| *n > 0)
+            .map(|(s, n)| format!("{}={n}", state_name(*s)))
+            .collect();
+        if parts.is_empty() {
+            "none".into()
+        } else {
+            parts.join(" ")
+        }
     }
 
     /// Accept everything the backlog holds; shed with an immediate 503
@@ -1186,13 +1314,25 @@ fn stream_scenario(
         generation: job.generation,
         bytes: render_stream_head(200, CONTENT_TYPE_NDJSON, job.close),
     });
+    // The stream traces like any other request (visible in
+    // /v1/trace/recent when retained) and registers with the jobs
+    // registry so /v1/jobs shows its progress while chunks flow.
+    let traced = obs::begin_trace(request_id, "/v1/scenario");
+    let progress = state.jobs.register(
+        request_id,
+        scenario.name.clone(),
+        scenario.num_points(),
+        true,
+    );
     let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        let _root = obs::span("serve.request");
         let _run = obs::span("scenario.run");
         run_scenario_streaming(
             scenario,
             &state.cache,
             &state.cfg.runner,
             &|pr: PointResult| {
+                progress.point_done(&pr);
                 let mut line = api::point_json(&pr).render();
                 line.push('\n');
                 done.send(Completion::Chunk {
@@ -1203,6 +1343,10 @@ fn stream_scenario(
             },
         )
     }));
+    drop(progress);
+    if traced {
+        let _ = obs::finish_trace();
+    }
     let (mut tail_line, status, close) = match &result {
         Ok(sweep) => (api::sweep_tail_json(sweep).render(), 200, job.close),
         // The head (a 200) is on the wire; all that's left is to make
@@ -1294,6 +1438,9 @@ enum Endpoint {
     Healthz,
     Metrics,
     CacheStats,
+    TraceRecent,
+    JobsList,
+    Profile,
     Estimate,
     Scenario,
     Plan,
@@ -1307,6 +1454,9 @@ const ROUTES: &[(&str, &str, Endpoint)] = &[
     ("GET", "/healthz", Endpoint::Healthz),
     ("GET", "/metrics", Endpoint::Metrics),
     ("GET", "/v1/cache/stats", Endpoint::CacheStats),
+    ("GET", "/v1/trace/recent", Endpoint::TraceRecent),
+    ("GET", "/v1/jobs", Endpoint::JobsList),
+    ("GET", "/debug/profile", Endpoint::Profile),
     ("POST", "/v1/estimate", Endpoint::Estimate),
     ("POST", "/v1/scenario", Endpoint::Scenario),
     ("POST", "/v1/plan", Endpoint::Plan),
@@ -1349,6 +1499,9 @@ fn route(req: &Request, state: &State, request_id: u64) -> Response {
         ),
         Endpoint::Metrics => metrics_response(state),
         Endpoint::CacheStats => Response::ok(api::cache_stats_json(&state.cache.stats()), &[]),
+        Endpoint::TraceRecent => trace_recent_response(req),
+        Endpoint::JobsList => Response::ok(api::jobs_json(&state.jobs.snapshot()), &[]),
+        Endpoint::Profile => profile_response(req),
         Endpoint::Estimate => estimate_response(req, state, request_id),
         Endpoint::Scenario => scenario_response(req, state, request_id),
         Endpoint::Plan => plan_response(req, state, request_id),
@@ -1370,6 +1523,66 @@ fn metrics_response(state: &State) -> Response {
     }
 }
 
+/// `GET /v1/trace/recent` — retained request traces as span trees.
+/// With `?id=<request_id>` returns just the matching trace (an empty
+/// list when it wasn't retained — still a 200, absence is an answer);
+/// without it, the sampling knobs, the newest retained traces, and the
+/// all-time slowest.
+fn trace_recent_response(req: &Request) -> Response {
+    if let Some(id) = req.query_param("id") {
+        let Ok(id) = id.parse::<u64>() else {
+            return Response::error(ApiError::validation("`id` must be an unsigned integer"));
+        };
+        let traces: Vec<Json> = obs::find_trace(id)
+            .iter()
+            .map(|t| api::trace_json(t))
+            .collect();
+        return Response::ok(Json::obj([("traces", Json::Arr(traces))]), &[]);
+    }
+    let (one_in, slow) = obs::tracing_config();
+    let render = |traces: Vec<std::sync::Arc<obs::Trace>>| {
+        Json::Arr(traces.iter().map(|t| api::trace_json(t)).collect())
+    };
+    Response::ok(
+        Json::obj([
+            (
+                "sampling",
+                Json::obj([
+                    ("one_in", one_in.into()),
+                    ("slow_ms", Json::num(slow.as_secs_f64() * 1e3)),
+                ]),
+            ),
+            ("recent", render(obs::recent_traces(16))),
+            ("slowest", render(obs::slowest_traces())),
+        ]),
+        &[],
+    )
+}
+
+/// `GET /debug/profile` — the span-path continuous profiler. The
+/// default render is collapsed-stack lines (`a;b;c <self_micros>`)
+/// that pipe straight into `flamegraph.pl`; `?format=json` renders the
+/// merged call tree instead, and `?reset=1` clears the aggregate.
+fn profile_response(req: &Request) -> Response {
+    if req.query_param("reset") == Some("1") {
+        obs::profile::reset();
+        return Response {
+            status: 200,
+            body: "profile reset\n".into(),
+            content_type: CONTENT_TYPE_TEXT,
+        };
+    }
+    if req.query_param("format") == Some("json") {
+        let forest = obs::profile::tree();
+        return Response::ok(Json::obj([("profile", api::profile_json(&forest))]), &[]);
+    }
+    Response {
+        status: 200,
+        body: obs::profile::render_collapsed(),
+        content_type: CONTENT_TYPE_TEXT,
+    }
+}
+
 /// Insert the trace breakdown into a reply object under `"debug"`.
 fn attach_debug(body: &mut Json, trace: &obs::Trace) {
     if let Json::Obj(map) = body {
@@ -1387,17 +1600,19 @@ fn estimate_response(req: &Request, state: &State, request_id: u64) -> Response 
             if jobs > state.cfg.max_jobs_per_point {
                 return Response::error(jobs_bound_error(jobs, state));
             }
-            // With `"debug": true` the evaluation runs under a trace
-            // context: the runner's top-level spans (point.model,
-            // point.sim) and the encode span below form the breakdown.
-            let traced = r.debug && obs::begin_trace(request_id);
-            let result: PointResult = evaluate_point(&r.point, &r.backends, &state.cache);
+            // Every evaluation runs under a trace context (retention
+            // decides what survives); the root serve.request span
+            // nests the evaluation spans (point.model, point.sim) and
+            // the encode span into the breakdown tree.
+            let traced = obs::begin_trace(request_id, "/v1/estimate");
             let mut body = {
+                let _root = obs::span("serve.request");
+                let result: PointResult = evaluate_point(&r.point, &r.backends, &state.cache);
                 let _enc = obs::span("response.encode");
                 api::point_json(&result)
             };
-            if traced {
-                if let Some(trace) = obs::end_trace() {
+            if let Some(trace) = traced.then(obs::finish_trace).flatten() {
+                if r.debug {
                     attach_debug(&mut body, &trace);
                 }
             }
@@ -1420,17 +1635,29 @@ fn scenario_response(req: &Request, state: &State, request_id: u64) -> Response 
             // The sweep's own point spans run on the runner's pool
             // threads, which deliberately don't inherit the trace; the
             // breakdown shows the sequential phases this thread saw.
-            let traced = r.debug && obs::begin_trace(request_id);
-            let sweep = {
-                let _run = obs::span("scenario.run");
-                run_scenario(scenario, &state.cache, &state.cfg.runner)
-            };
+            // The sweep also registers with the jobs registry so
+            // GET /v1/jobs can watch its progress mid-flight.
+            let traced = obs::begin_trace(request_id, "/v1/scenario");
             let mut body = {
+                let _root = obs::span("serve.request");
+                let progress = state.jobs.register(
+                    request_id,
+                    scenario.name.clone(),
+                    scenario.num_points(),
+                    false,
+                );
+                let sweep = {
+                    let _run = obs::span("scenario.run");
+                    run_scenario_streaming(scenario, &state.cache, &state.cfg.runner, &|pr| {
+                        progress.point_done(&pr)
+                    })
+                };
+                drop(progress);
                 let _enc = obs::span("response.encode");
                 api::sweep_json(&sweep)
             };
-            if traced {
-                if let Some(trace) = obs::end_trace() {
+            if let Some(trace) = traced.then(obs::finish_trace).flatten() {
+                if r.debug {
                     attach_debug(&mut body, &trace);
                 }
             }
@@ -1451,9 +1678,10 @@ fn plan_response(req: &Request, state: &State, request_id: u64) -> Response {
                 return Response::error(jobs_bound_error(jobs, state));
             }
             // Each bisection probe is a cached analytic point
-            // evaluation; under a trace the probes show up as the
-            // plan.solve span.
-            let traced = r.debug && obs::begin_trace(request_id);
+            // evaluation; under the trace the probes show up inside
+            // the plan.solve span.
+            let traced = obs::begin_trace(request_id, "/v1/plan");
+            let root = obs::span("serve.request");
             let result = {
                 let _solve = obs::span("plan.solve");
                 mr2_scenario::plan(&r.plan, &state.cache)
@@ -1464,16 +1692,18 @@ fn plan_response(req: &Request, state: &State, request_id: u64) -> Response {
                         let _enc = obs::span("response.encode");
                         api::plan_json(&r.plan, &result)
                     };
-                    if traced {
-                        if let Some(trace) = obs::end_trace() {
+                    drop(root);
+                    if let Some(trace) = traced.then(obs::finish_trace).flatten() {
+                        if r.debug {
                             attach_debug(&mut body, &trace);
                         }
                     }
                     Response::ok(body, &r.deprecations)
                 }
                 Err(e) => {
+                    drop(root);
                     if traced {
-                        let _ = obs::end_trace();
+                        let _ = obs::finish_trace();
                     }
                     Response::error(ApiError::validation(e))
                 }

@@ -154,16 +154,33 @@ impl<K: Clone + PartialEq> FairShare<K> {
 
     /// The absolute time of the next completion, assuming no further state
     /// change, or `None` if idle.
+    ///
+    /// Strictly after `last_update` whenever uncollectable work remains:
+    /// when a tiny residual's `remaining / rate` underflows the f64
+    /// resolution at the current timestamp (e.g. a 1-byte transfer late
+    /// in a long run), `last_update + dt` rounds back to `last_update`,
+    /// and a tick scheduled there would integrate a zero-length step,
+    /// collect nothing, and re-arm itself at the same instant forever.
+    /// Nudging one ulp forward makes that tick drain `rate * ulp` work,
+    /// which by construction exceeds any residual small enough to have
+    /// underflowed. Residuals within the completion tolerance keep the
+    /// exact `last_update` time — they are collectable as-is.
     pub fn next_completion(&self) -> Option<SimTime> {
         let rate = self.current_rate();
         if rate <= 0.0 {
             return None;
         }
-        self.active
+        let s = self
+            .active
             .iter()
-            .map(|s| s.remaining.max(0.0) / rate)
-            .min_by(|a, b| a.total_cmp(b))
-            .map(|dt| self.last_update + dt)
+            .min_by(|a, b| a.remaining.total_cmp(&b.remaining))?;
+        let t = self.last_update + s.remaining.max(0.0) / rate;
+        let eps = WORK_EPS_ABS + WORK_EPS_REL * s.total;
+        if t > self.last_update || s.remaining <= eps {
+            Some(t)
+        } else {
+            Some(SimTime(f64::from_bits(self.last_update.0.to_bits() + 1)))
+        }
     }
 
     /// Average number of active customers over `[0, now]`.
@@ -431,5 +448,21 @@ mod tests {
         r.admit(SimTime::ZERO, 'a', 0.0);
         assert_eq!(r.next_completion(), Some(SimTime::ZERO));
         assert_eq!(r.collect_finished(SimTime::ZERO), vec!['a']);
+    }
+
+    #[test]
+    fn sub_ulp_residual_completes_at_a_strictly_later_time() {
+        // A 1e-7-unit residual on a 1e8-rate resource at t=70 needs
+        // dt=1e-15, below the f64 ulp of 70 (~7e-15): `last_update + dt`
+        // rounds back to 70 exactly. The reported completion must still
+        // be strictly later, or an owner re-arming ticks off
+        // `next_completion` spins at a frozen timestamp forever.
+        let mut disk = FairShare::new(1e8, 1e8);
+        let t0 = SimTime::from_secs(70.0);
+        disk.admit(t0, "tail", 1e-7);
+        let next = disk.next_completion().unwrap();
+        assert!(next > t0, "no representable progress: {next} vs {t0}");
+        assert_eq!(disk.collect_finished(next), vec!["tail"]);
+        assert_eq!(disk.active_count(), 0);
     }
 }

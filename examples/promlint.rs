@@ -1,0 +1,51 @@
+//! A promtool-style lint gate for Prometheus text exposition.
+//!
+//! Pipe a scrape in and the process exits non-zero if the exposition
+//! violates format invariants (HELP/TYPE ordering, family contiguity,
+//! duplicate series, histogram bucket monotonicity, `+Inf`/`_count`
+//! agreement, …) — the same checks `mr2_obs::lint_exposition` applies
+//! in the registry's own tests, wired for CI against a live server:
+//!
+//! ```text
+//! curl -s http://127.0.0.1:8080/metrics | cargo run --release --example promlint
+//! ```
+//!
+//! With no piped input it lints this process's own registry rendering
+//! (after exercising a counter, a gauge, and a histogram), so running
+//! it bare is a self-check that always has something to chew on.
+
+use std::io::Read;
+
+fn main() {
+    let mut text = String::new();
+    std::io::stdin()
+        .read_to_string(&mut text)
+        .expect("stdin is not UTF-8");
+
+    let source = if text.is_empty() {
+        hadoop2_perf::obs::counter("promlint_selfcheck_total", "Self-check runs.").inc();
+        hadoop2_perf::obs::gauge("promlint_selfcheck_gauge", "Self-check gauge.").set(1.0);
+        hadoop2_perf::obs::histogram(
+            "promlint_selfcheck_seconds",
+            "Self-check histogram.",
+            hadoop2_perf::obs::Buckets::TIME,
+        )
+        .observe(0.012);
+        text = hadoop2_perf::obs::render();
+        "own registry"
+    } else {
+        "stdin"
+    };
+
+    let errors = hadoop2_perf::obs::lint_exposition(&text);
+    if errors.is_empty() {
+        let families = text.lines().filter(|l| l.starts_with("# TYPE ")).count();
+        println!("promlint: {source} clean ({families} families)");
+    } else {
+        for e in &errors {
+            eprintln!("promlint: {e}");
+        }
+        eprintln!("promlint: {} problem(s) in {source}", errors.len());
+        std::process::exit(1);
+    }
+}
